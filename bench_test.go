@@ -1,0 +1,146 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (plus the Section V extensions and the DESIGN.md
+// ablations). Each benchmark regenerates its experiment end to end at
+// a reduced scale; run the cmd/experiments binary for full-scale,
+// human-readable output.
+//
+//	go test -bench=. -benchmem
+package daccor
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/device"
+	"daccor/internal/experiments"
+	"daccor/internal/monitor"
+	"daccor/internal/msr"
+	"daccor/internal/pipeline"
+	"daccor/internal/replay"
+	"daccor/internal/workload"
+)
+
+// benchScale keeps per-iteration work around a second.
+var benchCfg = experiments.Config{Scale: 0.1, Seed: 1}
+
+func benchExperiment[T interface{ Render(io.Writer) }](b *testing.B, run func(experiments.Config) (T, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Render(io.Discard)
+	}
+}
+
+func BenchmarkTable1WorkloadStats(b *testing.B)  { benchExperiment(b, experiments.Table1) }
+func BenchmarkTable2ReplaySpeedup(b *testing.B)  { benchExperiment(b, experiments.Table2) }
+func BenchmarkFig1HeatMaps(b *testing.B)         { benchExperiment(b, experiments.Fig1) }
+func BenchmarkFig5CorrelationCDF(b *testing.B)   { benchExperiment(b, experiments.Fig5) }
+func BenchmarkFig6OptimalCurve(b *testing.B)     { benchExperiment(b, experiments.Fig6) }
+func BenchmarkFig7Synthetic(b *testing.B)        { benchExperiment(b, experiments.Fig7) }
+func BenchmarkFig8RealWorld(b *testing.B)        { benchExperiment(b, experiments.Fig8) }
+func BenchmarkFig9Representability(b *testing.B) { benchExperiment(b, experiments.Fig9) }
+func BenchmarkFig10ConceptDrift(b *testing.B)    { benchExperiment(b, experiments.Fig10) }
+func BenchmarkExtGCOptimization(b *testing.B)    { benchExperiment(b, experiments.GCOpt) }
+func BenchmarkExtParallelPlacement(b *testing.B) { benchExperiment(b, experiments.OCSSD) }
+func BenchmarkAblationWindow(b *testing.B)       { benchExperiment(b, experiments.AblationWindow) }
+func BenchmarkAblationCap(b *testing.B)          { benchExperiment(b, experiments.AblationCap) }
+func BenchmarkAblationTiers(b *testing.B)        { benchExperiment(b, experiments.AblationTiers) }
+func BenchmarkStreamBaseline(b *testing.B) {
+	benchExperiment(b, experiments.AblationStreamBaseline)
+}
+func BenchmarkCMinerBaseline(b *testing.B) { benchExperiment(b, experiments.CMinerExperiment) }
+func BenchmarkAppCaching(b *testing.B)     { benchExperiment(b, experiments.Caching) }
+func BenchmarkDriftBaseline(b *testing.B)  { benchExperiment(b, experiments.SpaceSavingExperiment) }
+
+// BenchmarkOnlineAnalysisThroughput measures the hot path in isolation:
+// transactions per second through the online analysis module — the
+// number that decides whether the framework keeps up with a disk I/O
+// stream in real time.
+func BenchmarkOnlineAnalysisThroughput(b *testing.B) {
+	p, err := msr.ProfileByName("wdev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := p.Generate(30_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	txs, err := monitor.Collect(gen.Trace, monitor.Config{
+		Window: monitor.StaticWindow(100 * time.Microsecond),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(core.Config{ItemCapacity: 16 * 1024, PairCapacity: 16 * 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Process(txs[i%len(txs)].Extents)
+	}
+}
+
+// BenchmarkMonitorThroughput measures event ingestion: block-layer
+// events per second through the monitoring module.
+func BenchmarkMonitorThroughput(b *testing.B) {
+	p, err := msr.ProfileByName("src2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := p.Generate(30_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := gen.Trace.Events
+	m, err := monitor.New(monitor.Config{
+		Window: monitor.StaticWindow(100 * time.Microsecond),
+	}, func(monitor.Transaction) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := events[i%len(events)]
+		ev.Time = int64(i) * 10_000 // keep timestamps monotone across wraps
+		if err := m.HandleEvent(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndPipeline measures the full framework — replay,
+// monitoring, online analysis — in events per second.
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	syn, err := workload.Generate(workload.SyntheticConfig{
+		Kind:        workload.ManyToMany,
+		Occurrences: 2_000,
+		Seed:        1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev, err := device.New(device.NVMeSSD(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, err = pipeline.AnalyzeReplay(syn.Trace, dev, replay.Options{Speedup: 100},
+			pipeline.Config{Analyzer: core.Config{ItemCapacity: 8192, PairCapacity: 8192}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(syn.Trace.Len()) * blktrace.BlockSize)
+}

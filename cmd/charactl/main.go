@@ -1,0 +1,138 @@
+// Command charactl runs the real-time characterization pipeline over a
+// trace: requests are replayed against a simulated NVMe device with the
+// monitoring module (dynamic transaction window) and the online
+// analysis module attached live, and the strongest detected extent
+// correlations are printed.
+//
+// Usage:
+//
+//	tracegen -kind wdev -o wdev.bin
+//	charactl -c 32768 -support 5 -top 20 wdev.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/device"
+	"daccor/internal/pipeline"
+	"daccor/internal/replay"
+)
+
+func main() {
+	capacity := flag.Int("c", 32*1024, "synopsis table size C (entries per tier, both tables)")
+	support := flag.Uint("support", 5, "minimum correlation frequency to report")
+	top := flag.Int("top", 20, "number of correlations to print (0 = all)")
+	speedup := flag.Float64("speedup", 1, "replay acceleration factor")
+	text := flag.Bool("text", false, "input is in text format instead of binary")
+	rules := flag.Bool("rules", false, "also print directional association rules")
+	minConf := flag.Float64("confidence", 0.5, "minimum rule confidence (with -rules)")
+	save := flag.String("save", "", "save the synopsis state to this file afterwards")
+	load := flag.String("load", "", "restore a previously saved synopsis state before analyzing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <trace-file>\n", os.Args[0])
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var trace *blktrace.Trace
+	if *text {
+		trace, err = blktrace.ReadText(f)
+	} else {
+		trace, err = blktrace.ReadTrace(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	dev, err := device.New(device.NVMeSSD(), 1)
+	if err != nil {
+		fatal(err)
+	}
+	pcfg := pipeline.Config{
+		Analyzer: core.Config{ItemCapacity: *capacity, PairCapacity: *capacity},
+	}
+	if *load != "" {
+		lf, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		restored, err := core.LoadAnalyzer(lf)
+		lf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		pcfg.Restored = restored
+		fmt.Printf("restored synopsis state from %s (%d pairs held)\n\n",
+			*load, restored.Pairs().Len())
+	}
+	pipe, res, err := pipeline.AnalyzeReplay(trace, dev, replay.Options{Speedup: *speedup}, pcfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	mstats := pipe.Monitor().Stats()
+	astats := pipe.Analyzer().Stats()
+	fmt.Printf("replayed %d requests in %v simulated (mean read latency %v)\n",
+		res.Requests, res.WallTime, res.MeanReadLatency)
+	fmt.Printf("monitor: %d transactions, %d dedup'd requests, %d cap splits\n",
+		mstats.Transactions, mstats.Duplicates, mstats.CapSplits)
+	fmt.Printf("synopsis: %d extents, %d pair touches, %d pair evictions, %d bytes\n\n",
+		astats.Extents, astats.PairTouches, astats.PairEvictions, pipe.Analyzer().MemoryBytes())
+
+	snap := pipe.Snapshot(uint32(*support))
+	fmt.Printf("%d extent correlations with frequency >= %d:\n", len(snap.Pairs), *support)
+	limit := *top
+	if limit <= 0 || limit > len(snap.Pairs) {
+		limit = len(snap.Pairs)
+	}
+	for _, pc := range snap.Pairs[:limit] {
+		tier := "T1"
+		if pc.Tier == core.Tier2 {
+			tier = "T2"
+		}
+		fmt.Printf("  %6d× %s  %s\n", pc.Count, tier, pc.Pair)
+	}
+	if limit < len(snap.Pairs) {
+		fmt.Printf("  ... and %d more\n", len(snap.Pairs)-limit)
+	}
+
+	if *rules {
+		rs := pipe.Analyzer().Rules(uint32(*support), *minConf)
+		fmt.Printf("\n%d directional rules (confidence >= %.2f):\n", len(rs), *minConf)
+		rlimit := *top
+		if rlimit <= 0 || rlimit > len(rs) {
+			rlimit = len(rs)
+		}
+		for _, r := range rs[:rlimit] {
+			fmt.Printf("  %s -> %s  (%.0f%%, %d obs)\n", r.From, r.To, 100*r.Confidence, r.Support)
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := pipe.Analyzer().WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsynopsis state saved to %s\n", *save)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "charactl:", err)
+	os.Exit(1)
+}

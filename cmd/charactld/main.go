@@ -1,0 +1,118 @@
+// Command charactld runs the characterization framework as a long-lived
+// service: a workload (generated, or replayed from a trace file in a
+// loop) streams through the concurrent collector while an HTTP endpoint
+// serves the live correlations, rules, and statistics — the shape of a
+// deployment feeding a self-optimizing storage system.
+//
+// Usage:
+//
+//	charactld -workload wdev -listen 127.0.0.1:7233
+//	curl localhost:7233/snapshot?support=5
+//	curl localhost:7233/rules?confidence=0.8
+//	curl localhost:7233/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/msr"
+	"daccor/internal/pipeline"
+	"daccor/internal/realtime"
+	"daccor/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "wdev", "workload to stream: wdev, src2, rsrch, stg, hm, one-to-one, one-to-many, many-to-many, or a trace file path")
+	n := flag.Int("n", 0, "requests per loop iteration (0 = workload default)")
+	capacity := flag.Int("c", 32*1024, "synopsis table size C (entries per tier)")
+	listen := flag.String("listen", "127.0.0.1:7233", "HTTP listen address")
+	seed := flag.Int64("seed", 1, "random seed")
+	pace := flag.Duration("pace", 50*time.Microsecond, "mean gap between submitted events (0 = as fast as possible)")
+	flag.Parse()
+
+	trace, err := loadWorkload(*wl, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	collector, err := realtime.Start(realtime.Config{
+		Pipeline: pipeline.Config{
+			Analyzer: core.Config{ItemCapacity: *capacity, PairCapacity: *capacity},
+		},
+		DropOnBackpressure: true, // a monitor must never stall its workload
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	go feedForever(collector, trace, *pace)
+
+	log.Printf("charactld: streaming %q (%d events per loop), serving on http://%s",
+		*wl, trace.Len(), *listen)
+	log.Printf("endpoints: /snapshot?support=N  /rules?support=N&confidence=F  /stats")
+	if err := http.ListenAndServe(*listen, realtime.NewHTTPHandler(collector)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func loadWorkload(name string, n int, seed int64) (*blktrace.Trace, error) {
+	synth := map[string]workload.Kind{
+		"one-to-one":   workload.OneToOne,
+		"one-to-many":  workload.OneToMany,
+		"many-to-many": workload.ManyToMany,
+	}
+	if k, ok := synth[name]; ok {
+		if n <= 0 {
+			n = 2000
+		}
+		syn, err := workload.Generate(workload.SyntheticConfig{Kind: k, Occurrences: n, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return syn.Trace, nil
+	}
+	if p, err := msr.ProfileByName(name); err == nil {
+		gen, err := p.Generate(n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Trace, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("workload %q is neither a known profile nor a readable trace file: %w", name, err)
+	}
+	defer f.Close()
+	return blktrace.ReadTrace(f)
+}
+
+// feedForever loops the trace through the collector, re-basing
+// timestamps each iteration so the stream is continuous.
+func feedForever(c *realtime.Collector, t *blktrace.Trace, pace time.Duration) {
+	if t.Len() == 0 {
+		return
+	}
+	var clock int64
+	for {
+		base := t.Events[0].Time
+		var last int64
+		for _, ev := range t.Events {
+			ev.Time = clock + (ev.Time - base)
+			last = ev.Time
+			if err := c.Submit(ev); err != nil {
+				return // collector stopped
+			}
+			c.ObserveLatency(int64(40 * time.Microsecond))
+			if pace > 0 {
+				time.Sleep(pace)
+			}
+		}
+		clock = last + int64(time.Millisecond)
+	}
+}

@@ -1,0 +1,129 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, plus the Section V extensions and the ablations described
+// in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [flags] <experiment>...
+//	experiments -scale 1 all
+//
+// Experiments: table1 table2 fig1 fig5 fig6 fig7 fig8 fig9 fig10
+// gcopt ocssd ablation-window ablation-cap ablation-tiers
+// stream-baseline cminer-baseline caching drift-baseline all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"daccor/internal/experiments"
+)
+
+type renderer interface{ Render(io.Writer) }
+
+type runner struct {
+	order int
+	run   func(experiments.Config) (renderer, error)
+}
+
+func wrap[T renderer](order int, f func(experiments.Config) (T, error)) runner {
+	return runner{order: order, run: func(cfg experiments.Config) (renderer, error) {
+		return f(cfg)
+	}}
+}
+
+var registry = map[string]runner{
+	"table1":          wrap(1, experiments.Table1),
+	"table2":          wrap(2, experiments.Table2),
+	"fig1":            wrap(3, experiments.Fig1),
+	"fig5":            wrap(4, experiments.Fig5),
+	"fig6":            wrap(5, experiments.Fig6),
+	"fig7":            wrap(6, experiments.Fig7),
+	"fig8":            wrap(7, experiments.Fig8),
+	"fig9":            wrap(8, experiments.Fig9),
+	"fig10":           wrap(9, experiments.Fig10),
+	"gcopt":           wrap(10, experiments.GCOpt),
+	"ocssd":           wrap(11, experiments.OCSSD),
+	"ablation-window": wrap(12, experiments.AblationWindow),
+	"ablation-cap":    wrap(13, experiments.AblationCap),
+	"ablation-tiers":  wrap(14, experiments.AblationTiers),
+	"stream-baseline": wrap(15, experiments.AblationStreamBaseline),
+	"cminer-baseline": wrap(16, experiments.CMinerExperiment),
+	"caching":         wrap(17, experiments.Caching),
+	"drift-baseline":  wrap(18, experiments.SpaceSavingExperiment),
+}
+
+func names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return registry[out[i]].order < registry[out[j]].order })
+	return out
+}
+
+func main() {
+	scale := flag.Float64("scale", 1, "experiment scale (request counts and table sizes)")
+	seed := flag.Int64("seed", 1, "random seed")
+	support := flag.Int("support", 5, "minimum correlation frequency for real-world workloads")
+	svgDir := flag.String("svg", "", "also write figure artifacts as SVG files into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: %s [flags] <experiment>...\n\nexperiments:\n", os.Args[0])
+		for _, n := range names() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", n)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "  all\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Support: *support}
+
+	var selected []string
+	for _, a := range args {
+		if a == "all" {
+			selected = names()
+			break
+		}
+		if _, ok := registry[a]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
+			flag.Usage()
+			os.Exit(2)
+		}
+		selected = append(selected, a)
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for i, name := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		res, err := registry[name].run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		res.Render(os.Stdout)
+		if *svgDir != "" {
+			if sr, ok := res.(experiments.SVGRenderer); ok {
+				if err := sr.RenderSVG(*svgDir); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: svg: %v\n", name, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "(%s figures written to %s)\n", name, *svgDir)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command fimine performs offline frequent itemset mining over a trace,
+// the baseline methodology the paper compares against: the trace is
+// windowed into transactions (as the monitoring module would) and mined
+// with apriori, eclat, or fp-growth.
+//
+// With -sequences, it instead mines gap-constrained frequent closed
+// subsequences in the style of C-Miner (Li et al., FAST '04).
+//
+// Usage:
+//
+//	fimine -algo eclat -support 10 -window 10ms trace.bin
+//	fimine -sequences -gap 2 -seglen 128 -support 5 trace.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/cminer"
+	"daccor/internal/fim"
+	"daccor/internal/monitor"
+	"daccor/internal/pipeline"
+)
+
+func main() {
+	algo := flag.String("algo", "eclat", "mining algorithm: apriori, eclat, fpgrowth, brute")
+	support := flag.Int("support", 5, "minimum support (transactions)")
+	maxLen := flag.Int("maxlen", 2, "maximum itemset length (0 = unlimited)")
+	window := flag.Duration("window", 100*time.Microsecond, "static transaction window")
+	cap8 := flag.Int("cap", monitor.DefaultMaxRequests, "transaction size cap")
+	top := flag.Int("top", 30, "itemsets to print (0 = all)")
+	text := flag.Bool("text", false, "input is in text format instead of binary")
+	sequences := flag.Bool("sequences", false, "mine gap-constrained subsequences (C-Miner style) instead of itemsets")
+	gap := flag.Int("gap", 2, "C-Miner gap (with -sequences)")
+	seglen := flag.Int("seglen", cminer.DefaultSegmentLen, "sequence segment length (with -sequences)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <trace-file>\n", os.Args[0])
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var trace *blktrace.Trace
+	if *text {
+		trace, err = blktrace.ReadText(f)
+	} else {
+		trace, err = blktrace.ReadTrace(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sequences {
+		mineSequences(trace, cminer.Options{
+			SegmentLen: *seglen,
+			Gap:        *gap,
+			MinSupport: *support,
+			MaxLen:     maxOr(*maxLen, cminer.DefaultMaxLen),
+		}, *top)
+		return
+	}
+
+	txs, err := monitor.Collect(trace, monitor.Config{
+		Window:      monitor.StaticWindow(*window),
+		MaxRequests: *cap8,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ds := fim.NewDataset(pipeline.ExtentSets(txs))
+	start := time.Now()
+	mined, err := fim.Mine(fim.Algorithm(*algo), ds, fim.Options{
+		MinSupport: *support,
+		MaxLen:     *maxLen,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d transactions, %d distinct extents\n", ds.Transactions(), ds.Items())
+	fmt.Printf("%s mined %d frequent itemsets (support >= %d) in %v\n\n",
+		*algo, len(mined), *support, elapsed)
+	limit := *top
+	if limit <= 0 || limit > len(mined) {
+		limit = len(mined)
+	}
+	for _, fs := range mined[:limit] {
+		fmt.Printf("  %6d× ", fs.Support)
+		for i, e := range ds.Decode(fs.Items) {
+			if i > 0 {
+				fmt.Print(" + ")
+			}
+			fmt.Print(e)
+		}
+		fmt.Println()
+	}
+	if limit < len(mined) {
+		fmt.Printf("  ... and %d more\n", len(mined)-limit)
+	}
+}
+
+func maxOr(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+func mineSequences(trace *blktrace.Trace, opts cminer.Options, top int) {
+	start := time.Now()
+	res, err := cminer.Mine(trace, opts)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d sequences of up to %d requests\n", res.Sequences, opts.SegmentLen)
+	fmt.Printf("C-Miner-style mining found %d closed patterns (support >= %d, gap %d) in %v\n\n",
+		len(res.Patterns), opts.MinSupport, opts.Gap, elapsed)
+	limit := top
+	if limit <= 0 || limit > len(res.Patterns) {
+		limit = len(res.Patterns)
+	}
+	for _, p := range res.Patterns[:limit] {
+		fmt.Printf("  %6d× ", p.Support)
+		for i, e := range p.Extents {
+			if i > 0 {
+				fmt.Print(" -> ")
+			}
+			fmt.Print(e)
+		}
+		fmt.Println()
+	}
+	if limit < len(res.Patterns) {
+		fmt.Printf("  ... and %d more\n", len(res.Patterns)-limit)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fimine:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Livemonitor: query the characterizer while the workload runs.
+//
+// The paper's framework is meant to run *alongside* the workload,
+// answering "what is correlated right now?" at any moment. This
+// example starts the concurrent collector, feeds it a workload from a
+// producer goroutine, and — while ingestion is still in flight —
+// periodically asks for the current top correlations and directional
+// rules, printing how the picture sharpens as evidence accumulates.
+//
+// Run with: go run ./examples/livemonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"daccor/internal/core"
+	"daccor/internal/monitor"
+	"daccor/internal/pipeline"
+	"daccor/internal/realtime"
+	"daccor/internal/workload"
+)
+
+func main() {
+	syn, err := workload.Generate(workload.SyntheticConfig{
+		Kind:        workload.OneToMany, // inode-style: one block ↔ a range
+		Occurrences: 3000,
+		Seed:        11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := realtime.Start(realtime.Config{
+		Pipeline: pipeline.Config{
+			Monitor:  monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)},
+			Analyzer: core.Config{ItemCapacity: 8192, PairCapacity: 8192},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Producer: stream the trace in.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, ev := range syn.Trace.Events {
+			if err := c.Submit(ev); err != nil {
+				log.Printf("submit: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Consumer: poll the live state while the producer runs.
+	fmt.Println("live view of the synopsis while the stream is being ingested:")
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	lastSeen := uint64(0)
+poll:
+	for {
+		select {
+		case <-done:
+			break poll
+		case <-ticker.C:
+			mon, _, err := c.Stats()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if mon.Events == lastSeen {
+				continue
+			}
+			lastSeen = mon.Events
+			snap, err := c.Snapshot(5)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  after %6d events: %3d frequent pairs", mon.Events, len(snap.Pairs))
+			if top := snap.TopPairs(1); len(top) == 1 {
+				fmt.Printf(", hottest %s ×%d", top[0].Pair, top[0].Count)
+			}
+			fmt.Println()
+		}
+	}
+
+	// Final answer: directional rules, the prefetcher-ready form.
+	rules, err := c.Rules(10, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Stop()
+	fmt.Printf("\nfinal directional rules (support ≥ 10, confidence ≥ 0.6):\n")
+	limit := 8
+	if len(rules) < limit {
+		limit = len(rules)
+	}
+	for _, r := range rules[:limit] {
+		fmt.Printf("  %s → %s   (%.0f%% confidence, %d observations)\n",
+			r.From, r.To, 100*r.Confidence, r.Support)
+	}
+	fmt.Println("\nreading the left side predicts the right side — feed these to a")
+	fmt.Println("prefetcher, a data placer, or a multi-stream SSD.")
+}

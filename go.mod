@@ -1,0 +1,3 @@
+module daccor
+
+go 1.22

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"daccor/internal/blktrace"
+)
+
+// Heatmap is a 2D binned density grid. Row 0 is the bottom of the plot
+// (lowest block numbers), matching the paper's axes.
+type Heatmap struct {
+	W, H  int
+	Cells []int // row-major, len W*H
+	// XLabel and YLabel describe the axes for rendering.
+	XLabel, YLabel string
+}
+
+// NewHeatmap returns an empty w×h grid.
+func NewHeatmap(w, h int) *Heatmap {
+	return &Heatmap{W: w, H: h, Cells: make([]int, w*h)}
+}
+
+// Add increments the cell at (x, y); out-of-range points are clamped to
+// the border.
+func (hm *Heatmap) Add(x, y int) {
+	x = clamp(x, 0, hm.W-1)
+	y = clamp(y, 0, hm.H-1)
+	hm.Cells[y*hm.W+x]++
+}
+
+// At returns the count at (x, y).
+func (hm *Heatmap) At(x, y int) int { return hm.Cells[y*hm.W+x] }
+
+// Max returns the maximum cell count.
+func (hm *Heatmap) Max() int {
+	m := 0
+	for _, c := range hm.Cells {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// NonEmpty returns the number of cells with at least one hit.
+func (hm *Heatmap) NonEmpty() int {
+	n := 0
+	for _, c := range hm.Cells {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// OccupancySimilarity is the Jaccard similarity of the two maps'
+// non-empty cells — the quantitative stand-in for the paper's "visually
+// recognizably similar" comparison of offline and online plots
+// (Figs. 7–8). The maps must have equal dimensions.
+func (hm *Heatmap) OccupancySimilarity(other *Heatmap) (float64, error) {
+	if hm.W != other.W || hm.H != other.H {
+		return 0, fmt.Errorf("analysis: heatmap dims %dx%d vs %dx%d", hm.W, hm.H, other.W, other.H)
+	}
+	inter, union := 0, 0
+	for i := range hm.Cells {
+		a, b := hm.Cells[i] > 0, other.Cells[i] > 0
+		if a && b {
+			inter++
+		}
+		if a || b {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1, nil
+	}
+	return float64(inter) / float64(union), nil
+}
+
+// Render draws the heatmap as ASCII art (top row = highest y), using a
+// density ramp. It is how cmd/experiments prints the figure panels.
+func (hm *Heatmap) Render() string {
+	ramp := []byte(" .:-=+*#%@")
+	max := hm.Max()
+	var sb strings.Builder
+	sb.Grow((hm.W + 1) * hm.H)
+	for y := hm.H - 1; y >= 0; y-- {
+		for x := 0; x < hm.W; x++ {
+			c := hm.At(x, y)
+			if c == 0 {
+				sb.WriteByte(' ')
+				continue
+			}
+			idx := 1 + c*(len(ramp)-2)/max
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			sb.WriteByte(ramp[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TraceHeatmap bins a trace as Fig. 1: x = request sequence, y =
+// starting block number.
+func TraceHeatmap(t *blktrace.Trace, w, h int) *Heatmap {
+	hm := NewHeatmap(w, h)
+	hm.XLabel, hm.YLabel = "request sequence", "block"
+	if t.Len() == 0 {
+		return hm
+	}
+	minB, maxB := blockRangeEvents(t.Events)
+	span := float64(maxB-minB) + 1
+	for i, ev := range t.Events {
+		x := i * w / t.Len()
+		y := int(float64(ev.Extent.Block-minB) / span * float64(h))
+		hm.Add(x, y)
+	}
+	return hm
+}
+
+func blockRangeEvents(evs []blktrace.Event) (lo, hi uint64) {
+	lo, hi = evs[0].Extent.Block, evs[0].Extent.Block
+	for _, ev := range evs {
+		if ev.Extent.Block < lo {
+			lo = ev.Extent.Block
+		}
+		if ev.Extent.Block > hi {
+			hi = ev.Extent.Block
+		}
+	}
+	return lo, hi
+}
+
+// PairScatter bins extent pairs as the correlation panels of Figs. 7–8:
+// both (A, B) and (B, A) are plotted, block number on both axes. The
+// block range is taken from the pairs themselves unless a positive
+// span is forced via lo/hi (pass hi = 0 to auto-range).
+func PairScatter(pairs map[blktrace.Pair]struct{}, bins int, lo, hi uint64) *Heatmap {
+	hm := NewHeatmap(bins, bins)
+	hm.XLabel, hm.YLabel = "block", "block"
+	if len(pairs) == 0 {
+		return hm
+	}
+	if hi <= lo {
+		first := true
+		for p := range pairs {
+			for _, b := range [...]uint64{p.A.Block, p.B.Block} {
+				if first || b < lo {
+					lo = b
+				}
+				if first || b > hi {
+					hi = b
+				}
+				first = false
+			}
+		}
+	}
+	span := float64(hi-lo) + 1
+	bin := func(b uint64) int {
+		if b < lo {
+			return 0
+		}
+		return int(float64(b-lo) / span * float64(bins))
+	}
+	for p := range pairs {
+		ax, bx := bin(p.A.Block), bin(p.B.Block)
+		hm.Add(ax, bx)
+		hm.Add(bx, ax)
+	}
+	return hm
+}
+
+// BlockRangeOfPairs returns the min and max starting block across a
+// pair set, so offline and online scatters can share axes.
+func BlockRangeOfPairs(pairs map[blktrace.Pair]struct{}) (lo, hi uint64) {
+	first := true
+	for p := range pairs {
+		for _, b := range [...]uint64{p.A.Block, p.B.Block} {
+			if first || b < lo {
+				lo = b
+			}
+			if first || b > hi {
+				hi = b
+			}
+			first = false
+		}
+	}
+	return lo, hi
+}

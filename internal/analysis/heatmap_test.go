@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+func TestHeatmapAddClampAt(t *testing.T) {
+	hm := NewHeatmap(4, 3)
+	hm.Add(0, 0)
+	hm.Add(3, 2)
+	hm.Add(-5, 99) // clamps to (0, 2)
+	if hm.At(0, 0) != 1 || hm.At(3, 2) != 1 || hm.At(0, 2) != 1 {
+		t.Errorf("cells = %v", hm.Cells)
+	}
+	if hm.Max() != 1 || hm.NonEmpty() != 3 {
+		t.Errorf("Max=%d NonEmpty=%d", hm.Max(), hm.NonEmpty())
+	}
+	hm.Add(0, 0)
+	if hm.Max() != 2 {
+		t.Error("Max should track the hottest cell")
+	}
+}
+
+func TestOccupancySimilarity(t *testing.T) {
+	a := NewHeatmap(2, 2)
+	b := NewHeatmap(2, 2)
+	a.Add(0, 0)
+	a.Add(1, 1)
+	b.Add(0, 0)
+	b.Add(0, 1)
+	got, err := a.OccupancySimilarity(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1.0/3 {
+		t.Errorf("similarity = %v, want 1/3", got)
+	}
+	if s, _ := a.OccupancySimilarity(a); s != 1 {
+		t.Error("self similarity should be 1")
+	}
+	empty1, empty2 := NewHeatmap(2, 2), NewHeatmap(2, 2)
+	if s, _ := empty1.OccupancySimilarity(empty2); s != 1 {
+		t.Error("empty maps are identical")
+	}
+	if _, err := a.OccupancySimilarity(NewHeatmap(3, 3)); err == nil {
+		t.Error("want error for dim mismatch")
+	}
+}
+
+func TestRender(t *testing.T) {
+	hm := NewHeatmap(3, 2)
+	hm.Add(0, 0) // bottom-left
+	hm.Add(2, 1) // top-right
+	out := hm.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Top line shows y=1: mark at x=2; bottom line y=0: mark at x=0.
+	if lines[0][2] == ' ' || lines[1][0] == ' ' {
+		t.Errorf("marks misplaced:\n%s", out)
+	}
+	if lines[0][0] != ' ' || lines[1][2] != ' ' {
+		t.Errorf("unexpected marks:\n%s", out)
+	}
+}
+
+func TestTraceHeatmap(t *testing.T) {
+	tr := &blktrace.Trace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(blktrace.Event{Time: int64(i), Op: blktrace.OpRead,
+			Extent: blktrace.Extent{Block: uint64(i * 10), Len: 1}})
+	}
+	hm := TraceHeatmap(tr, 10, 10)
+	if hm.NonEmpty() == 0 {
+		t.Fatal("heatmap empty")
+	}
+	// A linear sweep should light the diagonal.
+	for i := 0; i < 10; i++ {
+		if hm.At(i, i) == 0 {
+			t.Errorf("diagonal cell (%d,%d) empty", i, i)
+		}
+	}
+	if TraceHeatmap(&blktrace.Trace{}, 4, 4).NonEmpty() != 0 {
+		t.Error("empty trace heatmap should be empty")
+	}
+}
+
+func TestPairScatterSymmetric(t *testing.T) {
+	pairs := map[blktrace.Pair]struct{}{
+		pair(100, 900): {},
+	}
+	hm := PairScatter(pairs, 10, 0, 0)
+	// Both (A,B) and (B,A) must be plotted.
+	found := 0
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			if hm.At(x, y) > 0 {
+				found++
+				if hm.At(y, x) == 0 {
+					t.Errorf("asymmetric at (%d,%d)", x, y)
+				}
+			}
+		}
+	}
+	if found != 2 {
+		t.Errorf("cells lit = %d, want 2", found)
+	}
+	if PairScatter(nil, 4, 0, 0).NonEmpty() != 0 {
+		t.Error("empty pairs scatter should be empty")
+	}
+}
+
+func TestPairScatterSharedAxes(t *testing.T) {
+	offline := map[blktrace.Pair]struct{}{pair(0, 1000): {}, pair(500, 700): {}}
+	online := map[blktrace.Pair]struct{}{pair(0, 1000): {}}
+	lo, hi := BlockRangeOfPairs(offline)
+	if lo != 0 || hi != 1000 {
+		t.Fatalf("range = [%d, %d]", lo, hi)
+	}
+	a := PairScatter(offline, 20, lo, hi)
+	b := PairScatter(online, 20, lo, hi)
+	sim, err := a.OccupancySimilarity(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// online ⊂ offline: similarity = |online cells| / |offline cells|.
+	if sim <= 0 || sim > 1 {
+		t.Errorf("similarity = %v", sim)
+	}
+}

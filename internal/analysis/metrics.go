@@ -1,0 +1,217 @@
+// Package analysis computes the paper's evaluation metrics: the
+// correlation-frequency CDF (Fig. 5), the optimal table-size curve
+// (Fig. 6), representability versus optimal (Fig. 9), the
+// detection-accuracy comparison between the online synopsis and the
+// offline FIM ground truth (Figs. 7–8 and the >90% headline), the
+// block-space heatmaps and pair scatter plots (Figs. 1, 7, 8), and the
+// concept-drift snapshot similarity (Fig. 10).
+package analysis
+
+import (
+	"sort"
+
+	"daccor/internal/blktrace"
+)
+
+// CDFPoint is one point of Fig. 5: at a given correlation frequency
+// (support), the fraction of unique extent pairs with frequency <= that
+// support and the frequency-weighted fraction.
+type CDFPoint struct {
+	Support      int
+	UniqueFrac   float64 // solid line: by number of unique pairs
+	WeightedFrac float64 // dashed line: weighted by occurrence count
+}
+
+// CorrelationCDF computes the Fig. 5 curves from a pair-frequency map.
+// Points are emitted at every distinct support value, ascending.
+func CorrelationCDF(freqs map[blktrace.Pair]int) []CDFPoint {
+	if len(freqs) == 0 {
+		return nil
+	}
+	bySupport := make(map[int]int) // support -> number of pairs
+	totalPairs, totalWeight := 0, 0
+	for _, f := range freqs {
+		bySupport[f]++
+		totalPairs++
+		totalWeight += f
+	}
+	supports := make([]int, 0, len(bySupport))
+	for s := range bySupport {
+		supports = append(supports, s)
+	}
+	sort.Ints(supports)
+	out := make([]CDFPoint, 0, len(supports))
+	cumPairs, cumWeight := 0, 0
+	for _, s := range supports {
+		n := bySupport[s]
+		cumPairs += n
+		cumWeight += n * s
+		out = append(out, CDFPoint{
+			Support:      s,
+			UniqueFrac:   float64(cumPairs) / float64(totalPairs),
+			WeightedFrac: float64(cumWeight) / float64(totalWeight),
+		})
+	}
+	return out
+}
+
+// SortedFrequencies returns pair frequencies in descending order — the
+// ranking behind Fig. 6's optimal curve.
+func SortedFrequencies(freqs map[blktrace.Pair]int) []int {
+	out := make([]int, 0, len(freqs))
+	for _, f := range freqs {
+		out = append(out, f)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// OptimalCurve returns, for each table size n = 1..len(freqs), the
+// maximum fraction of total pair occurrences representable by any n
+// pairs (i.e. the n most frequent) — Fig. 6. Index i holds the value
+// for n = i+1.
+func OptimalCurve(freqs map[blktrace.Pair]int) []float64 {
+	sorted := SortedFrequencies(freqs)
+	total := 0
+	for _, f := range sorted {
+		total += f
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(sorted))
+	cum := 0
+	for i, f := range sorted {
+		cum += f
+		out[i] = float64(cum) / float64(total)
+	}
+	return out
+}
+
+// OptimalFraction returns the best possible captured-frequency fraction
+// for a table of n entries (0 for n <= 0; the full total once n covers
+// every pair).
+func OptimalFraction(freqs map[blktrace.Pair]int, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	curve := OptimalCurve(freqs)
+	if curve == nil {
+		return 0
+	}
+	if n > len(curve) {
+		n = len(curve)
+	}
+	return curve[n-1]
+}
+
+// CapturedFraction returns the fraction of total pair occurrences (per
+// the ground-truth freqs) covered by the pairs the synopsis currently
+// holds.
+func CapturedFraction(held map[blktrace.Pair]struct{}, freqs map[blktrace.Pair]int) float64 {
+	total, captured := 0, 0
+	for p, f := range freqs {
+		total += f
+		if _, ok := held[p]; ok {
+			captured += f
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(captured) / float64(total)
+}
+
+// Representability is Fig. 9's metric: the fraction captured by the
+// synopsis relative to the optimal fraction possible for the same
+// number of entries.
+func Representability(held map[blktrace.Pair]struct{}, freqs map[blktrace.Pair]int, entries int) float64 {
+	opt := OptimalFraction(freqs, entries)
+	if opt == 0 {
+		return 0
+	}
+	got := CapturedFraction(held, freqs)
+	return got / opt
+}
+
+// PRF is a precision/recall/F1 summary of detected pairs against a
+// ground-truth set.
+type PRF struct {
+	Precision, Recall, F1       float64
+	TruePos, FalsePos, FalseNeg int
+}
+
+// DetectionPRF compares a detected pair set against the truth set.
+func DetectionPRF(detected, truth map[blktrace.Pair]struct{}) PRF {
+	var prf PRF
+	for p := range detected {
+		if _, ok := truth[p]; ok {
+			prf.TruePos++
+		} else {
+			prf.FalsePos++
+		}
+	}
+	for p := range truth {
+		if _, ok := detected[p]; !ok {
+			prf.FalseNeg++
+		}
+	}
+	if prf.TruePos+prf.FalsePos > 0 {
+		prf.Precision = float64(prf.TruePos) / float64(prf.TruePos+prf.FalsePos)
+	}
+	if prf.TruePos+prf.FalseNeg > 0 {
+		prf.Recall = float64(prf.TruePos) / float64(prf.TruePos+prf.FalseNeg)
+	}
+	if prf.Precision+prf.Recall > 0 {
+		prf.F1 = 2 * prf.Precision * prf.Recall / (prf.Precision + prf.Recall)
+	}
+	return prf
+}
+
+// FrequentSet filters a frequency map to pairs at or above minSupport,
+// as a set.
+func FrequentSet(freqs map[blktrace.Pair]int, minSupport int) map[blktrace.Pair]struct{} {
+	out := make(map[blktrace.Pair]struct{})
+	for p, f := range freqs {
+		if f >= minSupport {
+			out[p] = struct{}{}
+		}
+	}
+	return out
+}
+
+// WeightedRecall is the fraction of frequent-pair *occurrences* (per
+// the ground truth at minSupport) whose pair the detector holds: the
+// paper's "percentage of data access correlations detected".
+func WeightedRecall(detected map[blktrace.Pair]struct{}, freqs map[blktrace.Pair]int, minSupport int) float64 {
+	total, captured := 0, 0
+	for p, f := range freqs {
+		if f < minSupport {
+			continue
+		}
+		total += f
+		if _, ok := detected[p]; ok {
+			captured += f
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(captured) / float64(total)
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| (1 for two empty sets) — the
+// snapshot similarity used in the concept-drift experiment.
+func Jaccard(a, b map[blktrace.Pair]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for p := range a {
+		if _, ok := b[p]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

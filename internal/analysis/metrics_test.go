@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+func pair(a, b uint64) blktrace.Pair {
+	return blktrace.MakePair(blktrace.Extent{Block: a, Len: 1}, blktrace.Extent{Block: b, Len: 1})
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCorrelationCDF(t *testing.T) {
+	// Three pairs at support 1, one at 5. Unique: 3/4 at s=1, 4/4 at 5.
+	// Weighted: 3/8 at s=1, 8/8 at 5.
+	freqs := map[blktrace.Pair]int{
+		pair(1, 2): 1, pair(3, 4): 1, pair(5, 6): 1, pair(7, 8): 5,
+	}
+	cdf := CorrelationCDF(freqs)
+	if len(cdf) != 2 {
+		t.Fatalf("points = %d, want 2", len(cdf))
+	}
+	if cdf[0].Support != 1 || !approx(cdf[0].UniqueFrac, 0.75) || !approx(cdf[0].WeightedFrac, 0.375) {
+		t.Errorf("cdf[0] = %+v", cdf[0])
+	}
+	if cdf[1].Support != 5 || !approx(cdf[1].UniqueFrac, 1) || !approx(cdf[1].WeightedFrac, 1) {
+		t.Errorf("cdf[1] = %+v", cdf[1])
+	}
+	if CorrelationCDF(nil) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	freqs := map[blktrace.Pair]int{}
+	for i := uint64(0); i < 50; i++ {
+		freqs[pair(2*i, 2*i+1)] = int(i%7) + 1
+	}
+	cdf := CorrelationCDF(freqs)
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].UniqueFrac < cdf[i-1].UniqueFrac || cdf[i].WeightedFrac < cdf[i-1].WeightedFrac {
+			t.Fatal("CDF must be non-decreasing")
+		}
+		if cdf[i].Support <= cdf[i-1].Support {
+			t.Fatal("supports must ascend")
+		}
+	}
+	last := cdf[len(cdf)-1]
+	if !approx(last.UniqueFrac, 1) || !approx(last.WeightedFrac, 1) {
+		t.Errorf("CDF must end at 1: %+v", last)
+	}
+	// Zipf-ish property used by the paper: unique rises faster than
+	// weighted at the low-support end.
+	if cdf[0].UniqueFrac <= cdf[0].WeightedFrac {
+		t.Error("unique fraction should lead weighted fraction at low support")
+	}
+}
+
+func TestOptimalCurveAndFraction(t *testing.T) {
+	freqs := map[blktrace.Pair]int{
+		pair(1, 2): 10, pair(3, 4): 5, pair(5, 6): 4, pair(7, 8): 1,
+	}
+	curve := OptimalCurve(freqs) // total 20: 0.5, 0.75, 0.95, 1.0
+	want := []float64{0.5, 0.75, 0.95, 1.0}
+	for i, w := range want {
+		if !approx(curve[i], w) {
+			t.Errorf("curve[%d] = %v, want %v", i, curve[i], w)
+		}
+	}
+	if !approx(OptimalFraction(freqs, 2), 0.75) {
+		t.Error("OptimalFraction(2) wrong")
+	}
+	if !approx(OptimalFraction(freqs, 100), 1) {
+		t.Error("OptimalFraction beyond size should saturate at 1")
+	}
+	if OptimalFraction(freqs, 0) != 0 || OptimalFraction(nil, 5) != 0 {
+		t.Error("degenerate OptimalFraction cases")
+	}
+}
+
+func TestCapturedAndRepresentability(t *testing.T) {
+	freqs := map[blktrace.Pair]int{
+		pair(1, 2): 10, pair(3, 4): 5, pair(5, 6): 4, pair(7, 8): 1,
+	}
+	held := map[blktrace.Pair]struct{}{
+		pair(1, 2): {}, pair(7, 8): {}, // captured 11/20
+	}
+	if got := CapturedFraction(held, freqs); !approx(got, 0.55) {
+		t.Errorf("CapturedFraction = %v", got)
+	}
+	// Optimal for 2 entries = 0.75; representability = 0.55/0.75.
+	if got := Representability(held, freqs, 2); !approx(got, 0.55/0.75) {
+		t.Errorf("Representability = %v", got)
+	}
+	if Representability(held, nil, 2) != 0 {
+		t.Error("representability of empty truth should be 0")
+	}
+	if CapturedFraction(nil, nil) != 0 {
+		t.Error("captured of empty should be 0")
+	}
+	// Holding the optimal set gives exactly 1.
+	opt := map[blktrace.Pair]struct{}{pair(1, 2): {}, pair(3, 4): {}}
+	if got := Representability(opt, freqs, 2); !approx(got, 1) {
+		t.Errorf("optimal representability = %v, want 1", got)
+	}
+}
+
+func TestDetectionPRF(t *testing.T) {
+	truth := map[blktrace.Pair]struct{}{
+		pair(1, 2): {}, pair(3, 4): {}, pair(5, 6): {}, pair(7, 8): {},
+	}
+	detected := map[blktrace.Pair]struct{}{
+		pair(1, 2): {}, pair(3, 4): {}, pair(5, 6): {}, // 3 hits
+		pair(9, 10): {}, // 1 false positive
+	}
+	prf := DetectionPRF(detected, truth)
+	if prf.TruePos != 3 || prf.FalsePos != 1 || prf.FalseNeg != 1 {
+		t.Fatalf("counts = %+v", prf)
+	}
+	if !approx(prf.Precision, 0.75) || !approx(prf.Recall, 0.75) || !approx(prf.F1, 0.75) {
+		t.Errorf("prf = %+v", prf)
+	}
+	empty := DetectionPRF(nil, nil)
+	if empty.Precision != 0 || empty.Recall != 0 || empty.F1 != 0 {
+		t.Error("empty PRF should be zeros, not NaN")
+	}
+}
+
+func TestFrequentSetAndWeightedRecall(t *testing.T) {
+	freqs := map[blktrace.Pair]int{
+		pair(1, 2): 10, pair(3, 4): 5, pair(5, 6): 2, pair(7, 8): 1,
+	}
+	fs := FrequentSet(freqs, 5)
+	if len(fs) != 2 {
+		t.Fatalf("FrequentSet(5) = %d pairs", len(fs))
+	}
+	detected := map[blktrace.Pair]struct{}{pair(1, 2): {}}
+	// At minsup 5: total weight 15, captured 10.
+	if got := WeightedRecall(detected, freqs, 5); !approx(got, 10.0/15) {
+		t.Errorf("WeightedRecall = %v", got)
+	}
+	if WeightedRecall(detected, freqs, 100) != 0 {
+		t.Error("no frequent pairs -> recall 0")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := map[blktrace.Pair]struct{}{pair(1, 2): {}, pair(3, 4): {}}
+	b := map[blktrace.Pair]struct{}{pair(3, 4): {}, pair(5, 6): {}}
+	if got := Jaccard(a, b); !approx(got, 1.0/3) {
+		t.Errorf("Jaccard = %v", got)
+	}
+	if Jaccard(nil, nil) != 1 {
+		t.Error("two empty sets are identical")
+	}
+	if Jaccard(a, nil) != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+	if Jaccard(a, a) != 1 {
+		t.Error("self Jaccard should be 1")
+	}
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import "daccor/internal/blktrace"
+
+// Sequentiality summarises the spatial structure of a correlation set:
+// how much of it is adjacent extents (sequential access patterns, the
+// paper's "trivially correlated" diagonal squares of Fig. 7) versus
+// distant extents (the semantic correlations that are "harder to
+// infer" and that random-placement optimizations like read-ahead
+// cannot exploit).
+type Sequentiality struct {
+	Pairs         int // pairs examined
+	AdjacentPairs int // A's end touches B's start (canonical order)
+
+	// AdjacentFrac counts unique pairs; WeightedAdjacentFrac weights by
+	// correlation frequency.
+	AdjacentFrac         float64
+	WeightedAdjacentFrac float64
+
+	// MeanGapBlocks is the mean block distance between the extents of
+	// the non-adjacent, non-overlapping pairs — how far read-ahead
+	// would have to reach.
+	MeanGapBlocks float64
+}
+
+// SequentialityOf computes the summary from a pair-frequency map.
+func SequentialityOf(freqs map[blktrace.Pair]int) Sequentiality {
+	var s Sequentiality
+	var adjWeight, totWeight int
+	var gapSum float64
+	var gapCount int
+	for p, f := range freqs {
+		s.Pairs++
+		totWeight += f
+		if p.A.End() == p.B.Block {
+			s.AdjacentPairs++
+			adjWeight += f
+			continue
+		}
+		if p.A.Overlaps(p.B) {
+			continue
+		}
+		gapSum += float64(p.B.Block - p.A.End())
+		gapCount++
+	}
+	if s.Pairs > 0 {
+		s.AdjacentFrac = float64(s.AdjacentPairs) / float64(s.Pairs)
+	}
+	if totWeight > 0 {
+		s.WeightedAdjacentFrac = float64(adjWeight) / float64(totWeight)
+	}
+	if gapCount > 0 {
+		s.MeanGapBlocks = gapSum / float64(gapCount)
+	}
+	return s
+}

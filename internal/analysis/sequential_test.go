@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+func extPair(aBlock uint64, aLen uint32, bBlock uint64, bLen uint32) blktrace.Pair {
+	return blktrace.MakePair(
+		blktrace.Extent{Block: aBlock, Len: aLen},
+		blktrace.Extent{Block: bBlock, Len: bLen},
+	)
+}
+
+func TestSequentialityOf(t *testing.T) {
+	freqs := map[blktrace.Pair]int{
+		extPair(0, 8, 8, 8):      10, // adjacent (0..7 then 8..15)
+		extPair(100, 4, 204, 4):  5,  // gap of 100 blocks
+		extPair(300, 4, 1304, 4): 5,  // gap of 1000 blocks
+		extPair(500, 8, 504, 8):  2,  // overlapping: neither adjacent nor gapped
+	}
+	s := SequentialityOf(freqs)
+	if s.Pairs != 4 || s.AdjacentPairs != 1 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if s.AdjacentFrac != 0.25 {
+		t.Errorf("AdjacentFrac = %v, want 0.25", s.AdjacentFrac)
+	}
+	if got, want := s.WeightedAdjacentFrac, 10.0/22.0; got != want {
+		t.Errorf("WeightedAdjacentFrac = %v, want %v", got, want)
+	}
+	if s.MeanGapBlocks != 550 {
+		t.Errorf("MeanGapBlocks = %v, want 550", s.MeanGapBlocks)
+	}
+}
+
+func TestSequentialityEmpty(t *testing.T) {
+	s := SequentialityOf(nil)
+	if s.Pairs != 0 || s.AdjacentFrac != 0 || s.MeanGapBlocks != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestSequentialityAllAdjacent(t *testing.T) {
+	freqs := map[blktrace.Pair]int{
+		extPair(0, 4, 4, 4):  1,
+		extPair(8, 4, 12, 4): 1,
+	}
+	s := SequentialityOf(freqs)
+	if s.AdjacentFrac != 1 || s.WeightedAdjacentFrac != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

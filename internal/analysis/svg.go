@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// SVG rendering for the figure artifacts: heatmaps (Figs. 1, 7, 8, 10)
+// and line charts (Figs. 5, 6, 9). Plain stdlib, deterministic output.
+
+// SVG writes the heatmap as an SVG image: one rect per non-empty cell,
+// shaded by log-scaled density.
+func (hm *Heatmap) SVG(w io.Writer, title string) error {
+	const cell = 8
+	const margin = 24
+	width := hm.W*cell + 2*margin
+	height := hm.H*cell + 2*margin + 20
+	ew := &errWriter{w: w}
+	ew.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	ew.printf(`<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	ew.printf(`<text x="%d" y="16" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		margin, xmlEscape(title))
+	maxCount := hm.Max()
+	logMax := math.Log1p(float64(maxCount))
+	for y := 0; y < hm.H; y++ {
+		for x := 0; x < hm.W; x++ {
+			c := hm.At(x, y)
+			if c == 0 {
+				continue
+			}
+			// Dark = dense; log scale keeps sparse cells visible.
+			shade := 1.0
+			if logMax > 0 {
+				shade = math.Log1p(float64(c)) / logMax
+			}
+			grey := int(230 - 210*shade)
+			// SVG's y axis grows downward; the heatmap's grows upward.
+			px := margin + x*cell
+			py := 20 + margin + (hm.H-1-y)*cell
+			ew.printf(`<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`+"\n",
+				px, py, cell, cell, grey, grey, grey)
+		}
+	}
+	// Border and axis labels.
+	ew.printf(`<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444444"/>`+"\n",
+		margin, 20+margin, hm.W*cell, hm.H*cell)
+	if hm.XLabel != "" {
+		ew.printf(`<text x="%d" y="%d" font-family="sans-serif" font-size="10" fill="#444444">%s</text>`+"\n",
+			margin, height-6, xmlEscape(hm.XLabel))
+	}
+	ew.printf("</svg>\n")
+	return ew.err
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChartSVG writes a simple line chart. If logX is set, x values are
+// plotted on a log10 axis (values must be positive).
+func LineChartSVG(w io.Writer, title, xLabel, yLabel string, logX bool, series []Series) error {
+	const (
+		width, height = 520, 340
+		left, right   = 56, 16
+		top, bottom   = 32, 44
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	// Data ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x := s.X[i]
+			if logX {
+				if x <= 0 {
+					return fmt.Errorf("analysis: log axis needs positive x (got %v)", x)
+				}
+				x = math.Log10(x)
+			}
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxY <= minY {
+		maxY = 1
+		if math.IsInf(minX, 1) {
+			minX, maxX = 0, 1
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	tx := func(x float64) float64 {
+		if logX {
+			x = math.Log10(x)
+		}
+		return float64(left) + (x-minX)/(maxX-minX)*plotW
+	}
+	ty := func(y float64) float64 {
+		return float64(top) + (1-(y-minY)/(maxY-minY))*plotH
+	}
+
+	ew := &errWriter{w: w}
+	ew.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	ew.printf(`<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height)
+	ew.printf(`<text x="%d" y="20" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+		left, xmlEscape(title))
+	ew.printf(`<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#444444"/>`+"\n",
+		left, top, plotW, plotH)
+	ew.printf(`<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="#444444">%s</text>`+"\n",
+		left, height-10, xmlEscape(xLabel))
+	ew.printf(`<text x="12" y="%d" font-family="sans-serif" font-size="11" fill="#444444" transform="rotate(-90 12 %d)">%s</text>`+"\n",
+		top+int(plotH/2), top+int(plotH/2), xmlEscape(yLabel))
+
+	palette := []string{"#1b6ca8", "#c0392b", "#27ae60", "#8e44ad", "#d35400", "#16a085", "#7f8c8d"}
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		ew.printf(`<polyline fill="none" stroke="%s" stroke-width="1.6" points="`, color)
+		for i := range s.X {
+			ew.printf("%.1f,%.1f ", tx(s.X[i]), ty(s.Y[i]))
+		}
+		ew.printf(`"/>` + "\n")
+		// Legend entry.
+		ly := top + 14 + si*14
+		ew.printf(`<rect x="%d" y="%d" width="10" height="3" fill="%s"/>`+"\n", width-right-110, ly, color)
+		ew.printf(`<text x="%d" y="%d" font-family="sans-serif" font-size="10" fill="#222222">%s</text>`+"\n",
+			width-right-94, ly+5, xmlEscape(s.Name))
+	}
+	ew.printf("</svg>\n")
+	return ew.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			out = append(out, "&amp;"...)
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed parses the SVG as XML to catch escaping/nesting mistakes.
+func wellFormed(t *testing.T, data []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed XML: %v\n%s", err, data)
+		}
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	hm := NewHeatmap(4, 3)
+	hm.XLabel = "blocks & <time>"
+	hm.Add(0, 0)
+	hm.Add(3, 2)
+	hm.Add(3, 2)
+	var buf bytes.Buffer
+	if err := hm.SVG(&buf, `pairs "A<B"`); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") {
+		t.Error("missing svg root")
+	}
+	// Two non-empty cells → two shaded rects plus background + border.
+	if got := strings.Count(out, "<rect"); got != 4 {
+		t.Errorf("rect count = %d, want 4", got)
+	}
+	if strings.Contains(out, `"A<B"`) {
+		t.Error("title not escaped")
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestHeatmapSVGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewHeatmap(2, 2).SVG(&buf, "empty"); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestLineChartSVG(t *testing.T) {
+	series := []Series{
+		{Name: "wdev", X: []float64{1, 10, 100}, Y: []float64{0.1, 0.5, 1.0}},
+		{Name: "stg & co", X: []float64{1, 10, 100}, Y: []float64{0.05, 0.2, 0.6}},
+	}
+	var buf bytes.Buffer
+	if err := LineChartSVG(&buf, "Fig 9 <test>", "table size", "fraction", true, series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+	if !strings.Contains(out, "stg &amp; co") {
+		t.Error("legend not escaped")
+	}
+	wellFormed(t, buf.Bytes())
+}
+
+func TestLineChartSVGLogAxisRejectsNonPositive(t *testing.T) {
+	series := []Series{{Name: "bad", X: []float64{0}, Y: []float64{1}}}
+	var buf bytes.Buffer
+	if err := LineChartSVG(&buf, "t", "x", "y", true, series); err == nil {
+		t.Error("want error for x=0 on log axis")
+	}
+}
+
+func TestLineChartSVGDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LineChartSVG(&buf, "empty", "x", "y", false, nil); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	// Single point, flat series.
+	buf.Reset()
+	if err := LineChartSVG(&buf, "flat", "x", "y", false, []Series{
+		{Name: "one", X: []float64{5}, Y: []float64{0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+}

@@ -1,0 +1,290 @@
+package blktrace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randTrace(rng *rand.Rand, n int) *Trace {
+	t := &Trace{}
+	now := int64(0)
+	for i := 0; i < n; i++ {
+		now += rng.Int63n(1e6)
+		t.Append(Event{
+			Time: now,
+			PID:  uint32(rng.Intn(1 << 16)),
+			Op:   Op(rng.Intn(2)),
+			Extent: Extent{
+				Block: uint64(rng.Intn(1 << 30)),
+				Len:   uint32(rng.Intn(2048) + 1),
+			},
+		})
+	}
+	return t
+}
+
+func tracesEqual(a, b *Trace) bool {
+	if len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := randTrace(rand.New(rand.NewSource(1)), 500)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !tracesEqual(orig, got) {
+		t.Error("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		orig := randTrace(rand.New(rand.NewSource(seed)), int(n))
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, orig); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		return err == nil && tracesEqual(orig, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, &Trace{}); err != nil {
+		t.Fatalf("WriteTrace empty: %v", err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace empty: %v", err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("want 0 events, got %d", got.Len())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	_, err := ReadTrace(strings.NewReader("NOPE????????????"))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("want ErrBadMagic, got %v", err)
+	}
+	_, err = ReadTrace(strings.NewReader(""))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("empty input: want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	orig := randTrace(rand.New(rand.NewSource(2)), 3)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5] // chop mid-record
+	r := NewReader(bytes.NewReader(cut))
+	var err error
+	for err == nil {
+		_, err = r.Next()
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+}
+
+func TestBinaryBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 0xFF // clobber version
+	_, err := ReadTrace(bytes.NewReader(b))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Errorf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestWriterRejectsInvalidEvent(t *testing.T) {
+	tw := NewWriter(io.Discard)
+	if err := tw.Write(Event{Time: 0, Op: OpRead, Extent: Extent{Block: 1, Len: 0}}); err == nil {
+		t.Error("want error for zero-length extent")
+	}
+	if err := tw.Write(Event{Time: -1, Op: OpRead, Extent: Extent{Block: 1, Len: 1}}); err == nil {
+		t.Error("want error for negative timestamp")
+	}
+	if err := tw.Write(Event{Time: 0, Op: Op(9), Extent: Extent{Block: 1, Len: 1}}); err == nil {
+		t.Error("want error for invalid op")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := randTrace(rand.New(rand.NewSource(3)), 200)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, orig); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatalf("ReadText: %v", err)
+	}
+	if !tracesEqual(orig, got) {
+		t.Error("text round trip mismatch")
+	}
+}
+
+func TestTextRoundTripQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		orig := randTrace(rand.New(rand.NewSource(seed)), int(n))
+		var buf bytes.Buffer
+		if err := WriteText(&buf, orig); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		return err == nil && tracesEqual(orig, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n100 1 R 10 4\n   \n200 1 W 20 8\n"
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("want 2 events, got %d", tr.Len())
+	}
+	if tr.Events[1].Op != OpWrite || tr.Events[1].Extent.Block != 20 {
+		t.Errorf("unexpected second event %+v", tr.Events[1])
+	}
+}
+
+func TestTextMalformed(t *testing.T) {
+	bad := []string{
+		"100 1 R 10",    // too few fields
+		"x 1 R 10 4",    // bad time
+		"100 y R 10 4",  // bad pid
+		"100 1 Q 10 4",  // bad op
+		"100 1 R z 4",   // bad block
+		"100 1 R 10 zz", // bad len
+		"100 1 R 10 0",  // zero length extent
+		"-5 1 R 10 4",   // negative time
+	}
+	for _, line := range bad {
+		if _, err := ReadText(strings.NewReader(line)); err == nil {
+			t.Errorf("ReadText(%q): want error", line)
+		}
+	}
+}
+
+func TestTraceStats(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Event{Time: 0, Op: OpRead, Extent: Extent{Block: 0, Len: 8}})
+	tr.Append(Event{Time: 50_000, Op: OpRead, Extent: Extent{Block: 4, Len: 8}}) // overlaps prior
+	tr.Append(Event{Time: 1_000_000, Op: OpWrite, Extent: Extent{Block: 100, Len: 2}})
+	if got, want := tr.TotalBytes(), uint64(18*BlockSize); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+	if got, want := tr.UniqueBytes(), uint64(14*BlockSize); got != want {
+		t.Errorf("UniqueBytes = %d, want %d", got, want)
+	}
+	// one gap of 50 µs and one of 950 µs -> 0.5 below 100 µs
+	if got := tr.InterarrivalFractionBelow(100_000); got != 0.5 {
+		t.Errorf("InterarrivalFractionBelow = %v, want 0.5", got)
+	}
+}
+
+func TestUniqueBytesAdjacent(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Event{Time: 0, Op: OpRead, Extent: Extent{Block: 0, Len: 4}})
+	tr.Append(Event{Time: 1, Op: OpRead, Extent: Extent{Block: 4, Len: 4}})
+	if got, want := tr.UniqueBytes(), uint64(8*BlockSize); got != want {
+		t.Errorf("UniqueBytes = %d, want %d", got, want)
+	}
+}
+
+func TestTraceSortAndSlice(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Event{Time: 30, Op: OpRead, Extent: Extent{Block: 3, Len: 1}})
+	tr.Append(Event{Time: 10, Op: OpRead, Extent: Extent{Block: 1, Len: 1}})
+	tr.Append(Event{Time: 20, Op: OpRead, Extent: Extent{Block: 2, Len: 1}})
+	tr.SortByTime()
+	for i := 1; i < tr.Len(); i++ {
+		if tr.Events[i].Time < tr.Events[i-1].Time {
+			t.Fatal("not sorted")
+		}
+	}
+	sub := tr.Slice(1, 3)
+	if sub.Len() != 2 || sub.Events[0].Extent.Block != 2 {
+		t.Errorf("Slice wrong: %+v", sub.Events)
+	}
+	if tr.Slice(-5, 99).Len() != 3 {
+		t.Error("Slice should clamp out-of-range bounds")
+	}
+	if tr.Slice(2, 1).Len() != 0 {
+		t.Error("Slice should return empty for inverted bounds")
+	}
+}
+
+func TestSliceSourceAndReadAll(t *testing.T) {
+	orig := randTrace(rand.New(rand.NewSource(4)), 50)
+	got, err := ReadAll(orig.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(orig, got) {
+		t.Error("ReadAll(SliceSource) mismatch")
+	}
+	// exhausted source keeps returning EOF
+	src := (&Trace{}).Source()
+	for i := 0; i < 3; i++ {
+		if _, err := src.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("want io.EOF, got %v", err)
+		}
+	}
+}
+
+func TestReadAllRejectsInvalid(t *testing.T) {
+	src := NewSliceSource([]Event{{Time: 0, Op: Op(7), Extent: Extent{Block: 0, Len: 1}}})
+	if _, err := ReadAll(src); err == nil {
+		t.Error("want validation error from ReadAll")
+	}
+}
+
+func TestTraceDuration(t *testing.T) {
+	tr := &Trace{}
+	if tr.Duration() != 0 {
+		t.Error("empty trace duration should be 0")
+	}
+	tr.Append(Event{Time: 100, Op: OpRead, Extent: Extent{Block: 0, Len: 1}})
+	if tr.Duration() != 0 {
+		t.Error("single event duration should be 0")
+	}
+	tr.Append(Event{Time: 1100, Op: OpRead, Extent: Extent{Block: 0, Len: 1}})
+	if tr.Duration() != 1000 {
+		t.Errorf("Duration = %v, want 1000ns", tr.Duration())
+	}
+}

@@ -1,0 +1,219 @@
+package blktrace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Op is the direction of an I/O request.
+type Op uint8
+
+const (
+	// OpRead is a read request.
+	OpRead Op = iota
+	// OpWrite is a write request.
+	OpWrite
+)
+
+// String returns "R" or "W", matching blkparse's RWBS field.
+func (op Op) String() string {
+	switch op {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a known operation.
+func (op Op) Valid() bool { return op == OpRead || op == OpWrite }
+
+// Event is one block-layer "issue" event: a request handed to the
+// storage device driver. It carries exactly the fields the paper's
+// monitoring module extracts from blktrace's binary stream.
+type Event struct {
+	// Time is the issue timestamp in nanoseconds since trace start.
+	Time int64
+	// PID identifies the issuing process; the monitor can filter on it.
+	PID uint32
+	// Op is the request direction.
+	Op Op
+	// Extent is the requested run of blocks.
+	Extent Extent
+}
+
+// Validate reports a descriptive error for malformed events: unknown
+// ops, zero-length extents, negative timestamps, or extents that wrap
+// the block number space.
+func (ev Event) Validate() error {
+	switch {
+	case ev.Time < 0:
+		return fmt.Errorf("blktrace: negative timestamp %d", ev.Time)
+	case !ev.Op.Valid():
+		return fmt.Errorf("blktrace: invalid op %d", uint8(ev.Op))
+	case ev.Extent.Len == 0:
+		return fmt.Errorf("blktrace: zero-length extent at block %d", ev.Extent.Block)
+	case ev.Extent.Block+uint64(ev.Extent.Len) < ev.Extent.Block:
+		return fmt.Errorf("blktrace: extent %s wraps block space", ev.Extent)
+	}
+	return nil
+}
+
+// A Source yields a stream of events. Next returns io.EOF after the
+// final event. Sources are the seam between event producers (workload
+// generators, the device simulator, a trace file) and consumers (the
+// monitor, trace writers).
+type Source interface {
+	Next() (Event, error)
+}
+
+// A Sink consumes events, e.g. a trace file writer or the real-time
+// monitor.
+type Sink interface {
+	Write(Event) error
+}
+
+// Trace is an in-memory sequence of events together with summary
+// statistics. It is the unit the offline FIM baselines operate on and
+// the workload generators produce.
+type Trace struct {
+	Events []Event
+}
+
+// Append adds an event to the trace.
+func (t *Trace) Append(ev Event) { t.Events = append(t.Events, ev) }
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Duration returns the time span from the first to the last event.
+// Events are assumed sorted by time (SortByTime enforces this).
+func (t *Trace) Duration() time.Duration {
+	if len(t.Events) < 2 {
+		return 0
+	}
+	return time.Duration(t.Events[len(t.Events)-1].Time - t.Events[0].Time)
+}
+
+// SortByTime stably sorts events by timestamp. Generators interleaving
+// several arrival processes use it to produce a well-formed trace.
+func (t *Trace) SortByTime() {
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		return t.Events[i].Time < t.Events[j].Time
+	})
+}
+
+// Slice returns a sub-trace of events [from, to) by index, clamped to
+// the valid range. The underlying storage is shared.
+func (t *Trace) Slice(from, to int) *Trace {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(t.Events) {
+		to = len(t.Events)
+	}
+	if from > to {
+		from = to
+	}
+	return &Trace{Events: t.Events[from:to]}
+}
+
+// TotalBytes returns the sum of request sizes: the paper's "total data
+// accessed" column of Table I.
+func (t *Trace) TotalBytes() uint64 {
+	var sum uint64
+	for _, ev := range t.Events {
+		sum += ev.Extent.Bytes()
+	}
+	return sum
+}
+
+// UniqueBytes returns the size of the union of all accessed extents:
+// the paper's "unique data accessed" column of Table I. It merges the
+// extents as intervals, O(n log n).
+func (t *Trace) UniqueBytes() uint64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	ivs := make([]Extent, len(t.Events))
+	for i, ev := range t.Events {
+		ivs[i] = ev.Extent
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Block < ivs[j].Block })
+	var blocks, curStart, curEnd uint64
+	curStart, curEnd = ivs[0].Block, ivs[0].End()
+	for _, iv := range ivs[1:] {
+		if iv.Block <= curEnd { // overlapping or adjacent: extend
+			if iv.End() > curEnd {
+				curEnd = iv.End()
+			}
+			continue
+		}
+		blocks += curEnd - curStart
+		curStart, curEnd = iv.Block, iv.End()
+	}
+	blocks += curEnd - curStart
+	return blocks * BlockSize
+}
+
+// InterarrivalFractionBelow returns the fraction of consecutive-event
+// gaps strictly smaller than d: the paper's "interarrival % < 100 µs"
+// column of Table I. It returns 0 for traces with fewer than two events.
+func (t *Trace) InterarrivalFractionBelow(d time.Duration) float64 {
+	if len(t.Events) < 2 {
+		return 0
+	}
+	below := 0
+	for i := 1; i < len(t.Events); i++ {
+		if time.Duration(t.Events[i].Time-t.Events[i-1].Time) < d {
+			below++
+		}
+	}
+	return float64(below) / float64(len(t.Events)-1)
+}
+
+// ReadAll drains a source into a Trace, validating every event.
+func ReadAll(src Source) (*Trace, error) {
+	t := &Trace{}
+	for {
+		ev, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := ev.Validate(); err != nil {
+			return nil, err
+		}
+		t.Append(ev)
+	}
+}
+
+// SliceSource adapts a []Event (or a Trace) into a Source.
+type SliceSource struct {
+	events []Event
+	pos    int
+}
+
+// NewSliceSource returns a Source yielding the given events in order.
+func NewSliceSource(events []Event) *SliceSource {
+	return &SliceSource{events: events}
+}
+
+// Source returns a Source over the trace's events.
+func (t *Trace) Source() *SliceSource { return NewSliceSource(t.Events) }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Event, error) {
+	if s.pos >= len(s.events) {
+		return Event{}, io.EOF
+	}
+	ev := s.events[s.pos]
+	s.pos++
+	return ev, nil
+}

@@ -1,0 +1,136 @@
+package blktrace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtentBytesEnd(t *testing.T) {
+	e := Extent{Block: 100, Len: 4}
+	if got := e.Bytes(); got != 4*BlockSize {
+		t.Errorf("Bytes() = %d, want %d", got, 4*BlockSize)
+	}
+	if got := e.End(); got != 104 {
+		t.Errorf("End() = %d, want 104", got)
+	}
+}
+
+func TestExtentOverlaps(t *testing.T) {
+	tests := []struct {
+		a, b Extent
+		want bool
+	}{
+		{Extent{0, 4}, Extent{4, 4}, false},   // adjacent
+		{Extent{0, 5}, Extent{4, 4}, true},    // one block shared
+		{Extent{10, 2}, Extent{0, 100}, true}, // contained
+		{Extent{0, 1}, Extent{0, 1}, true},    // identical
+		{Extent{5, 1}, Extent{7, 1}, false},   // disjoint
+	}
+	for _, tt := range tests {
+		if got := tt.a.Overlaps(tt.b); got != tt.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Overlaps(tt.a); got != tt.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", tt.a, tt.b)
+		}
+	}
+}
+
+func TestExtentContains(t *testing.T) {
+	e := Extent{Block: 100, Len: 4}
+	for b, want := range map[uint64]bool{99: false, 100: true, 103: true, 104: false} {
+		if got := e.Contains(b); got != want {
+			t.Errorf("Contains(%d) = %v, want %v", b, got, want)
+		}
+	}
+}
+
+func TestExtentLessTotalOrder(t *testing.T) {
+	a := Extent{Block: 1, Len: 2}
+	b := Extent{Block: 1, Len: 3}
+	c := Extent{Block: 2, Len: 1}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Errorf("Less not transitive over %v %v %v", a, b, c)
+	}
+	if a.Less(a) {
+		t.Error("Less not irreflexive")
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	a := Extent{Block: 200, Len: 3}
+	b := Extent{Block: 100, Len: 4}
+	p := MakePair(a, b)
+	q := MakePair(b, a)
+	if p != q {
+		t.Errorf("MakePair order-dependent: %v vs %v", p, q)
+	}
+	if !p.A.Less(p.B) {
+		t.Errorf("pair not canonical: %v", p)
+	}
+}
+
+func TestMakePairCanonicalQuick(t *testing.T) {
+	f := func(ab, al, bb, bl uint32) bool {
+		a := Extent{Block: uint64(ab), Len: al%1024 + 1}
+		b := Extent{Block: uint64(bb), Len: bl%1024 + 1}
+		p, q := MakePair(a, b), MakePair(b, a)
+		canonical := !p.B.Less(p.A)
+		return p == q && canonical
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairContainsOther(t *testing.T) {
+	a := Extent{Block: 100, Len: 4}
+	b := Extent{Block: 200, Len: 3}
+	p := MakePair(a, b)
+	if !p.Contains(a) || !p.Contains(b) {
+		t.Error("Contains should find both members")
+	}
+	if p.Contains(Extent{Block: 1, Len: 1}) {
+		t.Error("Contains found a non-member")
+	}
+	if o, ok := p.Other(a); !ok || o != b {
+		t.Errorf("Other(%v) = %v, %v", a, o, ok)
+	}
+	if o, ok := p.Other(b); !ok || o != a {
+		t.Errorf("Other(%v) = %v, %v", b, o, ok)
+	}
+	if _, ok := p.Other(Extent{Block: 1, Len: 1}); ok {
+		t.Error("Other found a non-member")
+	}
+}
+
+func TestExtentString(t *testing.T) {
+	if got := (Extent{Block: 100, Len: 4}).String(); got != "100+4" {
+		t.Errorf("String() = %q, want 100+4", got)
+	}
+	got := MakePair(Extent{200, 3}, Extent{100, 4}).String()
+	if got != "(100+4, 200+3)" {
+		t.Errorf("Pair String() = %q", got)
+	}
+}
+
+func TestBlockPairArithmetic(t *testing.T) {
+	// The paper's Fig. 2: extents 100+4 and 200+3 imply
+	// C(4,2)+C(3,2) = 9 intra and 4×3 = 12 inter block correlations.
+	p := MakePair(Extent{Block: 100, Len: 4}, Extent{Block: 200, Len: 3})
+	if got := p.IntraBlockPairs(); got != 9 {
+		t.Errorf("IntraBlockPairs = %d, want 9", got)
+	}
+	if got := p.InterBlockPairs(); got != 12 {
+		t.Errorf("InterBlockPairs = %d, want 12", got)
+	}
+	if got := p.BlockPairs(); got != 21 {
+		t.Errorf("BlockPairs = %d, want 21", got)
+	}
+	// Single blocks: no intra pairs, one inter pair.
+	q := MakePair(Extent{Block: 1, Len: 1}, Extent{Block: 2, Len: 1})
+	if q.IntraBlockPairs() != 0 || q.InterBlockPairs() != 1 {
+		t.Errorf("single-block pair arithmetic wrong: %d intra, %d inter",
+			q.IntraBlockPairs(), q.InterBlockPairs())
+	}
+}

@@ -1,0 +1,67 @@
+package blktrace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace hardens the binary decoder against arbitrary input: it
+// must reject or accept without panicking, and anything it accepts
+// must re-encode to an equivalent trace (decode∘encode is identity on
+// the accepted set).
+func FuzzReadTrace(f *testing.F) {
+	seed := &Trace{}
+	seed.Append(Event{Time: 0, PID: 1, Op: OpRead, Extent: Extent{Block: 100, Len: 4}})
+	seed.Append(Event{Time: 1000, PID: 2, Op: OpWrite, Extent: Extent{Block: 200, Len: 3}})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("DACT"))
+	f.Add([]byte("garbage that is not a trace at all............"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTrace(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		tr2, err := ReadTrace(&out)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(tr.Events) != len(tr2.Events) {
+			t.Fatalf("round trip changed length: %d vs %d", len(tr.Events), len(tr2.Events))
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != tr2.Events[i] {
+				t.Fatalf("round trip changed event %d", i)
+			}
+		}
+	})
+}
+
+// FuzzParseTextLine hardens the text parser: no panics, and accepted
+// lines yield valid events.
+func FuzzParseTextLine(f *testing.F) {
+	f.Add("100 1 R 10 4")
+	f.Add("# comment")
+	f.Add("")
+	f.Add("100 1 W 18446744073709551615 4294967295")
+	f.Add("-1 x Q y z")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		ev, ok, err := ParseTextLine(line)
+		if err != nil || !ok {
+			return
+		}
+		if verr := ev.Validate(); verr != nil {
+			t.Fatalf("accepted line %q produced invalid event: %v", line, verr)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package blktrace
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func seqTrace(pid uint32, times ...int64) *Trace {
+	t := &Trace{}
+	for i, tm := range times {
+		t.Append(Event{Time: tm, PID: pid, Op: OpRead,
+			Extent: Extent{Block: uint64(pid)*1000 + uint64(i), Len: 1}})
+	}
+	return t
+}
+
+func TestMergeSourcesInterleaves(t *testing.T) {
+	a := seqTrace(1, 0, 20, 40)
+	b := seqTrace(2, 10, 30, 50)
+	merged, err := ReadAll(MergeSources(a.Source(), b.Source()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTimes := []int64{0, 10, 20, 30, 40, 50}
+	if merged.Len() != len(wantTimes) {
+		t.Fatalf("merged %d events, want %d", merged.Len(), len(wantTimes))
+	}
+	for i, ev := range merged.Events {
+		if ev.Time != wantTimes[i] {
+			t.Errorf("event %d time = %d, want %d", i, ev.Time, wantTimes[i])
+		}
+	}
+}
+
+func TestMergeSourcesTieBreakBySourceIndex(t *testing.T) {
+	a := seqTrace(1, 100)
+	b := seqTrace(2, 100)
+	merged, err := ReadAll(MergeSources(a.Source(), b.Source()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Events[0].PID != 1 || merged.Events[1].PID != 2 {
+		t.Errorf("tie break wrong: %+v", merged.Events)
+	}
+}
+
+func TestMergeSourcesDegenerate(t *testing.T) {
+	// No sources.
+	if _, err := MergeSources().Next(); !errors.Is(err, io.EOF) {
+		t.Error("empty merge should EOF immediately")
+	}
+	// One source passes through.
+	a := seqTrace(1, 1, 2, 3)
+	merged, err := ReadAll(MergeSources(a.Source()))
+	if err != nil || merged.Len() != 3 {
+		t.Errorf("single-source merge: %d events, %v", merged.Len(), err)
+	}
+	// Empty sources among non-empty ones.
+	merged, err = ReadAll(MergeSources((&Trace{}).Source(), seqTrace(1, 5).Source(), (&Trace{}).Source()))
+	if err != nil || merged.Len() != 1 {
+		t.Errorf("merge with empties: %d events, %v", merged.Len(), err)
+	}
+	// EOF is sticky.
+	m := MergeSources(seqTrace(1, 1).Source())
+	if _, err := m.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("want sticky EOF, got %v", err)
+		}
+	}
+}
+
+type failingSource struct{ after int }
+
+func (f *failingSource) Next() (Event, error) {
+	if f.after <= 0 {
+		return Event{}, errors.New("boom")
+	}
+	f.after--
+	return Event{Time: 1, Op: OpRead, Extent: Extent{Block: 1, Len: 1}}, nil
+}
+
+func TestMergeSourcesPropagatesErrors(t *testing.T) {
+	m := MergeSources(seqTrace(1, 0, 10).Source(), &failingSource{after: 1})
+	var err error
+	for err == nil {
+		_, err = m.Next()
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatal("error swallowed as EOF")
+	}
+	// Error is sticky too.
+	if _, err2 := m.Next(); err2 == nil || errors.Is(err2, io.EOF) {
+		t.Errorf("want sticky error, got %v", err2)
+	}
+}
+
+// Property: merging K sorted shards of a trace reproduces the trace's
+// multiset in timestamp order.
+func TestMergeSourcesQuick(t *testing.T) {
+	f := func(seed int64, nShards uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + int(nShards)%5
+		shards := make([]*Trace, k)
+		for i := range shards {
+			shards[i] = &Trace{}
+		}
+		total := rng.Intn(200)
+		var all []int64
+		for i := 0; i < total; i++ {
+			tm := rng.Int63n(1_000_000)
+			all = append(all, tm)
+			s := shards[rng.Intn(k)]
+			s.Append(Event{Time: tm, PID: 1, Op: OpRead,
+				Extent: Extent{Block: uint64(i), Len: 1}})
+		}
+		for _, s := range shards {
+			s.SortByTime()
+		}
+		srcs := make([]Source, k)
+		for i, s := range shards {
+			srcs[i] = s.Source()
+		}
+		merged, err := ReadAll(MergeSources(srcs...))
+		if err != nil || merged.Len() != total {
+			return false
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for i, ev := range merged.Events {
+			if ev.Time != all[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithPID(t *testing.T) {
+	a := seqTrace(1, 0, 10)
+	relabeled, err := ReadAll(WithPID(a.Source(), 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range relabeled.Events {
+		if ev.PID != 42 {
+			t.Errorf("PID = %d, want 42", ev.PID)
+		}
+	}
+	// Errors pass through.
+	if _, err := WithPID(&failingSource{}, 1).Next(); err == nil {
+		t.Error("want error from inner source")
+	}
+}

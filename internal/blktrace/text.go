@@ -1,0 +1,100 @@
+package blktrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is one event per line, blkparse-flavoured:
+//
+//	<time-ns> <pid> <R|W> <block> <len>
+//
+// Lines starting with '#' and blank lines are ignored, so traces can
+// carry provenance comments.
+
+// WriteText encodes a trace in the text format, preceded by a comment
+// header naming the columns.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# time_ns pid op block len"); err != nil {
+		return err
+	}
+	for _, ev := range t.Events {
+		if err := ev.Validate(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %s %d %d\n",
+			ev.Time, ev.PID, ev.Op, ev.Extent.Block, ev.Extent.Len); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTextLine decodes one text-format line. It returns ok=false for
+// comment and blank lines.
+func ParseTextLine(line string) (ev Event, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Event{}, false, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 5 {
+		return Event{}, false, fmt.Errorf("blktrace: want 5 fields, got %d in %q", len(fields), line)
+	}
+	ev.Time, err = strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Event{}, false, fmt.Errorf("blktrace: bad time %q: %v", fields[0], err)
+	}
+	pid, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return Event{}, false, fmt.Errorf("blktrace: bad pid %q: %v", fields[1], err)
+	}
+	ev.PID = uint32(pid)
+	switch fields[2] {
+	case "R":
+		ev.Op = OpRead
+	case "W":
+		ev.Op = OpWrite
+	default:
+		return Event{}, false, fmt.Errorf("blktrace: bad op %q", fields[2])
+	}
+	ev.Extent.Block, err = strconv.ParseUint(fields[3], 10, 64)
+	if err != nil {
+		return Event{}, false, fmt.Errorf("blktrace: bad block %q: %v", fields[3], err)
+	}
+	length, err := strconv.ParseUint(fields[4], 10, 32)
+	if err != nil {
+		return Event{}, false, fmt.Errorf("blktrace: bad len %q: %v", fields[4], err)
+	}
+	ev.Extent.Len = uint32(length)
+	if err := ev.Validate(); err != nil {
+		return Event{}, false, err
+	}
+	return ev, true, nil
+}
+
+// ReadText decodes a text-format trace.
+func ReadText(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		ev, ok, err := ParseTextLine(sc.Text())
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		if ok {
+			t.Append(ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,148 @@
+// Package cache implements a read cache with pluggable prefetch
+// policies — the first optimization application the paper lists for
+// detected correlations. The cache itself is a classic LRU over
+// extents; prefetchers observe the miss/hit stream and preload extents
+// they expect next. The correlation prefetcher consumes the online
+// analyzer's directional rules, turning "A and B are frequently
+// requested together" into "a request for A warms B".
+package cache
+
+import (
+	"fmt"
+
+	"daccor/internal/blktrace"
+)
+
+// Stats counts cache activity. PrefetchHits counts hits on entries
+// that entered the cache via prefetch and had not yet been demand-hit.
+type Stats struct {
+	Hits, Misses  uint64
+	Prefetches    uint64
+	PrefetchHits  uint64
+	PrefetchWaste uint64 // prefetched entries evicted unused
+}
+
+// HitRate returns Hits / (Hits + Misses).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// entry is an LRU node.
+type entry struct {
+	key        blktrace.Extent
+	prefetched bool // entered via prefetch, no demand hit yet
+	prev, next *entry
+}
+
+// Cache is a fixed-capacity LRU read cache over extents. Not safe for
+// concurrent use.
+type Cache struct {
+	capacity    int
+	index       map[blktrace.Extent]*entry
+	front, back *entry
+	stats       Stats
+}
+
+// New returns an empty cache holding up to capacity extents.
+func New(capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("cache: capacity must be >= 1 (got %d)", capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		index:    make(map[blktrace.Extent]*entry, capacity),
+	}, nil
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.next = c.front
+	if c.front != nil {
+		c.front.prev = e
+	}
+	c.front = e
+	if c.back == nil {
+		c.back = e
+	}
+}
+
+func (c *Cache) evictLRU() {
+	victim := c.back
+	if victim == nil {
+		return
+	}
+	c.unlink(victim)
+	delete(c.index, victim.key)
+	if victim.prefetched {
+		c.stats.PrefetchWaste++
+	}
+}
+
+// Access performs a demand access: a hit refreshes recency and returns
+// true; a miss inserts the extent (evicting the LRU victim if full)
+// and returns false.
+func (c *Cache) Access(e blktrace.Extent) bool {
+	if ent, ok := c.index[e]; ok {
+		c.stats.Hits++
+		if ent.prefetched {
+			c.stats.PrefetchHits++
+			ent.prefetched = false
+		}
+		c.unlink(ent)
+		c.pushFront(ent)
+		return true
+	}
+	c.stats.Misses++
+	if len(c.index) >= c.capacity {
+		c.evictLRU()
+	}
+	ent := &entry{key: e}
+	c.index[e] = ent
+	c.pushFront(ent)
+	return false
+}
+
+// Prefetch warms the cache with an extent without counting a demand
+// access. Already-cached extents are left untouched (no recency boost:
+// speculation must not outrank demand).
+func (c *Cache) Prefetch(e blktrace.Extent) {
+	if _, ok := c.index[e]; ok {
+		return
+	}
+	c.stats.Prefetches++
+	if len(c.index) >= c.capacity {
+		c.evictLRU()
+	}
+	ent := &entry{key: e, prefetched: true}
+	c.index[e] = ent
+	c.pushFront(ent)
+}
+
+// Contains reports residency without touching recency or stats.
+func (c *Cache) Contains(e blktrace.Extent) bool {
+	_, ok := c.index[e]
+	return ok
+}
+
+// Len returns the number of cached extents.
+func (c *Cache) Len() int { return len(c.index) }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }

@@ -1,0 +1,159 @@
+package cache
+
+import (
+	"fmt"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+)
+
+// A Prefetcher decides what to warm after each demand access. Observe
+// sees every access (with the transaction stream, via the pipeline or
+// manually); SuggestFor returns extents to preload when e is accessed.
+type Prefetcher interface {
+	Observe(tx []blktrace.Extent)
+	SuggestFor(e blktrace.Extent) []blktrace.Extent
+}
+
+// NonePrefetcher never prefetches (the demand-only LRU baseline).
+type NonePrefetcher struct{}
+
+// Observe implements Prefetcher (no-op).
+func (NonePrefetcher) Observe([]blktrace.Extent) {}
+
+// SuggestFor implements Prefetcher.
+func (NonePrefetcher) SuggestFor(blktrace.Extent) []blktrace.Extent { return nil }
+
+// ReadAhead prefetches the next adjacent extent(s) — the classic
+// sequential policy. It captures spatial locality but is blind to the
+// semantic (random-looking) correlations the paper targets.
+type ReadAhead struct {
+	// Depth is how many consecutive same-shape extents to prefetch.
+	Depth int
+}
+
+// Observe implements Prefetcher (no-op; read-ahead is stateless).
+func (ReadAhead) Observe([]blktrace.Extent) {}
+
+// SuggestFor implements Prefetcher.
+func (r ReadAhead) SuggestFor(e blktrace.Extent) []blktrace.Extent {
+	depth := r.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	out := make([]blktrace.Extent, 0, depth)
+	next := e
+	for i := 0; i < depth; i++ {
+		next = blktrace.Extent{Block: next.End(), Len: next.Len}
+		out = append(out, next)
+	}
+	return out
+}
+
+// Correlated prefetches the partners of the accessed extent according
+// to the online analyzer's directional rules — §V's "if frequently read
+// together in the past, likely read together in the near future".
+type Correlated struct {
+	analyzer *core.Analyzer
+
+	minSupport   uint32
+	minConf      float64
+	maxPartners  int
+	rebuildEvery int
+	sinceRebuild int
+
+	partners map[blktrace.Extent][]blktrace.Extent
+}
+
+// CorrelatedConfig configures the learning prefetcher.
+type CorrelatedConfig struct {
+	// Analyzer configures the embedded online analyzer.
+	Analyzer core.Config
+	// MinSupport and MinConfidence gate which rules drive prefetch;
+	// zero values mean 3 and 0.5.
+	MinSupport    uint32
+	MinConfidence float64
+	// MaxPartners caps suggestions per access; 0 means 4.
+	MaxPartners int
+	// RebuildEvery is the number of observed transactions between rule
+	// index rebuilds; 0 means 128.
+	RebuildEvery int
+}
+
+// NewCorrelated returns a prefetcher that has learned nothing yet.
+func NewCorrelated(cfg CorrelatedConfig) (*Correlated, error) {
+	if cfg.MinSupport == 0 {
+		cfg.MinSupport = 3
+	}
+	if cfg.MinConfidence == 0 {
+		cfg.MinConfidence = 0.5
+	}
+	if cfg.MaxPartners == 0 {
+		cfg.MaxPartners = 4
+	}
+	if cfg.MaxPartners < 1 || cfg.RebuildEvery < 0 {
+		return nil, fmt.Errorf("cache: invalid correlated prefetcher config %+v", cfg)
+	}
+	if cfg.RebuildEvery == 0 {
+		cfg.RebuildEvery = 128
+	}
+	analyzer, err := core.NewAnalyzer(cfg.Analyzer)
+	if err != nil {
+		return nil, err
+	}
+	return &Correlated{
+		analyzer:     analyzer,
+		minSupport:   cfg.MinSupport,
+		minConf:      cfg.MinConfidence,
+		maxPartners:  cfg.MaxPartners,
+		rebuildEvery: cfg.RebuildEvery,
+		partners:     make(map[blktrace.Extent][]blktrace.Extent),
+	}, nil
+}
+
+// Observe implements Prefetcher: it feeds the analyzer and periodically
+// re-indexes the rules.
+func (c *Correlated) Observe(tx []blktrace.Extent) {
+	c.analyzer.Process(tx)
+	c.sinceRebuild++
+	if c.sinceRebuild >= c.rebuildEvery {
+		c.rebuild()
+		c.sinceRebuild = 0
+	}
+}
+
+func (c *Correlated) rebuild() {
+	idx := make(map[blktrace.Extent][]blktrace.Extent)
+	for _, r := range c.analyzer.Rules(c.minSupport, c.minConf) {
+		if len(idx[r.From]) < c.maxPartners {
+			idx[r.From] = append(idx[r.From], r.To)
+		}
+	}
+	c.partners = idx
+}
+
+// SuggestFor implements Prefetcher.
+func (c *Correlated) SuggestFor(e blktrace.Extent) []blktrace.Extent {
+	return c.partners[e]
+}
+
+// Analyzer exposes the embedded analyzer (for stats and memory
+// accounting).
+func (c *Correlated) Analyzer() *core.Analyzer { return c.analyzer }
+
+// Run replays a transaction stream through a cache with the given
+// prefetcher: every extent of a transaction is a demand access, the
+// prefetcher observes the transaction, and its suggestions are warmed
+// after each access. It returns the cache's final stats.
+func Run(c *Cache, p Prefetcher, txs [][]blktrace.Extent) Stats {
+	for _, tx := range txs {
+		for _, e := range tx {
+			c.Access(e)
+			for _, s := range p.SuggestFor(e) {
+				c.Prefetch(s)
+			}
+		}
+		p.Observe(tx)
+	}
+	return c.Stats()
+}

@@ -1,0 +1,348 @@
+// Package cminer implements an offline block-correlation miner in the
+// style of C-Miner (Li et al., FAST '04), the approach the paper
+// positions itself against: the access stream is cut into short
+// sequences, frequent subsequences are mined under a *gap* constraint
+// (a sliding window limiting the distance between consecutive pattern
+// elements), closed patterns are kept, and association rules are
+// derived from them.
+//
+// It exists as a baseline: it shares the offline drawbacks the paper
+// lists (needs the recorded stream, multi-pass, no recency notion) and
+// lets experiments compare its correlations with the online synopsis's.
+package cminer
+
+import (
+	"fmt"
+	"sort"
+
+	"daccor/internal/blktrace"
+)
+
+// Options bound a mining run.
+type Options struct {
+	// SegmentLen cuts the access stream into sequences of this many
+	// requests (C-Miner cuts "the long sequence into short sequences").
+	// 0 means DefaultSegmentLen.
+	SegmentLen int
+	// Gap is the maximum number of other requests allowed between two
+	// consecutive elements of a pattern occurrence (C-Miner's gap
+	// parameter; 0 = strictly adjacent).
+	Gap int
+	// MinSupport is the number of sequences a pattern must occur in.
+	MinSupport int
+	// MaxLen caps pattern length; 0 means DefaultMaxLen. C-Miner keeps
+	// patterns short, as long rules rarely pay for their cost.
+	MaxLen int
+	// KeepNonClosed disables the closed-pattern filter.
+	KeepNonClosed bool
+}
+
+// Defaults for Options.
+const (
+	DefaultSegmentLen = 128
+	DefaultMaxLen     = 4
+)
+
+func (o *Options) applyDefaults() {
+	if o.SegmentLen == 0 {
+		o.SegmentLen = DefaultSegmentLen
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = DefaultMaxLen
+	}
+}
+
+func (o Options) validate() error {
+	if o.SegmentLen < 2 {
+		return fmt.Errorf("cminer: SegmentLen must be >= 2 (got %d)", o.SegmentLen)
+	}
+	if o.Gap < 0 {
+		return fmt.Errorf("cminer: Gap must be >= 0 (got %d)", o.Gap)
+	}
+	if o.MinSupport < 1 {
+		return fmt.Errorf("cminer: MinSupport must be >= 1 (got %d)", o.MinSupport)
+	}
+	if o.MaxLen < 1 {
+		return fmt.Errorf("cminer: MaxLen must be >= 1 (got %d)", o.MaxLen)
+	}
+	return nil
+}
+
+// Pattern is one frequent subsequence with its support.
+type Pattern struct {
+	Extents []blktrace.Extent
+	Support int
+}
+
+// Rule is a C-Miner association rule: after accessing the Antecedent
+// subsequence, the Consequent is likely to be accessed within the gap
+// window.
+type Rule struct {
+	Antecedent []blktrace.Extent
+	Consequent blktrace.Extent
+	Support    int
+	Confidence float64
+}
+
+// Result holds a mining run's output.
+type Result struct {
+	Patterns  []Pattern
+	Sequences int // sequences the stream was cut into
+}
+
+// Mine cuts the trace's request stream into sequences and mines
+// frequent (closed) subsequences under the gap constraint, using a
+// PrefixSpan-style projected-database search.
+func Mine(t *blktrace.Trace, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	// Intern extents and segment the stream.
+	ids := make(map[blktrace.Extent]int32)
+	var extents []blktrace.Extent
+	intern := func(e blktrace.Extent) int32 {
+		if id, ok := ids[e]; ok {
+			return id
+		}
+		id := int32(len(extents))
+		ids[e] = id
+		extents = append(extents, e)
+		return id
+	}
+	var seqs [][]int32
+	for start := 0; start < t.Len(); start += opts.SegmentLen {
+		end := start + opts.SegmentLen
+		if end > t.Len() {
+			end = t.Len()
+		}
+		seq := make([]int32, 0, end-start)
+		for _, ev := range t.Events[start:end] {
+			seq = append(seq, intern(ev.Extent))
+		}
+		if len(seq) > 0 {
+			seqs = append(seqs, seq)
+		}
+	}
+	patterns := prefixSpan(seqs, int32(len(extents)), opts)
+	if !opts.KeepNonClosed {
+		patterns = closedOnly(patterns)
+	}
+	res := &Result{Sequences: len(seqs)}
+	for _, p := range patterns {
+		out := make([]blktrace.Extent, len(p.items))
+		for i, id := range p.items {
+			out[i] = extents[id]
+		}
+		res.Patterns = append(res.Patterns, Pattern{Extents: out, Support: p.support})
+	}
+	sortPatterns(res.Patterns)
+	return res, nil
+}
+
+type idPattern struct {
+	items   []int32
+	support int
+}
+
+// projection records, per sequence, every position at which the current
+// pattern's last element can match (all are needed for correct gap
+// extension).
+type projection struct {
+	seq  int
+	ends []int
+}
+
+// prefixSpan mines frequent gap-constrained subsequences.
+func prefixSpan(seqs [][]int32, numItems int32, opts Options) []idPattern {
+	// Seed: frequent single items and their occurrence projections.
+	occ := make(map[int32][]projection)
+	for si, seq := range seqs {
+		perItem := make(map[int32][]int)
+		for pos, id := range seq {
+			perItem[id] = append(perItem[id], pos)
+		}
+		for id, ends := range perItem {
+			occ[id] = append(occ[id], projection{seq: si, ends: ends})
+		}
+	}
+	var out []idPattern
+	var dfs func(pattern []int32, projs []projection)
+	dfs = func(pattern []int32, projs []projection) {
+		out = append(out, idPattern{items: append([]int32(nil), pattern...), support: len(projs)})
+		if len(pattern) >= opts.MaxLen {
+			return
+		}
+		// Candidate extensions: items appearing within the gap window
+		// after any end position.
+		extProjs := make(map[int32][]projection)
+		for _, pr := range projs {
+			seq := seqs[pr.seq]
+			perItem := make(map[int32][]int)
+			for _, end := range pr.ends {
+				hi := end + 1 + opts.Gap
+				if hi > len(seq)-1 {
+					hi = len(seq) - 1
+				}
+				for pos := end + 1; pos <= hi; pos++ {
+					perItem[seq[pos]] = appendUnique(perItem[seq[pos]], pos)
+				}
+			}
+			for id, ends := range perItem {
+				sort.Ints(ends)
+				extProjs[id] = append(extProjs[id], projection{seq: pr.seq, ends: ends})
+			}
+		}
+		candidates := make([]int32, 0, len(extProjs))
+		for id, ps := range extProjs {
+			if len(ps) >= opts.MinSupport {
+				candidates = append(candidates, id)
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+		for _, id := range candidates {
+			dfs(append(pattern, id), extProjs[id])
+		}
+	}
+	var seeds []int32
+	for id := int32(0); id < numItems; id++ {
+		if len(occ[id]) >= opts.MinSupport {
+			seeds = append(seeds, id)
+		}
+	}
+	for _, id := range seeds {
+		dfs([]int32{id}, occ[id])
+	}
+	return out
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// closedOnly drops patterns that have a proper supersequence with the
+// same support — C-Miner mines closed patterns to curb redundancy.
+func closedOnly(ps []idPattern) []idPattern {
+	var out []idPattern
+	for i, p := range ps {
+		closed := true
+		for j, q := range ps {
+			if i == j || q.support != p.support || len(q.items) <= len(p.items) {
+				continue
+			}
+			if isSubsequence(p.items, q.items) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func isSubsequence(sub, super []int32) bool {
+	i := 0
+	for _, x := range super {
+		if i < len(sub) && sub[i] == x {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+func sortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Support != ps[j].Support {
+			return ps[i].Support > ps[j].Support
+		}
+		a, b := ps[i].Extents, ps[j].Extents
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k].Less(b[k])
+			}
+		}
+		return false
+	})
+}
+
+// Rules derives association rules from the mined patterns: each
+// pattern of length >= 2 yields prefix → last-element rules with
+// confidence sup(pattern)/sup(prefix), kept at or above minConfidence.
+func (r *Result) Rules(minConfidence float64) []Rule {
+	support := make(map[string]int, len(r.Patterns))
+	for _, p := range r.Patterns {
+		support[key(p.Extents)] = p.Support
+	}
+	var out []Rule
+	for _, p := range r.Patterns {
+		if len(p.Extents) < 2 {
+			continue
+		}
+		prefix := p.Extents[:len(p.Extents)-1]
+		preSup, ok := support[key(prefix)]
+		if !ok || preSup == 0 {
+			// The prefix may have been absorbed by the closed filter;
+			// its support is at least the pattern's.
+			preSup = p.Support
+		}
+		conf := float64(p.Support) / float64(preSup)
+		if conf > 1 {
+			conf = 1
+		}
+		if conf < minConfidence {
+			continue
+		}
+		out = append(out, Rule{
+			Antecedent: prefix,
+			Consequent: p.Extents[len(p.Extents)-1],
+			Support:    p.Support,
+			Confidence: conf,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Support > out[j].Support
+	})
+	return out
+}
+
+func key(extents []blktrace.Extent) string {
+	b := make([]byte, 0, len(extents)*12)
+	for _, e := range extents {
+		for shift := 0; shift < 64; shift += 8 {
+			b = append(b, byte(e.Block>>shift))
+		}
+		for shift := 0; shift < 32; shift += 8 {
+			b = append(b, byte(e.Len>>shift))
+		}
+	}
+	return string(b)
+}
+
+// FrequentPairSet flattens patterns to unordered extent pairs (from
+// every adjacent pattern element), for comparison with the pair-based
+// detectors.
+func (r *Result) FrequentPairSet() map[blktrace.Pair]struct{} {
+	out := make(map[blktrace.Pair]struct{})
+	for _, p := range r.Patterns {
+		for i := 0; i+1 < len(p.Extents); i++ {
+			if p.Extents[i] == p.Extents[i+1] {
+				continue
+			}
+			out[blktrace.MakePair(p.Extents[i], p.Extents[i+1])] = struct{}{}
+		}
+	}
+	return out
+}

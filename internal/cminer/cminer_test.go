@@ -1,0 +1,294 @@
+package cminer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"daccor/internal/blktrace"
+)
+
+func e(b uint64) blktrace.Extent { return blktrace.Extent{Block: b, Len: 1} }
+
+// traceOf builds a trace whose request order is exactly the given
+// blocks (timestamps 1 ms apart).
+func traceOf(blocks ...uint64) *blktrace.Trace {
+	t := &blktrace.Trace{}
+	for i, b := range blocks {
+		t.Append(blktrace.Event{Time: int64(i) * 1_000_000, PID: 1, Op: blktrace.OpRead,
+			Extent: e(b)})
+	}
+	return t
+}
+
+func supportOf(res *Result, blocks ...uint64) int {
+	want := make([]blktrace.Extent, len(blocks))
+	for i, b := range blocks {
+		want[i] = e(b)
+	}
+	for _, p := range res.Patterns {
+		if len(p.Extents) != len(want) {
+			continue
+		}
+		match := true
+		for i := range want {
+			if p.Extents[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return p.Support
+		}
+	}
+	return 0
+}
+
+func TestOptionsValidation(t *testing.T) {
+	tr := traceOf(1, 2, 3)
+	bad := []Options{
+		{SegmentLen: 1, MinSupport: 1},
+		{Gap: -1, MinSupport: 1},
+		{MinSupport: 0},
+		{MinSupport: 1, MaxLen: -1},
+	}
+	for i, o := range bad {
+		if _, err := Mine(tr, o); err == nil {
+			t.Errorf("options %d: want error", i)
+		}
+	}
+}
+
+func TestMineKnownSequence(t *testing.T) {
+	// Three segments, each containing a→b adjacent; c appears with a
+	// only once.
+	tr := traceOf(
+		1, 2, 9, 8, // segment 1: a b . .
+		1, 2, 7, 6, // segment 2: a b . .
+		1, 2, 3, 5, // segment 3: a b c .
+	)
+	res, err := Mine(tr, Options{SegmentLen: 4, Gap: 0, MinSupport: 2, KeepNonClosed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sequences != 3 {
+		t.Fatalf("sequences = %d, want 3", res.Sequences)
+	}
+	if got := supportOf(res, 1, 2); got != 3 {
+		t.Errorf("sup(a,b) = %d, want 3", got)
+	}
+	if got := supportOf(res, 1); got != 3 {
+		t.Errorf("sup(a) = %d, want 3", got)
+	}
+	if got := supportOf(res, 2, 3); got != 0 {
+		t.Errorf("sup(b,c) = %d, want 0 (below min support)", got)
+	}
+}
+
+func TestGapConstraint(t *testing.T) {
+	// a ... b with one intervening item: visible at gap 1, not gap 0.
+	tr := traceOf(
+		1, 9, 2, 0,
+		1, 8, 2, 0,
+	)
+	strict, err := Mine(tr, Options{SegmentLen: 4, Gap: 0, MinSupport: 2, KeepNonClosed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := supportOf(strict, 1, 2); got != 0 {
+		t.Errorf("gap 0: sup(a,b) = %d, want 0", got)
+	}
+	loose, err := Mine(tr, Options{SegmentLen: 4, Gap: 1, MinSupport: 2, KeepNonClosed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := supportOf(loose, 1, 2); got != 2 {
+		t.Errorf("gap 1: sup(a,b) = %d, want 2", got)
+	}
+}
+
+func TestSupportIsPerSequence(t *testing.T) {
+	// a→b occurs twice within ONE segment: support must still be 1.
+	tr := traceOf(1, 2, 1, 2)
+	res, err := Mine(tr, Options{SegmentLen: 4, Gap: 0, MinSupport: 1, KeepNonClosed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := supportOf(res, 1, 2); got != 1 {
+		t.Errorf("sup(a,b) = %d, want 1 (per-sequence counting)", got)
+	}
+}
+
+func TestClosedFilter(t *testing.T) {
+	// a b c in every segment: a→b (support 2) is absorbed by a→b→c
+	// (support 2); both remain only without the filter.
+	tr := traceOf(
+		1, 2, 3, 0,
+		1, 2, 3, 9,
+	)
+	all, err := Mine(tr, Options{SegmentLen: 4, Gap: 0, MinSupport: 2, KeepNonClosed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := Mine(tr, Options{SegmentLen: 4, Gap: 0, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if supportOf(all, 1, 2) != 2 || supportOf(all, 1, 2, 3) != 2 {
+		t.Fatalf("unfiltered patterns missing")
+	}
+	if supportOf(closed, 1, 2) != 0 {
+		t.Error("closed filter kept the absorbed prefix (a,b)")
+	}
+	if supportOf(closed, 1, 2, 3) != 2 {
+		t.Error("closed filter lost the maximal pattern")
+	}
+	if len(closed.Patterns) >= len(all.Patterns) {
+		t.Error("closed filter removed nothing")
+	}
+}
+
+func TestMaxLenCap(t *testing.T) {
+	tr := traceOf(1, 2, 3, 4, 1, 2, 3, 4)
+	res, err := Mine(tr, Options{SegmentLen: 4, Gap: 0, MinSupport: 2, MaxLen: 2, KeepNonClosed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		if len(p.Extents) > 2 {
+			t.Errorf("pattern %v exceeds MaxLen", p.Extents)
+		}
+	}
+}
+
+func TestRules(t *testing.T) {
+	// a→b always; a→c half the time.
+	tr := traceOf(
+		1, 2, 0, 9,
+		1, 2, 0, 8,
+		1, 3, 0, 7,
+		1, 2, 0, 6,
+	)
+	res, err := Mine(tr, Options{SegmentLen: 4, Gap: 0, MinSupport: 1, KeepNonClosed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := res.Rules(0.6)
+	foundAB := false
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == e(1) && r.Consequent == e(2) {
+			foundAB = true
+			if r.Confidence != 0.75 {
+				t.Errorf("conf(a→b) = %v, want 0.75", r.Confidence)
+			}
+		}
+		if len(r.Antecedent) == 1 && r.Antecedent[0] == e(1) && r.Consequent == e(3) {
+			t.Error("a→c (confidence 0.25) should be filtered at 0.6")
+		}
+		if r.Confidence < 0.6 {
+			t.Errorf("rule below threshold: %+v", r)
+		}
+	}
+	if !foundAB {
+		t.Error("a→b rule missing")
+	}
+}
+
+func TestFrequentPairSet(t *testing.T) {
+	tr := traceOf(1, 2, 9, 9, 1, 2, 8, 8)
+	res, err := Mine(tr, Options{SegmentLen: 4, Gap: 0, MinSupport: 2, KeepNonClosed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := res.FrequentPairSet()
+	if _, ok := pairs[blktrace.MakePair(e(1), e(2))]; !ok {
+		t.Error("pair (a,b) missing from FrequentPairSet")
+	}
+}
+
+// bruteSupport counts sequences containing the pattern as a
+// gap-constrained subsequence, by exhaustive search.
+func bruteSupport(seqs [][]uint64, pattern []uint64, gap int) int {
+	var matchFrom func(seq []uint64, pos, pi int) bool
+	matchFrom = func(seq []uint64, pos, pi int) bool {
+		if pi == len(pattern) {
+			return true
+		}
+		hi := pos + 1 + gap
+		if hi > len(seq)-1 {
+			hi = len(seq) - 1
+		}
+		for next := pos + 1; next <= hi; next++ {
+			if seq[next] == pattern[pi] && matchFrom(seq, next, pi+1) {
+				return true
+			}
+		}
+		return false
+	}
+	sup := 0
+	for _, seq := range seqs {
+		found := false
+		for start, v := range seq {
+			if v == pattern[0] && matchFrom(seq, start, 1) {
+				found = true
+				break
+			}
+		}
+		if found {
+			sup++
+		}
+	}
+	return sup
+}
+
+// Property: every mined pattern's support matches brute-force counting,
+// and no frequent pattern is missed (checked for length <= 2 to keep
+// the brute force cheap).
+func TestPrefixSpanMatchesBruteForceQuick(t *testing.T) {
+	g := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		segLen := 4 + rng.Intn(5)
+		nSeg := 2 + rng.Intn(6)
+		gap := rng.Intn(3)
+		minSup := 1 + rng.Intn(2)
+		var blocks []uint64
+		for i := 0; i < segLen*nSeg; i++ {
+			blocks = append(blocks, uint64(rng.Intn(5)))
+		}
+		tr := traceOf(blocks...)
+		res, err := Mine(tr, Options{
+			SegmentLen: segLen, Gap: gap, MinSupport: minSup,
+			MaxLen: 2, KeepNonClosed: true,
+		})
+		if err != nil {
+			return false
+		}
+		var seqs [][]uint64
+		for s := 0; s < nSeg; s++ {
+			seqs = append(seqs, blocks[s*segLen:(s+1)*segLen])
+		}
+		// Every mined pattern's support must match brute force.
+		for _, p := range res.Patterns {
+			pat := make([]uint64, len(p.Extents))
+			for i, ex := range p.Extents {
+				pat[i] = ex.Block
+			}
+			if bruteSupport(seqs, pat, gap) != p.Support {
+				return false
+			}
+		}
+		// No frequent pair missed.
+		for a := uint64(0); a < 5; a++ {
+			for b := uint64(0); b < 5; b++ {
+				sup := bruteSupport(seqs, []uint64{a, b}, gap)
+				if sup >= minSup && supportOf(res, a, b) != sup {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

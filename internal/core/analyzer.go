@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"daccor/internal/blktrace"
+)
+
+// Config configures the online analysis module.
+type Config struct {
+	// ItemCapacity is C for the item table: each of its two tiers
+	// holds up to ItemCapacity extents. One entry costs 16 bytes in
+	// the paper's accounting (12-byte extent + 32-bit counter).
+	ItemCapacity int
+	// PairCapacity is C for the correlation table: each of its two
+	// tiers holds up to PairCapacity extent pairs. One entry costs
+	// 28 bytes (two extents + counter). The paper uses the same C for
+	// both tables, giving 88C bytes total.
+	PairCapacity int
+	// PromoteThreshold is the sighting count that promotes an entry
+	// from T1 to T2 in both tables; 0 means DefaultPromoteThreshold.
+	PromoteThreshold uint32
+	// TierRatio optionally skews the T1:T2 split. 0 means equal
+	// tiers, the paper's choice. A value r in (0, 1) gives T1 a
+	// fraction r of the 2C entries (e.g. 0.75 makes T1 three times
+	// T2). Used by the tier-split ablation.
+	TierRatio float64
+}
+
+// Per-entry byte costs from the paper's memory accounting (Sec. IV-C1).
+const (
+	ItemEntryBytes = 16 // 64-bit block + 32-bit length + 32-bit counter
+	PairEntryBytes = 28 // two extents + 32-bit counter
+)
+
+func splitTiers(c int, ratio float64) (t1, t2 int) {
+	total := 2 * c
+	if ratio <= 0 || ratio >= 1 {
+		return c, c
+	}
+	t1 = int(float64(total) * ratio)
+	if t1 < 1 {
+		t1 = 1
+	}
+	if t1 > total-1 {
+		t1 = total - 1
+	}
+	return t1, total - t1
+}
+
+// Analyzer is the online analysis module: it consumes transactions and
+// maintains the synopsis data structure. Analyzer is not safe for
+// concurrent use; callers (the monitor pipeline) feed it from a single
+// goroutine, matching the paper's single-pass stream model.
+type Analyzer struct {
+	cfg   Config
+	items *Table[blktrace.Extent]
+	pairs *Table[blktrace.Pair]
+
+	// pairsByExtent indexes live correlation-table entries by member
+	// extent so that the eviction rule "when an extent is evicted from
+	// the item table, we also demote it in the correlation table" is
+	// O(pairs containing that extent).
+	pairsByExtent map[blktrace.Extent]map[blktrace.Pair]struct{}
+
+	// pendingDemote collects extents whose item-table entry was
+	// evicted during the current batch of touches; their pairs are
+	// demoted after the touch completes so that the pair table is not
+	// mutated re-entrantly from inside its own callbacks.
+	pendingDemote []blktrace.Extent
+
+	stats Stats
+}
+
+// Stats counts what the analyzer has processed and how the tables
+// behaved.
+type Stats struct {
+	Transactions   uint64 // transactions processed
+	Extents        uint64 // extent touches (item table)
+	PairTouches    uint64 // pair touches (correlation table)
+	ItemEvictions  uint64
+	PairEvictions  uint64
+	ItemPromotions uint64
+	PairPromotions uint64
+	PairDemotions  uint64 // demotions triggered by item evictions
+}
+
+// NewAnalyzer returns an analyzer with empty tables.
+func NewAnalyzer(cfg Config) (*Analyzer, error) {
+	if cfg.ItemCapacity <= 0 || cfg.PairCapacity <= 0 {
+		return nil, fmt.Errorf("core: capacities must be positive (items %d, pairs %d)",
+			cfg.ItemCapacity, cfg.PairCapacity)
+	}
+	a := &Analyzer{
+		cfg:           cfg,
+		pairsByExtent: make(map[blktrace.Extent]map[blktrace.Pair]struct{}),
+	}
+	i1, i2 := splitTiers(cfg.ItemCapacity, cfg.TierRatio)
+	p1, p2 := splitTiers(cfg.PairCapacity, cfg.TierRatio)
+	var err error
+	a.items, err = NewTable[blktrace.Extent](TableConfig{
+		Capacity1:        i1,
+		Capacity2:        i2,
+		PromoteThreshold: cfg.PromoteThreshold,
+	}, a.onItemEvict)
+	if err != nil {
+		return nil, err
+	}
+	a.pairs, err = NewTable[blktrace.Pair](TableConfig{
+		Capacity1:        p1,
+		Capacity2:        p2,
+		PromoteThreshold: cfg.PromoteThreshold,
+	}, a.onPairEvict)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Analyzer) onItemEvict(e blktrace.Extent, _ uint32) {
+	a.stats.ItemEvictions++
+	a.pendingDemote = append(a.pendingDemote, e)
+}
+
+func (a *Analyzer) onPairEvict(p blktrace.Pair, _ uint32) {
+	a.stats.PairEvictions++
+	a.unregisterPair(p)
+}
+
+func (a *Analyzer) registerPair(p blktrace.Pair) {
+	for _, e := range [...]blktrace.Extent{p.A, p.B} {
+		set, ok := a.pairsByExtent[e]
+		if !ok {
+			set = make(map[blktrace.Pair]struct{})
+			a.pairsByExtent[e] = set
+		}
+		set[p] = struct{}{}
+		if p.A == p.B {
+			break
+		}
+	}
+}
+
+func (a *Analyzer) unregisterPair(p blktrace.Pair) {
+	for _, e := range [...]blktrace.Extent{p.A, p.B} {
+		if set, ok := a.pairsByExtent[e]; ok {
+			delete(set, p)
+			if len(set) == 0 {
+				delete(a.pairsByExtent, e)
+			}
+		}
+		if p.A == p.B {
+			break
+		}
+	}
+}
+
+// Process performs the single-pass update for one transaction: every
+// extent is touched in the item table and every unique unordered pair
+// of distinct extents is touched in the correlation table — Θ(N²) pair
+// touches for N extents, which the monitor bounds with its transaction
+// cap. Extents evicted from the item table have their surviving pairs
+// demoted in the correlation table.
+//
+// The extents are assumed deduplicated (the monitor guarantees this);
+// duplicates would distort correlation frequencies, as the paper notes
+// for wdev.
+func (a *Analyzer) Process(extents []blktrace.Extent) {
+	a.stats.Transactions++
+	for _, e := range extents {
+		a.stats.Extents++
+		switch a.items.Touch(e) {
+		case Promoted:
+			a.stats.ItemPromotions++
+		}
+	}
+	for i := 0; i < len(extents); i++ {
+		for j := i + 1; j < len(extents); j++ {
+			p := blktrace.MakePair(extents[i], extents[j])
+			a.stats.PairTouches++
+			switch a.pairs.Touch(p) {
+			case Inserted:
+				a.registerPair(p)
+			case Promoted:
+				a.stats.PairPromotions++
+			}
+		}
+	}
+	a.flushDemotions()
+}
+
+// flushDemotions applies the item-eviction → pair-demotion rule for
+// every item evicted during the last batch of touches. Pairs of one
+// evicted extent are demoted in canonical order so the analyzer is
+// fully deterministic (map iteration order must not leak into the LRU
+// order, or replays and restored snapshots would diverge).
+func (a *Analyzer) flushDemotions() {
+	var batch []blktrace.Pair
+	for _, e := range a.pendingDemote {
+		batch = batch[:0]
+		for p := range a.pairsByExtent[e] {
+			batch = append(batch, p)
+		}
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].A != batch[j].A {
+				return batch[i].A.Less(batch[j].A)
+			}
+			return batch[i].B.Less(batch[j].B)
+		})
+		for _, p := range batch {
+			if a.pairs.Demote(p) {
+				a.stats.PairDemotions++
+			}
+		}
+	}
+	a.pendingDemote = a.pendingDemote[:0]
+}
+
+// Items exposes the item table (read-mostly; used by optimizers and
+// tests).
+func (a *Analyzer) Items() *Table[blktrace.Extent] { return a.items }
+
+// Pairs exposes the correlation table.
+func (a *Analyzer) Pairs() *Table[blktrace.Pair] { return a.pairs }
+
+// Stats returns a copy of the processing counters.
+func (a *Analyzer) Stats() Stats { return a.stats }
+
+// Config returns the analyzer's configuration.
+func (a *Analyzer) Config() Config { return a.cfg }
+
+// MemoryBytes returns the synopsis footprint under the paper's
+// accounting: 16 bytes per item-table slot and 28 per correlation-table
+// slot (88C total when both capacities are C).
+func (a *Analyzer) MemoryBytes() int {
+	return a.items.Capacity()*ItemEntryBytes + a.pairs.Capacity()*PairEntryBytes
+}

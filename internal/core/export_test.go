@@ -1,0 +1,4 @@
+package core
+
+// CheckInvariants exposes the structural invariant checker to tests.
+func (t *Table[K]) CheckInvariants() error { return t.checkInvariants() }

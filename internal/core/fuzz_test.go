@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+// FuzzLoadAnalyzer hardens snapshot restoration against arbitrary
+// bytes: it must never panic, and any state it accepts must satisfy
+// the table invariants and survive a save/load round trip.
+func FuzzLoadAnalyzer(f *testing.F) {
+	a, err := NewAnalyzer(Config{ItemCapacity: 4, PairCapacity: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	a.Process([]blktrace.Extent{{Block: 1, Len: 1}, {Block: 2, Len: 2}})
+	a.Process([]blktrace.Extent{{Block: 1, Len: 1}, {Block: 2, Len: 2}})
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("DSYN"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadAnalyzer(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := got.Items().CheckInvariants(); err != nil {
+			t.Fatalf("accepted snapshot violates item invariants: %v", err)
+		}
+		if err := got.Pairs().CheckInvariants(); err != nil {
+			t.Fatalf("accepted snapshot violates pair invariants: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted snapshot failed to re-save: %v", err)
+		}
+		if _, err := LoadAnalyzer(&out); err != nil {
+			t.Fatalf("re-saved snapshot failed to load: %v", err)
+		}
+	})
+}

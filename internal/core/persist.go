@@ -1,0 +1,242 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"daccor/internal/blktrace"
+)
+
+// Synopsis persistence: a deployed characterizer can save its state on
+// shutdown and restore it on restart, avoiding the cold-start transient
+// (the §V.1 experiment quantifies what that transient costs a consumer).
+// The format captures both tables' entries in exact recency order, so a
+// restored analyzer behaves identically to the original on any
+// subsequent stream.
+//
+//	header:  magic "DSYN" | u16 version | config | stats
+//	tables:  item entries, then pair entries, each MRU→LRU with tier
+
+const (
+	synMagic   = "DSYN"
+	synVersion = 1
+)
+
+// Persistence errors.
+var (
+	ErrBadSnapshotMagic   = errors.New("core: bad magic, not a synopsis snapshot")
+	ErrBadSnapshotVersion = errors.New("core: unsupported snapshot version")
+)
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (cw *countingWriter) write(data any) error {
+	if err := binary.Write(cw.w, binary.LittleEndian, data); err != nil {
+		return err
+	}
+	cw.n += int64(binary.Size(data))
+	return nil
+}
+
+// WriteTo serialises the analyzer's full state. It implements
+// io.WriterTo.
+func (a *Analyzer) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if _, err := cw.w.WriteString(synMagic); err != nil {
+		return cw.n, err
+	}
+	cw.n += int64(len(synMagic))
+	hdr := []any{
+		uint16(synVersion),
+		uint64(a.cfg.ItemCapacity),
+		uint64(a.cfg.PairCapacity),
+		a.cfg.PromoteThreshold,
+		math.Float64bits(a.cfg.TierRatio),
+		a.stats,
+	}
+	for _, v := range hdr {
+		if err := cw.write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	items := a.items.Entries(0) // T2 first, MRU→LRU within each tier
+	if err := cw.write(uint32(len(items))); err != nil {
+		return cw.n, err
+	}
+	for _, e := range items {
+		if err := cw.write(itemRecord{
+			Tier: uint8(e.Tier), Count: e.Count,
+			Block: e.Key.Block, Len: e.Key.Len,
+		}); err != nil {
+			return cw.n, err
+		}
+	}
+	pairs := a.pairs.Entries(0)
+	if err := cw.write(uint32(len(pairs))); err != nil {
+		return cw.n, err
+	}
+	for _, e := range pairs {
+		if err := cw.write(pairRecord{
+			Tier: uint8(e.Tier), Count: e.Count,
+			ABlock: e.Key.A.Block, ALen: e.Key.A.Len,
+			BBlock: e.Key.B.Block, BLen: e.Key.B.Len,
+		}); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, cw.w.Flush()
+}
+
+type itemRecord struct {
+	Tier  uint8
+	Count uint32
+	Block uint64
+	Len   uint32
+}
+
+type pairRecord struct {
+	Tier           uint8
+	Count          uint32
+	ABlock, BBlock uint64
+	ALen, BLen     uint32
+}
+
+// LoadAnalyzer reconstructs an analyzer from a snapshot produced by
+// WriteTo. The restored analyzer is behaviourally identical to the
+// saved one: same configuration, same counters, same recency order in
+// every tier.
+func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(synMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, ErrBadSnapshotMagic
+	}
+	if string(magic) != synMagic {
+		return nil, ErrBadSnapshotMagic
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != synVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadSnapshotVersion, version)
+	}
+	var (
+		itemCap, pairCap uint64
+		threshold        uint32
+		ratioBits        uint64
+		stats            Stats
+	)
+	for _, v := range []any{&itemCap, &pairCap, &threshold, &ratioBits, &stats} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	a, err := NewAnalyzer(Config{
+		ItemCapacity:     int(itemCap),
+		PairCapacity:     int(pairCap),
+		PromoteThreshold: threshold,
+		TierRatio:        math.Float64frombits(ratioBits),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
+	}
+	a.stats = stats
+
+	var nItems uint32
+	if err := binary.Read(br, binary.LittleEndian, &nItems); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nItems; i++ {
+		var rec itemRecord
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, err
+		}
+		e := blktrace.Extent{Block: rec.Block, Len: rec.Len}
+		if e.Len == 0 {
+			return nil, fmt.Errorf("core: snapshot item %v has zero length", e)
+		}
+		if err := a.items.restore(e, rec.Count, Tier(rec.Tier)); err != nil {
+			return nil, err
+		}
+	}
+	var nPairs uint32
+	if err := binary.Read(br, binary.LittleEndian, &nPairs); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nPairs; i++ {
+		var rec pairRecord
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, err
+		}
+		p := blktrace.Pair{
+			A: blktrace.Extent{Block: rec.ABlock, Len: rec.ALen},
+			B: blktrace.Extent{Block: rec.BBlock, Len: rec.BLen},
+		}
+		if p.A.Len == 0 || p.B.Len == 0 {
+			return nil, fmt.Errorf("core: snapshot pair %v has zero-length extent", p)
+		}
+		if p.B.Less(p.A) {
+			return nil, fmt.Errorf("core: snapshot pair %v not canonical", p)
+		}
+		if err := a.pairs.restore(p, rec.Count, Tier(rec.Tier)); err != nil {
+			return nil, err
+		}
+		a.registerPair(p)
+	}
+	return a, nil
+}
+
+// restore appends an entry at the LRU end of the given tier, so
+// feeding entries in Entries(0) order (MRU→LRU per tier) reproduces
+// the exact recency order. It rejects duplicates, invalid tiers, and
+// capacity overflows.
+func (t *Table[K]) restore(k K, count uint32, tier Tier) error {
+	if _, dup := t.index[k]; dup {
+		return fmt.Errorf("core: snapshot entry %v duplicated", k)
+	}
+	if count == 0 {
+		return fmt.Errorf("core: snapshot entry %v has zero count", k)
+	}
+	e := &entry[K]{key: k, count: count, tier: tier}
+	switch tier {
+	case Tier1:
+		if t.t1.size >= t.cfg.Capacity1 {
+			return fmt.Errorf("core: snapshot overflows T1 capacity %d", t.cfg.Capacity1)
+		}
+		t.t1.moveToBackNew(e)
+	case Tier2:
+		if t.t2.size >= t.cfg.Capacity2 {
+			return fmt.Errorf("core: snapshot overflows T2 capacity %d", t.cfg.Capacity2)
+		}
+		if count < t.cfg.PromoteThreshold {
+			return fmt.Errorf("core: snapshot T2 entry %v below promote threshold", k)
+		}
+		t.t2.moveToBackNew(e)
+	default:
+		return fmt.Errorf("core: snapshot entry %v has invalid tier %d", k, tier)
+	}
+	t.index[k] = e
+	return nil
+}
+
+// moveToBackNew appends a fresh (unlinked) entry at the LRU end.
+func (l *lruList[K]) moveToBackNew(e *entry[K]) {
+	e.next = nil
+	e.prev = l.back
+	if l.back != nil {
+		l.back.next = e
+	}
+	l.back = e
+	if l.front == nil {
+		l.front = e
+	}
+	l.size++
+}

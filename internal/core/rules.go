@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sort"
+
+	"daccor/internal/blktrace"
+)
+
+// Rule is a directional association between extents: when From is
+// requested, To is likely to be requested in the same transaction
+// window. Confidence is the classic association-rule estimate
+// freq(From ∧ To) / freq(From), computed from the live synopsis tables
+// — the directional form optimizers like prefetchers need (reading an
+// inode predicts its data blocks far more strongly than the reverse).
+type Rule struct {
+	From, To   blktrace.Extent
+	Support    uint32
+	Confidence float64
+}
+
+// Rules extracts directional rules from the synopsis: every pair with
+// counter >= minSupport yields up to two rules (one per direction),
+// kept when the antecedent extent is still resident in the item table
+// and the confidence meets minConfidence. Rules are sorted by
+// descending confidence, then support, then key order.
+//
+// Confidences are estimates: both counters are maintained under LRU
+// eviction, so an extent readmitted after eviction restarts its tally.
+// Values are clamped to 1.
+func (a *Analyzer) Rules(minSupport uint32, minConfidence float64) []Rule {
+	var out []Rule
+	for _, e := range a.pairs.Entries(minSupport) {
+		p := e.Key
+		for _, dir := range [2][2]blktrace.Extent{{p.A, p.B}, {p.B, p.A}} {
+			from, to := dir[0], dir[1]
+			if from == to {
+				continue
+			}
+			fromCount, ok := a.items.Count(from)
+			if !ok || fromCount == 0 {
+				continue
+			}
+			conf := float64(e.Count) / float64(fromCount)
+			if conf > 1 {
+				conf = 1
+			}
+			if conf < minConfidence {
+				continue
+			}
+			out = append(out, Rule{From: from, To: to, Support: e.Count, Confidence: conf})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if out[i].From != out[j].From {
+			return out[i].From.Less(out[j].From)
+		}
+		return out[i].To.Less(out[j].To)
+	})
+	return out
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+func TestRulesDirectionalConfidence(t *testing.T) {
+	a := mustAnalyzer(t, Config{ItemCapacity: 64, PairCapacity: 64})
+	inode := ext(10, 1)
+	data := ext(100, 8)
+	// inode appears 10 times; 5 of those together with data; data
+	// appears only in those 5.
+	for i := 0; i < 5; i++ {
+		a.Process([]blktrace.Extent{inode, data})
+	}
+	for i := 0; i < 5; i++ {
+		a.Process([]blktrace.Extent{inode, ext(uint64(1000+i), 1)})
+	}
+	rules := a.Rules(5, 0)
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d, want 2 (both directions)", len(rules))
+	}
+	// data → inode has confidence 1.0 (data never appears alone);
+	// inode → data has confidence 0.5.
+	if rules[0].From != data || rules[0].To != inode || rules[0].Confidence != 1.0 {
+		t.Errorf("strongest rule = %+v, want data→inode at 1.0", rules[0])
+	}
+	if rules[1].From != inode || rules[1].To != data || rules[1].Confidence != 0.5 {
+		t.Errorf("second rule = %+v, want inode→data at 0.5", rules[1])
+	}
+	if rules[0].Support != 5 || rules[1].Support != 5 {
+		t.Errorf("supports = %d, %d; want 5", rules[0].Support, rules[1].Support)
+	}
+}
+
+func TestRulesThresholds(t *testing.T) {
+	a := mustAnalyzer(t, Config{ItemCapacity: 64, PairCapacity: 64})
+	x, y := ext(1, 1), ext(2, 1)
+	for i := 0; i < 3; i++ {
+		a.Process([]blktrace.Extent{x, y})
+	}
+	a.Process([]blktrace.Extent{x, ext(99, 1)}) // x: 4, y: 3, pair: 3
+	if got := a.Rules(4, 0); len(got) != 0 {
+		t.Errorf("minSupport 4 should exclude the pair, got %v", got)
+	}
+	// Confidence x→y = 3/4, y→x = 1; filter at 0.9.
+	rules := a.Rules(3, 0.9)
+	if len(rules) != 1 || rules[0].From != y {
+		t.Errorf("Rules(3, 0.9) = %v, want only y→x", rules)
+	}
+}
+
+func TestRulesSkipEvictedAntecedent(t *testing.T) {
+	// Item table of 1 slot/tier churns extents out while the pair
+	// table remembers the pair; rules for evicted antecedents are
+	// skipped rather than fabricated.
+	a := mustAnalyzer(t, Config{ItemCapacity: 1, PairCapacity: 8})
+	x, y := ext(1, 1), ext(2, 1)
+	a.Process([]blktrace.Extent{x, y})
+	a.Process([]blktrace.Extent{x, y})
+	// Churn the item table with singles.
+	a.Process([]blktrace.Extent{ext(50, 1)})
+	a.Process([]blktrace.Extent{ext(51, 1)})
+	rules := a.Rules(2, 0)
+	for _, r := range rules {
+		if _, ok := a.Items().Count(r.From); !ok {
+			t.Errorf("rule with evicted antecedent: %+v", r)
+		}
+	}
+}
+
+func TestRulesConfidenceClamped(t *testing.T) {
+	// Force an item counter below its pair counter: evict the item,
+	// then re-insert it once while the pair entry survives.
+	a := mustAnalyzer(t, Config{ItemCapacity: 1, PairCapacity: 8})
+	x, y := ext(1, 1), ext(2, 1)
+	for i := 0; i < 4; i++ {
+		a.Process([]blktrace.Extent{x, y}) // pair count 4; items churn
+	}
+	for _, r := range a.Rules(1, 0) {
+		if r.Confidence > 1 {
+			t.Errorf("confidence %v > 1 for %+v", r.Confidence, r)
+		}
+	}
+}
+
+func TestRulesDeterministicOrder(t *testing.T) {
+	a := mustAnalyzer(t, Config{ItemCapacity: 64, PairCapacity: 64})
+	for i := 0; i < 3; i++ {
+		a.Process([]blktrace.Extent{ext(1, 1), ext(2, 1)})
+		a.Process([]blktrace.Extent{ext(3, 1), ext(4, 1)})
+	}
+	r1 := a.Rules(1, 0)
+	r2 := a.Rules(1, 0)
+	if len(r1) != 4 {
+		t.Fatalf("rules = %d, want 4", len(r1))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("rule order not deterministic")
+		}
+	}
+}

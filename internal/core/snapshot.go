@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"daccor/internal/blktrace"
+)
+
+// PairCount is one correlation-table entry in a snapshot.
+type PairCount struct {
+	Pair  blktrace.Pair
+	Count uint32
+	Tier  Tier
+}
+
+// ItemCount is one item-table entry in a snapshot.
+type ItemCount struct {
+	Extent blktrace.Extent
+	Count  uint32
+	Tier   Tier
+}
+
+// Snapshot is a point-in-time export of the synopsis, used to compare
+// the online result against offline FIM ground truth (Figs. 7–10) and
+// to feed optimization modules.
+type Snapshot struct {
+	Pairs []PairCount
+	Items []ItemCount
+}
+
+// Snapshot exports all entries with counter >= minSupport from both
+// tables, sorted by descending counter (ties broken by key order for
+// determinism).
+func (a *Analyzer) Snapshot(minSupport uint32) Snapshot {
+	var s Snapshot
+	for _, e := range a.pairs.Entries(minSupport) {
+		s.Pairs = append(s.Pairs, PairCount{Pair: e.Key, Count: e.Count, Tier: e.Tier})
+	}
+	for _, e := range a.items.Entries(minSupport) {
+		s.Items = append(s.Items, ItemCount{Extent: e.Key, Count: e.Count, Tier: e.Tier})
+	}
+	sort.Slice(s.Pairs, func(i, j int) bool {
+		if s.Pairs[i].Count != s.Pairs[j].Count {
+			return s.Pairs[i].Count > s.Pairs[j].Count
+		}
+		pi, pj := s.Pairs[i].Pair, s.Pairs[j].Pair
+		if pi.A != pj.A {
+			return pi.A.Less(pj.A)
+		}
+		return pi.B.Less(pj.B)
+	})
+	sort.Slice(s.Items, func(i, j int) bool {
+		if s.Items[i].Count != s.Items[j].Count {
+			return s.Items[i].Count > s.Items[j].Count
+		}
+		return s.Items[i].Extent.Less(s.Items[j].Extent)
+	})
+	return s
+}
+
+// PairSet returns the snapshot's pairs as a set for similarity metrics.
+func (s Snapshot) PairSet() map[blktrace.Pair]struct{} {
+	set := make(map[blktrace.Pair]struct{}, len(s.Pairs))
+	for _, pc := range s.Pairs {
+		set[pc.Pair] = struct{}{}
+	}
+	return set
+}
+
+// PairCounts returns the snapshot's pairs as a pair→count map.
+func (s Snapshot) PairCounts() map[blktrace.Pair]uint32 {
+	m := make(map[blktrace.Pair]uint32, len(s.Pairs))
+	for _, pc := range s.Pairs {
+		m[pc.Pair] = pc.Count
+	}
+	return m
+}
+
+// TopPairs returns the n highest-count pairs (all of them if n exceeds
+// the snapshot size).
+func (s Snapshot) TopPairs(n int) []PairCount {
+	if n > len(s.Pairs) {
+		n = len(s.Pairs)
+	}
+	return s.Pairs[:n]
+}

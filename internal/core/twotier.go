@@ -1,0 +1,372 @@
+// Package core implements the paper's primary contribution: the online
+// analysis module that characterizes data access correlations in real
+// time using a bounded-memory synopsis.
+//
+// The synopsis consists of two two-tier tables inspired by ARC
+// (Megiddo & Modha, FAST '03): an item table of individual extents and
+// a correlation table of extent pairs seen together in a transaction.
+// Each table keeps a tier T1 of entries seen infrequently and a tier T2
+// of entries seen frequently; both tiers are LRU lists of fixed
+// capacity. Unlike ARC there are no ghost lists and no adaptive tier
+// sizing; instead of immediate eviction, entries can be demoted to the
+// LRU end of their tier, making them next in line for eviction. This
+// blends the three dimensions the paper cares about: sequentiality
+// (extents), frequency (tier promotion by counter), and recency (LRU).
+package core
+
+import "fmt"
+
+// TouchResult describes what a Table.Touch call did.
+type TouchResult int
+
+const (
+	// Inserted: the key was absent and was inserted into T1.
+	Inserted TouchResult = iota
+	// HitT1: the key was found in T1 (no promotion).
+	HitT1
+	// HitT2: the key was found in T2.
+	HitT2
+	// Promoted: the key was found in T1 and its counter reached the
+	// promote threshold, moving it to T2.
+	Promoted
+)
+
+// String names the result for logs and tests.
+func (r TouchResult) String() string {
+	switch r {
+	case Inserted:
+		return "inserted"
+	case HitT1:
+		return "hitT1"
+	case HitT2:
+		return "hitT2"
+	case Promoted:
+		return "promoted"
+	}
+	return fmt.Sprintf("TouchResult(%d)", int(r))
+}
+
+// Tier identifies which tier an entry lives in.
+type Tier int
+
+const (
+	// TierNone means the key is not present.
+	TierNone Tier = 0
+	// Tier1 holds entries seen infrequently (once, below threshold).
+	Tier1 Tier = 1
+	// Tier2 holds entries seen frequently (promoted).
+	Tier2 Tier = 2
+)
+
+// entry is a node in one of the two intrusive LRU lists.
+type entry[K comparable] struct {
+	key        K
+	count      uint32
+	tier       Tier
+	prev, next *entry[K]
+}
+
+// lruList is an intrusive doubly linked list; front is MRU, back is LRU.
+// The zero value is an empty list.
+type lruList[K comparable] struct {
+	front, back *entry[K]
+	size        int
+}
+
+func (l *lruList[K]) pushFront(e *entry[K]) {
+	e.prev = nil
+	e.next = l.front
+	if l.front != nil {
+		l.front.prev = e
+	}
+	l.front = e
+	if l.back == nil {
+		l.back = e
+	}
+	l.size++
+}
+
+func (l *lruList[K]) remove(e *entry[K]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.size--
+}
+
+func (l *lruList[K]) moveToFront(e *entry[K]) {
+	if l.front == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
+}
+
+func (l *lruList[K]) moveToBack(e *entry[K]) {
+	if l.back == e {
+		return
+	}
+	l.remove(e)
+	// push back
+	e.next = nil
+	e.prev = l.back
+	if l.back != nil {
+		l.back.next = e
+	}
+	l.back = e
+	if l.front == nil {
+		l.front = e
+	}
+	l.size++
+}
+
+// TableConfig configures a two-tier table.
+type TableConfig struct {
+	// Capacity1 and Capacity2 are the entry capacities of T1 and T2.
+	// The paper uses equal sizes (C each) but the split is tunable for
+	// the tier-ratio ablation.
+	Capacity1, Capacity2 int
+	// PromoteThreshold is the counter value at which a T1 entry is
+	// promoted to T2. The paper promotes "upon a cache hit in the
+	// first [tier]", i.e. on the second sighting; that is threshold 2.
+	PromoteThreshold uint32
+}
+
+// DefaultPromoteThreshold promotes on the second sighting, matching the
+// paper's "items are promoted to the second tier upon a cache hit in
+// the first".
+const DefaultPromoteThreshold = 2
+
+func (c TableConfig) validate() error {
+	if c.Capacity1 <= 0 || c.Capacity2 <= 0 {
+		return fmt.Errorf("core: tier capacities must be positive (got %d, %d)", c.Capacity1, c.Capacity2)
+	}
+	if c.PromoteThreshold < 2 {
+		return fmt.Errorf("core: promote threshold must be >= 2 (got %d)", c.PromoteThreshold)
+	}
+	return nil
+}
+
+// Table is a fixed-capacity two-tier LRU/frequency table over keys of
+// type K. All operations are O(1). Table is not safe for concurrent
+// use; the analyzer serializes access.
+type Table[K comparable] struct {
+	cfg     TableConfig
+	t1, t2  lruList[K]
+	index   map[K]*entry[K]
+	onEvict func(K, uint32) // key and its count at eviction time
+
+	evictions  uint64
+	promotions uint64
+}
+
+// NewTable returns an empty table. onEvict, if non-nil, is called with
+// the key and final counter of every entry the table discards (from
+// either tier); it must not call back into the table.
+func NewTable[K comparable](cfg TableConfig, onEvict func(K, uint32)) (*Table[K], error) {
+	if cfg.PromoteThreshold == 0 {
+		cfg.PromoteThreshold = DefaultPromoteThreshold
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// The size hint is only an optimisation; cap it so a table with a
+	// huge configured capacity (legitimate, or from a forged snapshot
+	// header) does not pre-allocate gigabytes before any entry exists.
+	hint := cfg.Capacity1 + cfg.Capacity2
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	return &Table[K]{
+		cfg:     cfg,
+		index:   make(map[K]*entry[K], hint),
+		onEvict: onEvict,
+	}, nil
+}
+
+func (t *Table[K]) evict(l *lruList[K], e *entry[K]) {
+	l.remove(e)
+	delete(t.index, e.key)
+	t.evictions++
+	if t.onEvict != nil {
+		t.onEvict(e.key, e.count)
+	}
+}
+
+// Touch records one sighting of key k: a hit moves the entry to the MRU
+// position of its tier and increments its counter (promoting T1→T2 at
+// the threshold, evicting the T2 LRU victim if T2 is full); a miss
+// inserts the key at the T1 MRU position, evicting the T1 LRU victim if
+// T1 is full.
+func (t *Table[K]) Touch(k K) TouchResult {
+	if e, ok := t.index[k]; ok {
+		e.count++
+		switch e.tier {
+		case Tier1:
+			if e.count >= t.cfg.PromoteThreshold {
+				t.t1.remove(e)
+				if t.t2.size >= t.cfg.Capacity2 {
+					t.evict(&t.t2, t.t2.back)
+				}
+				e.tier = Tier2
+				t.t2.pushFront(e)
+				t.promotions++
+				return Promoted
+			}
+			t.t1.moveToFront(e)
+			return HitT1
+		default: // Tier2
+			t.t2.moveToFront(e)
+			return HitT2
+		}
+	}
+	if t.t1.size >= t.cfg.Capacity1 {
+		t.evict(&t.t1, t.t1.back)
+	}
+	e := &entry[K]{key: k, count: 1, tier: Tier1}
+	t.t1.pushFront(e)
+	t.index[k] = e
+	return Inserted
+}
+
+// Demote moves the entry for k to the LRU end of its tier, marking it
+// next for eviction without discarding its counter — the paper's
+// "reduce the relevancy of an entry without immediate eviction". It
+// reports whether the key was present.
+func (t *Table[K]) Demote(k K) bool {
+	e, ok := t.index[k]
+	if !ok {
+		return false
+	}
+	switch e.tier {
+	case Tier1:
+		t.t1.moveToBack(e)
+	default:
+		t.t2.moveToBack(e)
+	}
+	return true
+}
+
+// Remove deletes the entry for k without invoking the eviction
+// callback, reporting whether it was present.
+func (t *Table[K]) Remove(k K) bool {
+	e, ok := t.index[k]
+	if !ok {
+		return false
+	}
+	switch e.tier {
+	case Tier1:
+		t.t1.remove(e)
+	default:
+		t.t2.remove(e)
+	}
+	delete(t.index, k)
+	return true
+}
+
+// Count returns the sighting counter for k and whether it is present.
+func (t *Table[K]) Count(k K) (uint32, bool) {
+	e, ok := t.index[k]
+	if !ok {
+		return 0, false
+	}
+	return e.count, true
+}
+
+// TierOf returns which tier holds k (TierNone if absent).
+func (t *Table[K]) TierOf(k K) Tier {
+	e, ok := t.index[k]
+	if !ok {
+		return TierNone
+	}
+	return e.tier
+}
+
+// Len returns the total number of entries across both tiers.
+func (t *Table[K]) Len() int { return t.t1.size + t.t2.size }
+
+// LenT1 returns the number of entries in T1.
+func (t *Table[K]) LenT1() int { return t.t1.size }
+
+// LenT2 returns the number of entries in T2.
+func (t *Table[K]) LenT2() int { return t.t2.size }
+
+// Capacity returns the total entry capacity (T1 + T2).
+func (t *Table[K]) Capacity() int { return t.cfg.Capacity1 + t.cfg.Capacity2 }
+
+// Evictions returns the number of entries discarded so far.
+func (t *Table[K]) Evictions() uint64 { return t.evictions }
+
+// Promotions returns the number of T1→T2 promotions so far.
+func (t *Table[K]) Promotions() uint64 { return t.promotions }
+
+// Entry is an exported view of one table entry.
+type Entry[K comparable] struct {
+	Key   K
+	Count uint32
+	Tier  Tier
+}
+
+// Entries returns all entries with Count >= minCount, T2 first, each
+// tier in MRU→LRU order. minCount 0 or 1 returns everything.
+func (t *Table[K]) Entries(minCount uint32) []Entry[K] {
+	out := make([]Entry[K], 0, t.Len())
+	for _, l := range []*lruList[K]{&t.t2, &t.t1} {
+		for e := l.front; e != nil; e = e.next {
+			if e.count >= minCount {
+				out = append(out, Entry[K]{Key: e.key, Count: e.count, Tier: e.tier})
+			}
+		}
+	}
+	return out
+}
+
+// checkInvariants verifies structural invariants; it is used by tests
+// (exposed via an export_test shim) and costs O(n).
+func (t *Table[K]) checkInvariants() error {
+	if t.t1.size > t.cfg.Capacity1 {
+		return fmt.Errorf("T1 over capacity: %d > %d", t.t1.size, t.cfg.Capacity1)
+	}
+	if t.t2.size > t.cfg.Capacity2 {
+		return fmt.Errorf("T2 over capacity: %d > %d", t.t2.size, t.cfg.Capacity2)
+	}
+	seen := 0
+	for tierNo, l := range map[Tier]*lruList[K]{Tier1: &t.t1, Tier2: &t.t2} {
+		n := 0
+		var prev *entry[K]
+		for e := l.front; e != nil; e = e.next {
+			if e.tier != tierNo {
+				return fmt.Errorf("entry %v in list %d has tier %d", e.key, tierNo, e.tier)
+			}
+			if e.prev != prev {
+				return fmt.Errorf("broken prev link at %v", e.key)
+			}
+			if idx, ok := t.index[e.key]; !ok || idx != e {
+				return fmt.Errorf("index mismatch for %v", e.key)
+			}
+			if tierNo == Tier2 && e.count < t.cfg.PromoteThreshold {
+				return fmt.Errorf("T2 entry %v has count %d below threshold", e.key, e.count)
+			}
+			prev = e
+			n++
+		}
+		if l.back != prev {
+			return fmt.Errorf("back pointer mismatch in tier %d", tierNo)
+		}
+		if n != l.size {
+			return fmt.Errorf("tier %d size %d, counted %d", tierNo, l.size, n)
+		}
+		seen += n
+	}
+	if seen != len(t.index) {
+		return fmt.Errorf("index has %d entries, lists have %d", len(t.index), seen)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustTable(t *testing.T, cfg TableConfig, onEvict func(int, uint32)) *Table[int] {
+	t.Helper()
+	tab, err := NewTable[int](cfg, onEvict)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tab
+}
+
+func TestTableConfigValidation(t *testing.T) {
+	if _, err := NewTable[int](TableConfig{Capacity1: 0, Capacity2: 1}, nil); err == nil {
+		t.Error("want error for zero Capacity1")
+	}
+	if _, err := NewTable[int](TableConfig{Capacity1: 1, Capacity2: -1}, nil); err == nil {
+		t.Error("want error for negative Capacity2")
+	}
+	if _, err := NewTable[int](TableConfig{Capacity1: 1, Capacity2: 1, PromoteThreshold: 1}, nil); err == nil {
+		t.Error("want error for threshold 1")
+	}
+	// zero threshold defaults
+	tab := mustTable(t, TableConfig{Capacity1: 1, Capacity2: 1}, nil)
+	if tab.cfg.PromoteThreshold != DefaultPromoteThreshold {
+		t.Errorf("default threshold = %d", tab.cfg.PromoteThreshold)
+	}
+}
+
+func TestTouchInsertHitPromote(t *testing.T) {
+	tab := mustTable(t, TableConfig{Capacity1: 4, Capacity2: 4, PromoteThreshold: 3}, nil)
+	if r := tab.Touch(1); r != Inserted {
+		t.Fatalf("first touch = %v, want inserted", r)
+	}
+	if tab.TierOf(1) != Tier1 {
+		t.Fatal("new entry should be in T1")
+	}
+	if r := tab.Touch(1); r != HitT1 {
+		t.Fatalf("second touch = %v, want hitT1 (threshold 3)", r)
+	}
+	if r := tab.Touch(1); r != Promoted {
+		t.Fatalf("third touch = %v, want promoted", r)
+	}
+	if tab.TierOf(1) != Tier2 {
+		t.Fatal("promoted entry should be in T2")
+	}
+	if r := tab.Touch(1); r != HitT2 {
+		t.Fatalf("fourth touch = %v, want hitT2", r)
+	}
+	if c, ok := tab.Count(1); !ok || c != 4 {
+		t.Errorf("Count = %d, %v; want 4, true", c, ok)
+	}
+	if tab.Promotions() != 1 {
+		t.Errorf("Promotions = %d, want 1", tab.Promotions())
+	}
+}
+
+func TestT1EvictsLRU(t *testing.T) {
+	var evicted []int
+	tab := mustTable(t, TableConfig{Capacity1: 2, Capacity2: 2},
+		func(k int, _ uint32) { evicted = append(evicted, k) })
+	tab.Touch(1)
+	tab.Touch(2)
+	tab.Touch(3) // evicts 1 (LRU)
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+	if tab.TierOf(1) != TierNone || tab.TierOf(2) != Tier1 || tab.TierOf(3) != Tier1 {
+		t.Error("wrong residency after eviction")
+	}
+	if tab.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", tab.Evictions())
+	}
+}
+
+func TestHitRefreshesRecency(t *testing.T) {
+	tab := mustTable(t, TableConfig{Capacity1: 2, Capacity2: 2, PromoteThreshold: 99}, nil)
+	tab.Touch(1)
+	tab.Touch(2)
+	tab.Touch(1) // 1 becomes MRU; 2 is now LRU
+	tab.Touch(3) // evicts 2
+	if tab.TierOf(2) != TierNone {
+		t.Error("2 should have been evicted")
+	}
+	if tab.TierOf(1) != Tier1 {
+		t.Error("1 should have survived")
+	}
+}
+
+func TestT2EvictsLRUOnPromotion(t *testing.T) {
+	var evicted []int
+	tab := mustTable(t, TableConfig{Capacity1: 4, Capacity2: 2},
+		func(k int, _ uint32) { evicted = append(evicted, k) })
+	// Promote 1, 2 into T2 (threshold 2).
+	for _, k := range []int{1, 1, 2, 2} {
+		tab.Touch(k)
+	}
+	if tab.LenT2() != 2 {
+		t.Fatalf("LenT2 = %d, want 2", tab.LenT2())
+	}
+	// Promote 3: T2 full, its LRU (1) must go.
+	tab.Touch(3)
+	tab.Touch(3)
+	if len(evicted) != 1 || evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want [1]", evicted)
+	}
+	if tab.TierOf(3) != Tier2 || tab.TierOf(2) != Tier2 {
+		t.Error("3 and 2 should be in T2")
+	}
+}
+
+func TestDemoteMovesToEvictionFront(t *testing.T) {
+	tab := mustTable(t, TableConfig{Capacity1: 3, Capacity2: 3, PromoteThreshold: 99}, nil)
+	tab.Touch(1)
+	tab.Touch(2)
+	tab.Touch(3) // LRU order: 1, 2, 3 (1 oldest)
+	if !tab.Demote(3) {
+		t.Fatal("Demote should find 3")
+	}
+	tab.Touch(4) // T1 full: victim must now be 3, not 1
+	if tab.TierOf(3) != TierNone {
+		t.Error("demoted entry should be evicted first")
+	}
+	if tab.TierOf(1) == TierNone {
+		t.Error("1 should have survived thanks to 3's demotion")
+	}
+	if tab.Demote(99) {
+		t.Error("Demote of absent key should return false")
+	}
+}
+
+func TestDemotePreservesCount(t *testing.T) {
+	tab := mustTable(t, TableConfig{Capacity1: 4, Capacity2: 4, PromoteThreshold: 99}, nil)
+	tab.Touch(1)
+	tab.Touch(1)
+	tab.Touch(1)
+	tab.Demote(1)
+	if c, ok := tab.Count(1); !ok || c != 3 {
+		t.Errorf("Count after demote = %d, %v; want 3", c, ok)
+	}
+}
+
+func TestDemoteInT2(t *testing.T) {
+	tab := mustTable(t, TableConfig{Capacity1: 4, Capacity2: 2}, nil)
+	for _, k := range []int{1, 1, 2, 2} { // both in T2; LRU = 1
+		tab.Touch(k)
+	}
+	tab.Demote(2) // now T2 LRU = 2
+	tab.Touch(3)
+	tab.Touch(3) // promotion evicts T2 LRU = 2
+	if tab.TierOf(2) != TierNone {
+		t.Error("demoted T2 entry should be the promotion victim")
+	}
+	if tab.TierOf(1) != Tier2 {
+		t.Error("1 should remain in T2")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	evictions := 0
+	tab := mustTable(t, TableConfig{Capacity1: 2, Capacity2: 2},
+		func(int, uint32) { evictions++ })
+	tab.Touch(1)
+	tab.Touch(2)
+	tab.Touch(2) // 2 promoted
+	if !tab.Remove(1) || !tab.Remove(2) {
+		t.Fatal("Remove should find both entries")
+	}
+	if tab.Remove(1) {
+		t.Error("double Remove should return false")
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Len = %d after removes", tab.Len())
+	}
+	if evictions != 0 {
+		t.Error("Remove must not invoke the eviction callback")
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntriesOrderAndFilter(t *testing.T) {
+	tab := mustTable(t, TableConfig{Capacity1: 4, Capacity2: 4}, nil)
+	for _, k := range []int{1, 1, 1, 2, 2, 3} {
+		tab.Touch(k)
+	}
+	all := tab.Entries(0)
+	if len(all) != 3 {
+		t.Fatalf("Entries(0) len = %d, want 3", len(all))
+	}
+	// T2 first: 2 is the T2 MRU (promoted after 1), then 1; then T1: 3.
+	if all[0].Key != 2 || all[1].Key != 1 || all[2].Key != 3 {
+		t.Errorf("order = %v", all)
+	}
+	if got := tab.Entries(2); len(got) != 2 {
+		t.Errorf("Entries(2) len = %d, want 2", len(got))
+	}
+	if got := tab.Entries(3); len(got) != 1 || got[0].Key != 1 {
+		t.Errorf("Entries(3) = %v", got)
+	}
+}
+
+func TestSingleSlotTiers(t *testing.T) {
+	tab := mustTable(t, TableConfig{Capacity1: 1, Capacity2: 1}, nil)
+	tab.Touch(1)
+	tab.Touch(2) // evicts 1
+	tab.Touch(2) // promotes 2
+	tab.Touch(3)
+	tab.Touch(3) // promotes 3, evicting 2 from T2
+	if tab.TierOf(3) != Tier2 || tab.Len() != 1 {
+		t.Errorf("TierOf(3)=%v Len=%d", tab.TierOf(3), tab.Len())
+	}
+	if err := tab.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTableInvariantsQuick drives random touch/demote/remove sequences
+// and checks every structural invariant after each operation batch.
+func TestTableInvariantsQuick(t *testing.T) {
+	f := func(seed int64, ops uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := TableConfig{
+			Capacity1:        1 + rng.Intn(8),
+			Capacity2:        1 + rng.Intn(8),
+			PromoteThreshold: uint32(2 + rng.Intn(3)),
+		}
+		tab, err := NewTable[int](cfg, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(ops); i++ {
+			k := rng.Intn(12)
+			switch rng.Intn(4) {
+			case 0, 1:
+				tab.Touch(k)
+			case 2:
+				tab.Demote(k)
+			case 3:
+				tab.Remove(k)
+			}
+		}
+		return tab.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCapacityNeverExceeded is the memory-bound property the whole
+// design rests on: the table never holds more than Capacity entries.
+func TestCapacityNeverExceeded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab, err := NewTable[int](TableConfig{Capacity1: 5, Capacity2: 5}, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2000; i++ {
+			tab.Touch(rng.Intn(40))
+			if tab.Len() > tab.Capacity() || tab.LenT1() > 5 || tab.LenT2() > 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterMonotoneWhileResident(t *testing.T) {
+	tab := mustTable(t, TableConfig{Capacity1: 8, Capacity2: 8}, nil)
+	last := uint32(0)
+	for i := 0; i < 10; i++ {
+		tab.Touch(7)
+		c, ok := tab.Count(7)
+		if !ok || c <= last && i > 0 {
+			t.Fatalf("counter not monotone: %d after %d", c, last)
+		}
+		last = c
+	}
+}
+
+func TestTouchResultString(t *testing.T) {
+	for r, want := range map[TouchResult]string{
+		Inserted: "inserted", HitT1: "hitT1", HitT2: "hitT2", Promoted: "promoted",
+	} {
+		if r.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(r), r.String(), want)
+		}
+	}
+	if TouchResult(42).String() != "TouchResult(42)" {
+		t.Error("unknown TouchResult formatting")
+	}
+}

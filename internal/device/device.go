@@ -1,0 +1,306 @@
+// Package device simulates block storage devices with parameterised
+// latency models.
+//
+// The paper evaluates on real hardware: traces recorded on enterprise
+// HDDs and replayed on a Samsung 960 EVO NVMe SSD. This simulator
+// substitutes for both roles. It matters for two things only: (1) the
+// *relative* latency between the recording device and the replay device
+// determines the replay speedups of Table II, and (2) the replay
+// device's latency feeds the monitor's dynamic transaction window. The
+// model therefore reproduces millisecond-class mechanical latencies
+// (seek + rotation + transfer) and microsecond-class flash latencies
+// (fixed submission cost + transfer + occasional garbage-collection
+// tails), with deterministic seeded randomness.
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"daccor/internal/blktrace"
+)
+
+// Profile parameterises a device's latency model. Zero-valued fields
+// disable the corresponding term.
+type Profile struct {
+	// Name labels the profile in output.
+	Name string
+
+	// ReadBase and WriteBase are fixed per-request costs (controller,
+	// submission, flash read/program).
+	ReadBase, WriteBase time.Duration
+
+	// SeekMax is the full-stroke seek time of a mechanical device; the
+	// per-request seek cost scales with the square root of the seek
+	// distance fraction, a standard approximation of seek curves.
+	// NumberSpace must be set when SeekMax is.
+	SeekMax time.Duration
+	// RotationPeriod is one platter revolution; each mechanical access
+	// pays a uniform random rotational delay in [0, RotationPeriod).
+	RotationPeriod time.Duration
+	// NumberSpace is the device capacity in blocks, used to normalise
+	// seek distances.
+	NumberSpace uint64
+
+	// ReadBytesPerSec and WriteBytesPerSec are streaming transfer
+	// rates; 0 disables the transfer term.
+	ReadBytesPerSec, WriteBytesPerSec float64
+
+	// TailProb is the probability that a request hits a slow path
+	// (e.g. garbage collection on flash); it then pays TailPenalty.
+	TailProb    float64
+	TailPenalty time.Duration
+
+	// JitterFrac adds multiplicative noise: the service time is scaled
+	// by a factor uniform in [1-JitterFrac, 1+JitterFrac].
+	JitterFrac float64
+
+	// WriteCacheHitProb is the probability a write is absorbed by the
+	// device's volatile cache and completes in WriteCacheLatency —
+	// the reason the paper uses only *read* latency for Table II's
+	// device comparison.
+	WriteCacheHitProb float64
+	WriteCacheLatency time.Duration
+}
+
+// Validate reports configuration errors.
+func (p Profile) Validate() error {
+	if p.ReadBase < 0 || p.WriteBase < 0 || p.SeekMax < 0 || p.RotationPeriod < 0 {
+		return fmt.Errorf("device %q: negative latency term", p.Name)
+	}
+	if p.SeekMax > 0 && p.NumberSpace == 0 {
+		return fmt.Errorf("device %q: SeekMax requires NumberSpace", p.Name)
+	}
+	if p.TailProb < 0 || p.TailProb > 1 || p.WriteCacheHitProb < 0 || p.WriteCacheHitProb > 1 {
+		return fmt.Errorf("device %q: probability out of [0,1]", p.Name)
+	}
+	if p.JitterFrac < 0 || p.JitterFrac >= 1 {
+		return fmt.Errorf("device %q: JitterFrac must be in [0,1)", p.Name)
+	}
+	if p.ReadBytesPerSec < 0 || p.WriteBytesPerSec < 0 {
+		return fmt.Errorf("device %q: negative transfer rate", p.Name)
+	}
+	return nil
+}
+
+// EnterpriseHDD approximates the 7200 RPM enterprise disks behind the
+// MSR Cambridge traces: multi-millisecond random access.
+func EnterpriseHDD(numberSpace uint64) Profile {
+	return Profile{
+		Name:              "enterprise-hdd",
+		ReadBase:          200 * time.Microsecond,
+		WriteBase:         200 * time.Microsecond,
+		SeekMax:           12 * time.Millisecond,
+		RotationPeriod:    8333 * time.Microsecond, // 7200 RPM
+		NumberSpace:       numberSpace,
+		ReadBytesPerSec:   120e6,
+		WriteBytesPerSec:  120e6,
+		JitterFrac:        0.15,
+		WriteCacheHitProb: 0.5,
+		WriteCacheLatency: 50 * time.Microsecond,
+	}
+}
+
+// NVMeSSD approximates the paper's Samsung 960 EVO test device:
+// tens-of-microseconds reads, cached writes, rare GC tails.
+func NVMeSSD() Profile {
+	return Profile{
+		Name:              "nvme-ssd",
+		ReadBase:          25 * time.Microsecond,
+		WriteBase:         20 * time.Microsecond,
+		ReadBytesPerSec:   2.5e9,
+		WriteBytesPerSec:  1.8e9,
+		TailProb:          0.002,
+		TailPenalty:       2 * time.Millisecond,
+		JitterFrac:        0.2,
+		WriteCacheHitProb: 0.9,
+		WriteCacheLatency: 8 * time.Microsecond,
+	}
+}
+
+// Stats aggregates a device's request history.
+type Stats struct {
+	Reads, Writes             uint64
+	ReadLatencySum            time.Duration
+	WriteLatencySum           time.Duration
+	TailEvents                uint64
+	BytesRead, BytesWritten   uint64
+	BusyTime                  time.Duration
+	QueueWaitSum              time.Duration
+	MaxQueueWait, MaxReadTime time.Duration
+}
+
+// MeanReadLatency returns the average read service latency (excluding
+// queueing), the metric Table II compares devices by.
+func (s Stats) MeanReadLatency() time.Duration {
+	if s.Reads == 0 {
+		return 0
+	}
+	return s.ReadLatencySum / time.Duration(s.Reads)
+}
+
+// MeanWriteLatency returns the average write service latency.
+func (s Stats) MeanWriteLatency() time.Duration {
+	if s.Writes == 0 {
+		return 0
+	}
+	return s.WriteLatencySum / time.Duration(s.Writes)
+}
+
+// Device is a single simulated block device. It is single-queue: a
+// request submitted while the device is busy waits for the in-flight
+// request to finish, which is how queueing delay arises in timed
+// replays. Device is not safe for concurrent use.
+type Device struct {
+	prof      Profile
+	rng       *rand.Rand
+	headPos   uint64 // last accessed block, for seek distances
+	busyUntil int64  // ns timestamp until which the device is busy
+	stats     Stats
+}
+
+// New returns a device with the given profile and deterministic seed.
+func New(prof Profile, seed int64) (*Device, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{prof: prof, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Profile returns the device's profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats clears the statistics (e.g. between replay repetitions)
+// without resetting the head position or RNG.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// Reset clears the statistics and the queue state so a new replay can
+// start its clock at zero. The RNG and head position persist, keeping
+// repeated runs statistically independent but deterministic overall.
+func (d *Device) Reset() {
+	d.stats = Stats{}
+	d.busyUntil = 0
+}
+
+// ServiceTime samples the service time for one request, advancing the
+// head position and RNG. It excludes queueing.
+func (d *Device) ServiceTime(op blktrace.Op, e blktrace.Extent) time.Duration {
+	p := &d.prof
+	var lat time.Duration
+
+	if op == blktrace.OpWrite && p.WriteCacheHitProb > 0 && d.rng.Float64() < p.WriteCacheHitProb {
+		// Absorbed by the volatile write cache: no mechanics.
+		d.headPos = e.End()
+		return d.jitter(p.WriteCacheLatency)
+	}
+
+	switch op {
+	case blktrace.OpWrite:
+		lat = p.WriteBase
+	default:
+		lat = p.ReadBase
+	}
+
+	if p.SeekMax > 0 {
+		dist := float64(absDiff(e.Block, d.headPos))
+		frac := dist / float64(p.NumberSpace)
+		if frac > 1 {
+			frac = 1
+		}
+		lat += time.Duration(float64(p.SeekMax) * math.Sqrt(frac))
+	}
+	if p.RotationPeriod > 0 {
+		lat += time.Duration(d.rng.Int63n(int64(p.RotationPeriod)))
+	}
+
+	rate := p.ReadBytesPerSec
+	if op == blktrace.OpWrite {
+		rate = p.WriteBytesPerSec
+	}
+	if rate > 0 {
+		lat += time.Duration(float64(e.Bytes()) / rate * float64(time.Second))
+	}
+
+	if p.TailProb > 0 && d.rng.Float64() < p.TailProb {
+		lat += p.TailPenalty
+		d.stats.TailEvents++
+	}
+
+	d.headPos = e.End()
+	return d.jitter(lat)
+}
+
+func (d *Device) jitter(lat time.Duration) time.Duration {
+	if d.prof.JitterFrac > 0 {
+		f := 1 + d.prof.JitterFrac*(2*d.rng.Float64()-1)
+		lat = time.Duration(float64(lat) * f)
+	}
+	if lat < 0 {
+		lat = 0
+	}
+	return lat
+}
+
+// Completion describes one finished request.
+type Completion struct {
+	// SubmitTime is when the request arrived at the device.
+	SubmitTime int64
+	// StartTime is when service began (>= SubmitTime under queueing).
+	StartTime int64
+	// CompleteTime is when service finished.
+	CompleteTime int64
+	Op           blktrace.Op
+	Extent       blktrace.Extent
+}
+
+// Latency is the request's total latency including queue wait — what
+// the host observes and what drives the dynamic transaction window.
+func (c Completion) Latency() time.Duration {
+	return time.Duration(c.CompleteTime - c.SubmitTime)
+}
+
+// Submit services a request arriving at time `at` (ns), honouring the
+// single-queue discipline, and returns its completion record.
+func (d *Device) Submit(at int64, op blktrace.Op, e blktrace.Extent) Completion {
+	start := at
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	svc := d.ServiceTime(op, e)
+	complete := start + int64(svc)
+	d.busyUntil = complete
+
+	wait := time.Duration(start - at)
+	d.stats.QueueWaitSum += wait
+	if wait > d.stats.MaxQueueWait {
+		d.stats.MaxQueueWait = wait
+	}
+	d.stats.BusyTime += svc
+	total := time.Duration(complete - at)
+	switch op {
+	case blktrace.OpWrite:
+		d.stats.Writes++
+		d.stats.WriteLatencySum += total
+		d.stats.BytesWritten += e.Bytes()
+	default:
+		d.stats.Reads++
+		d.stats.ReadLatencySum += total
+		d.stats.BytesRead += e.Bytes()
+		if total > d.stats.MaxReadTime {
+			d.stats.MaxReadTime = total
+		}
+	}
+	return Completion{SubmitTime: at, StartTime: start, CompleteTime: complete, Op: op, Extent: e}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

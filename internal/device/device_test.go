@@ -1,0 +1,218 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"daccor/internal/blktrace"
+)
+
+func mustDevice(t *testing.T, p Profile, seed int64) *Device {
+	t.Helper()
+	d, err := New(p, seed)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := []Profile{
+		{Name: "neg", ReadBase: -1},
+		{Name: "seek-no-space", SeekMax: time.Millisecond},
+		{Name: "prob", TailProb: 1.5},
+		{Name: "wprob", WriteCacheHitProb: -0.1},
+		{Name: "jitter", JitterFrac: 1.0},
+		{Name: "rate", ReadBytesPerSec: -5},
+	}
+	for _, p := range bad {
+		if _, err := New(p, 1); err == nil {
+			t.Errorf("profile %q: want validation error", p.Name)
+		}
+	}
+	for _, p := range []Profile{EnterpriseHDD(1 << 30), NVMeSSD()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("builtin profile %q invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestLatencyScalesMillisecondsVsMicroseconds(t *testing.T) {
+	hdd := mustDevice(t, EnterpriseHDD(1<<30), 1)
+	ssd := mustDevice(t, NVMeSSD(), 1)
+	e := blktrace.Extent{Block: 1 << 20, Len: 16} // 8 KB
+	var hddSum, ssdSum time.Duration
+	const n = 1000
+	for i := 0; i < n; i++ {
+		// Random-ish positions to force seeks on the HDD.
+		e.Block = uint64(i%2) * (1 << 29)
+		hddSum += hdd.ServiceTime(blktrace.OpRead, e)
+		ssdSum += ssd.ServiceTime(blktrace.OpRead, e)
+	}
+	hddMean := hddSum / n
+	ssdMean := ssdSum / n
+	if hddMean < 2*time.Millisecond || hddMean > 25*time.Millisecond {
+		t.Errorf("HDD mean read = %v, want ms-class", hddMean)
+	}
+	if ssdMean < 10*time.Microsecond || ssdMean > 150*time.Microsecond {
+		t.Errorf("SSD mean read = %v, want tens of µs", ssdMean)
+	}
+	ratio := float64(hddMean) / float64(ssdMean)
+	if ratio < 20 {
+		t.Errorf("HDD/SSD ratio = %.1f, want a large gap (Table II regime)", ratio)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	e := blktrace.Extent{Block: 12345, Len: 8}
+	a := mustDevice(t, NVMeSSD(), 7)
+	b := mustDevice(t, NVMeSSD(), 7)
+	for i := 0; i < 100; i++ {
+		if a.ServiceTime(blktrace.OpRead, e) != b.ServiceTime(blktrace.OpRead, e) {
+			t.Fatal("same seed must give identical latencies")
+		}
+	}
+	c := mustDevice(t, NVMeSSD(), 8)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.ServiceTime(blktrace.OpRead, e) != c.ServiceTime(blktrace.OpRead, e) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestSeekDistanceMatters(t *testing.T) {
+	p := EnterpriseHDD(1 << 30)
+	p.RotationPeriod = 0 // isolate the seek term
+	p.JitterFrac = 0
+	d := mustDevice(t, p, 1)
+	near := blktrace.Extent{Block: 0, Len: 1}
+	far := blktrace.Extent{Block: 1 << 29, Len: 1}
+
+	d.ServiceTime(blktrace.OpRead, near) // park head at 1
+	short := d.ServiceTime(blktrace.OpRead, near)
+	d.ServiceTime(blktrace.OpRead, near)
+	long := d.ServiceTime(blktrace.OpRead, far)
+	if long <= short*2 {
+		t.Errorf("far seek %v should dwarf near seek %v", long, short)
+	}
+}
+
+func TestTransferTermScalesWithSize(t *testing.T) {
+	p := NVMeSSD()
+	p.JitterFrac = 0
+	p.TailProb = 0
+	d := mustDevice(t, p, 1)
+	small := d.ServiceTime(blktrace.OpRead, blktrace.Extent{Block: 0, Len: 1})
+	big := d.ServiceTime(blktrace.OpRead, blktrace.Extent{Block: 0, Len: 2048}) // 1 MB
+	wantDelta := time.Duration(float64(2047*blktrace.BlockSize) / p.ReadBytesPerSec * float64(time.Second))
+	gotDelta := big - small
+	if gotDelta < wantDelta*9/10 || gotDelta > wantDelta*11/10 {
+		t.Errorf("transfer delta = %v, want ≈%v", gotDelta, wantDelta)
+	}
+}
+
+func TestWriteCacheAbsorbsWrites(t *testing.T) {
+	p := NVMeSSD()
+	p.WriteCacheHitProb = 1
+	p.JitterFrac = 0
+	d := mustDevice(t, p, 1)
+	w := d.ServiceTime(blktrace.OpWrite, blktrace.Extent{Block: 0, Len: 2048})
+	if w != p.WriteCacheLatency {
+		t.Errorf("cached write = %v, want %v", w, p.WriteCacheLatency)
+	}
+}
+
+func TestTailEventsCounted(t *testing.T) {
+	p := NVMeSSD()
+	p.TailProb = 1
+	d := mustDevice(t, p, 1)
+	lat := d.ServiceTime(blktrace.OpRead, blktrace.Extent{Block: 0, Len: 1})
+	if lat < p.TailPenalty/2 {
+		t.Errorf("tail latency = %v, want >= penalty %v scaled by jitter", lat, p.TailPenalty)
+	}
+	if d.Stats().TailEvents != 1 {
+		t.Errorf("TailEvents = %d, want 1", d.Stats().TailEvents)
+	}
+}
+
+func TestSubmitQueueing(t *testing.T) {
+	p := NVMeSSD()
+	p.JitterFrac = 0
+	p.TailProb = 0
+	d := mustDevice(t, p, 1)
+	e := blktrace.Extent{Block: 0, Len: 1}
+	c1 := d.Submit(0, blktrace.OpRead, e)
+	// Second request arrives while the first is in flight.
+	c2 := d.Submit(c1.CompleteTime/2, blktrace.OpRead, e)
+	if c2.StartTime != c1.CompleteTime {
+		t.Errorf("queued request started at %d, want %d", c2.StartTime, c1.CompleteTime)
+	}
+	if c2.Latency() <= time.Duration(c2.CompleteTime-c2.StartTime) {
+		t.Error("queued latency must include wait time")
+	}
+	// Idle gap: a request arriving after completion starts immediately.
+	c3 := d.Submit(c2.CompleteTime+1_000_000, blktrace.OpRead, e)
+	if c3.StartTime != c3.SubmitTime {
+		t.Errorf("idle request should start on arrival, got start %d submit %d", c3.StartTime, c3.SubmitTime)
+	}
+	st := d.Stats()
+	if st.Reads != 3 || st.QueueWaitSum == 0 || st.MaxQueueWait == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	d := mustDevice(t, NVMeSSD(), 1)
+	d.Submit(0, blktrace.OpRead, blktrace.Extent{Block: 0, Len: 4})
+	d.Submit(0, blktrace.OpWrite, blktrace.Extent{Block: 8, Len: 2})
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesRead != 4*blktrace.BlockSize || st.BytesWritten != 2*blktrace.BlockSize {
+		t.Errorf("byte accounting wrong: %+v", st)
+	}
+	if st.MeanReadLatency() <= 0 || st.MeanWriteLatency() <= 0 {
+		t.Error("mean latencies should be positive")
+	}
+	d.ResetStats()
+	if d.Stats().Reads != 0 || d.Stats().MeanReadLatency() != 0 {
+		t.Error("ResetStats should zero everything")
+	}
+	if (Stats{}).MeanReadLatency() != 0 || (Stats{}).MeanWriteLatency() != 0 {
+		t.Error("zero-stats means should be 0, not NaN/panic")
+	}
+}
+
+// Property: service times are always non-negative and completions are
+// causally ordered regardless of profile randomness.
+func TestSubmitCausalityQuick(t *testing.T) {
+	f := func(seed int64, blocks []uint32) bool {
+		d, err := New(NVMeSSD(), seed)
+		if err != nil {
+			return false
+		}
+		at := int64(0)
+		lastComplete := int64(0)
+		for _, b := range blocks {
+			at += int64(b % 100_000)
+			c := d.Submit(at, blktrace.OpRead, blktrace.Extent{Block: uint64(b), Len: 1 + b%64})
+			if c.StartTime < c.SubmitTime || c.CompleteTime < c.StartTime {
+				return false
+			}
+			if c.StartTime < lastComplete { // single queue: no overlap
+				return false
+			}
+			lastComplete = c.CompleteTime
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

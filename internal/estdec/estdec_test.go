@@ -1,0 +1,175 @@
+package estdec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+func e(b uint64) blktrace.Extent { return blktrace.Extent{Block: b, Len: 1} }
+
+func mustMiner(t *testing.T, cfg Config) *Miner {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Decay: 0, MaxEntries: 10},
+		{Decay: 1.1, MaxEntries: 10},
+		{Decay: 1, PruneBelow: 1, MaxEntries: 10},
+		{Decay: 1, PruneBelow: -0.1, MaxEntries: 10},
+		{Decay: 1, MaxEntries: 0},
+		{Decay: 1, MaxEntries: 1, PruneEvery: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestExactCountsWithoutDecay(t *testing.T) {
+	m := mustMiner(t, Config{Decay: 1, MaxEntries: 100})
+	tx := []blktrace.Extent{e(1), e(2)}
+	for i := 0; i < 7; i++ {
+		m.Process(tx)
+	}
+	snap := m.Snapshot(0)
+	if len(snap) != 1 || math.Abs(snap[0].Estimate-7) > 1e-9 {
+		t.Errorf("snapshot = %+v, want one pair with estimate 7", snap)
+	}
+	if m.Transactions() != 7 {
+		t.Errorf("Transactions = %d", m.Transactions())
+	}
+}
+
+func TestDecayShrinksOldPairs(t *testing.T) {
+	m := mustMiner(t, Config{Decay: 0.9, MaxEntries: 100, PruneEvery: 1 << 30})
+	old := []blktrace.Extent{e(1), e(2)}
+	m.Process(old)
+	// 50 transactions of unrelated pairs decay the old one.
+	for i := 0; i < 50; i++ {
+		m.Process([]blktrace.Extent{e(uint64(100 + i)), e(uint64(200 + i))})
+	}
+	snap := m.Snapshot(0)
+	var oldEst, newEst float64
+	oldPair := blktrace.MakePair(e(1), e(2))
+	for _, pe := range snap {
+		if pe.Pair == oldPair {
+			oldEst = pe.Estimate
+		} else if newEst == 0 {
+			newEst = pe.Estimate // some recent pair
+		}
+	}
+	if oldEst == 0 {
+		t.Fatal("old pair vanished without pruning")
+	}
+	want := math.Pow(0.9, 50)
+	if math.Abs(oldEst-want) > 1e-9 {
+		t.Errorf("old estimate = %v, want %v", oldEst, want)
+	}
+}
+
+func TestPruneBelowThreshold(t *testing.T) {
+	m := mustMiner(t, Config{Decay: 0.9, PruneBelow: 0.05, MaxEntries: 10_000, PruneEvery: 10})
+	m.Process([]blktrace.Extent{e(1), e(2)})
+	for i := 0; i < 100; i++ {
+		m.Process([]blktrace.Extent{e(uint64(1000 + i)), e(uint64(2000 + i))})
+	}
+	oldPair := blktrace.MakePair(e(1), e(2))
+	for _, pe := range m.Snapshot(0) {
+		if pe.Pair == oldPair {
+			t.Fatal("decayed-out pair should have been pruned")
+		}
+	}
+	if m.Pruned() == 0 {
+		t.Error("Pruned counter should be positive")
+	}
+}
+
+func TestMemoryCapEnforced(t *testing.T) {
+	m := mustMiner(t, Config{Decay: 1, MaxEntries: 50, PruneEvery: 1 << 30})
+	for i := 0; i < 500; i++ {
+		m.Process([]blktrace.Extent{e(uint64(2 * i)), e(uint64(2*i + 1))})
+	}
+	if m.Tracked() > 50 {
+		t.Errorf("Tracked = %d, cap 50", m.Tracked())
+	}
+}
+
+func TestCapKeepsHighestEstimates(t *testing.T) {
+	m := mustMiner(t, Config{Decay: 1, MaxEntries: 5, PruneEvery: 1 << 30})
+	hot := []blktrace.Extent{e(1), e(2)}
+	for i := 0; i < 20; i++ {
+		m.Process(hot)
+		m.Process([]blktrace.Extent{e(uint64(100 + 2*i)), e(uint64(101 + 2*i))})
+	}
+	hotPair := blktrace.MakePair(e(1), e(2))
+	found := false
+	for _, pe := range m.Snapshot(0) {
+		if pe.Pair == hotPair {
+			found = true
+			if pe.Estimate < 19 {
+				t.Errorf("hot estimate = %v, want ~20", pe.Estimate)
+			}
+		}
+	}
+	if !found {
+		t.Error("memory cap evicted the hottest pair")
+	}
+}
+
+func TestSnapshotThresholdAndOrder(t *testing.T) {
+	m := mustMiner(t, Config{Decay: 1, MaxEntries: 100})
+	a := []blktrace.Extent{e(1), e(2)}
+	b := []blktrace.Extent{e(3), e(4)}
+	for i := 0; i < 8; i++ {
+		m.Process(a)
+	}
+	for i := 0; i < 2; i++ {
+		m.Process(b)
+	}
+	// total = 10 transactions; fractions 0.8 and 0.2.
+	if snap := m.Snapshot(0.5); len(snap) != 1 {
+		t.Errorf("Snapshot(0.5) = %d pairs, want 1", len(snap))
+	}
+	snap := m.Snapshot(0.1)
+	if len(snap) != 2 || snap[0].Estimate < snap[1].Estimate {
+		t.Errorf("Snapshot(0.1) = %+v", snap)
+	}
+	if len(m.PairSet(0.1)) != 2 {
+		t.Error("PairSet size mismatch")
+	}
+}
+
+func TestSingleExtentNoPairs(t *testing.T) {
+	m := mustMiner(t, Config{Decay: 1, MaxEntries: 10})
+	m.Process([]blktrace.Extent{e(1)})
+	m.Process(nil)
+	if m.Tracked() != 0 {
+		t.Error("no pairs expected")
+	}
+}
+
+func TestRecurringPairSurvivesChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := mustMiner(t, Config{Decay: 0.999, PruneBelow: 0.001, MaxEntries: 200, PruneEvery: 100})
+	hot := []blktrace.Extent{e(7), e(8)}
+	for i := 0; i < 2000; i++ {
+		if i%4 == 0 {
+			m.Process(hot)
+		} else {
+			m.Process([]blktrace.Extent{e(uint64(rng.Intn(100000))), e(uint64(rng.Intn(100000)))})
+		}
+	}
+	if _, ok := m.PairSet(0.1)[blktrace.MakePair(e(7), e(8))]; !ok {
+		t.Error("hot pair should clear a 10% support fraction")
+	}
+}

@@ -1,0 +1,293 @@
+package estdec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"daccor/internal/blktrace"
+)
+
+// Tree is a prefix-tree stream miner over general itemsets — the
+// monitoring lattice of estDec (Chang & Lee) with estDec+'s
+// memory-adaptive pruning. It maintains decayed occurrence counts for
+// every monitored itemset, extends the lattice by one level at a time
+// (an itemset starts being monitored only after its prefix has proven
+// significant — "delayed insertion"), and prunes insignificant
+// subtrees periodically, tightening the pruning threshold under a node
+// budget.
+//
+// This is the "general stream FIM" the paper argues against for this
+// problem: it tracks itemsets of arbitrary size with estimate-quality
+// bookkeeping, where the workload only ever needs exact pairs.
+type Tree struct {
+	cfg TreeConfig
+
+	items   map[blktrace.Extent]int32
+	extents []blktrace.Extent
+
+	root  *treeNode
+	nodes int
+
+	txSeq  uint64
+	total  float64 // decayed transaction count
+	pruned uint64
+
+	// scratch buffers reused across transactions
+	ids []int32
+}
+
+// TreeConfig parameterises the miner.
+type TreeConfig struct {
+	// Decay is the per-transaction decay factor in (0, 1].
+	Decay float64
+	// SigThreshold is the decayed support fraction a monitored itemset
+	// needs before the lattice is extended below it (estDec's
+	// significant-itemset threshold).
+	SigThreshold float64
+	// PruneBelow is the support fraction under which a monitored
+	// itemset (and its subtree) is discarded during pruning.
+	PruneBelow float64
+	// MaxItemsetSize caps monitored itemset length; 0 = unlimited.
+	MaxItemsetSize int
+	// MaxNodes is the node budget; exceeding it tightens pruning until
+	// the lattice fits (estDec+'s memory adaptation).
+	MaxNodes int
+	// PruneEvery is the number of transactions between periodic
+	// prunes; 0 means DefaultPruneEvery.
+	PruneEvery int
+}
+
+func (c TreeConfig) validate() error {
+	if c.Decay <= 0 || c.Decay > 1 {
+		return fmt.Errorf("estdec: Decay must be in (0,1] (got %v)", c.Decay)
+	}
+	if c.SigThreshold < 0 || c.SigThreshold >= 1 {
+		return fmt.Errorf("estdec: SigThreshold must be in [0,1) (got %v)", c.SigThreshold)
+	}
+	if c.PruneBelow < 0 || c.PruneBelow >= 1 {
+		return fmt.Errorf("estdec: PruneBelow must be in [0,1) (got %v)", c.PruneBelow)
+	}
+	if c.MaxItemsetSize < 0 {
+		return fmt.Errorf("estdec: MaxItemsetSize must be >= 0 (got %d)", c.MaxItemsetSize)
+	}
+	if c.MaxNodes < 1 {
+		return fmt.Errorf("estdec: MaxNodes must be >= 1 (got %d)", c.MaxNodes)
+	}
+	if c.PruneEvery < 0 {
+		return fmt.Errorf("estdec: PruneEvery must be >= 0 (got %d)", c.PruneEvery)
+	}
+	return nil
+}
+
+type treeNode struct {
+	children map[int32]*treeNode
+	count    float64
+	lastTx   uint64
+}
+
+// NewTree returns an empty lattice.
+func NewTree(cfg TreeConfig) (*Tree, error) {
+	if cfg.PruneEvery == 0 {
+		cfg.PruneEvery = DefaultPruneEvery
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Tree{
+		cfg:   cfg,
+		items: make(map[blktrace.Extent]int32),
+		root:  &treeNode{children: make(map[int32]*treeNode)},
+	}, nil
+}
+
+func (t *Tree) intern(e blktrace.Extent) int32 {
+	if id, ok := t.items[e]; ok {
+		return id
+	}
+	id := int32(len(t.extents))
+	t.items[e] = id
+	t.extents = append(t.extents, e)
+	return id
+}
+
+func (t *Tree) decayedTo(n *treeNode) float64 {
+	if t.cfg.Decay == 1 || n.lastTx == t.txSeq {
+		return n.count
+	}
+	return n.count * math.Pow(t.cfg.Decay, float64(t.txSeq-n.lastTx))
+}
+
+// Process consumes one transaction's deduplicated extents: every
+// monitored itemset contained in the transaction has its decayed count
+// incremented, and the lattice grows below itemsets that have become
+// significant.
+func (t *Tree) Process(extents []blktrace.Extent) {
+	t.txSeq++
+	t.total = t.total*t.cfg.Decay + 1
+
+	t.ids = t.ids[:0]
+	for _, e := range extents {
+		t.ids = append(t.ids, t.intern(e))
+	}
+	sort.Slice(t.ids, func(i, j int) bool { return t.ids[i] < t.ids[j] })
+	// Transactions are sets; drop accidental duplicates.
+	t.ids = dedupSorted(t.ids)
+
+	t.update(t.root, t.ids, 0)
+
+	if t.cfg.PruneEvery > 0 && int(t.txSeq)%t.cfg.PruneEvery == 0 || t.nodes > t.cfg.MaxNodes {
+		t.prune()
+	}
+}
+
+func dedupSorted(ids []int32) []int32 {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// update recursively touches every monitored itemset that is a subset
+// of ids (as a prefix-tree path) and extends the lattice one level
+// where permitted. depth is the current itemset length.
+func (t *Tree) update(n *treeNode, ids []int32, depth int) {
+	if t.cfg.MaxItemsetSize > 0 && depth >= t.cfg.MaxItemsetSize {
+		return
+	}
+	// May this node grow children? The root always may (1-itemsets are
+	// always monitored); deeper nodes only once significant.
+	mayExtend := n == t.root ||
+		t.decayedTo(n) >= t.cfg.SigThreshold*t.total
+	for i, id := range ids {
+		child, ok := n.children[id]
+		if !ok {
+			if !mayExtend {
+				continue
+			}
+			child = &treeNode{children: make(map[int32]*treeNode), lastTx: t.txSeq}
+			n.children[id] = child
+			t.nodes++
+		} else {
+			child.count = t.decayedTo(child)
+			child.lastTx = t.txSeq
+		}
+		child.count++
+		t.update(child, ids[i+1:], depth+1)
+	}
+}
+
+// prune removes insignificant subtrees; under node pressure the
+// threshold doubles until the lattice fits the budget.
+func (t *Tree) prune() {
+	threshold := t.cfg.PruneBelow
+	t.pruneAt(threshold)
+	for t.nodes > t.cfg.MaxNodes {
+		if threshold == 0 {
+			threshold = 1.0 / math.Max(t.total, 1)
+		} else {
+			threshold *= 2
+		}
+		if threshold > 1 {
+			break // would empty the tree; keep what remains
+		}
+		t.pruneAt(threshold)
+	}
+}
+
+func (t *Tree) pruneAt(threshold float64) {
+	bar := threshold * t.total
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		for id, child := range n.children {
+			if t.decayedTo(child) < bar {
+				t.nodes -= subtreeSize(child)
+				t.pruned += uint64(subtreeSize(child))
+				delete(n.children, id)
+				continue
+			}
+			walk(child)
+		}
+	}
+	walk(t.root)
+}
+
+func subtreeSize(n *treeNode) int {
+	size := 1
+	for _, c := range n.children {
+		size += subtreeSize(c)
+	}
+	return size
+}
+
+// ItemsetEstimate is one monitored itemset and its decayed count.
+type ItemsetEstimate struct {
+	Extents  []blktrace.Extent
+	Estimate float64
+}
+
+// FrequentItemsets returns monitored itemsets of length >= minLen with
+// decayed support fraction >= minFraction, sorted by descending
+// estimate (ties by itemset).
+func (t *Tree) FrequentItemsets(minFraction float64, minLen int) []ItemsetEstimate {
+	bar := minFraction * t.total
+	var out []ItemsetEstimate
+	var path []int32
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		for id, child := range n.children {
+			path = append(path, id)
+			if c := t.decayedTo(child); c >= bar && len(path) >= minLen {
+				ext := make([]blktrace.Extent, len(path))
+				for i, pid := range path {
+					ext[i] = t.extents[pid]
+				}
+				sort.Slice(ext, func(i, j int) bool { return ext[i].Less(ext[j]) })
+				out = append(out, ItemsetEstimate{Extents: ext, Estimate: c})
+			}
+			walk(child)
+			path = path[:len(path)-1]
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		a, b := out[i].Extents, out[j].Extents
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k].Less(b[k])
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// FrequentPairSet returns the 2-itemsets above minFraction as a pair
+// set, for accuracy comparison with the synopsis.
+func (t *Tree) FrequentPairSet(minFraction float64) map[blktrace.Pair]struct{} {
+	out := make(map[blktrace.Pair]struct{})
+	for _, is := range t.FrequentItemsets(minFraction, 2) {
+		if len(is.Extents) == 2 {
+			out[blktrace.MakePair(is.Extents[0], is.Extents[1])] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Nodes returns the number of monitored itemsets (lattice nodes).
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Pruned returns the cumulative number of discarded nodes.
+func (t *Tree) Pruned() uint64 { return t.pruned }
+
+// Transactions returns the number of transactions processed.
+func (t *Tree) Transactions() uint64 { return t.txSeq }

@@ -1,0 +1,222 @@
+package estdec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/fim"
+)
+
+func mustTree(t *testing.T, cfg TreeConfig) *Tree {
+	t.Helper()
+	tr, err := NewTree(cfg)
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	return tr
+}
+
+func TestTreeConfigValidation(t *testing.T) {
+	bad := []TreeConfig{
+		{Decay: 0, MaxNodes: 10},
+		{Decay: 1.1, MaxNodes: 10},
+		{Decay: 1, SigThreshold: 1, MaxNodes: 10},
+		{Decay: 1, PruneBelow: -0.1, MaxNodes: 10},
+		{Decay: 1, MaxItemsetSize: -1, MaxNodes: 10},
+		{Decay: 1, MaxNodes: 0},
+		{Decay: 1, MaxNodes: 1, PruneEvery: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTree(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+// With no decay, no thresholds, and no pruning pressure, the lattice
+// counts itemsets exactly: every itemset's count equals its true
+// support from its first occurrence onward — which, since nodes are
+// created on first occurrence along the prefix path within a single
+// update, is the full support. Cross-check against brute-force FIM.
+func TestTreeExactCountsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var txs [][]blktrace.Extent
+	for i := 0; i < 120; i++ {
+		n := 1 + rng.Intn(4)
+		seen := map[uint64]struct{}{}
+		var tx []blktrace.Extent
+		for len(tx) < n {
+			b := uint64(rng.Intn(10))
+			if _, dup := seen[b]; dup {
+				continue
+			}
+			seen[b] = struct{}{}
+			tx = append(tx, e(b))
+		}
+		txs = append(txs, tx)
+	}
+	tree := mustTree(t, TreeConfig{Decay: 1, MaxNodes: 1 << 20, PruneEvery: 1 << 30})
+	for _, tx := range txs {
+		tree.Process(tx)
+	}
+	ds := fim.NewDataset(txs)
+	ref, err := fim.BruteForce(ds, fim.Options{MinSupport: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	for _, fs := range ref {
+		key := ""
+		for _, ext := range ds.Decode(fs.Items) {
+			key += ext.String() + "|"
+		}
+		want[key] = fs.Support
+	}
+	got := tree.FrequentItemsets(0, 1)
+	if len(got) != len(want) {
+		t.Fatalf("tree monitors %d itemsets, brute force has %d", len(got), len(want))
+	}
+	for _, is := range got {
+		key := ""
+		for _, ext := range is.Extents {
+			key += ext.String() + "|"
+		}
+		if sup, ok := want[key]; !ok || math.Abs(is.Estimate-float64(sup)) > 1e-9 {
+			t.Fatalf("itemset %v: estimate %v, brute force %d (found=%v)",
+				is.Extents, is.Estimate, sup, ok)
+		}
+	}
+}
+
+func TestTreeDelayedInsertion(t *testing.T) {
+	// SigThreshold 0.5: pairs appear in the lattice only after both
+	// the prefix item is significant.
+	tree := mustTree(t, TreeConfig{Decay: 1, SigThreshold: 0.5, MaxNodes: 1 << 16, PruneEvery: 1 << 30})
+	a, b := e(1), e(2)
+	// First transaction: items inserted, but the pair's prefix (a) was
+	// not yet significant when the transaction arrived... it becomes
+	// significant during this very update (count 1 of total 1), so the
+	// child may appear. Use a noisy stream so significance is real.
+	for i := 0; i < 10; i++ {
+		tree.Process([]blktrace.Extent{e(uint64(100 + i))})
+	}
+	// a now arrives with b; a's support fraction is 0 < 0.5 at first.
+	tree.Process([]blktrace.Extent{a, b})
+	if len(tree.FrequentItemsets(0, 2)) != 0 {
+		t.Fatal("pair monitored before its prefix was significant")
+	}
+	// Make a significant, then the pair can be monitored and counted.
+	for i := 0; i < 20; i++ {
+		tree.Process([]blktrace.Extent{a, b})
+	}
+	pairs := tree.FrequentPairSet(0)
+	if _, ok := pairs[blktrace.MakePair(a, b)]; !ok {
+		t.Fatal("pair not monitored after prefix became significant")
+	}
+}
+
+func TestTreeDecayAndPrune(t *testing.T) {
+	tree := mustTree(t, TreeConfig{Decay: 0.9, PruneBelow: 0.05, MaxNodes: 1 << 16, PruneEvery: 10})
+	tree.Process([]blktrace.Extent{e(1), e(2)})
+	for i := 0; i < 100; i++ {
+		tree.Process([]blktrace.Extent{e(uint64(1000 + i))})
+	}
+	if _, ok := tree.FrequentPairSet(0)[blktrace.MakePair(e(1), e(2))]; ok {
+		t.Error("decayed-out pair should have been pruned")
+	}
+	if tree.Pruned() == 0 {
+		t.Error("Pruned should be positive")
+	}
+}
+
+func TestTreeMemoryCap(t *testing.T) {
+	tree := mustTree(t, TreeConfig{Decay: 0.999, MaxNodes: 200, PruneEvery: 1 << 30})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		tree.Process([]blktrace.Extent{
+			e(uint64(rng.Intn(5000))), e(uint64(rng.Intn(5000))),
+		})
+	}
+	// The cap is enforced after each over-budget transaction; a single
+	// transaction can add at most a handful of nodes.
+	if tree.Nodes() > 220 {
+		t.Errorf("Nodes = %d, budget 200", tree.Nodes())
+	}
+}
+
+func TestTreeMaxItemsetSize(t *testing.T) {
+	tree := mustTree(t, TreeConfig{Decay: 1, MaxItemsetSize: 2, MaxNodes: 1 << 16, PruneEvery: 1 << 30})
+	for i := 0; i < 5; i++ {
+		tree.Process([]blktrace.Extent{e(1), e(2), e(3)})
+	}
+	for _, is := range tree.FrequentItemsets(0, 1) {
+		if len(is.Extents) > 2 {
+			t.Errorf("itemset %v exceeds MaxItemsetSize", is.Extents)
+		}
+	}
+	if len(tree.FrequentItemsets(0, 2)) != 3 {
+		t.Errorf("want the 3 pairs monitored, got %d", len(tree.FrequentItemsets(0, 2)))
+	}
+}
+
+func TestTreeHotPairSurvivesChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree := mustTree(t, TreeConfig{
+		Decay: 0.999, PruneBelow: 0.001, MaxNodes: 500, PruneEvery: 50,
+	})
+	hot := []blktrace.Extent{e(7), e(8)}
+	for i := 0; i < 3000; i++ {
+		if i%4 == 0 {
+			tree.Process(hot)
+		} else {
+			tree.Process([]blktrace.Extent{
+				e(uint64(rng.Intn(50000))), e(uint64(rng.Intn(50000))),
+			})
+		}
+	}
+	if _, ok := tree.FrequentPairSet(0.1)[blktrace.MakePair(e(7), e(8))]; !ok {
+		t.Error("hot pair lost under memory pressure")
+	}
+}
+
+// Property: exact mode (no decay, no thresholds) agrees with brute
+// force on arbitrary small streams.
+func TestTreeMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var txs [][]blktrace.Extent
+		for i := 0; i < int(n%60); i++ {
+			size := 1 + rng.Intn(4)
+			seen := map[uint64]struct{}{}
+			var tx []blktrace.Extent
+			for len(tx) < size {
+				b := uint64(rng.Intn(8))
+				if _, dup := seen[b]; dup {
+					continue
+				}
+				seen[b] = struct{}{}
+				tx = append(tx, e(b))
+			}
+			txs = append(txs, tx)
+		}
+		tree, err := NewTree(TreeConfig{Decay: 1, MaxNodes: 1 << 20, PruneEvery: 1 << 30})
+		if err != nil {
+			return false
+		}
+		for _, tx := range txs {
+			tree.Process(tx)
+		}
+		ds := fim.NewDataset(txs)
+		ref, err := fim.BruteForce(ds, fim.Options{MinSupport: 1})
+		if err != nil {
+			return false
+		}
+		return len(tree.FrequentItemsets(0, 1)) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"daccor/internal/analysis"
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/device"
+	"daccor/internal/estdec"
+	"daccor/internal/fim"
+	"daccor/internal/monitor"
+	"daccor/internal/msr"
+	"daccor/internal/pipeline"
+	"daccor/internal/replay"
+	"daccor/internal/workload"
+)
+
+// WindowRow is one transaction-window policy's outcome on the synthetic
+// detection task.
+type WindowRow struct {
+	Policy       string
+	Detected     int // planted pairs found at support >= 5 (of Planted)
+	SupportSum   uint32
+	Transactions uint64
+}
+
+// WindowAblation (A1) compares static transaction windows against the
+// paper's dynamic 2×-average-latency window on the many-to-many
+// synthetic workload replayed on the simulated NVMe device.
+type WindowAblation struct {
+	Planted int
+	Rows    []WindowRow
+}
+
+// AblationWindow runs the window-policy sweep.
+func AblationWindow(cfg Config) (*WindowAblation, error) {
+	cfg = cfg.withDefaults()
+	syn, err := workload.Generate(workload.SyntheticConfig{
+		Kind:        workload.ManyToMany,
+		Occurrences: cfg.scaled(1500),
+		Seed:        cfg.Seed + 11,
+	})
+	if err != nil {
+		return nil, err
+	}
+	type policy struct {
+		name string
+		mk   func() (monitor.WindowPolicy, error)
+	}
+	static := func(d time.Duration) func() (monitor.WindowPolicy, error) {
+		return func() (monitor.WindowPolicy, error) { return monitor.StaticWindow(d), nil }
+	}
+	policies := []policy{
+		{"static 1 µs (too small)", static(time.Microsecond)},
+		{"static 100 µs", static(100 * time.Microsecond)},
+		{"static 10 ms", static(10 * time.Millisecond)},
+		{"static 1 s (too large)", static(time.Second)},
+		{"dynamic 2×avg latency (paper)", func() (monitor.WindowPolicy, error) {
+			return monitor.NewDynamicWindow(20*time.Microsecond, 100*time.Millisecond)
+		}},
+	}
+	res := &WindowAblation{Planted: len(syn.Correlations)}
+	for _, pol := range policies {
+		win, err := pol.mk()
+		if err != nil {
+			return nil, err
+		}
+		dev, err := device.New(device.NVMeSSD(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pipe, _, err := pipeline.AnalyzeReplay(syn.Trace, dev, replay.Options{},
+			pipeline.Config{
+				Monitor:  monitor.Config{Window: win},
+				Analyzer: core.Config{ItemCapacity: 8192, PairCapacity: 8192},
+			})
+		if err != nil {
+			return nil, err
+		}
+		row := WindowRow{Policy: pol.name, Transactions: pipe.Monitor().Stats().Transactions}
+		counts := pipe.Snapshot(5).PairCounts()
+		for _, c := range syn.Correlations {
+			if got, ok := counts[c.Pairs()[0]]; ok {
+				row.Detected++
+				row.SupportSum += got
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the window sweep.
+func (r *WindowAblation) Render(w io.Writer) {
+	fprintf(w, "ABLATION A1: Transaction window policy (many-to-many synthetic)\n\n")
+	fprintf(w, "%-30s %10s %12s %13s\n", "policy", "detected", "support sum", "transactions")
+	for _, row := range r.Rows {
+		fprintf(w, "%-30s %7d/%-2d %12d %13d\n",
+			row.Policy, row.Detected, r.Planted, row.SupportSum, row.Transactions)
+	}
+	fprintf(w, "\ntoo small a window splits correlated requests; too large merges\n")
+	fprintf(w, "unrelated ones into capped transactions. The dynamic window tracks\n")
+	fprintf(w, "device latency into the working region without manual tuning.\n")
+}
+
+// CapRow is one transaction-cap setting's cost/accuracy point.
+type CapRow struct {
+	Cap         int
+	PairTouches uint64
+	Recall      float64
+	CapSplits   uint64
+}
+
+// CapAblation (A2) sweeps the transaction-size cap on a real-world-like
+// workload: cost is quadratic in the cap, while detection saturates.
+type CapAblation struct {
+	Support int
+	Rows    []CapRow
+}
+
+// AblationCap runs the cap sweep on the wdev-like trace.
+func AblationCap(cfg Config) (*CapAblation, error) {
+	cfg = cfg.withDefaults()
+	p, err := msr.ProfileByName("wdev")
+	if err != nil {
+		return nil, err
+	}
+	gen, err := p.Generate(cfg.scaled(p.DefaultRequests), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	window := monitor.Config{Window: monitor.StaticWindow(100 * time.Microsecond)}
+
+	// Reference truth: frequent pairs with a generous cap.
+	refCfg := window
+	refCfg.MaxRequests = 64
+	refTx, err := monitor.Collect(gen.Trace, refCfg)
+	if err != nil {
+		return nil, err
+	}
+	ds := fim.NewDataset(extentSets(refTx))
+	truth := analysis.FrequentSet(ds.PairFrequencies(), cfg.Support)
+
+	res := &CapAblation{Support: cfg.Support}
+	for _, cap := range []int{2, 4, 8, 16, 32} {
+		mCfg := window
+		mCfg.MaxRequests = cap
+		var splits uint64
+		a, err := core.NewAnalyzer(core.Config{ItemCapacity: cfg.scaled(32 * 1024), PairCapacity: cfg.scaled(32 * 1024)})
+		if err != nil {
+			return nil, err
+		}
+		mon, err := monitor.New(mCfg, func(tx monitor.Transaction) { a.Process(tx.Extents) })
+		if err != nil {
+			return nil, err
+		}
+		if err := mon.Run(gen.Trace.Source()); err != nil {
+			return nil, err
+		}
+		splits = mon.Stats().CapSplits
+		online := a.Snapshot(uint32(cfg.Support)).PairSet()
+		res.Rows = append(res.Rows, CapRow{
+			Cap:         cap,
+			PairTouches: a.Stats().PairTouches,
+			Recall:      analysis.DetectionPRF(online, truth).Recall,
+			CapSplits:   splits,
+		})
+	}
+	return res, nil
+}
+
+func extentSets(txs []monitor.Transaction) [][]blktrace.Extent {
+	return pipeline.ExtentSets(txs)
+}
+
+// Render writes the cap sweep.
+func (r *CapAblation) Render(w io.Writer) {
+	fprintf(w, "ABLATION A2: Transaction size cap (wdev-like, support %d)\n\n", r.Support)
+	fprintf(w, "%6s %14s %10s %12s\n", "cap", "pair touches", "recall", "cap splits")
+	for _, row := range r.Rows {
+		fprintf(w, "%6d %14d %9.1f%% %12d\n", row.Cap, row.PairTouches, 100*row.Recall, row.CapSplits)
+	}
+	fprintf(w, "\nΘ(N²) pair cost grows with the cap while recall saturates — the\n")
+	fprintf(w, "paper's cap of 8 buys stable stream processing cheaply.\n")
+}
+
+// TierRow is one (threshold, ratio) configuration's accuracy.
+type TierRow struct {
+	PromoteThreshold uint32
+	TierRatio        float64 // 0 = equal split
+	WeightedRecall   float64
+}
+
+// TierAblation (A3) sweeps the promote threshold and T1:T2 split at a
+// deliberately small table.
+type TierAblation struct {
+	Support  int
+	Capacity int
+	Rows     []TierRow
+}
+
+// AblationTiers runs the tier-design sweep on the wdev-like trace.
+func AblationTiers(cfg Config) (*TierAblation, error) {
+	cfg = cfg.withDefaults()
+	p, err := msr.ProfileByName("wdev")
+	if err != nil {
+		return nil, err
+	}
+	run, err := runWorkload(p, cfg.scaled(p.DefaultRequests), cfg.Seed, cfg.scaled(32*1024))
+	if err != nil {
+		return nil, err
+	}
+	capacity := cfg.scaled(2048)
+	res := &TierAblation{Support: cfg.Support, Capacity: capacity}
+	for _, threshold := range []uint32{2, 3, 4, 8} {
+		for _, ratio := range []float64{0.25, 0, 0.75} { // 0 = equal, the paper's choice
+			a, err := core.NewAnalyzer(core.Config{
+				ItemCapacity:     capacity,
+				PairCapacity:     capacity,
+				PromoteThreshold: threshold,
+				TierRatio:        ratio,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, tx := range run.Transactions {
+				a.Process(tx.Extents)
+			}
+			held := a.Snapshot(0).PairSet()
+			res.Rows = append(res.Rows, TierRow{
+				PromoteThreshold: threshold,
+				TierRatio:        ratio,
+				WeightedRecall:   analysis.WeightedRecall(held, run.Freqs, cfg.Support),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render writes the tier sweep.
+func (r *TierAblation) Render(w io.Writer) {
+	fprintf(w, "ABLATION A3: Promote threshold × tier split (wdev-like, C=%d, support %d)\n\n",
+		r.Capacity, r.Support)
+	fprintf(w, "%10s %12s %16s\n", "threshold", "T1 fraction", "weighted recall")
+	for _, row := range r.Rows {
+		frac := "equal"
+		if row.TierRatio != 0 {
+			frac = fmt.Sprintf("%.0f%%", 100*row.TierRatio)
+		}
+		fprintf(w, "%10d %12s %15.1f%%\n", row.PromoteThreshold, frac, 100*row.WeightedRecall)
+	}
+	fprintf(w, "\nthe paper uses equal tiers and promotion on the second sighting,\n")
+	fprintf(w, "noting T1 must stay large enough to absorb infrequent noise.\n")
+}
+
+// StreamBaselineRow compares one detector's accuracy and throughput.
+type StreamBaselineRow struct {
+	Detector       string
+	WeightedRecall float64
+	NsPerTx        float64
+	EntriesUsed    int
+}
+
+// StreamBaseline (A4) pits the synopsis against an estDec-style decayed
+// stream miner at equal pair-entry budget.
+type StreamBaseline struct {
+	Support int
+	Rows    []StreamBaselineRow
+}
+
+// AblationStreamBaseline runs the comparison on the wdev-like trace.
+func AblationStreamBaseline(cfg Config) (*StreamBaseline, error) {
+	cfg = cfg.withDefaults()
+	p, err := msr.ProfileByName("wdev")
+	if err != nil {
+		return nil, err
+	}
+	run, err := runWorkload(p, cfg.scaled(p.DefaultRequests), cfg.Seed, cfg.scaled(32*1024))
+	if err != nil {
+		return nil, err
+	}
+	capacity := cfg.scaled(4096)
+	res := &StreamBaseline{Support: cfg.Support}
+
+	// Synopsis at C = capacity (2C pair entries).
+	a, err := core.NewAnalyzer(core.Config{ItemCapacity: capacity, PairCapacity: capacity})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, tx := range run.Transactions {
+		a.Process(tx.Extents)
+	}
+	elapsed := time.Since(start)
+	res.Rows = append(res.Rows, StreamBaselineRow{
+		Detector:       "two-tier synopsis (paper)",
+		WeightedRecall: analysis.WeightedRecall(a.Snapshot(0).PairSet(), run.Freqs, cfg.Support),
+		NsPerTx:        float64(elapsed.Nanoseconds()) / float64(len(run.Transactions)),
+		EntriesUsed:    a.Pairs().Capacity(),
+	})
+
+	// estDec-style pair miner with the same pair budget.
+	m, err := estdec.New(estdec.Config{
+		Decay:      0.99995,
+		PruneBelow: 0.00001,
+		MaxEntries: 2 * capacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for _, tx := range run.Transactions {
+		m.Process(tx.Extents)
+	}
+	elapsed = time.Since(start)
+	res.Rows = append(res.Rows, StreamBaselineRow{
+		Detector:       "estDec-style decayed miner",
+		WeightedRecall: analysis.WeightedRecall(m.PairSet(0), run.Freqs, cfg.Support),
+		NsPerTx:        float64(elapsed.Nanoseconds()) / float64(len(run.Transactions)),
+		EntriesUsed:    2 * capacity,
+	})
+
+	// estDec+-style CP-tree monitoring general itemsets — the shape of
+	// miner the paper says cannot keep pace with disk I/O streams.
+	tree, err := estdec.NewTree(estdec.TreeConfig{
+		Decay:        0.99995,
+		SigThreshold: 0.00002,
+		PruneBelow:   0.00001,
+		MaxNodes:     2 * capacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for _, tx := range run.Transactions {
+		tree.Process(tx.Extents)
+	}
+	elapsed = time.Since(start)
+	res.Rows = append(res.Rows, StreamBaselineRow{
+		Detector:       "estDec+-style CP-tree (itemsets)",
+		WeightedRecall: analysis.WeightedRecall(tree.FrequentPairSet(0), run.Freqs, cfg.Support),
+		NsPerTx:        float64(elapsed.Nanoseconds()) / float64(len(run.Transactions)),
+		EntriesUsed:    2 * capacity,
+	})
+	return res, nil
+}
+
+// Render writes the baseline comparison.
+func (r *StreamBaseline) Render(w io.Writer) {
+	fprintf(w, "BASELINE A4: Synopsis vs stream FIM at equal memory (wdev-like, support %d)\n\n", r.Support)
+	fprintf(w, "%-34s %16s %12s %10s\n", "detector", "weighted recall", "ns/tx", "entries")
+	for _, row := range r.Rows {
+		fprintf(w, "%-34s %15.1f%% %12.0f %10d\n",
+			row.Detector, 100*row.WeightedRecall, row.NsPerTx, row.EntriesUsed)
+	}
+}

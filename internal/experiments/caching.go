@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"io"
+
+	"daccor/internal/cache"
+	"daccor/internal/core"
+	"daccor/internal/msr"
+	"daccor/internal/pipeline"
+)
+
+// CachingRow is one prefetch policy's outcome.
+type CachingRow struct {
+	Policy string
+	Stats  cache.Stats
+}
+
+// CachingResult is the caching application experiment (the first
+// optimization the paper lists): hit rate of a small extent cache
+// under demand-only LRU, sequential read-ahead, and correlation-driven
+// prefetch on the wdev-like workload.
+type CachingResult struct {
+	Capacity int
+	Rows     []CachingRow
+}
+
+// Caching runs the comparison. The cache is deliberately much smaller
+// than the workload's hot set, so policy quality — not capacity —
+// decides the hit rate.
+func Caching(cfg Config) (*CachingResult, error) {
+	cfg = cfg.withDefaults()
+	p, err := msr.ProfileByName("wdev")
+	if err != nil {
+		return nil, err
+	}
+	run, err := runWorkload(p, cfg.scaled(p.DefaultRequests), cfg.Seed, cfg.scaled(32*1024))
+	if err != nil {
+		return nil, err
+	}
+	txs := pipeline.ExtentSets(run.Transactions)
+	capacity := cfg.scaled(512)
+	res := &CachingResult{Capacity: capacity}
+
+	type entry struct {
+		name string
+		mk   func() (cache.Prefetcher, error)
+	}
+	entries := []entry{
+		{"LRU, demand only", func() (cache.Prefetcher, error) { return cache.NonePrefetcher{}, nil }},
+		{"LRU + sequential read-ahead", func() (cache.Prefetcher, error) { return cache.ReadAhead{Depth: 1}, nil }},
+		{"LRU + correlation prefetch", func() (cache.Prefetcher, error) {
+			return cache.NewCorrelated(cache.CorrelatedConfig{
+				Analyzer: core.Config{
+					ItemCapacity: cfg.scaled(8192),
+					PairCapacity: cfg.scaled(8192),
+				},
+			})
+		}},
+	}
+	for _, e := range entries {
+		pf, err := e.mk()
+		if err != nil {
+			return nil, err
+		}
+		c, err := cache.New(capacity)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, CachingRow{Policy: e.name, Stats: cache.Run(c, pf, txs)})
+	}
+	return res, nil
+}
+
+// Render writes the hit-rate table.
+func (r *CachingResult) Render(w io.Writer) {
+	fprintf(w, "APPLICATION: Correlation-driven caching (wdev-like, %d-extent cache)\n\n", r.Capacity)
+	fprintf(w, "%-30s %10s %12s %15s %10s\n", "policy", "hit rate", "prefetches", "prefetch hits", "wasted")
+	for _, row := range r.Rows {
+		fprintf(w, "%-30s %9.1f%% %12d %15d %10d\n",
+			row.Policy, 100*row.Stats.HitRate(), row.Stats.Prefetches,
+			row.Stats.PrefetchHits, row.Stats.PrefetchWaste)
+	}
+	fprintf(w, "\nsemantic correlations live at random distances, where read-ahead\n")
+	fprintf(w, "cannot reach; the synopsis turns them into timely prefetches.\n")
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"daccor/internal/analysis"
+	"daccor/internal/cminer"
+	"daccor/internal/msr"
+)
+
+// CMinerRow is one detector's accuracy/runtime point against the
+// offline transaction-based ground truth.
+type CMinerRow struct {
+	Detector       string
+	WeightedRecall float64
+	Runtime        time.Duration
+	PairsReported  int
+}
+
+// CMinerBaseline compares the paper's online synopsis with a
+// C-Miner-style offline closed-sequence miner (Li et al., FAST '04) on
+// the same workload. C-Miner is the prior art the paper's introduction
+// positions against: accurate, but offline — it needs the recorded
+// stream and a multi-pass mining run after the fact.
+type CMinerBaseline struct {
+	Support int
+	Rows    []CMinerRow
+}
+
+// CMinerExperiment runs the comparison on the wdev-like trace.
+func CMinerExperiment(cfg Config) (*CMinerBaseline, error) {
+	cfg = cfg.withDefaults()
+	p, err := msr.ProfileByName("wdev")
+	if err != nil {
+		return nil, err
+	}
+	run, err := runWorkload(p, cfg.scaled(p.DefaultRequests), cfg.Seed, cfg.scaled(32*1024))
+	if err != nil {
+		return nil, err
+	}
+	res := &CMinerBaseline{Support: cfg.Support}
+
+	// Online synopsis (already computed during the live replay).
+	online := run.Pipe.Snapshot(uint32(cfg.Support)).PairSet()
+	res.Rows = append(res.Rows, CMinerRow{
+		Detector:       "online synopsis (paper, real time)",
+		WeightedRecall: analysis.WeightedRecall(online, run.Freqs, cfg.Support),
+		PairsReported:  len(online),
+	})
+
+	// C-Miner over the recorded stream, gap tuned to the transaction
+	// cap's reach (pairs only, its best case here).
+	start := time.Now()
+	mined, err := cminer.Mine(run.Gen.Trace, cminer.Options{
+		SegmentLen: 128,
+		Gap:        6,
+		MinSupport: cfg.Support,
+		MaxLen:     2,
+		// Pairs only: the closed filter would absorb pairs into longer
+		// patterns and is not needed at MaxLen 2.
+		KeepNonClosed: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	pairs := mined.FrequentPairSet()
+	res.Rows = append(res.Rows, CMinerRow{
+		Detector:       "C-Miner-style offline sequences",
+		WeightedRecall: analysis.WeightedRecall(pairs, run.Freqs, cfg.Support),
+		Runtime:        elapsed,
+		PairsReported:  len(pairs),
+	})
+	return res, nil
+}
+
+// Render writes the comparison.
+func (r *CMinerBaseline) Render(w io.Writer) {
+	fprintf(w, "BASELINE: Online synopsis vs C-Miner-style offline mining (wdev-like, support %d)\n\n", r.Support)
+	fprintf(w, "%-36s %16s %12s %10s\n", "detector", "weighted recall", "mining time", "pairs")
+	for _, row := range r.Rows {
+		rt := "(live)"
+		if row.Runtime > 0 {
+			rt = fmtDur(row.Runtime)
+		}
+		fprintf(w, "%-36s %15.1f%% %12s %10d\n",
+			row.Detector, 100*row.WeightedRecall, rt, row.PairsReported)
+	}
+	fprintf(w, "\nC-Miner needs the stored trace and a post-hoc mining pass; the\n")
+	fprintf(w, "synopsis reaches comparable coverage while the workload runs.\n")
+}

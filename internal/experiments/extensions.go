@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/ftl"
+)
+
+// gcGeometry fixes the §V.1 simulation: EU-sized correlated write
+// groups rewritten as units by concurrent writers whose pages
+// interleave at the device.
+type gcGeometry struct {
+	groups     int
+	groupPages int
+	writers    int
+	totalOps   int
+	ssd        ftl.SSDConfig
+}
+
+func defaultGCGeometry(cfg Config) gcGeometry {
+	return gcGeometry{
+		groups:     24,
+		groupPages: 32,
+		writers:    4,
+		totalOps:   cfg.scaled(1500),
+		ssd:        ftl.SSDConfig{EUs: 48, PagesPerEU: 32, Streams: 8},
+	}
+}
+
+func (g gcGeometry) extents(group int) []blktrace.Extent {
+	out := make([]blktrace.Extent, g.groupPages)
+	for k := range out {
+		out[k] = blktrace.Extent{
+			Block: uint64((group*g.groupPages + k) * ftl.BlocksPerPage),
+			Len:   ftl.BlocksPerPage,
+		}
+	}
+	return out
+}
+
+// run drives the workload against a fresh SSD with the given assigner,
+// excluding the first 20% of operations from the measured counters.
+func (g gcGeometry) run(assigner ftl.StreamAssigner, seed int64) (ftl.SSDStats, error) {
+	s, err := ftl.NewSSD(g.ssd)
+	if err != nil {
+		return ftl.SSDStats{}, err
+	}
+	write := func(e blktrace.Extent) error {
+		return s.WriteExtent(e, assigner.Assign(e))
+	}
+	for grp := 0; grp < g.groups; grp++ {
+		assigner.Observe(g.extents(grp))
+		for _, e := range g.extents(grp) {
+			if err := write(e); err != nil {
+				return ftl.SSDStats{}, err
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type op struct{ pending []blktrace.Extent }
+	started := 0
+	startOp := func() *op {
+		grp := rng.Intn(g.groups)
+		assigner.Observe(g.extents(grp))
+		started++
+		return &op{pending: g.extents(grp)}
+	}
+	var active []*op
+	for len(active) < g.writers {
+		active = append(active, startOp())
+	}
+	warmup := g.totalOps / 5
+	reset := false
+	for len(active) > 0 {
+		if !reset && started >= warmup {
+			s.ResetCounters()
+			reset = true
+		}
+		i := rng.Intn(len(active))
+		o := active[i]
+		if err := write(o.pending[0]); err != nil {
+			return ftl.SSDStats{}, err
+		}
+		o.pending = o.pending[1:]
+		if len(o.pending) == 0 {
+			if started < g.totalOps {
+				active[i] = startOp()
+			} else {
+				active = append(active[:i], active[i+1:]...)
+			}
+		}
+	}
+	return s.Stats(), nil
+}
+
+// oracleAssigner knows the planted groups (upper bound for learners).
+type oracleAssigner struct{ g gcGeometry }
+
+func (oracleAssigner) Observe([]blktrace.Extent) {}
+func (o oracleAssigner) Assign(e blktrace.Extent) int {
+	grp := int(e.Block) / ftl.BlocksPerPage / o.g.groupPages
+	span := o.g.ssd.Streams - 1
+	return 1 + grp*span/o.g.groups
+}
+
+// GCOptRow is one policy's measured write amplification.
+type GCOptRow struct {
+	Policy string
+	Stats  ftl.SSDStats
+}
+
+// GCOptResult is the §V.1 extension experiment: WAF by stream policy.
+type GCOptResult struct {
+	Rows []GCOptRow
+}
+
+// GCOpt measures write amplification for single-stream, address-hash,
+// correlation-learned (cold start and converged), and oracle stream
+// assignment under the correlated-write workload.
+func GCOpt(cfg Config) (*GCOptResult, error) {
+	cfg = cfg.withDefaults()
+	g := defaultGCGeometry(cfg)
+	res := &GCOptResult{}
+
+	newLearner := func() (*ftl.CorrelationStreams, error) {
+		return ftl.NewCorrelationStreams(ftl.CorrelationStreamsConfig{
+			Streams:      g.ssd.Streams,
+			Analyzer:     core.Config{ItemCapacity: 16384, PairCapacity: 16384},
+			MinSupport:   2,
+			RebuildEvery: 16,
+		})
+	}
+
+	type entry struct {
+		name string
+		mk   func() (ftl.StreamAssigner, error)
+	}
+	entries := []entry{
+		{"single-stream (conventional SSD)", func() (ftl.StreamAssigner, error) { return ftl.SingleStream{}, nil }},
+		{"hash streams (death-time blind)", func() (ftl.StreamAssigner, error) { return ftl.HashStreams{Streams: g.ssd.Streams}, nil }},
+		{"correlation streams (cold start)", func() (ftl.StreamAssigner, error) { return newLearner() }},
+		{"correlation streams (converged)", func() (ftl.StreamAssigner, error) {
+			l, err := newLearner()
+			if err != nil {
+				return nil, err
+			}
+			for r := 0; r < 5; r++ {
+				for grp := 0; grp < g.groups; grp++ {
+					l.Observe(g.extents(grp))
+				}
+			}
+			return l, nil
+		}},
+		{"oracle (planted groups)", func() (ftl.StreamAssigner, error) { return oracleAssigner{g: g}, nil }},
+	}
+	for _, e := range entries {
+		assigner, err := e.mk()
+		if err != nil {
+			return nil, err
+		}
+		stats, err := g.run(assigner, cfg.Seed+7)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.name, err)
+		}
+		res.Rows = append(res.Rows, GCOptRow{Policy: e.name, Stats: stats})
+	}
+	return res, nil
+}
+
+// Render writes the WAF table.
+func (r *GCOptResult) Render(w io.Writer) {
+	fprintf(w, "EXT §V.1: Multi-stream SSD garbage collection (steady state)\n\n")
+	fprintf(w, "%-36s %8s %12s %12s %8s\n", "policy", "WAF", "host pages", "relocated", "erases")
+	for _, row := range r.Rows {
+		fprintf(w, "%-36s %8.3f %12d %12d %8d\n",
+			row.Policy, row.Stats.WAF, row.Stats.HostPages, row.Stats.RelocatedPages, row.Stats.Erases)
+	}
+	fprintf(w, "\ncorrelated writes share death times; placing them in the same erase\n")
+	fprintf(w, "units lets whole EUs die together and cuts relocation (the paper's\n")
+	fprintf(w, "death-time prediction assumption).\n")
+}
+
+// OCSSDRow is one placement's mean correlated-burst latency.
+type OCSSDRow struct {
+	Policy      string
+	MeanLatency time.Duration
+}
+
+// OCSSDResult is the §V.2 extension experiment.
+type OCSSDResult struct {
+	Rows    []OCSSDRow
+	Speedup float64 // best correlation-aware speedup over the aged layout
+}
+
+// OCSSD measures correlated read-burst latency on an open-channel SSD
+// under fresh striping, an aged (ill-mapped, skewed) layout, and
+// correlation-aware placement learned online.
+func OCSSD(cfg Config) (*OCSSDResult, error) {
+	cfg = cfg.withDefaults()
+	const (
+		nGroups   = 30
+		burstSize = 4
+		pus       = 8
+	)
+	rounds := cfg.scaled(80)
+	oc := ftl.OCSSDConfig{PUs: pus, PUReadLatency: 80 * time.Microsecond}
+	striped := ftl.Striped{Chunk: 64, PUs: pus}
+	aged := ftl.Aged{Striped: striped, Skew: 0.8, HotPUs: 2}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	groups := make([][]blktrace.Extent, nGroups)
+	for g := range groups {
+		groups[g] = make([]blktrace.Extent, burstSize)
+		for k := range groups[g] {
+			groups[g][k] = blktrace.Extent{
+				Block: uint64(rng.Intn(1 << 24)),
+				Len:   uint32(8 * (1 + rng.Intn(4))),
+			}
+		}
+	}
+	cp, err := ftl.NewCorrelationPlacement(ftl.CorrelationPlacementConfig{
+		PUs:  pus,
+		Base: aged,
+		Analyzer: core.Config{
+			ItemCapacity: 2048,
+			PairCapacity: 2048,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totals [3]time.Duration
+	measured := 0
+	for r := 0; r < rounds; r++ {
+		for _, g := range rng.Perm(nGroups) {
+			burst := groups[g]
+			cp.Observe(burst)
+			if r < rounds/2 {
+				continue // learning warmup
+			}
+			for i, placement := range []ftl.Placement{striped, aged, cp} {
+				lat, err := ftl.BurstLatency(burst, placement, oc)
+				if err != nil {
+					return nil, err
+				}
+				totals[i] += lat
+			}
+			measured++
+		}
+	}
+	if measured == 0 {
+		return nil, fmt.Errorf("ocssd: nothing measured (rounds too small)")
+	}
+	res := &OCSSDResult{}
+	names := []string{
+		"fresh striping (RAID-0 like)",
+		"aged / ill-mapped layout",
+		"correlation-aware placement",
+	}
+	for i, name := range names {
+		res.Rows = append(res.Rows, OCSSDRow{
+			Policy:      name,
+			MeanLatency: totals[i] / time.Duration(measured),
+		})
+	}
+	res.Speedup = float64(res.Rows[1].MeanLatency) / float64(res.Rows[2].MeanLatency)
+	return res, nil
+}
+
+// Render writes the latency table.
+func (r *OCSSDResult) Render(w io.Writer) {
+	fprintf(w, "EXT §V.2: Open-channel SSD parallel I/O placement\n\n")
+	fprintf(w, "%-32s %16s\n", "placement", "mean burst lat")
+	for _, row := range r.Rows {
+		fprintf(w, "%-32s %16s\n", row.Policy, fmtDur(row.MeanLatency))
+	}
+	fprintf(w, "\ncorrelation-aware speedup over the ill-mapped layout: %.2f×\n", r.Speedup)
+	fprintf(w, "(prior work cites up to 4.2× latency inflation from ill-mapped data)\n")
+}

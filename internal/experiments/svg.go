@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"daccor/internal/analysis"
+)
+
+// SVGRenderer is implemented by results that can also emit figure
+// artifacts; cmd/experiments calls it when -svg is set.
+type SVGRenderer interface {
+	RenderSVG(dir string) error
+}
+
+func writeSVG(dir, name string, render func(*os.File) error) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func heatmapSVG(dir, name, title string, hm *analysis.Heatmap) error {
+	return writeSVG(dir, name, func(f *os.File) error { return hm.SVG(f, title) })
+}
+
+// RenderSVG writes one heat map per workload (Fig. 1).
+func (r *Fig1Result) RenderSVG(dir string) error {
+	for i, name := range r.Names {
+		if err := heatmapSVG(dir, fmt.Sprintf("fig1_%s.svg", name),
+			fmt.Sprintf("Fig 1: %s storage heat map", name), r.Maps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderSVG writes one CDF chart per workload (Fig. 5).
+func (r *Fig5Result) RenderSVG(dir string) error {
+	for _, wl := range r.Workloads {
+		unique := analysis.Series{Name: "unique pairs"}
+		weighted := analysis.Series{Name: "weighted"}
+		for _, pt := range wl.Points {
+			unique.X = append(unique.X, float64(pt.Support))
+			unique.Y = append(unique.Y, pt.UniqueFrac)
+			weighted.X = append(weighted.X, float64(pt.Support))
+			weighted.Y = append(weighted.Y, pt.WeightedFrac)
+		}
+		err := writeSVG(dir, fmt.Sprintf("fig5_%s.svg", wl.Name), func(f *os.File) error {
+			return analysis.LineChartSVG(f,
+				fmt.Sprintf("Fig 5: %s correlation-frequency CDF", wl.Name),
+				"support (log)", "cumulative fraction", true,
+				[]analysis.Series{unique, weighted})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderSVG writes the optimal table-size chart (Fig. 6).
+func (r *Fig6Result) RenderSVG(dir string) error {
+	var series []analysis.Series
+	for _, wl := range r.Workloads {
+		s := analysis.Series{Name: wl.Name}
+		for i, n := range r.Sizes {
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, wl.FracAtSize[i])
+		}
+		series = append(series, s)
+	}
+	return writeSVG(dir, "fig6.svg", func(f *os.File) error {
+		return analysis.LineChartSVG(f, "Fig 6: optimal captured fraction vs table size",
+			"table entries (log)", "fraction of correlations", true, series)
+	})
+}
+
+// RenderSVG writes the four panels per synthetic workload (Fig. 7).
+func (r *Fig7Result) RenderSVG(dir string) error {
+	for _, p := range r.Panels {
+		panels := []struct {
+			suffix string
+			hm     *analysis.Heatmap
+		}{
+			{"trace", p.Trace},
+			{"allpairs", p.AllPairs},
+			{"offline", p.Offline},
+			{"online", p.Online},
+		}
+		for _, panel := range panels {
+			name := fmt.Sprintf("fig7_%s_%s.svg", p.Kind, panel.suffix)
+			title := fmt.Sprintf("Fig 7: %s — %s", p.Kind, panel.suffix)
+			if err := heatmapSVG(dir, name, title, panel.hm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderSVG writes the three panels per real-world workload (Fig. 8).
+func (r *Fig8Result) RenderSVG(dir string) error {
+	for _, wl := range r.Workloads {
+		panels := []struct {
+			suffix string
+			hm     *analysis.Heatmap
+		}{
+			{"allpairs", wl.AllPairs},
+			{"offline", wl.Offline},
+			{"online", wl.Online},
+		}
+		for _, panel := range panels {
+			name := fmt.Sprintf("fig8_%s_%s.svg", wl.Name, panel.suffix)
+			title := fmt.Sprintf("Fig 8: %s — %s (support %d)", wl.Name, panel.suffix, r.Support)
+			if err := heatmapSVG(dir, name, title, panel.hm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderSVG writes the representability chart (Fig. 9).
+func (r *Fig9Result) RenderSVG(dir string) error {
+	var series []analysis.Series
+	for _, wl := range r.Workloads {
+		s := analysis.Series{Name: wl.Name}
+		for i, c := range r.Sizes {
+			s.X = append(s.X, float64(c))
+			s.Y = append(s.Y, wl.RepAtSize[i])
+		}
+		series = append(series, s)
+	}
+	return writeSVG(dir, "fig9.svg", func(f *os.File) error {
+		return analysis.LineChartSVG(f, "Fig 9: representability vs optimal",
+			"correlation table size C (log)", "captured / optimal", true, series)
+	})
+}
+
+// RenderSVG writes one synopsis scatter per checkpoint (Fig. 10).
+func (r *Fig10Result) RenderSVG(dir string) error {
+	for i, cp := range r.Checkpoints {
+		name := fmt.Sprintf("fig10_%d.svg", i+1)
+		if err := heatmapSVG(dir, name, "Fig 10: "+cp.Label, cp.Scatter); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"daccor/internal/device"
+	"daccor/internal/msr"
+	"daccor/internal/replay"
+)
+
+// Table1Row is one workload's statistics (Table I), paired with the
+// paper's reported values for side-by-side comparison.
+type Table1Row struct {
+	Name, Description string
+	Requests          int
+	TotalBytes        uint64
+	UniqueBytes       uint64
+	FastFraction      float64 // interarrival % < 100 µs
+
+	PaperFastFraction float64
+	PaperUniqueRatio  float64
+	UniqueRatio       float64
+}
+
+// Table1Result reproduces Table I.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Paper values from Table I: fast-interarrival fractions and the
+// unique/total data ratios implied by its byte columns.
+var paperTable1 = map[string]struct {
+	fast, uniqueRatio float64
+}{
+	"wdev":  {0.784, 0.53 / 11.3},
+	"src2":  {0.712, 26.4 / 109.9},
+	"rsrch": {0.774, 0.97 / 13.1},
+	"stg":   {0.659, 83.9 / 107.9},
+	"hm":    {0.670, 2.42 / 39.2},
+}
+
+// Table1 generates the five MSR-like traces and computes their Table I
+// statistics.
+func Table1(cfg Config) (*Table1Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Table1Result{}
+	for _, p := range msr.Profiles() {
+		gen, err := p.Generate(cfg.scaled(p.DefaultRequests), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		st := gen.Stats()
+		paper := paperTable1[p.Name]
+		res.Rows = append(res.Rows, Table1Row{
+			Name:              st.Name,
+			Description:       st.Description,
+			Requests:          st.Requests,
+			TotalBytes:        st.TotalBytes,
+			UniqueBytes:       st.UniqueBytes,
+			FastFraction:      st.FastFraction,
+			UniqueRatio:       st.UniqueOverTotal,
+			PaperFastFraction: paper.fast,
+			PaperUniqueRatio:  paper.uniqueRatio,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the table in the paper's layout.
+func (r *Table1Result) Render(w io.Writer) {
+	fprintf(w, "TABLE I: Microsoft-like workload statistics (scaled traces)\n")
+	fprintf(w, "%-6s %-18s %9s %12s %12s %12s %12s %13s %13s\n",
+		"trace", "role", "requests", "total", "unique", "uniq/total", "paper u/t", "interarr<100µs", "paper")
+	for _, row := range r.Rows {
+		fprintf(w, "%-6s %-18s %9d %12s %12s %11.1f%% %11.1f%% %13.1f%% %12.1f%%\n",
+			row.Name, row.Description, row.Requests,
+			msr.FormatBytes(row.TotalBytes), msr.FormatBytes(row.UniqueBytes),
+			100*row.UniqueRatio, 100*row.PaperUniqueRatio,
+			100*row.FastFraction, 100*row.PaperFastFraction)
+	}
+}
+
+// Table2Row is one workload's replay-speedup measurement (Table II).
+type Table2Row struct {
+	Name                string
+	MeanTraceLatency    time.Duration
+	MeanMeasuredLatency time.Duration
+	Speedup             float64
+
+	PaperTraceLatency    time.Duration
+	PaperMeasuredLatency time.Duration
+	PaperSpeedup         float64
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Paper values from Table II.
+var paperTable2 = map[string]struct {
+	trace, measured time.Duration
+	speedup         float64
+}{
+	"wdev":  {3650 * time.Microsecond, 48000 * time.Nanosecond, 76.0},
+	"src2":  {3880 * time.Microsecond, 63350 * time.Nanosecond, 61.2},
+	"rsrch": {3020 * time.Microsecond, 31790 * time.Nanosecond, 94.9},
+	"stg":   {18940 * time.Microsecond, 40060 * time.Nanosecond, 473},
+	"hm":    {13860 * time.Microsecond, 63840 * time.Nanosecond, 217},
+}
+
+// Table2 measures replay speedups with the paper's methodology: replay
+// each trace 10 times (scaled) synchronously on the NVMe-profile
+// device ignoring timestamps, average the read latency, and divide the
+// trace's recorded mean latency by it.
+func Table2(cfg Config) (*Table2Result, error) {
+	cfg = cfg.withDefaults()
+	reps := 10
+	if cfg.Scale < 1 {
+		reps = 3
+	}
+	res := &Table2Result{}
+	for _, p := range msr.Profiles() {
+		gen, err := p.Generate(cfg.scaled(p.DefaultRequests), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		dev, err := device.New(device.NVMeSSD(), cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		m, err := replay.MeasureSpeedup(gen.Trace, gen.Latencies, dev, reps)
+		if err != nil {
+			return nil, err
+		}
+		paper := paperTable2[p.Name]
+		res.Rows = append(res.Rows, Table2Row{
+			Name:                 p.Name,
+			MeanTraceLatency:     m.MeanTraceLatency,
+			MeanMeasuredLatency:  m.MeanMeasuredLatency,
+			Speedup:              m.Speedup,
+			PaperTraceLatency:    paper.trace,
+			PaperMeasuredLatency: paper.measured,
+			PaperSpeedup:         paper.speedup,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the table in the paper's layout.
+func (r *Table2Result) Render(w io.Writer) {
+	fprintf(w, "TABLE II: Replay speedup of Microsoft-like traces\n")
+	fprintf(w, "%-6s %14s %12s %14s %12s %10s %10s\n",
+		"trace", "mean trace lat", "paper", "mean measured", "paper", "speedup", "paper")
+	for _, row := range r.Rows {
+		fprintf(w, "%-6s %14s %12s %14s %12s %9.1f× %9.1f×\n",
+			row.Name,
+			fmtDur(row.MeanTraceLatency), fmtDur(row.PaperTraceLatency),
+			fmtDur(row.MeanMeasuredLatency), fmtDur(row.PaperMeasuredLatency),
+			row.Speedup, row.PaperSpeedup)
+	}
+}

@@ -1,0 +1,172 @@
+package fim
+
+// Apriori is the classic level-wise algorithm (Agrawal et al., SIGMOD
+// '93): frequent k-itemsets are joined into (k+1)-candidates, pruned by
+// the downward-closure property, and counted with a full scan per
+// level. It is the fastest of the three baselines on the paper's
+// workloads but has the largest memory footprint (all candidates of a
+// level are held at once).
+func Apriori(ds *Dataset, opts Options) ([]Frequent, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	var result []Frequent
+
+	// L1: frequent single items.
+	supports := ds.itemSupports()
+	frequent := make(map[int32]struct{})
+	for id, sup := range supports {
+		if sup >= opts.MinSupport {
+			frequent[int32(id)] = struct{}{}
+			if opts.lenOK(1) {
+				result = append(result, Frequent{Items: Itemset{int32(id)}, Support: sup})
+			}
+		}
+	}
+
+	// Pre-filter transactions to their frequent items: the "first
+	// scan" filtering the paper credits apriori's speed to.
+	filtered := make([]Itemset, 0, len(ds.tx))
+	for _, tx := range ds.tx {
+		keep := make(Itemset, 0, len(tx))
+		for _, id := range tx {
+			if _, ok := frequent[id]; ok {
+				keep = append(keep, id)
+			}
+		}
+		if len(keep) >= 2 {
+			filtered = append(filtered, keep)
+		}
+	}
+
+	level := make([]Itemset, 0, len(frequent))
+	for id := range frequent {
+		level = append(level, Itemset{id})
+	}
+	sortResult(wrap(level)) // canonical order simplifies the join
+	levelSets := level
+	sortItemsets(levelSets)
+
+	for k := 2; opts.lenOK(k) && len(levelSets) >= 2; k++ {
+		candidates := aprioriJoin(levelSets)
+		if len(candidates) == 0 {
+			break
+		}
+		counts := make(map[string]int, len(candidates))
+		candidateSet := make(map[string]Itemset, len(candidates))
+		for _, c := range candidates {
+			candidateSet[c.key()] = c
+		}
+		// Count candidates by enumerating k-subsets of each transaction.
+		sub := make(Itemset, k)
+		for _, tx := range filtered {
+			if len(tx) < k {
+				continue
+			}
+			forEachSubset(tx, sub, 0, 0, func() {
+				key := sub.key()
+				if _, ok := candidateSet[key]; ok {
+					counts[key]++
+				}
+			})
+		}
+		var next []Itemset
+		for key, sup := range counts {
+			if sup >= opts.MinSupport {
+				c := candidateSet[key]
+				result = append(result, Frequent{Items: c, Support: sup})
+				next = append(next, c)
+			}
+		}
+		sortItemsets(next)
+		levelSets = next
+	}
+	sortResult(result)
+	return result, nil
+}
+
+// wrap views itemsets as Frequent for canonical sorting.
+func wrap(sets []Itemset) []Frequent {
+	fs := make([]Frequent, len(sets))
+	for i, s := range sets {
+		fs[i] = Frequent{Items: s}
+	}
+	return fs
+}
+
+func sortItemsets(sets []Itemset) {
+	fs := wrap(sets)
+	sortResult(fs)
+	for i := range fs {
+		sets[i] = fs[i].Items
+	}
+}
+
+// aprioriJoin generates (k+1)-candidates from frequent k-itemsets that
+// share their first k-1 items, pruning candidates with an infrequent
+// k-subset (downward closure).
+func aprioriJoin(level []Itemset) []Itemset {
+	if len(level) == 0 {
+		return nil
+	}
+	k := len(level[0])
+	inLevel := make(map[string]struct{}, len(level))
+	for _, s := range level {
+		inLevel[s.key()] = struct{}{}
+	}
+	var out []Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a, b, k-1) {
+				break // sorted level: later j's diverge too
+			}
+			cand := make(Itemset, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			if cand[k-1] > cand[k] {
+				cand[k-1], cand[k] = cand[k], cand[k-1]
+			}
+			if aprioriPrune(cand, inLevel) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// aprioriPrune checks that every k-subset of the (k+1)-candidate is
+// frequent.
+func aprioriPrune(cand Itemset, inLevel map[string]struct{}) bool {
+	sub := make(Itemset, len(cand)-1)
+	for skip := range cand {
+		copy(sub, cand[:skip])
+		copy(sub[skip:], cand[skip+1:])
+		if _, ok := inLevel[sub.key()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachSubset enumerates the size-len(sub) subsets of tx, filling sub
+// in place and invoking fn for each.
+func forEachSubset(tx Itemset, sub Itemset, txPos, subPos int, fn func()) {
+	if subPos == len(sub) {
+		fn()
+		return
+	}
+	for i := txPos; i <= len(tx)-(len(sub)-subPos); i++ {
+		sub[subPos] = tx[i]
+		forEachSubset(tx, sub, i+1, subPos+1, fn)
+	}
+}

@@ -1,0 +1,70 @@
+package fim
+
+// BruteForce counts every subset of every transaction directly. It is
+// exponential in transaction size and exists purely as the reference
+// implementation the three real miners are cross-checked against in
+// tests; the paper's transaction cap (8) keeps it tractable there.
+func BruteForce(ds *Dataset, opts Options) ([]Frequent, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int)
+	sets := make(map[string]Itemset)
+	for _, tx := range ds.tx {
+		n := len(tx)
+		for mask := 1; mask < 1<<n; mask++ {
+			var s Itemset
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					s = append(s, tx[i])
+				}
+			}
+			if !opts.lenOK(len(s)) {
+				continue
+			}
+			k := s.key()
+			if _, ok := sets[k]; !ok {
+				sets[k] = s
+			}
+			counts[k]++
+		}
+	}
+	var result []Frequent
+	for k, sup := range counts {
+		if sup >= opts.MinSupport {
+			result = append(result, Frequent{Items: sets[k], Support: sup})
+		}
+	}
+	sortResult(result)
+	return result, nil
+}
+
+// Algorithm names a miner for CLI selection.
+type Algorithm string
+
+// The available mining algorithms.
+const (
+	AlgoApriori  Algorithm = "apriori"
+	AlgoEclat    Algorithm = "eclat"
+	AlgoFPGrowth Algorithm = "fpgrowth"
+	AlgoBrute    Algorithm = "brute"
+)
+
+// Mine dispatches to the named algorithm.
+func Mine(algo Algorithm, ds *Dataset, opts Options) ([]Frequent, error) {
+	switch algo {
+	case AlgoApriori:
+		return Apriori(ds, opts)
+	case AlgoEclat:
+		return Eclat(ds, opts)
+	case AlgoFPGrowth:
+		return FPGrowth(ds, opts)
+	case AlgoBrute:
+		return BruteForce(ds, opts)
+	}
+	return nil, errUnknownAlgo(algo)
+}
+
+type errUnknownAlgo string
+
+func (e errUnknownAlgo) Error() string { return "fim: unknown algorithm " + string(e) }

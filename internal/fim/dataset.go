@@ -1,0 +1,205 @@
+// Package fim implements offline frequent itemset mining over
+// transaction datasets: the apriori, eclat, and fp-growth algorithms
+// the paper uses (via Borgelt's implementations) as its offline
+// baselines, plus a brute-force reference miner for testing.
+//
+// Transactions are sets of extents. Internally extents are interned to
+// dense int32 item IDs; the three algorithms operate on the vertical or
+// horizontal representation of those IDs and produce identical output,
+// differing only in their time/space trade-offs — the property the
+// paper highlights when arguing all three are impractical for real-time
+// use.
+package fim
+
+import (
+	"fmt"
+	"sort"
+
+	"daccor/internal/blktrace"
+)
+
+// Itemset is a set of interned item IDs, sorted ascending.
+type Itemset []int32
+
+// key encodes the itemset for use as a map key.
+func (s Itemset) key() string {
+	b := make([]byte, 4*len(s))
+	for i, v := range s {
+		b[4*i] = byte(v)
+		b[4*i+1] = byte(v >> 8)
+		b[4*i+2] = byte(v >> 16)
+		b[4*i+3] = byte(v >> 24)
+	}
+	return string(b)
+}
+
+// Frequent is one mined itemset with its support (the number of
+// transactions containing all of its items).
+type Frequent struct {
+	Items   Itemset
+	Support int
+}
+
+// Interner maps extents to dense item IDs and back.
+type Interner struct {
+	byExtent map[blktrace.Extent]int32
+	extents  []blktrace.Extent
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byExtent: make(map[blktrace.Extent]int32)}
+}
+
+// ID interns an extent, returning its stable dense ID.
+func (in *Interner) ID(e blktrace.Extent) int32 {
+	if id, ok := in.byExtent[e]; ok {
+		return id
+	}
+	id := int32(len(in.extents))
+	in.byExtent[e] = id
+	in.extents = append(in.extents, e)
+	return id
+}
+
+// Extent returns the extent for an ID; it panics on unknown IDs, which
+// indicate a programming error.
+func (in *Interner) Extent(id int32) blktrace.Extent {
+	return in.extents[id]
+}
+
+// Len returns the number of distinct interned extents.
+func (in *Interner) Len() int { return len(in.extents) }
+
+// Dataset is a horizontal transaction database over interned item IDs.
+type Dataset struct {
+	tx       []Itemset
+	interner *Interner
+}
+
+// NewDataset interns the extents of each transaction. Duplicate extents
+// within a transaction are collapsed (FIM semantics: transactions are
+// sets) and items within each transaction are sorted by ID.
+func NewDataset(transactions [][]blktrace.Extent) *Dataset {
+	ds := &Dataset{interner: NewInterner()}
+	for _, tx := range transactions {
+		if len(tx) == 0 {
+			continue
+		}
+		ids := make(Itemset, 0, len(tx))
+		seen := make(map[int32]struct{}, len(tx))
+		for _, e := range tx {
+			id := ds.interner.ID(e)
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		ds.tx = append(ds.tx, ids)
+	}
+	return ds
+}
+
+// Transactions returns the number of (non-empty) transactions.
+func (ds *Dataset) Transactions() int { return len(ds.tx) }
+
+// Items returns the number of distinct items.
+func (ds *Dataset) Items() int { return ds.interner.Len() }
+
+// Interner exposes the extent↔ID mapping.
+func (ds *Dataset) Interner() *Interner { return ds.interner }
+
+// Decode translates a mined itemset back to extents, sorted
+// canonically.
+func (ds *Dataset) Decode(s Itemset) []blktrace.Extent {
+	out := make([]blktrace.Extent, len(s))
+	for i, id := range s {
+		out[i] = ds.interner.Extent(id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// PairFrequencies counts every unordered extent pair's exact frequency
+// by direct enumeration. This is the exhaustive "support 1" ground
+// truth behind Figs. 5–9; the FIM miners must agree with it for
+// 2-itemsets (they are cross-checked in tests).
+func (ds *Dataset) PairFrequencies() map[blktrace.Pair]int {
+	out := make(map[blktrace.Pair]int)
+	for _, tx := range ds.tx {
+		for i := 0; i < len(tx); i++ {
+			for j := i + 1; j < len(tx); j++ {
+				p := blktrace.MakePair(ds.interner.Extent(tx[i]), ds.interner.Extent(tx[j]))
+				out[p]++
+			}
+		}
+	}
+	return out
+}
+
+// itemSupports counts each item's support.
+func (ds *Dataset) itemSupports() []int {
+	counts := make([]int, ds.Items())
+	for _, tx := range ds.tx {
+		for _, id := range tx {
+			counts[id]++
+		}
+	}
+	return counts
+}
+
+// Options bound a mining run.
+type Options struct {
+	// MinSupport is the minimum number of transactions an itemset must
+	// appear in; it must be >= 1.
+	MinSupport int
+	// MaxLen caps the itemset length; 0 means unlimited. The paper's
+	// pipeline needs only pairs (MaxLen 2), which is the key
+	// simplification versus general stream FIM.
+	MaxLen int
+}
+
+func (o Options) validate() error {
+	if o.MinSupport < 1 {
+		return fmt.Errorf("fim: MinSupport must be >= 1 (got %d)", o.MinSupport)
+	}
+	if o.MaxLen < 0 {
+		return fmt.Errorf("fim: MaxLen must be >= 0 (got %d)", o.MaxLen)
+	}
+	return nil
+}
+
+func (o Options) lenOK(l int) bool { return o.MaxLen == 0 || l <= o.MaxLen }
+
+// sortResult puts mined itemsets in canonical order: by length, then
+// lexicographically by item IDs — so the three algorithms' outputs are
+// directly comparable.
+func sortResult(fs []Frequent) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i].Items, fs[j].Items
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// FrequentPairs filters a mining result down to 2-itemsets decoded as
+// extent pairs with their supports.
+func FrequentPairs(ds *Dataset, fs []Frequent) map[blktrace.Pair]int {
+	out := make(map[blktrace.Pair]int)
+	for _, f := range fs {
+		if len(f.Items) != 2 {
+			continue
+		}
+		out[blktrace.MakePair(ds.interner.Extent(f.Items[0]), ds.interner.Extent(f.Items[1]))] = f.Support
+	}
+	return out
+}

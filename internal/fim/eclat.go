@@ -1,0 +1,90 @@
+package fim
+
+// Eclat (Zaki, TKDE 2000) mines the vertical representation: each item
+// maps to the sorted list of transaction IDs containing it, and a
+// depth-first search extends prefixes by intersecting tidlists. Memory
+// stays proportional to the current search path — the trade-off the
+// paper describes as "reduces the memory consumption but significantly
+// increases the running time".
+func Eclat(ds *Dataset, opts Options) ([]Frequent, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	// Build the vertical database.
+	tidlists := make(map[int32][]int32)
+	for tid, tx := range ds.tx {
+		for _, id := range tx {
+			tidlists[id] = append(tidlists[id], int32(tid))
+		}
+	}
+	// Frequent single items, in ID order for a deterministic DFS.
+	var items []int32
+	for id := int32(0); id < int32(ds.Items()); id++ {
+		if len(tidlists[id]) >= opts.MinSupport {
+			items = append(items, id)
+		}
+	}
+	var result []Frequent
+	if opts.lenOK(1) {
+		for _, id := range items {
+			result = append(result, Frequent{Items: Itemset{id}, Support: len(tidlists[id])})
+		}
+	}
+	type extension struct {
+		item int32
+		tids []int32
+	}
+	// DFS over prefix extensions.
+	var dfs func(prefix Itemset, exts []extension)
+	dfs = func(prefix Itemset, exts []extension) {
+		for i, x := range exts {
+			set := make(Itemset, len(prefix)+1)
+			copy(set, prefix)
+			set[len(prefix)] = x.item
+			if len(set) >= 2 {
+				result = append(result, Frequent{Items: set, Support: len(x.tids)})
+			}
+			if !opts.lenOK(len(set) + 1) {
+				continue
+			}
+			var next []extension
+			for _, y := range exts[i+1:] {
+				inter := intersect(x.tids, y.tids)
+				if len(inter) >= opts.MinSupport {
+					next = append(next, extension{item: y.item, tids: inter})
+				}
+			}
+			if len(next) > 0 {
+				dfs(set, next)
+			}
+		}
+	}
+	if opts.lenOK(2) {
+		roots := make([]extension, len(items))
+		for i, id := range items {
+			roots[i] = extension{item: id, tids: tidlists[id]}
+		}
+		dfs(nil, roots)
+	}
+	sortResult(result)
+	return result, nil
+}
+
+// intersect merges two sorted tidlists.
+func intersect(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package fim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"daccor/internal/blktrace"
+)
+
+func e(b uint64) blktrace.Extent { return blktrace.Extent{Block: b, Len: 1} }
+
+// classic toy dataset (items interned in first-seen order):
+// t1: a b c   t2: a b   t3: a c   t4: b c   t5: a b c
+func toyDataset() *Dataset {
+	a, b, c := e(1), e(2), e(3)
+	return NewDataset([][]blktrace.Extent{
+		{a, b, c}, {a, b}, {a, c}, {b, c}, {a, b, c},
+	})
+}
+
+func supportsOf(fs []Frequent) map[string]int {
+	m := make(map[string]int, len(fs))
+	for _, f := range fs {
+		m[f.Items.key()] = f.Support
+	}
+	return m
+}
+
+func TestDatasetBasics(t *testing.T) {
+	ds := toyDataset()
+	if ds.Transactions() != 5 || ds.Items() != 3 {
+		t.Fatalf("dataset = %d tx, %d items", ds.Transactions(), ds.Items())
+	}
+	// Duplicate extents collapse; empty transactions are dropped.
+	ds2 := NewDataset([][]blktrace.Extent{{e(1), e(1), e(2)}, {}})
+	if ds2.Transactions() != 1 || len(ds2.tx[0]) != 2 {
+		t.Errorf("dedup/drop failed: %+v", ds2.tx)
+	}
+	// Decode returns extents in canonical order.
+	got := ds.Decode(Itemset{1, 0}) // b, a
+	if got[0] != e(1) || got[1] != e(2) {
+		t.Errorf("Decode = %v", got)
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	id1 := in.ID(e(10))
+	id2 := in.ID(e(20))
+	if id1 == id2 {
+		t.Fatal("distinct extents share an ID")
+	}
+	if in.ID(e(10)) != id1 {
+		t.Error("re-interning changed the ID")
+	}
+	if in.Extent(id2) != e(20) {
+		t.Error("Extent lookup wrong")
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d", in.Len())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	ds := toyDataset()
+	for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth, AlgoBrute} {
+		if _, err := Mine(algo, ds, Options{MinSupport: 0}); err == nil {
+			t.Errorf("%s: want error for MinSupport 0", algo)
+		}
+		if _, err := Mine(algo, ds, Options{MinSupport: 1, MaxLen: -1}); err == nil {
+			t.Errorf("%s: want error for negative MaxLen", algo)
+		}
+	}
+	if _, err := Mine("nope", ds, Options{MinSupport: 1}); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+}
+
+func TestToyKnownSupports(t *testing.T) {
+	// Hand-computed: a=4 b=4 c=4, ab=3 ac=3 bc=3, abc=2.
+	want := map[string]int{
+		Itemset{0}.key():       4,
+		Itemset{1}.key():       4,
+		Itemset{2}.key():       4,
+		Itemset{0, 1}.key():    3,
+		Itemset{0, 2}.key():    3,
+		Itemset{1, 2}.key():    3,
+		Itemset{0, 1, 2}.key(): 2,
+	}
+	for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth, AlgoBrute} {
+		fs, err := Mine(algo, toyDataset(), Options{MinSupport: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		got := supportsOf(fs)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: supports = %v, want %v", algo, got, want)
+		}
+	}
+}
+
+func TestMinSupportFilters(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth, AlgoBrute} {
+		fs, err := Mine(algo, toyDataset(), Options{MinSupport: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for _, f := range fs {
+			if f.Support < 3 {
+				t.Errorf("%s returned support %d < 3", algo, f.Support)
+			}
+			if len(f.Items) == 3 {
+				t.Errorf("%s returned abc (support 2) at minsup 3", algo)
+			}
+		}
+	}
+}
+
+func TestMaxLenCap(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth, AlgoBrute} {
+		fs, err := Mine(algo, toyDataset(), Options{MinSupport: 1, MaxLen: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for _, f := range fs {
+			if len(f.Items) > 2 {
+				t.Errorf("%s ignored MaxLen: %v", algo, f.Items)
+			}
+		}
+	}
+}
+
+func randomTransactions(rng *rand.Rand, nTx, universe, maxLen int) [][]blktrace.Extent {
+	txs := make([][]blktrace.Extent, nTx)
+	for i := range txs {
+		n := 1 + rng.Intn(maxLen)
+		seen := map[uint64]struct{}{}
+		for len(txs[i]) < n {
+			b := uint64(rng.Intn(universe))
+			if _, dup := seen[b]; dup {
+				continue
+			}
+			seen[b] = struct{}{}
+			txs[i] = append(txs[i], e(b))
+		}
+	}
+	return txs
+}
+
+// The central equivalence property: all four miners agree exactly on
+// random datasets, across supports and length caps.
+func TestAlgorithmsEquivalentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := NewDataset(randomTransactions(rng, 30+rng.Intn(40), 12, 6))
+		opts := Options{
+			MinSupport: 1 + rng.Intn(4),
+			MaxLen:     rng.Intn(5), // 0 = unlimited
+		}
+		ref, err := BruteForce(ds, opts)
+		if err != nil {
+			return false
+		}
+		want := supportsOf(ref)
+		for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth} {
+			fs, err := Mine(algo, ds, opts)
+			if err != nil {
+				return false
+			}
+			if !reflect.DeepEqual(supportsOf(fs), want) {
+				t.Logf("%s disagrees with brute force (seed %d, opts %+v): %d vs %d sets",
+					algo, seed, opts, len(fs), len(ref))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PairFrequencies must agree with the miners' 2-itemsets at support 1.
+func TestPairFrequenciesMatchMiners(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ds := NewDataset(randomTransactions(rng, 80, 15, 7))
+	direct := ds.PairFrequencies()
+	fs, err := Eclat(ds, Options{MinSupport: 1, MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mined := FrequentPairs(ds, fs)
+	if !reflect.DeepEqual(direct, mined) {
+		t.Errorf("direct pair counting (%d pairs) disagrees with eclat (%d pairs)",
+			len(direct), len(mined))
+	}
+}
+
+func TestFrequentPairsIgnoresOtherLengths(t *testing.T) {
+	ds := toyDataset()
+	fs, err := Apriori(ds, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := FrequentPairs(ds, fs)
+	if len(pairs) != 3 {
+		t.Errorf("FrequentPairs = %d entries, want 3", len(pairs))
+	}
+	for p, sup := range pairs {
+		if sup != 3 {
+			t.Errorf("pair %v support = %d, want 3", p, sup)
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	ds := NewDataset(nil)
+	for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth, AlgoBrute} {
+		fs, err := Mine(algo, ds, Options{MinSupport: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(fs) != 0 {
+			t.Errorf("%s mined %d sets from empty dataset", algo, len(fs))
+		}
+	}
+	if len(ds.PairFrequencies()) != 0 {
+		t.Error("PairFrequencies on empty dataset should be empty")
+	}
+}
+
+func TestHighSupportYieldsNothing(t *testing.T) {
+	ds := toyDataset()
+	for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth, AlgoBrute} {
+		fs, err := Mine(algo, ds, Options{MinSupport: 100})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(fs) != 0 {
+			t.Errorf("%s returned %d sets at impossible support", algo, len(fs))
+		}
+	}
+}
+
+func TestResultCanonicallySorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := NewDataset(randomTransactions(rng, 50, 10, 5))
+	for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth, AlgoBrute} {
+		fs, err := Mine(algo, ds, Options{MinSupport: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(fs); i++ {
+			a, b := fs[i-1].Items, fs[i].Items
+			if len(a) > len(b) {
+				t.Fatalf("%s: not sorted by length", algo)
+			}
+			if len(a) == len(b) {
+				for k := range a {
+					if a[k] != b[k] {
+						if a[k] > b[k] {
+							t.Fatalf("%s: not lexicographic at %d", algo, i)
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMiners(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := NewDataset(randomTransactions(rng, 2000, 200, 8))
+	for _, algo := range []Algorithm{AlgoApriori, AlgoEclat, AlgoFPGrowth} {
+		b.Run(string(algo), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Mine(algo, ds, Options{MinSupport: 4, MaxLen: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

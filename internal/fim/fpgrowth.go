@@ -1,0 +1,249 @@
+package fim
+
+import "sort"
+
+// FPGrowth (Han et al., SIGMOD 2000) compresses the database into a
+// frequent-pattern tree — transactions sharing frequent prefixes share
+// tree paths — and mines it recursively via conditional pattern bases,
+// never generating candidates. It sits between apriori and eclat in the
+// paper's time/space trade-off.
+func FPGrowth(ds *Dataset, opts Options) ([]Frequent, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	supports := ds.itemSupports()
+
+	var result []Frequent
+	if opts.lenOK(1) {
+		for id, sup := range supports {
+			if sup >= opts.MinSupport {
+				result = append(result, Frequent{Items: Itemset{int32(id)}, Support: sup})
+			}
+		}
+	}
+	if !opts.lenOK(2) {
+		sortResult(result)
+		return result, nil
+	}
+
+	// Order items by descending support (ties by ID) — the FP-tree
+	// insertion order that maximises prefix sharing.
+	rank := make(map[int32]int, len(supports))
+	var order []int32
+	for id, sup := range supports {
+		if sup >= opts.MinSupport {
+			order = append(order, int32(id))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := supports[order[i]], supports[order[j]]
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j]
+	})
+	for r, id := range order {
+		rank[id] = r
+	}
+
+	tree := newFPTree()
+	sorted := make(Itemset, 0, 16)
+	for _, tx := range ds.tx {
+		sorted = sorted[:0]
+		for _, id := range tx {
+			if _, ok := rank[id]; ok {
+				sorted = append(sorted, id)
+			}
+		}
+		sort.Slice(sorted, func(i, j int) bool { return rank[sorted[i]] < rank[sorted[j]] })
+		tree.insert(sorted, 1)
+	}
+
+	mineFPTree(tree, nil, opts, &result)
+	sortResult(result)
+	return result, nil
+}
+
+type fpNode struct {
+	item     int32
+	count    int
+	parent   *fpNode
+	children map[int32]*fpNode
+	next     *fpNode // header-table chain of same-item nodes
+}
+
+type fpTree struct {
+	root    *fpNode
+	headers map[int32]*fpNode // item -> first node in chain
+	counts  map[int32]int     // item -> total count in this tree
+}
+
+func newFPTree() *fpTree {
+	return &fpTree{
+		root:    &fpNode{children: make(map[int32]*fpNode)},
+		headers: make(map[int32]*fpNode),
+		counts:  make(map[int32]int),
+	}
+}
+
+// insert adds one (ordered) transaction with multiplicity count.
+func (t *fpTree) insert(items Itemset, count int) {
+	node := t.root
+	for _, id := range items {
+		child, ok := node.children[id]
+		if !ok {
+			child = &fpNode{item: id, parent: node, children: make(map[int32]*fpNode)}
+			node.children[id] = child
+			child.next = t.headers[id]
+			t.headers[id] = child
+		}
+		child.count += count
+		t.counts[id] += count
+		node = child
+	}
+}
+
+// singlePath returns the tree's unique path if it has one (the base
+// case that lets fp-growth emit all combinations directly).
+func (t *fpTree) singlePath() ([]fpPathElem, bool) {
+	var path []fpPathElem
+	node := t.root
+	for {
+		if len(node.children) == 0 {
+			return path, true
+		}
+		if len(node.children) > 1 {
+			return nil, false
+		}
+		for _, child := range node.children {
+			path = append(path, fpPathElem{item: child.item, count: child.count})
+			node = child
+		}
+	}
+}
+
+type fpPathElem struct {
+	item  int32
+	count int
+}
+
+// mineFPTree appends all frequent itemsets of tree (each extended by
+// suffix) to result.
+func mineFPTree(tree *fpTree, suffix Itemset, opts Options, result *[]Frequent) {
+	if path, ok := tree.singlePath(); ok {
+		emitPathCombinations(path, suffix, opts, result)
+		return
+	}
+	// Recurse per header item, least-frequent first (order does not
+	// affect the result set).
+	var items []int32
+	for id := range tree.headers {
+		items = append(items, id)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, id := range items {
+		sup := tree.counts[id]
+		if sup < opts.MinSupport {
+			continue
+		}
+		itemset := make(Itemset, 0, len(suffix)+1)
+		itemset = append(itemset, id)
+		itemset = append(itemset, suffix...)
+		if len(itemset) >= 2 && opts.lenOK(len(itemset)) {
+			sorted := make(Itemset, len(itemset))
+			copy(sorted, itemset)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			*result = append(*result, Frequent{Items: sorted, Support: sup})
+		}
+		if !opts.lenOK(len(itemset) + 1) {
+			continue
+		}
+		// Build the conditional tree from id's prefix paths.
+		cond := newFPTree()
+		for node := tree.headers[id]; node != nil; node = node.next {
+			var prefix Itemset
+			for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+				prefix = append(prefix, p.item)
+			}
+			// prefix is leaf→root; reverse to root→leaf insertion order.
+			for l, r := 0, len(prefix)-1; l < r; l, r = l+1, r-1 {
+				prefix[l], prefix[r] = prefix[r], prefix[l]
+			}
+			if len(prefix) > 0 {
+				cond.insert(prefix, node.count)
+			}
+		}
+		// Prune infrequent items from the conditional tree by rebuilding.
+		pruned := pruneFPTree(cond, opts.MinSupport)
+		if len(pruned.headers) > 0 {
+			mineFPTree(pruned, itemset, opts, result)
+		}
+	}
+}
+
+// pruneFPTree rebuilds a conditional tree keeping only items meeting
+// minSupport (paths are re-inserted without the pruned items).
+func pruneFPTree(t *fpTree, minSupport int) *fpTree {
+	out := newFPTree()
+	var walk func(node *fpNode, path Itemset)
+	walk = func(node *fpNode, path Itemset) {
+		// Leaf-count insertion: a node's own surplus over its children
+		// represents transactions ending here.
+		childSum := 0
+		for _, c := range node.children {
+			childSum += c.count
+		}
+		if node != t.root {
+			path = append(path, node.item)
+			if surplus := node.count - childSum; surplus > 0 {
+				insertFiltered(out, path, surplus, t.counts, minSupport)
+			}
+		}
+		for _, c := range node.children {
+			walk(c, path)
+		}
+	}
+	walk(t.root, nil)
+	return out
+}
+
+func insertFiltered(out *fpTree, path Itemset, count int, counts map[int32]int, minSupport int) {
+	kept := make(Itemset, 0, len(path))
+	for _, id := range path {
+		if counts[id] >= minSupport {
+			kept = append(kept, id)
+		}
+	}
+	if len(kept) > 0 {
+		out.insert(kept, count)
+	}
+}
+
+// emitPathCombinations emits every non-empty subset of a single-path
+// tree, each with the minimum count along its elements.
+func emitPathCombinations(path []fpPathElem, suffix Itemset, opts Options, result *[]Frequent) {
+	n := len(path)
+	for mask := 1; mask < 1<<n; mask++ {
+		var items Itemset
+		sup := int(^uint(0) >> 1)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				items = append(items, path[i].item)
+				if path[i].count < sup {
+					sup = path[i].count
+				}
+			}
+		}
+		if sup < opts.MinSupport {
+			continue
+		}
+		full := make(Itemset, 0, len(items)+len(suffix))
+		full = append(full, items...)
+		full = append(full, suffix...)
+		if len(full) < 2 || !opts.lenOK(len(full)) {
+			continue
+		}
+		sort.Slice(full, func(i, j int) bool { return full[i] < full[j] })
+		*result = append(*result, Frequent{Items: full, Support: sup})
+	}
+}

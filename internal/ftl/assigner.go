@@ -1,0 +1,233 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+)
+
+// A StreamAssigner decides which multi-stream SSD stream a write extent
+// goes to. Observe feeds it the write transactions the monitoring
+// module produces, so learning assigners can adapt online.
+type StreamAssigner interface {
+	// Observe sees one write transaction (deduplicated extents).
+	Observe(tx []blktrace.Extent)
+	// Assign returns the stream for a write extent, in [0, streams).
+	Assign(e blktrace.Extent) int
+}
+
+// SingleStream models a conventional SSD: every write goes to the one
+// append point. It is the baseline whose WAF the paper's optimization
+// is meant to beat.
+type SingleStream struct{}
+
+// Observe implements StreamAssigner (no-op).
+func (SingleStream) Observe([]blktrace.Extent) {}
+
+// Assign implements StreamAssigner.
+func (SingleStream) Assign(blktrace.Extent) int { return 0 }
+
+// HashStreams spreads writes across streams by logical address — a
+// locality-blind policy included as a second baseline (it separates
+// data but not by death time).
+type HashStreams struct {
+	Streams int
+}
+
+// Observe implements StreamAssigner (no-op).
+func (HashStreams) Observe([]blktrace.Extent) {}
+
+// Assign implements StreamAssigner.
+func (h HashStreams) Assign(e blktrace.Extent) int {
+	// Fibonacci hash on the page number.
+	return int((PageOf(e.Block) * 11400714819323198485) % uint64(h.Streams))
+}
+
+// CorrelationStreams implements the paper's §V.1 policy: the online
+// analyzer watches write transactions; extents connected by frequent
+// correlations are grouped (union-find over the correlation table's
+// frequent pairs) and each group is pinned to a stream, so pages
+// predicted to die together share erase units.
+type CorrelationStreams struct {
+	streams  int
+	analyzer *core.Analyzer
+
+	rebuildEvery int
+	sinceRebuild int
+	minSupport   uint32
+
+	groupStream map[blktrace.Extent]int
+	// repStream pins each learned group (by canonical representative)
+	// to its stream across rebuilds.
+	repStream map[blktrace.Extent]int
+}
+
+// CorrelationStreamsConfig configures the learning assigner.
+type CorrelationStreamsConfig struct {
+	// Streams is the SSD's stream count; stream 0 is reserved for
+	// unclassified (cold/unknown) writes.
+	Streams int
+	// Analyzer configures the embedded online analyzer.
+	Analyzer core.Config
+	// MinSupport is the pair counter required before a correlation
+	// drives grouping; 0 means 3.
+	MinSupport uint32
+	// RebuildEvery is the number of observed transactions between
+	// group rebuilds; 0 means 64.
+	RebuildEvery int
+}
+
+// NewCorrelationStreams returns an assigner that has seen nothing yet
+// (everything maps to stream 0 until correlations emerge).
+func NewCorrelationStreams(cfg CorrelationStreamsConfig) (*CorrelationStreams, error) {
+	if cfg.Streams < 2 {
+		return nil, fmt.Errorf("ftl: correlation streams need >= 2 streams (got %d)", cfg.Streams)
+	}
+	if cfg.MinSupport == 0 {
+		cfg.MinSupport = 3
+	}
+	if cfg.RebuildEvery == 0 {
+		cfg.RebuildEvery = 64
+	}
+	analyzer, err := core.NewAnalyzer(cfg.Analyzer)
+	if err != nil {
+		return nil, err
+	}
+	return &CorrelationStreams{
+		streams:      cfg.Streams,
+		analyzer:     analyzer,
+		rebuildEvery: cfg.RebuildEvery,
+		minSupport:   cfg.MinSupport,
+		groupStream:  make(map[blktrace.Extent]int),
+		repStream:    make(map[blktrace.Extent]int),
+	}, nil
+}
+
+// Observe implements StreamAssigner: it feeds the analyzer and
+// periodically rebuilds the extent→stream grouping.
+func (c *CorrelationStreams) Observe(tx []blktrace.Extent) {
+	c.analyzer.Process(tx)
+	c.sinceRebuild++
+	if c.sinceRebuild >= c.rebuildEvery {
+		c.rebuild()
+		c.sinceRebuild = 0
+	}
+}
+
+// Assign implements StreamAssigner: grouped extents get their group's
+// stream (1..streams-1); everything else goes to stream 0.
+func (c *CorrelationStreams) Assign(e blktrace.Extent) int {
+	if s, ok := c.groupStream[e]; ok {
+		return s
+	}
+	return 0
+}
+
+// Groups returns the number of extents currently pinned to a stream.
+func (c *CorrelationStreams) Groups() int { return len(c.groupStream) }
+
+// Analyzer exposes the embedded analyzer (for stats).
+func (c *CorrelationStreams) Analyzer() *core.Analyzer { return c.analyzer }
+
+// rebuild runs union-find over the frequent pairs and maps each group
+// to one of the non-reserved streams.
+func (c *CorrelationStreams) rebuild() {
+	snap := c.analyzer.Snapshot(c.minSupport)
+	parent := make(map[blktrace.Extent]blktrace.Extent)
+	var find func(x blktrace.Extent) blktrace.Extent
+	find = func(x blktrace.Extent) blktrace.Extent {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b blktrace.Extent) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, pc := range snap.Pairs {
+		union(pc.Pair.A, pc.Pair.B)
+	}
+	// Map each group to a stream via a hash of its canonical
+	// representative (the group's minimum extent). The choice must be
+	// *stable across rebuilds*: if a group's stream changed whenever
+	// counter order shifted, its pages would smear across streams and
+	// erase units, forfeiting exactly the death-time colocation the
+	// policy exists to provide.
+	//
+	// Stream 0 stays reserved for unclassified writes, so learned
+	// groups never share erase units with unknown-lifetime data. GC
+	// relocation is per-stream inside the device, so no stream needs
+	// to be reserved for it.
+	span := c.streams - 1
+	members := make(map[blktrace.Extent][]blktrace.Extent)
+	for _, pc := range snap.Pairs {
+		for _, e := range [...]blktrace.Extent{pc.Pair.A, pc.Pair.B} {
+			root := find(e)
+			members[root] = append(members[root], e)
+		}
+	}
+	// Order groups by canonical representative for determinism.
+	type group struct {
+		rep blktrace.Extent
+		ms  []blktrace.Extent
+	}
+	groups := make([]group, 0, len(members))
+	for _, ms := range members {
+		rep := ms[0]
+		for _, e := range ms[1:] {
+			if e.Less(rep) {
+				rep = e
+			}
+		}
+		groups = append(groups, group{rep: rep, ms: ms})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].rep.Less(groups[j].rep) })
+
+	// First pass: sticky groups keep their streams and establish the
+	// load picture; second pass places new groups on the least-loaded
+	// stream. (Tallying loads lazily would let a new group grab a
+	// stream whose sticky occupants simply hadn't been counted yet.)
+	load := make([]int, span)
+	assign := make(map[blktrace.Extent]int)
+	repStream := make(map[blktrace.Extent]int, len(groups))
+	for _, g := range groups {
+		if stream, ok := c.repStream[g.rep]; ok {
+			load[stream-1]++
+			repStream[g.rep] = stream
+			for _, e := range g.ms {
+				assign[e] = stream
+			}
+		}
+	}
+	for _, g := range groups {
+		if _, ok := repStream[g.rep]; ok {
+			continue
+		}
+		best := 0
+		for i := 1; i < span; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		stream := 1 + best
+		load[best]++
+		repStream[g.rep] = stream
+		for _, e := range g.ms {
+			assign[e] = stream
+		}
+	}
+	c.groupStream = assign
+	c.repStream = repStream
+}

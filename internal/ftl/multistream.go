@@ -1,0 +1,316 @@
+// Package ftl implements the paper's Section V automatic-optimization
+// scenarios as working simulations:
+//
+//   - A multi-stream SSD flash translation layer (§V.1): a page-mapped
+//     FTL with erase units, greedy garbage collection, and multiple
+//     write streams. Write-amplification factor (WAF) is measured for
+//     different stream-assignment policies, including one driven by the
+//     online correlation analyzer's death-time prediction ("if two or
+//     more data chunks were frequently written together in the past,
+//     their death times will be similar").
+//   - An open-channel SSD parallel-unit model (§V.2): read bursts cost
+//     the maximum per-PU queue length, and a correlation-aware
+//     placement spreads frequently co-read extents across PUs.
+package ftl
+
+import (
+	"fmt"
+
+	"daccor/internal/blktrace"
+)
+
+// BlocksPerPage maps 512 B blocks onto 4 KB flash pages, the pblk
+// mapping granularity the paper cites.
+const BlocksPerPage = 8
+
+// PageOf returns the logical page number containing a block.
+func PageOf(block uint64) uint64 { return block / BlocksPerPage }
+
+// PagesOf returns the logical page range [first, last] covered by an
+// extent.
+func PagesOf(e blktrace.Extent) (first, last uint64) {
+	return PageOf(e.Block), PageOf(e.End() - 1)
+}
+
+// SSDConfig parameterises the multi-stream FTL simulation.
+type SSDConfig struct {
+	// EUs is the number of erase units on the device.
+	EUs int
+	// PagesPerEU is the erase-unit size in 4 KB pages.
+	PagesPerEU int
+	// Streams is the number of host-visible write streams (open erase
+	// blocks). 1 models a conventional single-append-point SSD.
+	Streams int
+	// GCFreeTarget triggers garbage collection when the free-EU pool
+	// drops below it; GC runs until the pool recovers. It must leave
+	// room for the open EUs. 0 means Streams+2.
+	GCFreeTarget int
+}
+
+func (c SSDConfig) validate() error {
+	if c.EUs < 4 || c.PagesPerEU < 1 {
+		return fmt.Errorf("ftl: need at least 4 EUs and 1 page/EU (got %d, %d)", c.EUs, c.PagesPerEU)
+	}
+	if c.Streams < 1 {
+		return fmt.Errorf("ftl: Streams must be >= 1 (got %d)", c.Streams)
+	}
+	// Each stream can hold two open EUs (host and GC append points).
+	if 2*c.Streams+2 >= c.EUs {
+		return fmt.Errorf("ftl: %d streams need more than %d EUs", c.Streams, c.EUs)
+	}
+	return nil
+}
+
+type pageLoc struct {
+	eu   int
+	slot int
+}
+
+type eraseUnit struct {
+	pages  []uint64 // logical page per slot; invalid slots hold ^0
+	valid  int
+	used   int // slots written (sealed when used == PagesPerEU)
+	open   bool
+	stream int // stream that owns (or last owned) this EU
+}
+
+const invalidLPN = ^uint64(0)
+
+// SSD is the multi-stream FTL simulation. Not safe for concurrent use.
+type SSD struct {
+	cfg    SSDConfig
+	eus    []eraseUnit
+	l2p    map[uint64]pageLoc
+	free   []int // erased, unopened EUs
+	open   []int // host open EU per stream (-1 if none)
+	gcOpen []int // GC-relocation open EU per stream (-1 if none)
+
+	hostPages   uint64 // pages written by the host
+	devicePages uint64 // pages written to flash (host + GC relocation)
+	gcRuns      uint64
+	erases      uint64
+	relocated   uint64 // pages moved by GC (devicePages - hostPages)
+	inGC        bool   // guards against re-entrant collection
+}
+
+// NewSSD returns a freshly erased device.
+func NewSSD(cfg SSDConfig) (*SSD, error) {
+	if cfg.GCFreeTarget == 0 {
+		cfg.GCFreeTarget = cfg.Streams + 2
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.GCFreeTarget >= cfg.EUs-cfg.Streams {
+		return nil, fmt.Errorf("ftl: GCFreeTarget %d too high for %d EUs", cfg.GCFreeTarget, cfg.EUs)
+	}
+	s := &SSD{
+		cfg:    cfg,
+		eus:    make([]eraseUnit, cfg.EUs),
+		l2p:    make(map[uint64]pageLoc),
+		open:   make([]int, cfg.Streams),
+		gcOpen: make([]int, cfg.Streams),
+	}
+	for i := range s.eus {
+		s.eus[i].pages = make([]uint64, cfg.PagesPerEU)
+		for j := range s.eus[i].pages {
+			s.eus[i].pages[j] = invalidLPN
+		}
+		s.free = append(s.free, i)
+	}
+	for i := range s.open {
+		s.open[i] = -1
+		s.gcOpen[i] = -1
+	}
+	return s, nil
+}
+
+// LogicalCapacityPages returns how many distinct logical pages the
+// device can hold while leaving the FTL working room (90% of physical
+// minus open blocks and the GC reserve). Exceeding it risks GC
+// livelock.
+func (s *SSD) LogicalCapacityPages() int {
+	return (s.cfg.EUs - 2*s.cfg.Streams - s.cfg.GCFreeTarget - 1) * s.cfg.PagesPerEU * 9 / 10
+}
+
+// WriteExtent writes every page of the extent to the given stream.
+func (s *SSD) WriteExtent(e blktrace.Extent, stream int) error {
+	first, last := PagesOf(e)
+	for lpn := first; lpn <= last; lpn++ {
+		if err := s.WritePage(lpn, stream); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePage writes one logical page to the given stream: the previous
+// physical copy (if any) is invalidated and the page is appended to the
+// stream's open erase unit — "data with the same stream ID is
+// guaranteed to be written together to a physically related NAND flash
+// block".
+func (s *SSD) WritePage(lpn uint64, stream int) error {
+	if stream < 0 || stream >= s.cfg.Streams {
+		return fmt.Errorf("ftl: stream %d out of range [0,%d)", stream, s.cfg.Streams)
+	}
+	s.hostPages++
+	return s.appendPage(lpn, stream, false)
+}
+
+func (s *SSD) appendPage(lpn uint64, stream int, gc bool) error {
+	// Invalidate the previous copy.
+	if loc, ok := s.l2p[lpn]; ok {
+		eu := &s.eus[loc.eu]
+		eu.pages[loc.slot] = invalidLPN
+		eu.valid--
+	}
+	eu, err := s.openEU(stream, gc)
+	if err != nil {
+		return err
+	}
+	u := &s.eus[eu]
+	slot := u.used
+	u.pages[slot] = lpn
+	u.used++
+	u.valid++
+	s.l2p[lpn] = pageLoc{eu: eu, slot: slot}
+	s.devicePages++
+	if u.used == s.cfg.PagesPerEU {
+		u.open = false // sealed
+		if gc {
+			s.gcOpen[stream] = -1
+		} else {
+			s.open[stream] = -1
+		}
+	}
+	return nil
+}
+
+// openEU returns the stream's host (or GC) open EU, allocating one if
+// needed. Host and GC append points are separate so relocated
+// remnants never fragment the host stream's fresh erase units.
+func (s *SSD) openEU(stream int, gc bool) (int, error) {
+	points := s.open
+	if gc {
+		points = s.gcOpen
+	}
+	if cur := points[stream]; cur >= 0 {
+		return cur, nil
+	}
+	// GC relocation itself opens EUs; it must draw on the reserve the
+	// free target maintains rather than re-trigger collection.
+	if !s.inGC && len(s.free) <= s.cfg.GCFreeTarget {
+		if err := s.collectGarbage(); err != nil {
+			return 0, err
+		}
+		// Collection may have opened an EU for this very append point;
+		// reuse it rather than popping a second and orphaning the
+		// first.
+		if cur := points[stream]; cur >= 0 {
+			return cur, nil
+		}
+	}
+	if len(s.free) == 0 {
+		return 0, fmt.Errorf("ftl: out of free erase units (device overfilled)")
+	}
+	eu := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	s.eus[eu].open = true
+	s.eus[eu].stream = stream
+	points[stream] = eu
+	return eu, nil
+}
+
+// collectGarbage greedily erases sealed EUs with the fewest valid
+// pages, relocating survivors (device writes — the source of write
+// amplification), until the free pool recovers.
+func (s *SSD) collectGarbage() error {
+	s.gcRuns++
+	s.inGC = true
+	defer func() { s.inGC = false }()
+	for len(s.free) <= s.cfg.GCFreeTarget {
+		victim := -1
+		best := s.cfg.PagesPerEU + 1
+		for i := range s.eus {
+			u := &s.eus[i]
+			if u.open || u.used < s.cfg.PagesPerEU {
+				continue // open or unsealed
+			}
+			if u.valid < best {
+				best = u.valid
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return fmt.Errorf("ftl: no GC victim available")
+		}
+		if best >= s.cfg.PagesPerEU {
+			// Every sealed EU is fully valid: relocation would free
+			// nothing. The logical working set exceeds the device.
+			return fmt.Errorf("ftl: device overfilled, GC cannot reclaim space")
+		}
+		u := &s.eus[victim]
+		// Relocate valid pages into the victim's stream's dedicated GC
+		// append point: survivors keep their death-time neighbourhood
+		// without fragmenting the stream's fresh erase units.
+		gcStream := u.stream
+		for slot, lpn := range u.pages {
+			if lpn == invalidLPN {
+				continue
+			}
+			u.pages[slot] = invalidLPN
+			u.valid--
+			delete(s.l2p, lpn)
+			s.relocated++
+			if err := s.appendPage(lpn, gcStream, true); err != nil {
+				return err
+			}
+		}
+		// Erase.
+		u.used = 0
+		u.valid = 0
+		for j := range u.pages {
+			u.pages[j] = invalidLPN
+		}
+		s.erases++
+		s.free = append(s.free, victim)
+	}
+	return nil
+}
+
+// ResetCounters zeroes the accumulated statistics without touching the
+// device state — used to exclude warmup from measurements, as the
+// paper's steady-state methodology does.
+func (s *SSD) ResetCounters() {
+	s.hostPages, s.devicePages = 0, 0
+	s.gcRuns, s.erases, s.relocated = 0, 0, 0
+}
+
+// WAF returns the write amplification factor: device page writes over
+// host page writes (1.0 is ideal).
+func (s *SSD) WAF() float64 {
+	if s.hostPages == 0 {
+		return 0
+	}
+	return float64(s.devicePages) / float64(s.hostPages)
+}
+
+// SSDStats summarises the device counters.
+type SSDStats struct {
+	HostPages, DevicePages uint64
+	GCRuns, Erases         uint64
+	RelocatedPages         uint64
+	WAF                    float64
+}
+
+// Stats returns the device counters.
+func (s *SSD) Stats() SSDStats {
+	return SSDStats{
+		HostPages:      s.hostPages,
+		DevicePages:    s.devicePages,
+		GCRuns:         s.gcRuns,
+		Erases:         s.erases,
+		RelocatedPages: s.relocated,
+		WAF:            s.WAF(),
+	}
+}

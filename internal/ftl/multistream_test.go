@@ -1,0 +1,320 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+func mustSSD(t *testing.T, cfg SSDConfig) *SSD {
+	t.Helper()
+	s, err := NewSSD(cfg)
+	if err != nil {
+		t.Fatalf("NewSSD: %v", err)
+	}
+	return s
+}
+
+func TestPageMapping(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(7) != 0 || PageOf(8) != 1 {
+		t.Error("PageOf wrong")
+	}
+	f, l := PagesOf(blktrace.Extent{Block: 6, Len: 4}) // blocks 6..9 -> pages 0..1
+	if f != 0 || l != 1 {
+		t.Errorf("PagesOf = [%d,%d]", f, l)
+	}
+	f, l = PagesOf(blktrace.Extent{Block: 8, Len: 8}) // exactly page 1
+	if f != 1 || l != 1 {
+		t.Errorf("PagesOf aligned = [%d,%d]", f, l)
+	}
+}
+
+func TestSSDConfigValidation(t *testing.T) {
+	bad := []SSDConfig{
+		{EUs: 2, PagesPerEU: 4, Streams: 1},
+		{EUs: 16, PagesPerEU: 0, Streams: 1},
+		{EUs: 16, PagesPerEU: 4, Streams: 0},
+		{EUs: 8, PagesPerEU: 4, Streams: 7},
+		{EUs: 16, PagesPerEU: 4, Streams: 2, GCFreeTarget: 14},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSSD(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestWriteReadbackMapping(t *testing.T) {
+	s := mustSSD(t, SSDConfig{EUs: 16, PagesPerEU: 8, Streams: 2})
+	if err := s.WritePage(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePage(5, 0); err != nil { // overwrite invalidates
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.HostPages != 2 || st.DevicePages != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.WAF() != 1.0 {
+		t.Errorf("WAF before GC = %v, want 1", s.WAF())
+	}
+	loc, ok := s.l2p[5]
+	if !ok {
+		t.Fatal("page lost")
+	}
+	if s.eus[loc.eu].pages[loc.slot] != 5 {
+		t.Error("reverse mapping broken")
+	}
+	if s.eus[loc.eu].valid != 1 {
+		t.Errorf("valid count = %d, want 1 after overwrite", s.eus[loc.eu].valid)
+	}
+}
+
+func TestWriteExtentSpansPages(t *testing.T) {
+	s := mustSSD(t, SSDConfig{EUs: 16, PagesPerEU: 8, Streams: 1})
+	// 32 blocks = 4 pages.
+	if err := s.WriteExtent(blktrace.Extent{Block: 0, Len: 32}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().HostPages != 4 {
+		t.Errorf("HostPages = %d, want 4", s.Stats().HostPages)
+	}
+}
+
+func TestWriteInvalidStream(t *testing.T) {
+	s := mustSSD(t, SSDConfig{EUs: 16, PagesPerEU: 8, Streams: 2})
+	if err := s.WritePage(0, 2); err == nil {
+		t.Error("want error for out-of-range stream")
+	}
+	if err := s.WritePage(0, -1); err == nil {
+		t.Error("want error for negative stream")
+	}
+}
+
+func TestGCReclaimsAndAmplifies(t *testing.T) {
+	s := mustSSD(t, SSDConfig{EUs: 16, PagesPerEU: 16, Streams: 2})
+	cap := s.LogicalCapacityPages()
+	if cap <= 0 {
+		t.Fatal("no logical capacity")
+	}
+	// Overwrite a working set repeatedly: far more host pages than the
+	// device holds, forcing GC.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < cap*10; i++ {
+		if err := s.WritePage(uint64(rng.Intn(cap)), 0); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.GCRuns == 0 || st.Erases == 0 {
+		t.Fatalf("GC never ran: %+v", st)
+	}
+	if st.WAF <= 1.0 {
+		t.Errorf("WAF = %v, want > 1 under random overwrites", st.WAF)
+	}
+	// Mapping integrity: every live logical page maps to a slot holding it.
+	for lpn, loc := range s.l2p {
+		if s.eus[loc.eu].pages[loc.slot] != lpn {
+			t.Fatalf("broken mapping for lpn %d", lpn)
+		}
+	}
+}
+
+func TestOverfillFailsCleanly(t *testing.T) {
+	s := mustSSD(t, SSDConfig{EUs: 8, PagesPerEU: 4, Streams: 1})
+	var err error
+	// Write more distinct pages than physical capacity: must error, not hang.
+	for lpn := uint64(0); lpn < uint64(8*4+10) && err == nil; lpn++ {
+		err = s.WritePage(lpn, 0)
+	}
+	if err == nil {
+		t.Fatal("want overfill error")
+	}
+}
+
+// gcWorkload drives the §V.1 experiment. Correlated write groups —
+// sets of pages always rewritten together, i.e. sharing a death time —
+// are rewritten as units by several concurrent writers whose pages
+// interleave at the device (the multi-tenant block layer the paper
+// targets). Groups span a whole erase unit, so death-time-aware stream
+// assignment lets each EU die wholesale, while a single append point
+// weaves concurrent groups into every EU and pays relocation for the
+// still-live remainder at every collection.
+func gcWorkload(t *testing.T, s *SSD, assigner StreamAssigner, seed int64) float64 {
+	t.Helper()
+	const (
+		groups     = 24
+		groupPages = 32 // one erase unit's worth
+		writers    = 4  // concurrent rewrite operations
+		totalOps   = 1500
+	)
+	extents := func(g int) []blktrace.Extent {
+		out := make([]blktrace.Extent, groupPages)
+		for k := range out {
+			out[k] = blktrace.Extent{
+				Block: uint64((g*groupPages + k) * BlocksPerPage),
+				Len:   BlocksPerPage,
+			}
+		}
+		return out
+	}
+	write := func(e blktrace.Extent) {
+		if err := s.WriteExtent(e, assigner.Assign(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Populate every group once, sequentially.
+	for g := 0; g < groups; g++ {
+		assigner.Observe(extents(g))
+		for _, e := range extents(g) {
+			write(e)
+		}
+	}
+	// Concurrent rewrite phase: `writers` in-flight group rewrites,
+	// one page at a time in random interleaving.
+	rng := rand.New(rand.NewSource(seed))
+	type op struct{ pending []blktrace.Extent }
+	started := 0
+	startOp := func() *op {
+		g := rng.Intn(groups)
+		assigner.Observe(extents(g))
+		started++
+		return &op{pending: extents(g)}
+	}
+	var active []*op
+	for len(active) < writers {
+		active = append(active, startOp())
+	}
+	warmup := totalOps / 5
+	for len(active) > 0 {
+		if started == warmup {
+			// Measure steady state: learning assigners converge during
+			// warmup, and the baseline is unaffected by the reset.
+			s.ResetCounters()
+			started++ // reset only once
+		}
+		i := rng.Intn(len(active))
+		o := active[i]
+		write(o.pending[0])
+		o.pending = o.pending[1:]
+		if len(o.pending) == 0 {
+			if started < totalOps {
+				active[i] = startOp()
+			} else {
+				active = append(active[:i], active[i+1:]...)
+			}
+		}
+	}
+	return s.WAF()
+}
+
+// pretrain shows the assigner every group a few times so its stream
+// map is converged, modelling a characterization framework that has
+// been running continuously (the paper's deployment model). Starting
+// cold instead costs a one-time transient: the first few mis-assigned
+// writes leave erase units mixing two groups' pages, which elevates
+// WAF until those units churn out.
+func pretrain(corr *CorrelationStreams) {
+	for r := 0; r < 5; r++ {
+		for g := 0; g < 24; g++ {
+			tx := make([]blktrace.Extent, 32)
+			for k := range tx {
+				tx[k] = blktrace.Extent{Block: uint64((g*32 + k) * BlocksPerPage), Len: BlocksPerPage}
+			}
+			corr.Observe(tx)
+		}
+	}
+}
+
+// The §V.1 claim: correlation-aware stream assignment cuts GC overhead
+// versus a conventional single append point under concurrent correlated
+// writes.
+func TestCorrelationStreamsReduceWAF(t *testing.T) {
+	// Live set: 24 groups × 32 pages = 768 of 1536 physical pages; the
+	// writable pool (after the free reserve and the 2×8 open append
+	// points) is ≈80% utilised — real GC pressure without livelock.
+	cfg := SSDConfig{EUs: 48, PagesPerEU: 32, Streams: 8}
+
+	single := mustSSD(t, cfg)
+	wafSingle := gcWorkload(t, single, SingleStream{}, 7)
+
+	corr, err := NewCorrelationStreams(CorrelationStreamsConfig{
+		Streams:      8,
+		Analyzer:     coreConfig(16384),
+		MinSupport:   2,
+		RebuildEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pretrain(corr)
+	ssd2 := mustSSD(t, cfg)
+	wafCorr := gcWorkload(t, ssd2, corr, 7)
+
+	if corr.Groups() == 0 {
+		t.Fatal("assigner learned no groups")
+	}
+	if wafSingle <= 1.05 {
+		t.Fatalf("baseline WAF %.3f: workload did not stress GC", wafSingle)
+	}
+	if wafCorr >= wafSingle {
+		t.Fatalf("correlation WAF %.3f not better than single-stream %.3f", wafCorr, wafSingle)
+	}
+	// Compare amplification *overhead* (WAF − 1): the relocation work
+	// eliminated is what matters. The converged assigner should remove
+	// the bulk of it (near-wholesale erase-unit deaths).
+	if ratio := (wafSingle - 1) / (wafCorr - 1); ratio < 2 {
+		t.Errorf("GC overhead only cut %.2fx (single %.3f, corr %.3f)",
+			ratio, wafSingle, wafCorr)
+	}
+	// A death-time-blind spreader must not be credited: hashing by
+	// address across the same streams makes WAF *worse* than a single
+	// append point on this workload.
+	hashSSD := mustSSD(t, cfg)
+	wafHash := gcWorkload(t, hashSSD, HashStreams{Streams: 8}, 7)
+	if wafHash <= wafSingle {
+		t.Errorf("hash streams WAF %.3f unexpectedly beat single %.3f", wafHash, wafSingle)
+	}
+}
+
+// Starting cold, the learner must converge quickly: stream-0
+// (unclassified) writes should be confined to the very beginning of
+// the run.
+func TestCorrelationStreamsConvergeOnline(t *testing.T) {
+	cfg := SSDConfig{EUs: 48, PagesPerEU: 32, Streams: 8}
+	corr, err := NewCorrelationStreams(CorrelationStreamsConfig{
+		Streams:      8,
+		Analyzer:     coreConfig(16384),
+		MinSupport:   2,
+		RebuildEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &zeroCounter{inner: corr}
+	s := mustSSD(t, cfg)
+	gcWorkload(t, s, counter, 7)
+	early := counter.calls / 10
+	if counter.lastZero > early {
+		t.Errorf("last unclassified write at call %d of %d, want within first %d",
+			counter.lastZero, counter.calls, early)
+	}
+}
+
+type zeroCounter struct {
+	inner    StreamAssigner
+	calls    int
+	lastZero int
+}
+
+func (z *zeroCounter) Observe(tx []blktrace.Extent) { z.inner.Observe(tx) }
+func (z *zeroCounter) Assign(e blktrace.Extent) int {
+	s := z.inner.Assign(e)
+	z.calls++
+	if s == 0 {
+		z.lastZero = z.calls
+	}
+	return s
+}

@@ -1,0 +1,316 @@
+package msr
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/workload"
+)
+
+// GeneratedTrace is a synthesised MSR-like trace plus the metadata the
+// experiments need: the recorded per-request latencies ("as reported in
+// the trace", Table II) and the planted correlated groups (ground truth
+// for detection metrics).
+type GeneratedTrace struct {
+	Profile Profile
+	Trace   *blktrace.Trace
+	// Latencies[i] is the recorded latency of Trace.Events[i] on the
+	// original (HDD-era) server.
+	Latencies []time.Duration
+	// Groups are the planted correlated extent groups.
+	Groups [][]blktrace.Extent
+}
+
+// GroupPairs returns the ground-truth extent pairs implied by the
+// planted groups.
+func (g *GeneratedTrace) GroupPairs() []blktrace.Pair {
+	var out []blktrace.Pair
+	for _, grp := range g.Groups {
+		for i := 0; i < len(grp); i++ {
+			for j := i + 1; j < len(grp); j++ {
+				out = append(out, blktrace.MakePair(grp[i], grp[j]))
+			}
+		}
+	}
+	return out
+}
+
+// arrivalUnit is one logical arrival: a single request, or a correlated
+// group issued back-to-back.
+type arrivalUnit struct {
+	events []blktrace.Event // Time fields filled in later
+	group  bool
+}
+
+// Generate synthesises a trace of the given length. requests <= 0 uses
+// the profile default. Generation is deterministic in (profile,
+// requests, seed).
+func (p Profile) Generate(requests int, seed int64) (*GeneratedTrace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if requests <= 0 {
+		requests = p.DefaultRequests
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	fixedShape := func() blktrace.Extent {
+		return blktrace.Extent{
+			Block: uint64(rng.Int63n(int64(p.NumberSpace))),
+			Len:   p.ReqMin + uint32(rng.Intn(int(p.ReqMax-p.ReqMin+1))),
+		}
+	}
+
+	// Fixed populations: shapes are chosen once so repeated accesses
+	// repeat the exact extent (the paper's same-shape observation).
+	hot := make([]blktrace.Extent, p.HotExtents)
+	for i := range hot {
+		hot[i] = fixedShape()
+	}
+	groups := make([][]blktrace.Extent, p.Groups)
+	for i := range groups {
+		n := p.GroupMin + rng.Intn(p.GroupMax-p.GroupMin+1)
+		groups[i] = make([]blktrace.Extent, n)
+		for j := range groups[i] {
+			groups[i][j] = fixedShape()
+		}
+	}
+	// Warm extents are deliberately small (512 B – 4 KB): they exist to
+	// populate the long tail of low-support *pairs*, not to move bulk
+	// data, so they must not dominate the unique-bytes budget.
+	warm := make([]blktrace.Extent, p.WarmExtents)
+	for i := range warm {
+		warm[i] = blktrace.Extent{
+			Block: uint64(rng.Int63n(int64(p.NumberSpace))),
+			Len:   1 + uint32(rng.Intn(8)),
+		}
+	}
+	// hm's popular region: single blocks clustered around 1/16 of the
+	// number space (the paper's "blocks around number 5M").
+	popBase := p.NumberSpace / 16
+	popular := make([]blktrace.Extent, p.PopularRegion)
+	for i := range popular {
+		popular[i] = blktrace.Extent{Block: popBase + uint64(rng.Intn(1+4*max(p.PopularRegion, 1))), Len: 1 + uint32(rng.Intn(4))}
+	}
+
+	hotZipf, err := workload.NewZipfRanks(len(hot), p.HotSkew)
+	if err != nil {
+		return nil, err
+	}
+	groupZipf, err := workload.NewZipfRanks(len(groups), p.HotSkew)
+	if err != nil {
+		return nil, err
+	}
+	var popZipf *workload.ZipfRanks
+	if len(popular) > 0 {
+		popZipf, err = workload.NewZipfRanks(len(popular), 0.8)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	op := func() blktrace.Op {
+		if rng.Float64() < p.WriteFrac {
+			return blktrace.OpWrite
+		}
+		return blktrace.OpRead
+	}
+
+	// Build the arrival-unit sequence. The class probabilities are
+	// *event* shares, but classes differ in events per arrival unit
+	// (scans, warm pairs, and groups carry several), so each class's
+	// unit probability is its event share divided by its expected unit
+	// size, renormalised.
+	const scanMin, scanMax = 3, 8
+	meanScanLen := float64(scanMin+scanMax) / 2
+	eCold := 1 + p.ScanFrac*(meanScanLen-1)
+	eWarm := 2.0
+	ePop := 1.0
+	meanGroup := float64(p.GroupMin+p.GroupMax) / 2
+	eHot := (1 - p.GroupProb) + p.GroupProb*meanGroup
+	hotShare := 1 - p.ColdProb - p.WarmProb - p.PopularRegionProb
+	wCold := p.ColdProb / eCold
+	wWarm := p.WarmProb / eWarm
+	wPop := p.PopularRegionProb / ePop
+	wHot := hotShare / eHot
+	z := wCold + wWarm + wPop + wHot
+	coldUnitProb := wCold / z
+	warmUnitProb := wWarm / z
+	popUnitProb := wPop / z
+	var units []arrivalUnit
+	totalEvents := 0
+	for totalEvents < requests {
+		u := arrivalUnit{}
+		r := rng.Float64()
+		switch {
+		case r < coldUnitProb:
+			coldExtent := blktrace.Extent{
+				Block: uint64(rng.Int63n(int64(p.NumberSpace))),
+				Len:   p.ReqMin + uint32(rng.Intn(int(p.ReqMax-p.ReqMin+1))),
+			}
+			if rng.Float64() < p.ScanFrac {
+				// Sequential scan: adjacent same-shape extents issued
+				// back to back (Fig. 1's diagonal streaks).
+				runLen := scanMin + rng.Intn(scanMax-scanMin+1)
+				o := op()
+				u.events = make([]blktrace.Event, runLen)
+				cur := coldExtent
+				for j := 0; j < runLen; j++ {
+					u.events[j] = blktrace.Event{PID: 1, Op: o, Extent: cur}
+					cur = blktrace.Extent{Block: cur.End(), Len: cur.Len}
+				}
+				u.group = true // members arrive with fast gaps
+				break
+			}
+			// One-off random request.
+			u.events = []blktrace.Event{{PID: 1, Op: op(), Extent: coldExtent}}
+		case r < coldUnitProb+warmUnitProb && len(warm) >= 2:
+			// A warm pair: both extents together, each pair repeating
+			// only a handful of times over the trace (the long tail).
+			i := rng.Intn(len(warm) / 2)
+			o := op()
+			u.events = []blktrace.Event{
+				{PID: 1, Op: o, Extent: warm[2*i]},
+				{PID: 1, Op: o, Extent: warm[2*i+1]},
+			}
+			u.group = true
+		case r < coldUnitProb+warmUnitProb+popUnitProb && popZipf != nil:
+			// hm's popular region: individually hot single blocks whose
+			// pairings are coincidental.
+			u.events = []blktrace.Event{{PID: 1, Op: blktrace.OpRead,
+				Extent: popular[popZipf.Sample(rng)]}}
+		default:
+			if rng.Float64() < p.GroupProb {
+				g := groups[groupZipf.Sample(rng)]
+				o := op()
+				u.events = make([]blktrace.Event, len(g))
+				for j, e := range g {
+					u.events[j] = blktrace.Event{PID: 1, Op: o, Extent: e}
+				}
+				u.group = true
+			} else {
+				u.events = []blktrace.Event{{PID: 1, Op: op(),
+					Extent: hot[hotZipf.Sample(rng)]}}
+			}
+		}
+		totalEvents += len(u.events)
+		units = append(units, u)
+	}
+
+	// Timestamp pass. Gaps inside groups are forced fast (<100 µs);
+	// the remaining gaps are fast with probability q chosen so the
+	// overall fast fraction hits the profile target exactly in
+	// expectation.
+	events, forcedFast := flatten(units, requests)
+	gaps := len(events) - 1
+	q := 0.0
+	if gaps > forcedFast {
+		q = (p.FastFrac*float64(gaps) - float64(forcedFast)) / float64(gaps-forcedFast)
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+	}
+	now := int64(0)
+	trace := &blktrace.Trace{}
+	lats := make([]time.Duration, 0, len(events))
+	for i := range events {
+		if i > 0 {
+			if events[i].fastGap || rng.Float64() < q {
+				now += 2_000 + rng.Int63n(88_000) // 2–90 µs
+			} else {
+				now += 120_000 + int64(rng.ExpFloat64()*float64(p.InterBurstMean))
+			}
+		}
+		ev := events[i].ev
+		ev.Time = now
+		trace.Append(ev)
+		// Recorded HDD-era latency: mean TraceLatencyMean with an
+		// exponential tail (0.4 + 0.6·Exp(1) has mean 1).
+		lats = append(lats, time.Duration(float64(p.TraceLatencyMean)*(0.4+0.6*rng.ExpFloat64())))
+	}
+	return &GeneratedTrace{Profile: p, Trace: trace, Latencies: lats, Groups: groups}, nil
+}
+
+type timedEvent struct {
+	ev      blktrace.Event
+	fastGap bool // gap *before* this event is forced fast
+}
+
+// flatten expands units to at most limit events, marking intra-group
+// gaps as forced-fast, and returns the forced-fast gap count.
+func flatten(units []arrivalUnit, limit int) ([]timedEvent, int) {
+	var out []timedEvent
+	forced := 0
+	for _, u := range units {
+		for j, ev := range u.events {
+			if len(out) >= limit {
+				return out, forced
+			}
+			te := timedEvent{ev: ev}
+			if u.group && j > 0 {
+				te.fastGap = true
+				forced++
+			}
+			out = append(out, te)
+		}
+	}
+	return out, forced
+}
+
+// Stats summarises a generated trace as a Table I row.
+type Stats struct {
+	Name            string
+	Description     string
+	Requests        int
+	TotalBytes      uint64
+	UniqueBytes     uint64
+	FastFraction    float64 // interarrival % < 100 µs
+	MeanTraceLat    time.Duration
+	UniqueOverTotal float64
+}
+
+// Stats computes the Table I columns for the generated trace.
+func (g *GeneratedTrace) Stats() Stats {
+	total := g.Trace.TotalBytes()
+	unique := g.Trace.UniqueBytes()
+	var latSum time.Duration
+	for _, l := range g.Latencies {
+		latSum += l
+	}
+	mean := time.Duration(0)
+	if len(g.Latencies) > 0 {
+		mean = latSum / time.Duration(len(g.Latencies))
+	}
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(unique) / float64(total)
+	}
+	return Stats{
+		Name:            g.Profile.Name,
+		Description:     g.Profile.Description,
+		Requests:        g.Trace.Len(),
+		TotalBytes:      total,
+		UniqueBytes:     unique,
+		FastFraction:    g.Trace.InterarrivalFractionBelow(100 * time.Microsecond),
+		MeanTraceLat:    mean,
+		UniqueOverTotal: ratio,
+	}
+}
+
+// FormatBytes renders a byte count like the paper's "11.3 GB".
+func FormatBytes(b uint64) string {
+	const gb = 1 << 30
+	const mb = 1 << 20
+	switch {
+	case b >= gb:
+		return fmt.Sprintf("%.1f GB", float64(b)/gb)
+	case b >= mb:
+		return fmt.Sprintf("%.1f MB", float64(b)/mb)
+	}
+	return fmt.Sprintf("%d B", b)
+}

@@ -1,0 +1,286 @@
+package msr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+)
+
+func TestProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 5 {
+		t.Fatalf("want 5 profiles, got %d", len(ps))
+	}
+	names := []string{"wdev", "src2", "rsrch", "stg", "hm"}
+	for i, p := range ps {
+		if p.Name != names[i] {
+			t.Errorf("profile %d = %q, want %q (paper order)", i, p.Name, names[i])
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("stg")
+	if err != nil || p.Name != "stg" {
+		t.Errorf("ProfileByName(stg) = %v, %v", p.Name, err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("want error for unknown name")
+	}
+}
+
+func TestProfileValidationCatchesBadConfigs(t *testing.T) {
+	base := wdev()
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.NumberSpace = 0 },
+		func(p *Profile) { p.DefaultRequests = 0 },
+		func(p *Profile) { p.Groups = 0 },
+		func(p *Profile) { p.GroupMin = 1 },
+		func(p *Profile) { p.GroupMax = 1 },
+		func(p *Profile) { p.ReqMin = 0 },
+		func(p *Profile) { p.ReqMax = p.ReqMin - 1 },
+		func(p *Profile) { p.FastFrac = 0 },
+		func(p *Profile) { p.FastFrac = 1 },
+		func(p *Profile) { p.TraceLatencyMean = 0 },
+		func(p *Profile) { p.InterBurstMean = 0 },
+		func(p *Profile) { p.ColdProb = 0.9; p.WarmProb = 0.3 },
+		func(p *Profile) { p.GroupProb = 1.5 },
+	}
+	for i, mutate := range mutations {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: want validation error", i)
+		}
+	}
+}
+
+func TestStgNumberSpaceOrderOfMagnitudeLarger(t *testing.T) {
+	var stgSpace, maxOther uint64
+	for _, p := range Profiles() {
+		if p.Name == "stg" {
+			stgSpace = p.NumberSpace
+		} else if p.NumberSpace > maxOther {
+			maxOther = p.NumberSpace
+		}
+	}
+	if stgSpace < 10*maxOther {
+		t.Errorf("stg space %d should dwarf others (max %d), per the paper", stgSpace, maxOther)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := wdev()
+	a, err := p.Generate(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Len() != b.Trace.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Trace.Events {
+		if a.Trace.Events[i] != b.Trace.Events[i] || a.Latencies[i] != b.Latencies[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	for _, p := range Profiles() {
+		g, err := p.Generate(20_000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if g.Trace.Len() != 20_000 {
+			t.Errorf("%s: %d events, want exactly 20000", p.Name, g.Trace.Len())
+		}
+		if len(g.Latencies) != g.Trace.Len() {
+			t.Errorf("%s: %d latencies for %d events", p.Name, len(g.Latencies), g.Trace.Len())
+		}
+		last := int64(-1)
+		for i, ev := range g.Trace.Events {
+			if err := ev.Validate(); err != nil {
+				t.Fatalf("%s event %d: %v", p.Name, i, err)
+			}
+			if ev.Time < last {
+				t.Fatalf("%s: timestamps not monotone at %d", p.Name, i)
+			}
+			last = ev.Time
+			if ev.Extent.End() > p.NumberSpace+uint64(p.ReqMax) {
+				t.Fatalf("%s: extent %v escapes number space", p.Name, ev.Extent)
+			}
+		}
+		if len(g.Groups) != p.Groups {
+			t.Errorf("%s: %d groups, want %d", p.Name, len(g.Groups), p.Groups)
+		}
+		if len(g.GroupPairs()) < p.Groups {
+			t.Errorf("%s: too few ground-truth pairs", p.Name)
+		}
+	}
+}
+
+// Table I calibration: the fast-interarrival fraction must match the
+// paper's per-trace values closely, and the unique/total ratio must
+// match its regime (small for wdev/rsrch/hm, ~24% for src2, ~78% for stg).
+func TestTableICalibration(t *testing.T) {
+	wantRatio := map[string]float64{
+		"wdev": 0.047, "src2": 0.240, "rsrch": 0.074, "stg": 0.778, "hm": 0.062,
+	}
+	for _, p := range Profiles() {
+		g, err := p.Generate(0, 11) // default length
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		st := g.Stats()
+		if math.Abs(st.FastFraction-p.FastFrac) > 0.02 {
+			t.Errorf("%s: fast fraction = %.3f, want %.3f ± 0.02",
+				p.Name, st.FastFraction, p.FastFrac)
+		}
+		want := wantRatio[p.Name]
+		if st.UniqueOverTotal < want*0.6 || st.UniqueOverTotal > want*1.6 {
+			t.Errorf("%s: unique/total = %.3f, want ≈%.3f",
+				p.Name, st.UniqueOverTotal, want)
+		}
+		// Mean recorded latency within 10% of the Table II value.
+		ratio := float64(st.MeanTraceLat) / float64(p.TraceLatencyMean)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: mean trace latency = %v, want ≈%v",
+				p.Name, st.MeanTraceLat, p.TraceLatencyMean)
+		}
+	}
+}
+
+// The recorded latencies must be HDD-class (ms), per trace, so Table II
+// speedups come out in the paper's 60–500× range against a µs device.
+func TestRecordedLatenciesMsClass(t *testing.T) {
+	for _, p := range Profiles() {
+		g, err := p.Generate(5000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := g.Stats()
+		if st.MeanTraceLat < time.Millisecond || st.MeanTraceLat > 40*time.Millisecond {
+			t.Errorf("%s: mean trace latency %v out of HDD range", p.Name, st.MeanTraceLat)
+		}
+	}
+}
+
+// Groups must actually recur: the most popular group's extents should
+// appear together many times (they drive Figs. 5–9).
+func TestGroupsRecur(t *testing.T) {
+	p := wdev()
+	g, err := p.Generate(60_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count exact-extent occurrences of the top group's first member.
+	counts := map[blktrace.Extent]int{}
+	for _, ev := range g.Trace.Events {
+		counts[ev.Extent]++
+	}
+	top := g.Groups[0] // rank 0 = most popular under Zipf
+	for _, e := range top {
+		if counts[e] < 20 {
+			t.Errorf("top group extent %v occurred %d times, want many", e, counts[e])
+		}
+	}
+}
+
+// Adjacent group members must be issued back-to-back (within 100 µs) so
+// the monitor can windows them together.
+func TestGroupMembersAdjacent(t *testing.T) {
+	p := rsrch()
+	g, err := p.Generate(30_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memberOf := map[blktrace.Extent]int{}
+	for gi, grp := range g.Groups {
+		for _, e := range grp {
+			memberOf[e] = gi
+		}
+	}
+	// Every group-member event must have a same-group partner (a
+	// different extent) within a few events and 300 µs: group
+	// occurrences are emitted back-to-back with forced-fast gaps.
+	// (Consecutive occurrences of the same group may be far apart, so
+	// we check for *a* nearby partner, not adjacency of all members.)
+	evs := g.Trace.Events
+	memberEvents := 0
+	for i, ev := range evs {
+		gi, ok := memberOf[ev.Extent]
+		if !ok {
+			continue
+		}
+		memberEvents++
+		found := false
+		for j := max(0, i-3); j <= i+3 && j < len(evs) && !found; j++ {
+			if j == i {
+				continue
+			}
+			gj, ok2 := memberOf[evs[j].Extent]
+			if ok2 && gj == gi && evs[j].Extent != ev.Extent &&
+				abs64(evs[j].Time-ev.Time) < 300_000 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("group-member event %d (%v) has no nearby partner", i, ev.Extent)
+		}
+	}
+	if memberEvents < 1000 {
+		t.Errorf("only %d group-member events seen", memberEvents)
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestHmPopularRegionExists(t *testing.T) {
+	p := hm()
+	if p.PopularRegion == 0 || p.PopularRegionProb == 0 {
+		t.Fatal("hm must model the Fig. 8e popular region")
+	}
+	g, err := p.Generate(40_000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popBase := p.NumberSpace / 16
+	hits := 0
+	for _, ev := range g.Trace.Events {
+		if ev.Extent.Block >= popBase && ev.Extent.Block < popBase+uint64(8*p.PopularRegion) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(g.Trace.Len())
+	if frac < p.PopularRegionProb/2 {
+		t.Errorf("popular region hit fraction %.4f, want ≈%.3f", frac, p.PopularRegionProb)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	for in, want := range map[uint64]string{
+		500:               "500 B",
+		3 << 20:           "3.0 MB",
+		11_300 << 20:      "11.0 GB",
+		uint64(1.5 * 1e9): "1.4 GB",
+	} {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

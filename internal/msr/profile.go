@@ -1,0 +1,243 @@
+// Package msr synthesises block I/O traces modelled on the five MSR
+// Cambridge enterprise-server workloads the paper evaluates on (wdev,
+// src2, rsrch, stg, hm from Narayanan et al.'s write-offloading
+// dataset).
+//
+// We do not ship the original traces; instead each profile is
+// calibrated to reproduce the properties the paper's evaluation
+// actually depends on:
+//
+//   - Table I's shape: the unique/total accessed data ratio and the
+//     fraction of interarrival gaps under 100 µs (arrival burstiness).
+//   - Table II's regime: mean recorded (HDD-era) request latency per
+//     trace, from which replay speedups are derived.
+//   - Correlation structure: recurring extent groups with Zipf-like
+//     popularity (the vertical stripes of Fig. 1 and the frequent
+//     pairs of Figs. 5–9), a "warm" population of pairs repeating only
+//     a handful of times (the long tail that makes stg and hm hard in
+//     Fig. 9), and cold one-off requests (the support-1 mass of
+//     Fig. 5).
+//   - hm's quirk (Fig. 8e): a popular block region whose members are
+//     individually frequent but co-occur only coincidentally.
+//
+// Generation is deterministic per (profile, requests, seed).
+package msr
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile parameterises one synthetic MSR-like server workload.
+type Profile struct {
+	// Name is the paper's short name (wdev, src2, rsrch, stg, hm).
+	Name string
+	// Description matches Table I's server role.
+	Description string
+
+	// NumberSpace is the block number space. stg's is an order of
+	// magnitude larger than the others, which the paper calls out when
+	// explaining its poor small-table representability.
+	NumberSpace uint64
+
+	// DefaultRequests is the trace length used by the experiment
+	// drivers at scale 1. The real traces are week-long; everything
+	// measured here is a ratio, so the scale only needs to be large
+	// enough for the distributions to emerge.
+	DefaultRequests int
+
+	// HotExtents is the number of distinct recurring extents requested
+	// individually (outside groups), with Zipf popularity HotSkew.
+	HotExtents int
+	// HotSkew is the Zipf skew over hot extents and groups.
+	HotSkew float64
+	// Groups is the number of correlated extent groups; a group's
+	// members are issued back-to-back whenever it arrives, creating
+	// genuine inter-request extent correlations.
+	Groups int
+	// GroupMin/GroupMax bound the extents per group.
+	GroupMin, GroupMax int
+	// GroupProb is the probability that a hot arrival is a group
+	// rather than a single hot extent.
+	GroupProb float64
+
+	// WarmExtents is a population of extents each requested only a few
+	// times over the whole trace; warm arrivals come in pairs, so they
+	// produce low-support correlations — the long tail.
+	WarmExtents int
+	// WarmProb is the probability that a request is warm.
+	WarmProb float64
+
+	// ColdProb is the probability that a request is a one-off random
+	// extent; it is the main control of the unique/total data ratio.
+	ColdProb float64
+	// ScanFrac is the fraction of cold *traffic* issued as sequential
+	// scans (runs of adjacent same-shape extents) rather than isolated
+	// requests — the diagonal streaks of Fig. 1. The generator keeps
+	// the cold share of events equal to ColdProb regardless.
+	ScanFrac float64
+
+	// ReqMin/ReqMax bound request sizes in blocks for cold requests
+	// (hot/warm/group extents get fixed shapes drawn from the same
+	// range at construction — "extents of same shape repeat themselves
+	// with very high frequency").
+	ReqMin, ReqMax uint32
+
+	// WriteFrac is the fraction of write requests.
+	WriteFrac float64
+
+	// FastFrac is Table I's "interarrival % < 100 µs": arrivals are
+	// geometric bursts with mean length 1/(1-FastFrac), microsecond
+	// gaps inside a burst and >100 µs gaps between bursts.
+	FastFrac float64
+	// InterBurstMean is the mean of the exponential between-burst gap
+	// (on top of a 120 µs floor).
+	InterBurstMean time.Duration
+
+	// TraceLatencyMean is Table II's "mean trace latency": the mean of
+	// the recorded per-request latencies (HDD-era service times).
+	TraceLatencyMean time.Duration
+
+	// PopularRegion, when non-zero, is the number of single blocks in
+	// one hot region accessed individually at PopularRegionProb — hm's
+	// coincidental-correlation region (Fig. 8e).
+	PopularRegion     int
+	PopularRegionProb float64
+}
+
+// Validate reports configuration errors.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("msr: profile needs a name")
+	case p.NumberSpace == 0:
+		return fmt.Errorf("msr %s: NumberSpace required", p.Name)
+	case p.DefaultRequests < 1:
+		return fmt.Errorf("msr %s: DefaultRequests must be >= 1", p.Name)
+	case p.HotExtents < 1 || p.Groups < 1:
+		return fmt.Errorf("msr %s: need hot extents and groups", p.Name)
+	case p.GroupMin < 2 || p.GroupMax < p.GroupMin:
+		return fmt.Errorf("msr %s: invalid group size range [%d,%d]", p.Name, p.GroupMin, p.GroupMax)
+	case p.ReqMin < 1 || p.ReqMax < p.ReqMin:
+		return fmt.Errorf("msr %s: invalid request size range [%d,%d]", p.Name, p.ReqMin, p.ReqMax)
+	case p.FastFrac <= 0 || p.FastFrac >= 1:
+		return fmt.Errorf("msr %s: FastFrac must be in (0,1)", p.Name)
+	case p.TraceLatencyMean <= 0:
+		return fmt.Errorf("msr %s: TraceLatencyMean required", p.Name)
+	case p.InterBurstMean <= 0:
+		return fmt.Errorf("msr %s: InterBurstMean required", p.Name)
+	}
+	probs := p.GroupProb + 0 // GroupProb is conditional, checked alone
+	if probs < 0 || p.GroupProb > 1 {
+		return fmt.Errorf("msr %s: GroupProb out of range", p.Name)
+	}
+	if p.WarmProb < 0 || p.ColdProb < 0 || p.WarmProb+p.ColdProb+p.PopularRegionProb > 1 {
+		return fmt.Errorf("msr %s: arrival class probabilities exceed 1", p.Name)
+	}
+	if p.ScanFrac < 0 || p.ScanFrac > 1 {
+		return fmt.Errorf("msr %s: ScanFrac out of [0,1]", p.Name)
+	}
+	return nil
+}
+
+// The five profiles, calibrated against Tables I and II. Unique/total
+// ratios targeted: wdev 4.7%, src2 24%, rsrch 7.4%, stg 78%, hm 6.2%.
+func wdev() Profile {
+	return Profile{
+		Name: "wdev", Description: "test web server",
+		NumberSpace:     36 << 20, // ~18 GB of blocks
+		DefaultRequests: 120_000,
+		HotExtents:      3000, HotSkew: 0.9,
+		Groups: 400, GroupMin: 2, GroupMax: 4, GroupProb: 0.35,
+		WarmExtents: 4000, WarmProb: 0.04,
+		ColdProb: 0.022, ScanFrac: 0.30,
+		ReqMin: 8, ReqMax: 64,
+		WriteFrac: 0.70, // wdev is write-dominant in the MSR dataset
+		FastFrac:  0.784, InterBurstMean: 4 * time.Millisecond,
+		TraceLatencyMean: 3650 * time.Microsecond,
+	}
+}
+
+func src2() Profile {
+	return Profile{
+		Name: "src2", Description: "version control",
+		NumberSpace:     200 << 20, // ~100 GB
+		DefaultRequests: 160_000,
+		HotExtents:      12_000, HotSkew: 0.85,
+		Groups: 1500, GroupMin: 2, GroupMax: 4, GroupProb: 0.30,
+		WarmExtents: 20_000, WarmProb: 0.06,
+		ColdProb: 0.165, ScanFrac: 0.35,
+		ReqMin: 8, ReqMax: 128,
+		WriteFrac: 0.55,
+		FastFrac:  0.712, InterBurstMean: 5 * time.Millisecond,
+		TraceLatencyMean: 3880 * time.Microsecond,
+	}
+}
+
+func rsrch() Profile {
+	return Profile{
+		Name: "rsrch", Description: "research projects",
+		NumberSpace:     40 << 20, // ~20 GB
+		DefaultRequests: 120_000,
+		HotExtents:      3500, HotSkew: 0.9,
+		Groups: 500, GroupMin: 2, GroupMax: 3, GroupProb: 0.33,
+		WarmExtents: 5000, WarmProb: 0.05,
+		ColdProb: 0.040, ScanFrac: 0.25,
+		ReqMin: 4, ReqMax: 64,
+		WriteFrac: 0.85, // rsrch is ~90% writes in the MSR dataset
+		FastFrac:  0.774, InterBurstMean: 4 * time.Millisecond,
+		TraceLatencyMean: 3020 * time.Microsecond,
+	}
+}
+
+func stg() Profile {
+	return Profile{
+		Name: "stg", Description: "staging server",
+		// An order of magnitude more blocks than the rest — the
+		// property the paper blames for stg's poor small-table
+		// behaviour in Fig. 9.
+		NumberSpace:     2 << 30, // ~1 TB
+		DefaultRequests: 160_000,
+		HotExtents:      8000, HotSkew: 0.8,
+		Groups: 1200, GroupMin: 2, GroupMax: 3, GroupProb: 0.25,
+		WarmExtents: 40_000, WarmProb: 0.10, // heavy low-support tail
+		ColdProb: 0.66, ScanFrac: 0.50, // staging: bulk sequential copies
+		ReqMin: 16, ReqMax: 256,
+		WriteFrac: 0.35,
+		FastFrac:  0.659, InterBurstMean: 8 * time.Millisecond,
+		TraceLatencyMean: 18_940 * time.Microsecond,
+	}
+}
+
+func hm() Profile {
+	return Profile{
+		Name: "hm", Description: "hardware monitor",
+		NumberSpace:     80 << 20, // ~40 GB
+		DefaultRequests: 140_000,
+		HotExtents:      3500, HotSkew: 0.85,
+		Groups: 800, GroupMin: 2, GroupMax: 3, GroupProb: 0.28,
+		WarmExtents: 30_000, WarmProb: 0.09, // long tail, like stg
+		ColdProb: 0.019, ScanFrac: 0.20,
+		ReqMin: 4, ReqMax: 64,
+		WriteFrac: 0.60,
+		FastFrac:  0.670, InterBurstMean: 6 * time.Millisecond,
+		// Fig. 8e's frequent-but-uncorrelated region around block 5M.
+		PopularRegion: 600, PopularRegionProb: 0.06,
+		TraceLatencyMean: 13_860 * time.Microsecond,
+	}
+}
+
+// Profiles returns the five MSR-like profiles in the paper's order.
+func Profiles() []Profile {
+	return []Profile{wdev(), src2(), rsrch(), stg(), hm()}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("msr: unknown profile %q (want wdev, src2, rsrch, stg, or hm)", name)
+}

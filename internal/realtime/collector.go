@@ -1,0 +1,250 @@
+// Package realtime runs the characterization pipeline as a concurrent
+// service: block-layer events and completion latencies stream in from
+// producer goroutines, a single collector goroutine owns the monitor
+// and analyzer (no locks on the hot path — state is confined, queries
+// communicate), and consumers ask for snapshots, rules, or statistics
+// at any moment while the stream is live. This is the deployment shape
+// the paper sketches: characterization running alongside the workload,
+// feeding optimization modules continuously.
+package realtime
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/monitor"
+	"daccor/internal/pipeline"
+)
+
+// Config configures a Collector.
+type Config struct {
+	// Pipeline configures the monitor and analyzer, as in package
+	// pipeline.
+	Pipeline pipeline.Config
+	// Buffer is the event channel capacity; 0 means DefaultBuffer.
+	Buffer int
+	// DropOnBackpressure makes Submit drop events (counted) instead of
+	// blocking when the collector falls behind — a live monitor must
+	// never stall the I/O path it observes.
+	DropOnBackpressure bool
+}
+
+// DefaultBuffer is the default event channel capacity.
+const DefaultBuffer = 4096
+
+// ErrStopped is returned by Submit and queries after Stop.
+var ErrStopped = errors.New("realtime: collector stopped")
+
+type queryKind int
+
+const (
+	querySnapshot queryKind = iota
+	queryRules
+	queryStats
+	querySave
+)
+
+type query struct {
+	kind       queryKind
+	minSupport uint32
+	minConf    float64
+	saveTo     io.Writer
+	reply      chan queryReply
+}
+
+type queryReply struct {
+	snapshot core.Snapshot
+	rules    []core.Rule
+	monStats monitor.Stats
+	anStats  core.Stats
+	saveErr  error
+}
+
+// Collector is the running service. All methods are safe for
+// concurrent use.
+type Collector struct {
+	events  chan blktrace.Event
+	lats    chan int64
+	queries chan query
+	stop    chan struct{} // closed by Stop to request shutdown
+	done    chan struct{} // closed by the loop on exit
+
+	dropMode bool        // immutable after Start
+	dropped  chan uint64 // 1-buffered mailbox holding the drop count
+	stopOnce sync.Once
+}
+
+// Start launches the collector goroutine.
+func Start(cfg Config) (*Collector, error) {
+	if cfg.Buffer == 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	if cfg.Buffer < 1 {
+		return nil, fmt.Errorf("realtime: Buffer must be >= 1 (got %d)", cfg.Buffer)
+	}
+	pipe, err := pipeline.New(cfg.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		events:   make(chan blktrace.Event, cfg.Buffer),
+		lats:     make(chan int64, cfg.Buffer),
+		queries:  make(chan query),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		dropMode: cfg.DropOnBackpressure,
+		dropped:  make(chan uint64, 1),
+	}
+	c.dropped <- 0
+	go c.loop(pipe)
+	return c, nil
+}
+
+func (c *Collector) loop(pipe *pipeline.Pipeline) {
+	defer close(c.done)
+	for {
+		select {
+		case ev := <-c.events:
+			// Monitor validation errors are counted by the caller via
+			// Submit; events reaching here are pre-validated.
+			_ = pipe.HandleIssue(ev)
+		case ns := <-c.lats:
+			pipe.Monitor().ObserveLatency(ns)
+		case q := <-c.queries:
+			c.answer(pipe, q)
+		case <-c.stop:
+			// Drain whatever producers managed to enqueue, then flush.
+			for {
+				select {
+				case ev := <-c.events:
+					_ = pipe.HandleIssue(ev)
+				case ns := <-c.lats:
+					pipe.Monitor().ObserveLatency(ns)
+				case q := <-c.queries:
+					c.answer(pipe, q)
+				default:
+					pipe.Flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *Collector) answer(pipe *pipeline.Pipeline, q query) {
+	var r queryReply
+	switch q.kind {
+	case querySnapshot:
+		r.snapshot = pipe.Snapshot(q.minSupport)
+	case queryRules:
+		r.rules = pipe.Analyzer().Rules(q.minSupport, q.minConf)
+	case queryStats:
+		r.monStats = pipe.Monitor().Stats()
+		r.anStats = pipe.Analyzer().Stats()
+	case querySave:
+		_, r.saveErr = pipe.Analyzer().WriteTo(q.saveTo)
+	}
+	q.reply <- r
+}
+
+// Submit offers one issue event to the collector. It validates the
+// event, then either enqueues it (blocking under backpressure) or, in
+// DropOnBackpressure mode, drops it and counts the drop. It returns
+// ErrStopped after Stop.
+func (c *Collector) Submit(ev blktrace.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	select {
+	case <-c.stop:
+		return ErrStopped
+	default:
+	}
+	if c.dropMode {
+		select {
+		case c.events <- ev:
+		case <-c.stop:
+			return ErrStopped
+		default:
+			n := <-c.dropped
+			c.dropped <- n + 1
+		}
+		return nil
+	}
+	select {
+	case c.events <- ev:
+		return nil
+	case <-c.stop:
+		return ErrStopped
+	}
+}
+
+// ObserveLatency feeds one completion latency (ns). It never blocks
+// meaningfully (latencies are droppable signal, not data).
+func (c *Collector) ObserveLatency(ns int64) {
+	select {
+	case c.lats <- ns:
+	case <-c.stop:
+	default:
+	}
+}
+
+// Snapshot asks the collector for the current synopsis contents.
+func (c *Collector) Snapshot(minSupport uint32) (core.Snapshot, error) {
+	r, err := c.ask(query{kind: querySnapshot, minSupport: minSupport})
+	return r.snapshot, err
+}
+
+// Rules asks for the current directional association rules.
+func (c *Collector) Rules(minSupport uint32, minConfidence float64) ([]core.Rule, error) {
+	r, err := c.ask(query{kind: queryRules, minSupport: minSupport, minConf: minConfidence})
+	return r.rules, err
+}
+
+// WriteSnapshot serialises the live synopsis state (see
+// core.Analyzer.WriteTo) without stopping ingestion — a consistent
+// point-in-time save taken between transactions.
+func (c *Collector) WriteSnapshot(w io.Writer) error {
+	r, err := c.ask(query{kind: querySave, saveTo: w})
+	if err != nil {
+		return err
+	}
+	return r.saveErr
+}
+
+// Stats asks for the monitor and analyzer counters.
+func (c *Collector) Stats() (monitor.Stats, core.Stats, error) {
+	r, err := c.ask(query{kind: queryStats})
+	return r.monStats, r.anStats, err
+}
+
+func (c *Collector) ask(q query) (queryReply, error) {
+	q.reply = make(chan queryReply, 1)
+	select {
+	case c.queries <- q:
+		return <-q.reply, nil
+	case <-c.done:
+		return queryReply{}, ErrStopped
+	}
+}
+
+// Dropped reports events discarded under backpressure.
+func (c *Collector) Dropped() uint64 {
+	n := <-c.dropped
+	c.dropped <- n
+	return n
+}
+
+// Stop shuts the collector down: no new events are accepted, buffered
+// events are drained into the pipeline, the open transaction is
+// flushed, and the collector goroutine exits. Stop is idempotent and
+// returns once shutdown completes. Events submitted concurrently with
+// Stop may be discarded.
+func (c *Collector) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}

@@ -1,0 +1,309 @@
+package realtime
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/monitor"
+	"daccor/internal/pipeline"
+	"daccor/internal/workload"
+)
+
+func testConfig() Config {
+	return Config{
+		Pipeline: pipeline.Config{
+			Monitor:  monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)},
+			Analyzer: core.Config{ItemCapacity: 4096, PairCapacity: 4096},
+		},
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{Buffer: -1, Pipeline: testConfig().Pipeline}); err == nil {
+		t.Error("want error for negative buffer")
+	}
+	if _, err := Start(Config{}); err == nil {
+		t.Error("want error for zero analyzer capacities")
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	c, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	bad := blktrace.Event{Time: 0, Op: blktrace.OpRead,
+		Extent: blktrace.Extent{Block: 1, Len: 0}}
+	if err := c.Submit(bad); err == nil {
+		t.Error("want validation error")
+	}
+}
+
+func TestEndToEndConcurrent(t *testing.T) {
+	syn, err := workload.Generate(workload.SyntheticConfig{
+		Kind:        workload.OneToOne,
+		Occurrences: 800,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Producer feeds events while a consumer polls snapshots and stats.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, ev := range syn.Trace.Events {
+			if err := c.Submit(ev); err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			c.ObserveLatency(int64(40 * time.Microsecond))
+		}
+	}()
+	queries := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := c.Snapshot(1); err != nil {
+				t.Errorf("Snapshot: %v", err)
+				return
+			}
+			if _, _, err := c.Stats(); err != nil {
+				t.Errorf("Stats: %v", err)
+				return
+			}
+			queries++
+		}
+	}()
+	wg.Wait()
+
+	// Wait until every submitted event has been consumed by the loop,
+	// then read the final state (queries fail after Stop by design).
+	want := uint64(syn.Trace.Len())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mon, _, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mon.Events >= want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("collector consumed %d/%d events before deadline", mon.Events, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap, err := c.Snapshot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+
+	counts := map[blktrace.Pair]uint32{}
+	for _, pc := range snap.Pairs {
+		counts[pc.Pair] = pc.Count
+	}
+	for rank, corr := range syn.Correlations {
+		if counts[corr.Pairs()[0]] < 5 {
+			t.Errorf("planted pair rank %d missing after concurrent run", rank)
+		}
+	}
+	if queries != 50 {
+		t.Errorf("consumer completed %d/50 queries", queries)
+	}
+}
+
+func TestFinalStateViaPreStopQuery(t *testing.T) {
+	syn, err := workload.Generate(workload.SyntheticConfig{
+		Kind:        workload.ManyToMany,
+		Occurrences: 400,
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range syn.Trace.Events {
+		if err := c.Submit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Queries race with in-flight ingestion (the collector's select is
+	// fair, not ordered), so wait for the events to be consumed before
+	// reading the live state.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mon, _, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mon.Events >= uint64(syn.Trace.Len()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ingestion did not finish in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap, err := c.Snapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Pairs) == 0 {
+		t.Error("live snapshot empty after full workload")
+	}
+	// A live save must also succeed mid-session.
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.LoadAnalyzer(&buf)
+	if err != nil {
+		t.Fatalf("live snapshot not loadable: %v", err)
+	}
+	if restored.Pairs().Len() == 0 {
+		t.Error("restored live snapshot empty")
+	}
+	c.Stop()
+	if err := c.WriteSnapshot(&buf); !errors.Is(err, ErrStopped) {
+		t.Errorf("WriteSnapshot after stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestQueriesAfterStop(t *testing.T) {
+	c, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	if _, err := c.Snapshot(1); !errors.Is(err, ErrStopped) {
+		t.Errorf("Snapshot after stop = %v, want ErrStopped", err)
+	}
+	if _, err := c.Rules(1, 0); !errors.Is(err, ErrStopped) {
+		t.Errorf("Rules after stop = %v, want ErrStopped", err)
+	}
+	if _, _, err := c.Stats(); !errors.Is(err, ErrStopped) {
+		t.Errorf("Stats after stop = %v, want ErrStopped", err)
+	}
+	ev := blktrace.Event{Time: 0, Op: blktrace.OpRead,
+		Extent: blktrace.Extent{Block: 1, Len: 1}}
+	if err := c.Submit(ev); !errors.Is(err, ErrStopped) {
+		t.Errorf("Submit after stop = %v, want ErrStopped", err)
+	}
+	c.ObserveLatency(1) // must not panic or block
+}
+
+func TestConcurrentStop(t *testing.T) {
+	c, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Stop()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDropOnBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.Buffer = 4
+	cfg.DropOnBackpressure = true
+	c, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: a query first to make the loop busy is not reliable;
+	// instead flood far beyond the buffer from many goroutines. Some
+	// events may drop — but none may block.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				ev := blktrace.Event{Time: int64(i), Op: blktrace.OpRead,
+					Extent: blktrace.Extent{Block: uint64(g*100000 + i), Len: 1}}
+				if err := c.Submit(ev); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	dropped := c.Dropped()
+	_, anStats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	if anStats.Extents+dropped == 0 {
+		t.Error("nothing processed and nothing dropped")
+	}
+	t.Logf("processed %d extents, dropped %d", anStats.Extents, dropped)
+}
+
+func TestRulesQuery(t *testing.T) {
+	c, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := blktrace.Extent{Block: 10, Len: 1}
+	b := blktrace.Extent{Block: 20, Len: 1}
+	for i := 0; i < 5; i++ {
+		base := int64(i) * int64(time.Second)
+		must(t, c.Submit(blktrace.Event{Time: base, Op: blktrace.OpRead, Extent: a}))
+		must(t, c.Submit(blktrace.Event{Time: base + 1000, Op: blktrace.OpRead, Extent: b}))
+	}
+	// Queries are served concurrently with ingestion; wait until the
+	// submitted events have actually been consumed.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mon, _, err := c.Stats()
+		must(t, err)
+		if mon.Events >= 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("events not consumed in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rules, err := c.Rules(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(rules))
+	}
+	c.Stop()
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

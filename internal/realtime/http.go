@@ -1,0 +1,112 @@
+package realtime
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// NewHTTPHandler exposes a collector's live state over HTTP — the ops
+// surface a self-optimizing storage service would poll:
+//
+//	GET /stats                                 monitor + analyzer counters
+//	GET /snapshot?support=5&top=100            frequent correlations
+//	GET /rules?support=5&confidence=0.5&top=50 directional rules
+//
+// All responses are JSON. Query errors are 400s; a stopped collector
+// yields 503.
+func NewHTTPHandler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		mon, an, err := c.Stats()
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"monitor":  mon,
+			"analyzer": an,
+			"dropped":  c.Dropped(),
+		})
+	})
+	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		support, err := uintParam(r, "support", 5)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		top, err := uintParam(r, "top", 100)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		snap, err := c.Snapshot(uint32(support))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"totalPairs": len(snap.Pairs),
+			"pairs":      snap.TopPairs(int(top)),
+		})
+	})
+	mux.HandleFunc("GET /rules", func(w http.ResponseWriter, r *http.Request) {
+		support, err := uintParam(r, "support", 5)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		top, err := uintParam(r, "top", 100)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		conf := 0.5
+		if v := r.URL.Query().Get("confidence"); v != "" {
+			conf, err = strconv.ParseFloat(v, 64)
+			if err != nil || conf < 0 || conf > 1 {
+				http.Error(w, "confidence must be a number in [0,1]", http.StatusBadRequest)
+				return
+			}
+		}
+		rules, err := c.Rules(uint32(support), conf)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		if int(top) < len(rules) {
+			rules = rules[:top]
+		}
+		writeJSON(w, map[string]any{"rules": rules})
+	})
+	return mux
+}
+
+func uintParam(r *http.Request, name string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 32)
+	if err != nil {
+		return 0, errors.New(name + " must be a non-negative integer")
+	}
+	return n, nil
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrStopped) {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// An encode error here means the client went away; nothing to do.
+	_ = enc.Encode(v)
+}

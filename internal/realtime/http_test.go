@@ -1,0 +1,161 @@
+package realtime
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+)
+
+func servedCollector(t *testing.T) (*Collector, *httptest.Server) {
+	t.Helper()
+	c, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := blktrace.Extent{Block: 10, Len: 1}
+	b := blktrace.Extent{Block: 20, Len: 1}
+	for i := 0; i < 8; i++ {
+		base := int64(i) * int64(time.Second)
+		must(t, c.Submit(blktrace.Event{Time: base, Op: blktrace.OpRead, Extent: a}))
+		must(t, c.Submit(blktrace.Event{Time: base + 1000, Op: blktrace.OpRead, Extent: b}))
+	}
+	// Wait for ingestion.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mon, _, err := c.Stats()
+		must(t, err)
+		if mon.Events >= 16 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ingestion timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv := httptest.NewServer(NewHTTPHandler(c))
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPStats(t *testing.T) {
+	c, srv := servedCollector(t)
+	defer c.Stop()
+	var body struct {
+		Monitor struct {
+			Events       uint64
+			Transactions uint64
+		}
+		Dropped uint64
+	}
+	if code := getJSON(t, srv.URL+"/stats", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.Monitor.Events != 16 {
+		t.Errorf("events = %d, want 16", body.Monitor.Events)
+	}
+}
+
+func TestHTTPSnapshot(t *testing.T) {
+	c, srv := servedCollector(t)
+	defer c.Stop()
+	var body struct {
+		TotalPairs int `json:"totalPairs"`
+		Pairs      []struct {
+			Pair struct {
+				A, B struct {
+					Block uint64
+					Len   uint32
+				}
+			}
+			Count uint32
+		}
+	}
+	if code := getJSON(t, srv.URL+"/snapshot?support=3&top=10", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.TotalPairs != 1 || len(body.Pairs) != 1 {
+		t.Fatalf("body = %+v", body)
+	}
+	if body.Pairs[0].Pair.A.Block != 10 || body.Pairs[0].Pair.B.Block != 20 {
+		t.Errorf("pair = %+v", body.Pairs[0])
+	}
+	if body.Pairs[0].Count < 7 {
+		t.Errorf("count = %d", body.Pairs[0].Count)
+	}
+}
+
+func TestHTTPRules(t *testing.T) {
+	c, srv := servedCollector(t)
+	defer c.Stop()
+	var body struct {
+		Rules []struct {
+			From, To struct {
+				Block uint64
+			}
+			Confidence float64
+		}
+	}
+	if code := getJSON(t, srv.URL+"/rules?support=3&confidence=0.9&top=5", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body.Rules) != 2 {
+		t.Fatalf("rules = %+v", body.Rules)
+	}
+	for _, r := range body.Rules {
+		if r.Confidence < 0.9 {
+			t.Errorf("rule below confidence filter: %+v", r)
+		}
+	}
+}
+
+func TestHTTPBadParams(t *testing.T) {
+	c, srv := servedCollector(t)
+	defer c.Stop()
+	for _, path := range []string{
+		"/snapshot?support=x",
+		"/snapshot?top=-1",
+		"/rules?confidence=2",
+		"/rules?support=99999999999999999999",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPAfterStop(t *testing.T) {
+	c, srv := servedCollector(t)
+	c.Stop()
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+}

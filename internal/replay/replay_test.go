@@ -1,0 +1,207 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/device"
+)
+
+func testTrace(n int, gapNs int64) *blktrace.Trace {
+	t := &blktrace.Trace{}
+	for i := 0; i < n; i++ {
+		op := blktrace.OpRead
+		if i%4 == 3 {
+			op = blktrace.OpWrite
+		}
+		t.Append(blktrace.Event{
+			Time:   int64(i) * gapNs,
+			PID:    1,
+			Op:     op,
+			Extent: blktrace.Extent{Block: uint64(i * 100), Len: 8},
+		})
+	}
+	return t
+}
+
+func nvme(t *testing.T) *device.Device {
+	t.Helper()
+	d, err := device.New(device.NVMeSSD(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRunCountsAndStats(t *testing.T) {
+	tr := testTrace(100, 1_000_000)
+	res, err := Run(tr, nvme(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 100 || res.Reads != 75 || res.Writes != 25 {
+		t.Errorf("counts = %+v", res)
+	}
+	if res.MeanReadLatency <= 0 || res.WallTime <= 0 {
+		t.Errorf("latency/walltime not positive: %+v", res)
+	}
+}
+
+func TestSpeedupCompressesArrivals(t *testing.T) {
+	tr := testTrace(200, 10_000_000) // 10 ms apart: device is always idle
+	d := nvme(t)
+	slow, err := Run(tr, d, Options{Speedup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(tr, d, Options{Speedup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.WallTime >= slow.WallTime/50 {
+		t.Errorf("speedup 100 gave wall %v vs %v", fast.WallTime, slow.WallTime)
+	}
+}
+
+func TestHighSpeedupCausesQueueing(t *testing.T) {
+	tr := testTrace(500, 1_000_000)
+	d := nvme(t)
+	res, err := Run(tr, d, Options{Speedup: 1000}) // 1 µs apart ≪ service time
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Device.QueueWaitSum == 0 {
+		t.Error("extreme acceleration should cause queue waits")
+	}
+}
+
+func TestNoStallIgnoresTimestamps(t *testing.T) {
+	// Hour-long gaps; no-stall must finish in device time, not trace time.
+	tr := testTrace(50, int64(time.Hour))
+	res, err := Run(tr, nvme(t), Options{NoStall: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallTime > time.Second {
+		t.Errorf("no-stall wall time = %v, should be ~50 service times", res.WallTime)
+	}
+	if res.Device.QueueWaitSum != 0 {
+		t.Error("no-stall (QD1) must never queue")
+	}
+}
+
+func TestHooksFireInOrder(t *testing.T) {
+	tr := testTrace(30, 1_000_000)
+	var issues []int64
+	var completes int
+	lastIssue := int64(-1)
+	_, err := Run(tr, nvme(t), Options{
+		Speedup: 2,
+		OnIssue: func(ev blktrace.Event) {
+			if ev.Time < lastIssue {
+				t.Error("issue times must be monotone")
+			}
+			lastIssue = ev.Time
+			issues = append(issues, ev.Time)
+		},
+		OnComplete: func(c device.Completion) {
+			if c.CompleteTime < c.SubmitTime {
+				t.Error("completion before submission")
+			}
+			completes++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 30 || completes != 30 {
+		t.Errorf("hooks fired %d/%d times", len(issues), completes)
+	}
+	// Re-timed issues: event i at i*1ms/2.
+	if issues[2] != 1_000_000 {
+		t.Errorf("issue[2] = %d, want 1000000 (2ms/2)", issues[2])
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	tr := testTrace(5, 1000)
+	if _, err := Run(tr, nvme(t), Options{Speedup: -1}); err == nil {
+		t.Error("want error for negative speedup")
+	}
+	bad := &blktrace.Trace{}
+	bad.Append(blktrace.Event{Time: 0, Op: blktrace.Op(9), Extent: blktrace.Extent{Block: 1, Len: 1}})
+	if _, err := Run(bad, nvme(t), Options{}); err == nil {
+		t.Error("want error for invalid event")
+	}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	res, err := Run(&blktrace.Trace{}, nvme(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 0 || res.WallTime != 0 {
+		t.Errorf("empty trace result = %+v", res)
+	}
+}
+
+func TestMeasureSpeedupTableIIRegime(t *testing.T) {
+	// A trace "recorded" with ms-class latencies replayed on a µs-class
+	// device must yield a large speedup, like Table II's 61–473×.
+	tr := testTrace(400, 5_000_000)
+	lats := make([]time.Duration, tr.Len())
+	for i := range lats {
+		lats[i] = 4 * time.Millisecond
+	}
+	m, err := MeasureSpeedup(tr, lats, nvme(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanTraceLatency != 4*time.Millisecond {
+		t.Errorf("MeanTraceLatency = %v", m.MeanTraceLatency)
+	}
+	if m.MeanMeasuredLatency < 10*time.Microsecond || m.MeanMeasuredLatency > 200*time.Microsecond {
+		t.Errorf("MeanMeasuredLatency = %v, want tens of µs", m.MeanMeasuredLatency)
+	}
+	if m.Speedup < 20 || m.Speedup > 500 {
+		t.Errorf("Speedup = %.1f, want the paper's order of magnitude", m.Speedup)
+	}
+}
+
+func TestMeasureSpeedupValidation(t *testing.T) {
+	tr := testTrace(5, 1000)
+	if _, err := MeasureSpeedup(tr, make([]time.Duration, 3), nvme(t), 1); err == nil {
+		t.Error("want error for mismatched latencies")
+	}
+	if _, err := MeasureSpeedup(&blktrace.Trace{}, nil, nvme(t), 1); err == nil {
+		t.Error("want error for empty trace")
+	}
+	// Write-only trace has no reads to measure.
+	wo := &blktrace.Trace{}
+	wo.Append(blktrace.Event{Time: 0, Op: blktrace.OpWrite, Extent: blktrace.Extent{Block: 1, Len: 1}})
+	if _, err := MeasureSpeedup(wo, []time.Duration{time.Millisecond}, nvme(t), 1); err == nil {
+		t.Error("want error for read-free trace")
+	}
+}
+
+func TestMeasureSpeedupRepsAveraged(t *testing.T) {
+	tr := testTrace(100, 1000)
+	lats := make([]time.Duration, tr.Len())
+	for i := range lats {
+		lats[i] = time.Millisecond
+	}
+	one, err := MeasureSpeedup(tr, lats, nvme(t), 0) // clamps to 1 rep
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := MeasureSpeedup(tr, lats, nvme(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both estimates should be in the same ballpark; 10 reps just smooths.
+	ratio := float64(one.MeanMeasuredLatency) / float64(ten.MeanMeasuredLatency)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("rep averaging unstable: %v vs %v", one.MeanMeasuredLatency, ten.MeanMeasuredLatency)
+	}
+}

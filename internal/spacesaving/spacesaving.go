@@ -1,0 +1,164 @@
+// Package spacesaving implements the Space-Saving heavy-hitter
+// algorithm (Metwally, Agrawal & El Abbadi, ICDT 2005) over extent
+// pairs. It is the canonical frequency-only stream summary: k counters,
+// exact for the head of a skewed distribution, with bounded
+// overestimation error.
+//
+// As a baseline it isolates one design question of the paper's
+// synopsis: Space-Saving keeps *frequency* but has no notion of
+// *recency*, so once a pattern earns large counters it lingers after
+// the workload moves on — exactly what the concept-drift experiment
+// punishes and the two-tier LRU design handles.
+package spacesaving
+
+import (
+	"fmt"
+	"sort"
+
+	"daccor/internal/blktrace"
+)
+
+type ssEntry struct {
+	pair  blktrace.Pair
+	count uint64
+	err   uint64 // overestimation bound inherited at replacement
+	idx   int    // heap index
+}
+
+// Summary is a Space-Saving summary over extent pairs. Not safe for
+// concurrent use.
+type Summary struct {
+	capacity int
+	index    map[blktrace.Pair]*ssEntry
+	heap     []*ssEntry // min-heap by count
+}
+
+// New returns a summary with k counters.
+func New(k int) (*Summary, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("spacesaving: k must be >= 1 (got %d)", k)
+	}
+	return &Summary{
+		capacity: k,
+		index:    make(map[blktrace.Pair]*ssEntry, k),
+	}, nil
+}
+
+// heap helpers (min-heap on count).
+
+func (s *Summary) less(i, j int) bool { return s.heap[i].count < s.heap[j].count }
+
+func (s *Summary) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].idx = i
+	s.heap[j].idx = j
+}
+
+func (s *Summary) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Summary) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		s.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// Offer records one occurrence of the pair. A monitored pair's counter
+// increments; an unmonitored pair replaces the minimum counter,
+// inheriting its count as the overestimation bound.
+func (s *Summary) Offer(p blktrace.Pair) {
+	if e, ok := s.index[p]; ok {
+		e.count++
+		s.down(e.idx)
+		return
+	}
+	if len(s.heap) < s.capacity {
+		e := &ssEntry{pair: p, count: 1, idx: len(s.heap)}
+		s.heap = append(s.heap, e)
+		s.index[p] = e
+		s.up(e.idx)
+		return
+	}
+	// Replace the minimum.
+	min := s.heap[0]
+	delete(s.index, min.pair)
+	min.pair = p
+	min.err = min.count
+	min.count++
+	s.index[p] = min
+	s.down(0)
+}
+
+// Process offers every unique pair of a transaction's extents.
+func (s *Summary) Process(extents []blktrace.Extent) {
+	for i := 0; i < len(extents); i++ {
+		for j := i + 1; j < len(extents); j++ {
+			s.Offer(blktrace.MakePair(extents[i], extents[j]))
+		}
+	}
+}
+
+// PairCount is one monitored pair with its (over)estimate and error
+// bound: the true count lies in [Count-Err, Count].
+type PairCount struct {
+	Pair  blktrace.Pair
+	Count uint64
+	Err   uint64
+}
+
+// Top returns monitored pairs with Count >= minCount, sorted by
+// descending count (ties by pair order).
+func (s *Summary) Top(minCount uint64) []PairCount {
+	out := make([]PairCount, 0, len(s.heap))
+	for _, e := range s.heap {
+		if e.count >= minCount {
+			out = append(out, PairCount{Pair: e.pair, Count: e.count, Err: e.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		pi, pj := out[i].Pair, out[j].Pair
+		if pi.A != pj.A {
+			return pi.A.Less(pj.A)
+		}
+		return pi.B.Less(pj.B)
+	})
+	return out
+}
+
+// PairSet returns the monitored pairs with Count >= minCount as a set.
+func (s *Summary) PairSet(minCount uint64) map[blktrace.Pair]struct{} {
+	out := make(map[blktrace.Pair]struct{}, len(s.heap))
+	for _, e := range s.heap {
+		if e.count >= minCount {
+			out[e.pair] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Len returns the number of monitored pairs.
+func (s *Summary) Len() int { return len(s.heap) }

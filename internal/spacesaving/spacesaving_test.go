@@ -1,0 +1,164 @@
+package spacesaving
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"daccor/internal/blktrace"
+)
+
+func pr(a, b uint64) blktrace.Pair {
+	return blktrace.MakePair(
+		blktrace.Extent{Block: a, Len: 1},
+		blktrace.Extent{Block: b, Len: 1},
+	)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("want error for k=0")
+	}
+}
+
+func TestExactWhenUnderCapacity(t *testing.T) {
+	s, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		s.Offer(pr(1, 2))
+	}
+	for i := 0; i < 3; i++ {
+		s.Offer(pr(3, 4))
+	}
+	top := s.Top(0)
+	if len(top) != 2 {
+		t.Fatalf("top = %d entries", len(top))
+	}
+	if top[0].Pair != pr(1, 2) || top[0].Count != 7 || top[0].Err != 0 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].Count != 3 || top[1].Err != 0 {
+		t.Errorf("top[1] = %+v", top[1])
+	}
+}
+
+func TestReplacementInheritsError(t *testing.T) {
+	s, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Offer(pr(1, 2))
+	s.Offer(pr(1, 2)) // count 2
+	s.Offer(pr(3, 4)) // replaces: count 3, err 2
+	top := s.Top(0)
+	if len(top) != 1 || top[0].Pair != pr(3, 4) {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[0].Count != 3 || top[0].Err != 2 {
+		t.Errorf("entry = %+v, want count 3 err 2", top[0])
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestHeavyHitterSurvivesNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := New(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := pr(7, 8)
+	for i := 0; i < 5000; i++ {
+		if i%4 == 0 {
+			s.Offer(hot)
+		}
+		s.Offer(pr(uint64(rng.Intn(100000)), uint64(100000+rng.Intn(100000))))
+	}
+	if _, ok := s.PairSet(500)[hot]; !ok {
+		t.Error("heavy hitter lost")
+	}
+}
+
+// Space-Saving guarantee: for any monitored pair, trueCount is within
+// [Count-Err, Count]; and any pair with true count > N/k is monitored.
+func TestGuaranteesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 4 + rng.Intn(12)
+		s, err := New(k)
+		if err != nil {
+			return false
+		}
+		truth := map[blktrace.Pair]uint64{}
+		n := uint64(0)
+		// Skewed stream over a small universe.
+		for i := 0; i < 2000; i++ {
+			a := uint64(rng.Intn(8))
+			b := uint64(8 + rng.Intn(8))
+			if rng.Intn(3) == 0 { // extra skew
+				a, b = 0, 8
+			}
+			p := pr(a, b)
+			s.Offer(p)
+			truth[p]++
+			n++
+		}
+		for _, e := range s.Top(0) {
+			tc := truth[e.Pair]
+			if tc > e.Count || e.Count-e.Err > tc {
+				return false
+			}
+		}
+		// Coverage guarantee.
+		for p, tc := range truth {
+			if tc > n/uint64(k) {
+				if _, ok := s.PairSet(0)[p]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcessExpandsPairs(t *testing.T) {
+	s, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process([]blktrace.Extent{
+		{Block: 1, Len: 1}, {Block: 2, Len: 1}, {Block: 3, Len: 1},
+	})
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3 pairs from a 3-extent transaction", s.Len())
+	}
+}
+
+// The design contrast with the paper's synopsis: after a workload
+// shift, Space-Saving's old giants linger at the top.
+func TestNoRecency(t *testing.T) {
+	s, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := pr(1, 2)
+	for i := 0; i < 1000; i++ {
+		s.Offer(old)
+	}
+	// New concept: many moderately hot pairs.
+	for i := 0; i < 100; i++ {
+		for j := uint64(0); j < 4; j++ {
+			s.Offer(pr(100+j, 200+j))
+		}
+	}
+	top := s.Top(0)
+	if top[0].Pair != old {
+		t.Error("expected the stale giant to still dominate (frequency-only design)")
+	}
+}

@@ -1,0 +1,95 @@
+// Package workload generates synthetic block I/O traces with known,
+// planted data access correlations — the paper's one-to-one,
+// one-to-many, and many-to-many workloads — plus the distribution
+// helpers (Zipf-like rank popularity, exponential interarrivals) shared
+// with the MSR-like trace synthesiser.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ZipfRanks samples ranks 0..n-1 with probability inversely
+// proportional to (rank+1)^s — the "Zipf-like distribution" of Breslau
+// et al. that the paper uses both for synthetic correlation popularity
+// (s=1, n=4 gives the paper's 48/24/16/12%) and to model real-workload
+// frequency skew.
+type ZipfRanks struct {
+	cdf []float64
+}
+
+// NewZipfRanks builds a sampler over n ranks with skew s > 0.
+func NewZipfRanks(n int, s float64) (*ZipfRanks, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: zipf needs n >= 1 (got %d)", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("workload: zipf skew must be > 0 (got %v)", s)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &ZipfRanks{cdf: cdf}, nil
+}
+
+// Prob returns the probability of rank i.
+func (z *ZipfRanks) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// N returns the number of ranks.
+func (z *ZipfRanks) N() int { return len(z.cdf) }
+
+// Sample draws a rank.
+func (z *ZipfRanks) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ExpArrivals yields successive arrival timestamps (ns) with
+// exponentially distributed interarrival times of the given mean —
+// a Poisson arrival process.
+type ExpArrivals struct {
+	rng    *rand.Rand
+	meanNs float64
+	now    int64
+}
+
+// NewExpArrivals starts a process at t=0 with the given mean
+// interarrival in nanoseconds.
+func NewExpArrivals(rng *rand.Rand, meanNs float64) (*ExpArrivals, error) {
+	if meanNs <= 0 {
+		return nil, fmt.Errorf("workload: mean interarrival must be > 0 (got %v)", meanNs)
+	}
+	return &ExpArrivals{rng: rng, meanNs: meanNs}, nil
+}
+
+// Next returns the next arrival timestamp.
+func (a *ExpArrivals) Next() int64 {
+	a.now += int64(a.rng.ExpFloat64() * a.meanNs)
+	return a.now
+}
+
+// Now returns the last returned arrival time.
+func (a *ExpArrivals) Now() int64 { return a.now }

@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"daccor/internal/blktrace"
+)
+
+// Kind selects one of the paper's three synthetic correlation shapes.
+type Kind int
+
+const (
+	// OneToOne correlates a single block with another non-contiguous
+	// single block (two small associated records).
+	OneToOne Kind = iota
+	// OneToMany correlates a single block with a contiguous range
+	// (e.g. an inode with its file contents).
+	OneToMany
+	// ManyToMany correlates two contiguous ranges (e.g. a web
+	// resource file with a database table).
+	ManyToMany
+)
+
+// String names the kind as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case OneToOne:
+		return "one-to-one"
+	case OneToMany:
+		return "one-to-many"
+	case ManyToMany:
+		return "many-to-many"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Paper parameters for the synthetic workloads (Sec. IV-B1).
+const (
+	// DefaultCorrelations is the number of planted correlations.
+	DefaultCorrelations = 4
+	// DefaultCorrelationMeanGap is the mean interarrival of correlated
+	// events: 200 ms, "large so that two sets of constructed
+	// correlations will not merge into the same transaction".
+	DefaultCorrelationMeanGap = 200 * time.Millisecond
+	// DefaultNoiseMeanGap is the mean interarrival of noise requests:
+	// 100 ms.
+	DefaultNoiseMeanGap = 100 * time.Millisecond
+	// MaxExtentBlocks is 1 MB of 512 B blocks, the top of the paper's
+	// random extent size range.
+	MaxExtentBlocks = 1 << 11
+	// MaxNoiseBlocks is 8 KB, the top of the noise size range.
+	MaxNoiseBlocks = 16
+)
+
+// Correlation is one planted inter-request correlation: its extents are
+// always requested together (one I/O request per extent, same
+// transaction window), with popularity Prob.
+type Correlation struct {
+	Extents []blktrace.Extent
+	Prob    float64
+}
+
+// Pairs returns the ground-truth inter-request extent pairs this
+// correlation should produce.
+func (c Correlation) Pairs() []blktrace.Pair {
+	var out []blktrace.Pair
+	for i := 0; i < len(c.Extents); i++ {
+		for j := i + 1; j < len(c.Extents); j++ {
+			out = append(out, blktrace.MakePair(c.Extents[i], c.Extents[j]))
+		}
+	}
+	return out
+}
+
+// SyntheticConfig configures a synthetic trace generation.
+type SyntheticConfig struct {
+	Kind Kind
+	// Occurrences is the number of correlated-group arrivals to plant.
+	Occurrences int
+	// Correlations is the number of distinct planted correlations,
+	// ranked by a Zipf-like distribution; 0 means DefaultCorrelations
+	// (4, giving 48/24/16/12%).
+	Correlations int
+	// CorrelationMeanGap and NoiseMeanGap override the paper's 200 ms
+	// and 100 ms mean interarrivals when non-zero.
+	CorrelationMeanGap time.Duration
+	NoiseMeanGap       time.Duration
+	// NumberSpace is the block number space; 0 means 1<<26 (32 GB).
+	NumberSpace uint64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c *SyntheticConfig) applyDefaults() {
+	if c.Correlations == 0 {
+		c.Correlations = DefaultCorrelations
+	}
+	if c.CorrelationMeanGap == 0 {
+		c.CorrelationMeanGap = DefaultCorrelationMeanGap
+	}
+	if c.NoiseMeanGap == 0 {
+		c.NoiseMeanGap = DefaultNoiseMeanGap
+	}
+	if c.NumberSpace == 0 {
+		c.NumberSpace = 1 << 26
+	}
+}
+
+func (c *SyntheticConfig) validate() error {
+	if c.Occurrences < 1 {
+		return fmt.Errorf("workload: Occurrences must be >= 1 (got %d)", c.Occurrences)
+	}
+	if c.Correlations < 1 {
+		return fmt.Errorf("workload: Correlations must be >= 1 (got %d)", c.Correlations)
+	}
+	if c.Kind != OneToOne && c.Kind != OneToMany && c.Kind != ManyToMany {
+		return fmt.Errorf("workload: unknown kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+// Synthetic is a generated trace with its ground truth.
+type Synthetic struct {
+	Trace        *blktrace.Trace
+	Correlations []Correlation
+	// NoiseEvents counts the random background requests mixed in.
+	NoiseEvents int
+}
+
+// PlantedPairs returns all ground-truth inter-request pairs across the
+// planted correlations.
+func (s *Synthetic) PlantedPairs() []blktrace.Pair {
+	var out []blktrace.Pair
+	for _, c := range s.Correlations {
+		out = append(out, c.Pairs()...)
+	}
+	return out
+}
+
+// Generate builds a synthetic trace: Occurrences correlated-group
+// arrivals (group chosen per arrival by the Zipf-like rank
+// distribution, requests of a group issued back-to-back with
+// microsecond spacing) interleaved with Poisson noise of random
+// single-extent requests — "contributing to infrequent and 'false'
+// correlations".
+func Generate(cfg SyntheticConfig) (*Synthetic, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf, err := NewZipfRanks(cfg.Correlations, 1)
+	if err != nil {
+		return nil, err
+	}
+	correlations, err := plantCorrelations(cfg, rng, zipf)
+	if err != nil {
+		return nil, err
+	}
+
+	trace := &blktrace.Trace{}
+	arrivals, err := NewExpArrivals(rng, float64(cfg.CorrelationMeanGap))
+	if err != nil {
+		return nil, err
+	}
+	const intraGap = 5 * time.Microsecond // requests of one group are near-simultaneous
+	var lastTime int64
+	for i := 0; i < cfg.Occurrences; i++ {
+		at := arrivals.Next()
+		c := correlations[zipf.Sample(rng)]
+		for j, e := range c.Extents {
+			trace.Append(blktrace.Event{
+				Time:   at + int64(j)*int64(intraGap),
+				PID:    1,
+				Op:     blktrace.OpRead,
+				Extent: e,
+			})
+		}
+		lastTime = at
+	}
+
+	// Noise: single random requests, 512 B – 8 KB, uniform positions.
+	noise, err := NewExpArrivals(rng, float64(cfg.NoiseMeanGap))
+	if err != nil {
+		return nil, err
+	}
+	noiseCount := 0
+	for {
+		at := noise.Next()
+		if at > lastTime {
+			break
+		}
+		trace.Append(blktrace.Event{
+			Time: at,
+			PID:  2,
+			Op:   blktrace.OpRead,
+			Extent: blktrace.Extent{
+				Block: uint64(rng.Int63n(int64(cfg.NumberSpace))),
+				Len:   uint32(1 + rng.Intn(MaxNoiseBlocks)),
+			},
+		})
+		noiseCount++
+	}
+	trace.SortByTime()
+	return &Synthetic{Trace: trace, Correlations: correlations, NoiseEvents: noiseCount}, nil
+}
+
+// plantCorrelations constructs the fixed correlated extent groups for
+// the requested kind, spread across the number space so groups never
+// overlap.
+func plantCorrelations(cfg SyntheticConfig, rng *rand.Rand, zipf *ZipfRanks) ([]Correlation, error) {
+	out := make([]Correlation, cfg.Correlations)
+	// Partition the number space into disjoint regions, two per
+	// correlation (one per side), so planted extents never collide
+	// with each other.
+	regions := uint64(2 * cfg.Correlations)
+	regionSize := cfg.NumberSpace / regions
+	if regionSize < 2*MaxExtentBlocks {
+		return nil, fmt.Errorf("workload: number space %d too small for %d correlations",
+			cfg.NumberSpace, cfg.Correlations)
+	}
+	place := func(region uint64, length uint32) blktrace.Extent {
+		base := region * regionSize
+		offset := uint64(rng.Int63n(int64(regionSize - uint64(length))))
+		return blktrace.Extent{Block: base + offset, Len: length}
+	}
+	randLen := func() uint32 { return uint32(1 + rng.Intn(MaxExtentBlocks)) }
+	for i := range out {
+		var a, b blktrace.Extent
+		switch cfg.Kind {
+		case OneToOne:
+			a = place(uint64(2*i), 1)
+			b = place(uint64(2*i+1), 1)
+		case OneToMany:
+			a = place(uint64(2*i), 1)
+			b = place(uint64(2*i+1), randLen())
+		case ManyToMany:
+			a = place(uint64(2*i), randLen())
+			b = place(uint64(2*i+1), randLen())
+		}
+		out[i] = Correlation{Extents: []blktrace.Extent{a, b}, Prob: zipf.Prob(i)}
+	}
+	return out, nil
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+)
+
+func TestZipfPaperProbabilities(t *testing.T) {
+	// n=4, s=1 must give the paper's 48%, 24%, 16%, 12%.
+	z, err := NewZipfRanks(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.48, 0.24, 0.16, 0.12}
+	for i, w := range want {
+		if got := z.Prob(i); math.Abs(got-w) > 0.0001 {
+			t.Errorf("Prob(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	z, err := NewZipfRanks(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 4)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	for i := 0; i < 4; i++ {
+		got := float64(counts[i]) / n
+		if math.Abs(got-z.Prob(i)) > 0.01 {
+			t.Errorf("empirical P(%d) = %v, want %v", i, got, z.Prob(i))
+		}
+	}
+	// Ranks strictly ordered by popularity.
+	for i := 1; i < 4; i++ {
+		if counts[i] >= counts[i-1] {
+			t.Errorf("rank %d sampled more than rank %d", i, i-1)
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := NewZipfRanks(0, 1); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := NewZipfRanks(4, 0); err == nil {
+		t.Error("want error for s=0")
+	}
+	z, err := NewZipfRanks(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Prob(0) != 1 || z.N() != 1 {
+		t.Error("single-rank zipf should be degenerate")
+	}
+}
+
+func TestExpArrivalsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, err := NewExpArrivals(rng, 1e6) // 1 ms mean
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	var last int64
+	for i := 0; i < n; i++ {
+		now := a.Next()
+		if now < last {
+			t.Fatal("arrivals must be monotone")
+		}
+		last = now
+	}
+	mean := float64(last) / n
+	if math.Abs(mean-1e6) > 2e4 {
+		t.Errorf("mean interarrival = %v ns, want ~1e6", mean)
+	}
+	if a.Now() != last {
+		t.Error("Now() should track last arrival")
+	}
+	if _, err := NewExpArrivals(rng, 0); err == nil {
+		t.Error("want error for zero mean")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(SyntheticConfig{Kind: OneToOne}); err == nil {
+		t.Error("want error for zero occurrences")
+	}
+	if _, err := Generate(SyntheticConfig{Kind: Kind(9), Occurrences: 10}); err == nil {
+		t.Error("want error for unknown kind")
+	}
+	if _, err := Generate(SyntheticConfig{Kind: ManyToMany, Occurrences: 10, NumberSpace: 1024}); err == nil {
+		t.Error("want error for tiny number space")
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, kind := range []Kind{OneToOne, OneToMany, ManyToMany} {
+		s, err := Generate(SyntheticConfig{Kind: kind, Occurrences: 500, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(s.Correlations) != DefaultCorrelations {
+			t.Fatalf("%v: %d correlations", kind, len(s.Correlations))
+		}
+		for _, c := range s.Correlations {
+			if len(c.Extents) != 2 {
+				t.Fatalf("%v: correlation with %d extents", kind, len(c.Extents))
+			}
+			a, b := c.Extents[0], c.Extents[1]
+			switch kind {
+			case OneToOne:
+				if a.Len != 1 || b.Len != 1 {
+					t.Errorf("one-to-one extents %v, %v should be single blocks", a, b)
+				}
+			case OneToMany:
+				if a.Len != 1 {
+					t.Errorf("one-to-many first extent %v should be a single block", a)
+				}
+			}
+			if a.Overlaps(b) {
+				t.Errorf("%v: correlated extents overlap: %v, %v", kind, a, b)
+			}
+		}
+		// Popularity follows the paper's Zipf ranks.
+		if math.Abs(s.Correlations[0].Prob-0.48) > 0.001 {
+			t.Errorf("%v: top correlation prob = %v", kind, s.Correlations[0].Prob)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := SyntheticConfig{Kind: ManyToMany, Occurrences: 200, Seed: 42}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Len() != b.Trace.Len() {
+		t.Fatal("same seed, different lengths")
+	}
+	for i := range a.Trace.Events {
+		if a.Trace.Events[i] != b.Trace.Events[i] {
+			t.Fatal("same seed, different events")
+		}
+	}
+}
+
+func TestGenerateTraceProperties(t *testing.T) {
+	s, err := Generate(SyntheticConfig{Kind: OneToOne, Occurrences: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Trace
+	// Sorted by time and valid.
+	for i, ev := range tr.Events {
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		if i > 0 && ev.Time < tr.Events[i-1].Time {
+			t.Fatal("trace not sorted")
+		}
+	}
+	// 1000 occurrences × 2 extents + noise.
+	if tr.Len() < 2000 || s.NoiseEvents == 0 {
+		t.Errorf("trace len %d, noise %d", tr.Len(), s.NoiseEvents)
+	}
+	// Noise rate ≈ 2× correlation rate (100 ms vs 200 ms means).
+	ratio := float64(s.NoiseEvents) / 1000
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("noise/occurrence ratio = %v, want ≈2", ratio)
+	}
+	// Planted pairs ground truth: 4 correlations → 4 pairs.
+	if pairs := s.PlantedPairs(); len(pairs) != 4 {
+		t.Errorf("PlantedPairs = %d, want 4", len(pairs))
+	}
+}
+
+// Planted groups arrive far apart (200 ms mean) while group members are
+// microseconds apart, so a window-based grouping at a few ms must see
+// each group intact.
+func TestGroupsAreTemporallyTight(t *testing.T) {
+	s, err := Generate(SyntheticConfig{Kind: OneToOne, Occurrences: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extentOf := map[blktrace.Extent]int{}
+	for i, c := range s.Correlations {
+		for _, e := range c.Extents {
+			extentOf[e] = i
+		}
+	}
+	// For every planted event, its partner must occur within 1 ms.
+	byTime := s.Trace.Events
+	for i, ev := range byTime {
+		ci, planted := extentOf[ev.Extent]
+		if !planted {
+			continue
+		}
+		found := false
+		for j := i - 3; j <= i+3 && !found; j++ {
+			if j < 0 || j >= len(byTime) || j == i {
+				continue
+			}
+			cj, ok := extentOf[byTime[j].Extent]
+			if ok && cj == ci && byTime[j].Extent != ev.Extent &&
+				abs64(byTime[j].Time-ev.Time) < int64(time.Millisecond) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("event %d (%v) has no nearby partner", i, ev.Extent)
+		}
+	}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestKindString(t *testing.T) {
+	if OneToOne.String() != "one-to-one" || OneToMany.String() != "one-to-many" ||
+		ManyToMany.String() != "many-to-many" {
+		t.Error("kind names should match the paper")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind formatting")
+	}
+}
