@@ -1,0 +1,34 @@
+# CI / developer targets. `make ci` is the gate: formatting, vet, and
+# the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: ci fmt vet test race bench bench-engine
+
+ci: fmt vet race
+
+# Fail if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark harness (one benchmark per table/figure plus the
+# engine and pipeline throughput benchmarks).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Multi-device ingest benchmark only: throughput scaling with worker
+# count (compare devices-1 vs devices-4 ns/op on a multi-core host).
+bench-engine:
+	$(GO) test -bench Engine -benchmem -run '^$$' .

@@ -8,13 +8,16 @@
 package daccor
 
 import (
+	"fmt"
 	"io"
+	"sync"
 	"testing"
 	"time"
 
 	"daccor/internal/blktrace"
 	"daccor/internal/core"
 	"daccor/internal/device"
+	"daccor/internal/engine"
 	"daccor/internal/experiments"
 	"daccor/internal/monitor"
 	"daccor/internal/msr"
@@ -115,6 +118,78 @@ func BenchmarkMonitorThroughput(b *testing.B) {
 		if err := m.HandleEvent(ev); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineIngest measures the multi-device collection engine:
+// total events per second across N devices, each fed an MSR-style
+// synthetic stream by its own producer goroutine and processed by its
+// own shard worker. The total event count is fixed per iteration, so
+// ns/op dropping as the device count rises is throughput scaling with
+// worker count (visible on multi-core hosts; GOMAXPROCS=1 serializes
+// the workers).
+//
+//	go test -bench Engine -benchmem
+func BenchmarkEngineIngest(b *testing.B) {
+	p, err := msr.ProfileByName("wdev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := p.Generate(30_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := gen.Trace.Events
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("devices-%d", shards), func(b *testing.B) {
+			ids := make([]string, shards)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("dev%d", i)
+			}
+			eng, err := engine.New(
+				engine.WithMonitor(monitor.Config{Window: monitor.StaticWindow(100 * time.Microsecond)}),
+				engine.WithAnalyzer(core.Config{ItemCapacity: 16 * 1024, PairCapacity: 16 * 1024}),
+				engine.WithQueueSize(8192),
+				// Block: every submitted event is processed, so the
+				// measurement is honest end-to-end work, not drops.
+				engine.WithBackpressure(engine.Block),
+				engine.WithDevices(ids...),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			devs := make([]*engine.Device, shards)
+			for i, id := range ids {
+				if devs[i], err = eng.Device(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / shards
+			for g := 0; g < shards; g++ {
+				wg.Add(1)
+				go func(dev *engine.Device, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						ev := events[i%len(events)]
+						ev.Time = int64(i) * 10_000 // monotone across trace wraps
+						if err := dev.Submit(ev); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(devs[g], per)
+			}
+			wg.Wait()
+			eng.Stop() // drain: all queued events processed before the clock stops
+			b.StopTimer()
+			st, _ := eng.Dropped(ids[0])
+			if st != 0 {
+				b.Fatalf("dropped %d events under Block policy", st)
+			}
+		})
 	}
 }
 

@@ -1,15 +1,21 @@
 // Command charactld runs the characterization framework as a long-lived
-// service: a workload (generated, or replayed from a trace file in a
-// loop) streams through the concurrent collector while an HTTP endpoint
-// serves the live correlations, rules, and statistics — the shape of a
-// deployment feeding a self-optimizing storage system.
+// service: one or more devices stream workloads (generated, or replayed
+// from a trace file in a loop) through the multi-device collection
+// engine while an HTTP endpoint serves the live correlations, rules,
+// and statistics — the shape of a deployment feeding a self-optimizing
+// storage system across a fleet of volumes.
 //
 // Usage:
 //
-//	charactld -workload wdev -listen 127.0.0.1:7233
-//	curl localhost:7233/snapshot?support=5
-//	curl localhost:7233/rules?confidence=0.8
-//	curl localhost:7233/stats
+//	charactld -workload wdev -devices 4 -listen 127.0.0.1:7233
+//	curl localhost:7233/v1/stats
+//	curl localhost:7233/v1/devices
+//	curl localhost:7233/v1/devices/dev0/snapshot?support=5
+//	curl localhost:7233/v1/snapshot?support=5        # fleet-wide merge
+//	curl localhost:7233/v1/rules?confidence=0.8      # fleet-wide rules
+//
+// The pre-v1 routes (/stats, /snapshot, /rules) remain as deprecated
+// aliases for one release.
 package main
 
 import (
@@ -22,41 +28,62 @@ import (
 
 	"daccor/internal/blktrace"
 	"daccor/internal/core"
+	"daccor/internal/engine"
 	"daccor/internal/msr"
-	"daccor/internal/pipeline"
 	"daccor/internal/realtime"
 	"daccor/internal/workload"
 )
 
 func main() {
 	wl := flag.String("workload", "wdev", "workload to stream: wdev, src2, rsrch, stg, hm, one-to-one, one-to-many, many-to-many, or a trace file path")
-	n := flag.Int("n", 0, "requests per loop iteration (0 = workload default)")
-	capacity := flag.Int("c", 32*1024, "synopsis table size C (entries per tier)")
+	n := flag.Int("n", 0, "requests per loop iteration per device (0 = workload default)")
+	capacity := flag.Int("c", 32*1024, "synopsis table size C (entries per tier, per device)")
+	devices := flag.Int("devices", 1, "number of devices to register and stream concurrently")
+	queue := flag.Int("queue", engine.DefaultQueueSize, "per-device event queue capacity")
 	listen := flag.String("listen", "127.0.0.1:7233", "HTTP listen address")
-	seed := flag.Int64("seed", 1, "random seed")
-	pace := flag.Duration("pace", 50*time.Microsecond, "mean gap between submitted events (0 = as fast as possible)")
+	seed := flag.Int64("seed", 1, "random seed (device i streams with seed+i)")
+	pace := flag.Duration("pace", 50*time.Microsecond, "mean gap between submitted events per device (0 = as fast as possible)")
 	flag.Parse()
 
-	trace, err := loadWorkload(*wl, *n, *seed)
-	if err != nil {
-		log.Fatal(err)
+	if *devices < 1 {
+		log.Fatalf("charactld: -devices must be >= 1 (got %d)", *devices)
 	}
-	collector, err := realtime.Start(realtime.Config{
-		Pipeline: pipeline.Config{
-			Analyzer: core.Config{ItemCapacity: *capacity, PairCapacity: *capacity},
-		},
-		DropOnBackpressure: true, // a monitor must never stall its workload
-	})
+	ids := make([]string, *devices)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("dev%d", i)
+	}
+	eng, err := engine.New(
+		engine.WithAnalyzer(core.Config{ItemCapacity: *capacity, PairCapacity: *capacity}),
+		engine.WithQueueSize(*queue),
+		// A monitor must never stall its workload: drop-oldest, counted.
+		engine.WithBackpressure(engine.DropOldest),
+		engine.WithDevices(ids...),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	go feedForever(collector, trace, *pace)
+	var total int
+	for i, id := range ids {
+		// Distinct seeds give each device its own stream, so per-device
+		// and merged views genuinely differ.
+		trace, err := loadWorkload(*wl, *n, *seed+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += trace.Len()
+		dev, err := eng.Device(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go feedForever(dev, trace, *pace)
+	}
 
-	log.Printf("charactld: streaming %q (%d events per loop), serving on http://%s",
-		*wl, trace.Len(), *listen)
-	log.Printf("endpoints: /snapshot?support=N  /rules?support=N&confidence=F  /stats")
-	if err := http.ListenAndServe(*listen, realtime.NewHTTPHandler(collector)); err != nil {
+	log.Printf("charactld: streaming %q to %d device(s) (%d events per loop), serving on http://%s",
+		*wl, *devices, total, *listen)
+	log.Printf("v1 endpoints: /v1/stats  /v1/devices  /v1/devices/{id}/snapshot  /v1/devices/{id}/rules  /v1/snapshot  /v1/rules")
+	log.Printf("deprecated aliases: /stats  /snapshot  /rules")
+	if err := http.ListenAndServe(*listen, realtime.NewEngineHandler(eng)); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -92,9 +119,9 @@ func loadWorkload(name string, n int, seed int64) (*blktrace.Trace, error) {
 	return blktrace.ReadTrace(f)
 }
 
-// feedForever loops the trace through the collector, re-basing
-// timestamps each iteration so the stream is continuous.
-func feedForever(c *realtime.Collector, t *blktrace.Trace, pace time.Duration) {
+// feedForever loops the trace through one device, re-basing timestamps
+// each iteration so the stream is continuous.
+func feedForever(dev *engine.Device, t *blktrace.Trace, pace time.Duration) {
 	if t.Len() == 0 {
 		return
 	}
@@ -105,10 +132,10 @@ func feedForever(c *realtime.Collector, t *blktrace.Trace, pace time.Duration) {
 		for _, ev := range t.Events {
 			ev.Time = clock + (ev.Time - base)
 			last = ev.Time
-			if err := c.Submit(ev); err != nil {
-				return // collector stopped
+			if err := dev.Submit(ev); err != nil {
+				return // engine stopped
 			}
-			c.ObserveLatency(int64(40 * time.Microsecond))
+			dev.ObserveLatency(int64(40 * time.Microsecond))
 			if pace > 0 {
 				time.Sleep(pace)
 			}

@@ -1,11 +1,12 @@
-// Livemonitor: query the characterizer while the workload runs.
+// Livemonitor: query the characterizer while the workloads run.
 //
 // The paper's framework is meant to run *alongside* the workload,
 // answering "what is correlated right now?" at any moment. This
-// example starts the concurrent collector, feeds it a workload from a
-// producer goroutine, and — while ingestion is still in flight —
-// periodically asks for the current top correlations and directional
-// rules, printing how the picture sharpens as evidence accumulates.
+// example starts the multi-device collection engine with two volumes,
+// feeds each its own workload from a producer goroutine, and — while
+// ingestion is still in flight — periodically asks for the per-device
+// and fleet-wide merged top correlations, printing how the picture
+// sharpens as evidence accumulates.
 //
 // Run with: go run ./examples/livemonitor
 package main
@@ -13,49 +14,66 @@ package main
 import (
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"daccor/internal/core"
+	"daccor/internal/engine"
 	"daccor/internal/monitor"
-	"daccor/internal/pipeline"
-	"daccor/internal/realtime"
 	"daccor/internal/workload"
 )
 
 func main() {
-	syn, err := workload.Generate(workload.SyntheticConfig{
-		Kind:        workload.OneToMany, // inode-style: one block ↔ a range
-		Occurrences: 3000,
-		Seed:        11,
-	})
+	// Two volumes with different access patterns: an inode-style
+	// one-to-many workload and a many-to-many one.
+	traces := map[string]workload.Kind{
+		"vol0": workload.OneToMany,
+		"vol1": workload.ManyToMany,
+	}
+
+	eng, err := engine.New(
+		engine.WithMonitor(monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)}),
+		engine.WithAnalyzer(core.Config{ItemCapacity: 8192, PairCapacity: 8192}),
+		engine.WithBackpressure(engine.Block), // replayed stream: lose nothing
+		engine.WithDevices("vol0", "vol1"),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	c, err := realtime.Start(realtime.Config{
-		Pipeline: pipeline.Config{
-			Monitor:  monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)},
-			Analyzer: core.Config{ItemCapacity: 8192, PairCapacity: 8192},
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Producer: stream the trace in.
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for _, ev := range syn.Trace.Events {
-			if err := c.Submit(ev); err != nil {
-				log.Printf("submit: %v", err)
-				return
-			}
+	// Producers: stream each volume's trace in concurrently.
+	var wg sync.WaitGroup
+	seed := int64(11)
+	for id, kind := range traces {
+		syn, err := workload.Generate(workload.SyntheticConfig{
+			Kind:        kind,
+			Occurrences: 3000,
+			Seed:        seed,
+		})
+		if err != nil {
+			log.Fatal(err)
 		}
-	}()
+		seed++
+		dev, err := eng.Device(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, ev := range syn.Trace.Events {
+				if err := dev.Submit(ev); err != nil {
+					log.Printf("submit %s: %v", dev.ID(), err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
 
-	// Consumer: poll the live state while the producer runs.
-	fmt.Println("live view of the synopsis while the stream is being ingested:")
+	// Consumer: poll the live state while the producers run.
+	fmt.Println("live view of the synopses while the streams are being ingested:")
 	ticker := time.NewTicker(2 * time.Millisecond)
 	defer ticker.Stop()
 	lastSeen := uint64(0)
@@ -65,33 +83,44 @@ poll:
 		case <-done:
 			break poll
 		case <-ticker.C:
-			mon, _, err := c.Stats()
+			st, err := eng.Stats()
 			if err != nil {
 				log.Fatal(err)
 			}
-			if mon.Events == lastSeen {
+			events := st.TotalMonitor().Events
+			if events == lastSeen {
 				continue
 			}
-			lastSeen = mon.Events
-			snap, err := c.Snapshot(5)
+			lastSeen = events
+			merged, err := eng.MergedSnapshot(5)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  after %6d events: %3d frequent pairs", mon.Events, len(snap.Pairs))
-			if top := snap.TopPairs(1); len(top) == 1 {
+			fmt.Printf("  after %6d events: %3d frequent pairs fleet-wide", events, len(merged.Pairs))
+			if top := merged.TopPairs(1); len(top) == 1 {
 				fmt.Printf(", hottest %s ×%d", top[0].Pair, top[0].Count)
 			}
 			fmt.Println()
 		}
 	}
 
-	// Final answer: directional rules, the prefetcher-ready form.
-	rules, err := c.Rules(10, 0.6)
+	// Per-device answers: what correlates on each volume.
+	for _, id := range eng.Devices() {
+		snap, err := eng.Snapshot(id, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: %d frequent pairs (support ≥ 5)\n", id, len(snap.Pairs))
+	}
+
+	// Final fleet-wide answer: directional rules, the prefetcher-ready
+	// form, derived from the merged synopsis.
+	rules, err := eng.MergedRules(10, 0.6)
 	if err != nil {
 		log.Fatal(err)
 	}
-	c.Stop()
-	fmt.Printf("\nfinal directional rules (support ≥ 10, confidence ≥ 0.6):\n")
+	eng.Stop()
+	fmt.Printf("\nfinal fleet-wide rules (support ≥ 10, confidence ≥ 0.6):\n")
 	limit := 8
 	if len(rules) < limit {
 		limit = len(rules)

@@ -86,11 +86,21 @@ type Stats struct {
 	PairDemotions  uint64 // demotions triggered by item evictions
 }
 
+// Validate reports whether the configuration can build an analyzer.
+// It is the core leg of the unified Config/Validate surface shared
+// with monitor.Config and pipeline.Config.
+func (c Config) Validate() error {
+	if c.ItemCapacity <= 0 || c.PairCapacity <= 0 {
+		return fmt.Errorf("core: capacities must be positive (items %d, pairs %d)",
+			c.ItemCapacity, c.PairCapacity)
+	}
+	return nil
+}
+
 // NewAnalyzer returns an analyzer with empty tables.
 func NewAnalyzer(cfg Config) (*Analyzer, error) {
-	if cfg.ItemCapacity <= 0 || cfg.PairCapacity <= 0 {
-		return nil, fmt.Errorf("core: capacities must be positive (items %d, pairs %d)",
-			cfg.ItemCapacity, cfg.PairCapacity)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	a := &Analyzer{
 		cfg:           cfg,

@@ -1,0 +1,93 @@
+package core
+
+import "daccor/internal/blktrace"
+
+// MergeSnapshots combines per-device synopsis exports into one
+// fleet-wide view: the union of the pair and item sets with counters
+// summed and the tier taken as the highest tier any device holds the
+// entry in. This is the aggregation layer of the multi-device engine —
+// each device maintains its own bounded synopsis at hardware speed, and
+// cross-device questions ("what correlates fleet-wide?") are answered
+// by merging the per-device exports, the per-stream-synopsis-then-
+// combine shape of the correlated heavy hitters literature.
+//
+// The result is ordered like any Snapshot (descending counter, ties by
+// key), so merging the same snapshots in any order yields an identical
+// value. Merging a single snapshot returns an equal snapshot, which is
+// what makes the single-device deployment the N=1 case of the engine.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	pairAt := make(map[blktrace.Pair]int)
+	itemAt := make(map[blktrace.Extent]int)
+	for _, s := range snaps {
+		for _, pc := range s.Pairs {
+			if i, ok := pairAt[pc.Pair]; ok {
+				out.Pairs[i].Count += pc.Count
+				if pc.Tier > out.Pairs[i].Tier {
+					out.Pairs[i].Tier = pc.Tier
+				}
+				continue
+			}
+			pairAt[pc.Pair] = len(out.Pairs)
+			out.Pairs = append(out.Pairs, pc)
+		}
+		for _, ic := range s.Items {
+			if i, ok := itemAt[ic.Extent]; ok {
+				out.Items[i].Count += ic.Count
+				if ic.Tier > out.Items[i].Tier {
+					out.Items[i].Tier = ic.Tier
+				}
+				continue
+			}
+			itemAt[ic.Extent] = len(out.Items)
+			out.Items = append(out.Items, ic)
+		}
+	}
+	out.sort()
+	return out
+}
+
+// Rules extracts directional association rules from an exported
+// snapshot, exactly as Analyzer.Rules does from the live tables: every
+// pair with counter >= minSupport yields up to two rules, kept when the
+// antecedent extent is present in the snapshot's item table and the
+// confidence freq(From∧To)/freq(From) meets minConfidence.
+//
+// On a single analyzer's full export (Snapshot(0)) this reproduces
+// Analyzer.Rules; on a merged snapshot it yields fleet-wide rules whose
+// confidences are estimates over the summed counters. The snapshot must
+// have been exported with a support low enough to retain the antecedent
+// items (use 0 for exact agreement with the live tables).
+func (s Snapshot) Rules(minSupport uint32, minConfidence float64) []Rule {
+	items := make(map[blktrace.Extent]uint32, len(s.Items))
+	for _, ic := range s.Items {
+		items[ic.Extent] = ic.Count
+	}
+	var out []Rule
+	for _, pc := range s.Pairs {
+		if pc.Count < minSupport {
+			continue
+		}
+		p := pc.Pair
+		for _, dir := range [2][2]blktrace.Extent{{p.A, p.B}, {p.B, p.A}} {
+			from, to := dir[0], dir[1]
+			if from == to {
+				continue
+			}
+			fromCount := items[from]
+			if fromCount == 0 {
+				continue
+			}
+			conf := float64(pc.Count) / float64(fromCount)
+			if conf > 1 {
+				conf = 1
+			}
+			if conf < minConfidence {
+				continue
+			}
+			out = append(out, Rule{From: from, To: to, Support: pc.Count, Confidence: conf})
+		}
+	}
+	sortRules(out)
+	return out
+}

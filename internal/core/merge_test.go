@@ -1,0 +1,138 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+// ext is shared with analyzer_test.go: ext(block, length).
+
+func pair(a, b uint64) blktrace.Pair { return blktrace.MakePair(ext(a, 1), ext(b, 1)) }
+
+func TestMergeSnapshotsIdentity(t *testing.T) {
+	s := Snapshot{
+		Pairs: []PairCount{
+			{Pair: pair(1, 2), Count: 9, Tier: Tier2},
+			{Pair: pair(3, 4), Count: 4, Tier: Tier1},
+		},
+		Items: []ItemCount{
+			{Extent: ext(1, 1), Count: 9, Tier: Tier2},
+			{Extent: ext(2, 1), Count: 5, Tier: Tier1},
+		},
+	}
+	if got := MergeSnapshots(s); !reflect.DeepEqual(got, s) {
+		t.Errorf("MergeSnapshots(s) = %+v, want s unchanged", got)
+	}
+	empty := MergeSnapshots()
+	if len(empty.Pairs) != 0 || len(empty.Items) != 0 {
+		t.Errorf("MergeSnapshots() = %+v, want empty", empty)
+	}
+}
+
+func TestMergeSnapshotsSumsAndUnions(t *testing.T) {
+	a := Snapshot{
+		Pairs: []PairCount{
+			{Pair: pair(1, 2), Count: 5, Tier: Tier1},
+			{Pair: pair(3, 4), Count: 2, Tier: Tier1},
+		},
+		Items: []ItemCount{
+			{Extent: ext(1, 1), Count: 5, Tier: Tier1},
+		},
+	}
+	b := Snapshot{
+		Pairs: []PairCount{
+			{Pair: pair(1, 2), Count: 7, Tier: Tier2}, // overlaps a: summed, max tier
+			{Pair: pair(5, 6), Count: 1, Tier: Tier1}, // unique to b
+		},
+		Items: []ItemCount{
+			{Extent: ext(1, 1), Count: 3, Tier: Tier2},
+			{Extent: ext(5, 1), Count: 1, Tier: Tier1},
+		},
+	}
+	got := MergeSnapshots(a, b)
+	want := Snapshot{
+		Pairs: []PairCount{
+			{Pair: pair(1, 2), Count: 12, Tier: Tier2},
+			{Pair: pair(3, 4), Count: 2, Tier: Tier1},
+			{Pair: pair(5, 6), Count: 1, Tier: Tier1},
+		},
+		Items: []ItemCount{
+			{Extent: ext(1, 1), Count: 8, Tier: Tier2},
+			{Extent: ext(5, 1), Count: 1, Tier: Tier1},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merge = %+v, want %+v", got, want)
+	}
+	// Deterministic: argument order must not matter.
+	if rev := MergeSnapshots(b, a); !reflect.DeepEqual(rev, got) {
+		t.Errorf("merge order-dependent: %+v vs %+v", rev, got)
+	}
+}
+
+func TestMergeSnapshotsDeterministicTieOrder(t *testing.T) {
+	a := Snapshot{Pairs: []PairCount{{Pair: pair(9, 10), Count: 3, Tier: Tier1}}}
+	b := Snapshot{Pairs: []PairCount{{Pair: pair(1, 2), Count: 3, Tier: Tier1}}}
+	got := MergeSnapshots(a, b)
+	if got.Pairs[0].Pair != pair(1, 2) {
+		t.Errorf("ties must break by key order, got %+v first", got.Pairs[0])
+	}
+}
+
+// TestSnapshotRulesMatchesAnalyzer pins Snapshot.Rules to
+// Analyzer.Rules: on a full export of a live analyzer the two must
+// agree exactly, which is what makes merged rules the N-device
+// generalization of the live single-device rules.
+func TestSnapshotRulesMatchesAnalyzer(t *testing.T) {
+	a, err := NewAnalyzer(Config{ItemCapacity: 64, PairCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := [][]blktrace.Extent{
+		{ext(1, 1), ext(2, 1)},
+		{ext(1, 1), ext(2, 1), ext(3, 1)},
+		{ext(1, 1), ext(2, 1)},
+		{ext(2, 1), ext(3, 1)},
+		{ext(4, 1), ext(5, 1)},
+	}
+	for _, tx := range txs {
+		a.Process(tx)
+	}
+	for _, minSupport := range []uint32{0, 1, 2, 3} {
+		for _, minConf := range []float64{0, 0.4, 0.9} {
+			want := a.Rules(minSupport, minConf)
+			got := a.Snapshot(0).Rules(minSupport, minConf)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("Snapshot(0).Rules(%d, %v) = %+v, want %+v",
+					minSupport, minConf, got, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotRulesMergedConfidence(t *testing.T) {
+	// Two "devices" that both saw the pair (1,2): merged support is the
+	// sum, and confidence uses the summed antecedent counts.
+	dev := Snapshot{
+		Pairs: []PairCount{{Pair: pair(1, 2), Count: 4, Tier: Tier1}},
+		Items: []ItemCount{
+			{Extent: ext(1, 1), Count: 4, Tier: Tier1},
+			{Extent: ext(2, 1), Count: 8, Tier: Tier1},
+		},
+	}
+	rules := MergeSnapshots(dev, dev).Rules(5, 0)
+	if len(rules) != 2 {
+		t.Fatalf("rules = %+v, want 2", rules)
+	}
+	for _, r := range rules {
+		if r.Support != 8 {
+			t.Errorf("merged support = %d, want 8", r.Support)
+		}
+	}
+	// 1→2: 8/8 = 1.0 sorts first; 2→1: 8/16 = 0.5.
+	if rules[0].Confidence != 1 || rules[1].Confidence != 0.5 {
+		t.Errorf("confidences = %v, %v, want 1, 0.5", rules[0].Confidence, rules[1].Confidence)
+	}
+}

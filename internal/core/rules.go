@@ -50,6 +50,14 @@ func (a *Analyzer) Rules(minSupport uint32, minConfidence float64) []Rule {
 			out = append(out, Rule{From: from, To: to, Support: e.Count, Confidence: conf})
 		}
 	}
+	sortRules(out)
+	return out
+}
+
+// sortRules orders rules by descending confidence, then support, then
+// key order — the presentation order shared by Analyzer.Rules and
+// Snapshot.Rules.
+func sortRules(out []Rule) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Confidence != out[j].Confidence {
 			return out[i].Confidence > out[j].Confidence
@@ -62,5 +70,4 @@ func (a *Analyzer) Rules(minSupport uint32, minConfidence float64) []Rule {
 		}
 		return out[i].To.Less(out[j].To)
 	})
-	return out
 }

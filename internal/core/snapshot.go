@@ -39,6 +39,13 @@ func (a *Analyzer) Snapshot(minSupport uint32) Snapshot {
 	for _, e := range a.items.Entries(minSupport) {
 		s.Items = append(s.Items, ItemCount{Extent: e.Key, Count: e.Count, Tier: e.Tier})
 	}
+	s.sort()
+	return s
+}
+
+// sort orders the snapshot by descending counter, ties broken by key
+// order, so every export (and every merge of exports) is deterministic.
+func (s *Snapshot) sort() {
 	sort.Slice(s.Pairs, func(i, j int) bool {
 		if s.Pairs[i].Count != s.Pairs[j].Count {
 			return s.Pairs[i].Count > s.Pairs[j].Count
@@ -55,7 +62,6 @@ func (a *Analyzer) Snapshot(minSupport uint32) Snapshot {
 		}
 		return s.Items[i].Extent.Less(s.Items[j].Extent)
 	})
-	return s
 }
 
 // PairSet returns the snapshot's pairs as a set for similarity metrics.

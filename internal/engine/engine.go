@@ -1,0 +1,470 @@
+// Package engine runs the characterization framework for a fleet of
+// block devices. Each registered device gets its own
+// pipeline.Pipeline (monitor + synopsis) owned by a dedicated worker
+// goroutine and fed through a bounded event queue with an explicit
+// drop-oldest backpressure policy — a live characterizer must never
+// stall the I/O path it observes, so when a device falls behind the
+// oldest unprocessed events are discarded and counted rather than
+// blocking the producer. Per-device drop and lag counters expose that
+// behaviour to operators.
+//
+// On top of the per-device shards sits cross-device aggregation:
+// MergedSnapshot and MergedRules union the per-device synopses
+// (core.MergeSnapshots) so callers can ask both "what correlates on
+// volume 3" and "what correlates fleet-wide". The single-device
+// deployment (internal/realtime.Collector) is the N=1 case of this
+// engine.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/monitor"
+	"daccor/internal/pipeline"
+)
+
+// DefaultQueueSize is the per-device event queue capacity used when no
+// WithQueueSize option is given.
+const DefaultQueueSize = 4096
+
+// Backpressure selects what Submit does when a device's queue is full.
+type Backpressure int
+
+const (
+	// DropOldest discards the oldest queued event (counted per device)
+	// to admit the new one without ever stalling the producer — the
+	// right policy for a monitor attached to a live I/O path, and the
+	// engine's default.
+	DropOldest Backpressure = iota
+	// Block makes Submit wait until the worker frees queue space; no
+	// events are lost, at the cost of backpressure propagating to the
+	// producer. Used by offline/replayed ingestion.
+	Block
+)
+
+// Errors returned by engine operations.
+var (
+	ErrStopped         = errors.New("engine: stopped")
+	ErrUnknownDevice   = errors.New("engine: unknown device")
+	ErrDuplicateDevice = errors.New("engine: device already registered")
+)
+
+// settings collects what the functional options configure.
+type settings struct {
+	tmpl      pipeline.Config
+	queueSize int
+	policy    Backpressure
+	devices   []string
+}
+
+// Option configures an Engine under construction; see With*.
+type Option func(*settings)
+
+// WithPipeline sets the whole per-device pipeline template at once.
+// Later WithMonitor/WithAnalyzer options override its fields.
+func WithPipeline(cfg pipeline.Config) Option {
+	return func(s *settings) { s.tmpl = cfg }
+}
+
+// WithMonitor sets the monitoring-module template (window policy,
+// transaction cap, PID filter) every registered device's pipeline is
+// built from. A nil Window selects the paper's dynamic window.
+func WithMonitor(cfg monitor.Config) Option {
+	return func(s *settings) { s.tmpl.Monitor = cfg }
+}
+
+// WithAnalyzer sets the synopsis configuration (table capacities,
+// promotion threshold) every registered device's pipeline is built
+// from.
+func WithAnalyzer(cfg core.Config) Option {
+	return func(s *settings) { s.tmpl.Analyzer = cfg }
+}
+
+// WithQueueSize sets the per-device event queue capacity (default
+// DefaultQueueSize).
+func WithQueueSize(n int) Option {
+	return func(s *settings) { s.queueSize = n }
+}
+
+// WithBackpressure selects the full-queue policy (default DropOldest).
+func WithBackpressure(p Backpressure) Option {
+	return func(s *settings) { s.policy = p }
+}
+
+// WithDevices registers the given device IDs at construction time;
+// more can be added later with Register.
+func WithDevices(ids ...string) Option {
+	return func(s *settings) { s.devices = append(s.devices, ids...) }
+}
+
+// Engine is the multi-device collection engine. All methods are safe
+// for concurrent use.
+type Engine struct {
+	tmpl      pipeline.Config
+	queueSize int
+	policy    Backpressure
+
+	mu           sync.Mutex
+	shards       map[string]*shard
+	order        []string // registration order, for deterministic listings
+	stopped      bool
+	restoredUsed bool
+}
+
+// New builds an engine from functional options — the one constructor
+// callers use instead of hand-assembling nested monitor/analyzer/
+// pipeline structs:
+//
+//	e, err := engine.New(
+//	        engine.WithAnalyzer(core.Config{ItemCapacity: 32 << 10, PairCapacity: 32 << 10}),
+//	        engine.WithQueueSize(8192),
+//	        engine.WithDevices("vol0", "vol1"),
+//	)
+//
+// The pipeline template is validated up front (pipeline.Config.Validate)
+// so misconfiguration fails at construction, not at first Register.
+func New(opts ...Option) (*Engine, error) {
+	s := settings{queueSize: DefaultQueueSize, policy: DropOldest}
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.queueSize < 1 {
+		return nil, fmt.Errorf("engine: queue size must be >= 1 (got %d)", s.queueSize)
+	}
+	if s.policy != DropOldest && s.policy != Block {
+		return nil, fmt.Errorf("engine: unknown backpressure policy %d", s.policy)
+	}
+	if err := s.tmpl.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		tmpl:      s.tmpl,
+		queueSize: s.queueSize,
+		policy:    s.policy,
+		shards:    make(map[string]*shard),
+	}
+	for _, id := range s.devices {
+		if err := e.Register(id); err != nil {
+			e.Stop()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Register adds a device, building its pipeline from the engine's
+// template and starting its worker. Devices can be registered while
+// the engine is live; registering after Stop returns ErrStopped.
+func (e *Engine) Register(id string) error {
+	if id == "" {
+		return errors.New("engine: device id must be non-empty")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return ErrStopped
+	}
+	if _, ok := e.shards[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateDevice, id)
+	}
+	cfg := e.tmpl
+	if cfg.Restored != nil {
+		// A restored analyzer is a single concrete instance; sharing it
+		// across shards would race. It may seed exactly one device.
+		if e.restoredUsed {
+			return fmt.Errorf("engine: a Restored analyzer can seed only one device (device %q rejected)", id)
+		}
+		e.restoredUsed = true
+	}
+	pipe, err := pipeline.New(cfg)
+	if err != nil {
+		return err
+	}
+	sh := newShard(id, pipe, e.queueSize, e.policy)
+	e.shards[id] = sh
+	e.order = append(e.order, id)
+	go sh.run()
+	return nil
+}
+
+// Devices lists the registered device IDs in registration order. It
+// keeps working after Stop.
+func (e *Engine) Devices() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.order))
+	copy(out, e.order)
+	return out
+}
+
+func (e *Engine) shard(id string) (*shard, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.shards[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDevice, id)
+	}
+	return s, nil
+}
+
+// orderedShards returns the shards in registration order.
+func (e *Engine) orderedShards() []*shard {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*shard, len(e.order))
+	for i, id := range e.order {
+		out[i] = e.shards[id]
+	}
+	return out
+}
+
+// Submit offers one issue event to the named device. It validates the
+// event, then enqueues it under the engine's backpressure policy. For
+// per-event hot loops prefer resolving a Device handle once.
+func (e *Engine) Submit(id string, ev blktrace.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	s, err := e.shard(id)
+	if err != nil {
+		return err
+	}
+	return s.submit(ev)
+}
+
+// ObserveLatency feeds one completion latency (ns) to the named
+// device's dynamic window. Latencies are droppable signal; unknown
+// devices and backlog are silently ignored.
+func (e *Engine) ObserveLatency(id string, ns int64) {
+	if s, err := e.shard(id); err == nil {
+		s.observeLatency(ns)
+	}
+}
+
+// Snapshot exports the named device's synopsis at minSupport.
+func (e *Engine) Snapshot(id string, minSupport uint32) (core.Snapshot, error) {
+	s, err := e.shard(id)
+	if err != nil {
+		return core.Snapshot{}, err
+	}
+	r, err := s.ask(query{kind: querySnapshot, minSupport: minSupport})
+	return r.snapshot, err
+}
+
+// Rules extracts the named device's directional association rules from
+// its live tables.
+func (e *Engine) Rules(id string, minSupport uint32, minConfidence float64) ([]core.Rule, error) {
+	s, err := e.shard(id)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.ask(query{kind: queryRules, minSupport: minSupport, minConf: minConfidence})
+	return r.rules, err
+}
+
+// WriteSnapshot serialises the named device's live synopsis (see
+// core.Analyzer.WriteTo) without stopping ingestion.
+func (e *Engine) WriteSnapshot(id string, w io.Writer) error {
+	s, err := e.shard(id)
+	if err != nil {
+		return err
+	}
+	r, err := s.ask(query{kind: querySave, saveTo: w})
+	if err != nil {
+		return err
+	}
+	return r.saveErr
+}
+
+// MergedSnapshot exports every device's synopsis and merges them
+// (core.MergeSnapshots) into one fleet-wide view at minSupport. Each
+// per-device export is a consistent point-in-time view; the merge is
+// not a cross-device atomic snapshot — ingestion continues while later
+// devices are exported.
+func (e *Engine) MergedSnapshot(minSupport uint32) (core.Snapshot, error) {
+	shards := e.orderedShards()
+	snaps := make([]core.Snapshot, 0, len(shards))
+	for _, s := range shards {
+		r, err := s.ask(query{kind: querySnapshot, minSupport: minSupport})
+		if err != nil {
+			return core.Snapshot{}, err
+		}
+		snaps = append(snaps, r.snapshot)
+	}
+	return core.MergeSnapshots(snaps...), nil
+}
+
+// MergedRules derives fleet-wide directional rules from the merged
+// synopsis: per-device tables are exported in full, merged with summed
+// counters, and rules are extracted from the merged view. Confidences
+// are estimates over the summed counters. With one device this equals
+// that device's Rules.
+func (e *Engine) MergedRules(minSupport uint32, minConfidence float64) ([]core.Rule, error) {
+	// Export at support 0: rule antecedents need item counts that may
+	// sit below minSupport.
+	snap, err := e.MergedSnapshot(0)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Rules(minSupport, minConfidence), nil
+}
+
+// DeviceStats is one device's health and processing counters.
+type DeviceStats struct {
+	Device   string
+	Monitor  monitor.Stats
+	Analyzer core.Stats
+	// Dropped counts events discarded by the drop-oldest policy.
+	Dropped uint64
+	// Lag is the number of events queued but not yet processed.
+	Lag int
+}
+
+// Stats is the engine-wide view: one entry per device, in registration
+// order.
+type Stats struct {
+	Devices []DeviceStats
+}
+
+// TotalDropped sums the per-device drop counters.
+func (s Stats) TotalDropped() uint64 {
+	var n uint64
+	for _, d := range s.Devices {
+		n += d.Dropped
+	}
+	return n
+}
+
+// TotalMonitor sums the per-device monitor counters.
+func (s Stats) TotalMonitor() monitor.Stats {
+	var t monitor.Stats
+	for _, d := range s.Devices {
+		t.Events += d.Monitor.Events
+		t.Filtered += d.Monitor.Filtered
+		t.Duplicates += d.Monitor.Duplicates
+		t.Transactions += d.Monitor.Transactions
+		t.CapSplits += d.Monitor.CapSplits
+		t.OutOfOrder += d.Monitor.OutOfOrder
+	}
+	return t
+}
+
+// TotalAnalyzer sums the per-device analyzer counters.
+func (s Stats) TotalAnalyzer() core.Stats {
+	var t core.Stats
+	for _, d := range s.Devices {
+		t.Transactions += d.Analyzer.Transactions
+		t.Extents += d.Analyzer.Extents
+		t.PairTouches += d.Analyzer.PairTouches
+		t.ItemEvictions += d.Analyzer.ItemEvictions
+		t.PairEvictions += d.Analyzer.PairEvictions
+		t.ItemPromotions += d.Analyzer.ItemPromotions
+		t.PairPromotions += d.Analyzer.PairPromotions
+		t.PairDemotions += d.Analyzer.PairDemotions
+	}
+	return t
+}
+
+// DeviceStatsFor returns one device's counters.
+func (e *Engine) DeviceStatsFor(id string) (DeviceStats, error) {
+	s, err := e.shard(id)
+	if err != nil {
+		return DeviceStats{}, err
+	}
+	return e.statsOf(s)
+}
+
+// Stats returns every device's counters in registration order.
+func (e *Engine) Stats() (Stats, error) {
+	shards := e.orderedShards()
+	st := Stats{Devices: make([]DeviceStats, 0, len(shards))}
+	for _, s := range shards {
+		ds, err := e.statsOf(s)
+		if err != nil {
+			return Stats{}, err
+		}
+		st.Devices = append(st.Devices, ds)
+	}
+	return st, nil
+}
+
+func (e *Engine) statsOf(s *shard) (DeviceStats, error) {
+	r, err := s.ask(query{kind: queryStats})
+	if err != nil {
+		return DeviceStats{}, err
+	}
+	dropped, lag := s.counters()
+	return DeviceStats{
+		Device:   s.id,
+		Monitor:  r.monStats,
+		Analyzer: r.anStats,
+		Dropped:  dropped,
+		Lag:      lag,
+	}, nil
+}
+
+// Dropped reports the named device's drop counter. Unlike the query
+// methods it keeps working after Stop.
+func (e *Engine) Dropped(id string) (uint64, error) {
+	s, err := e.shard(id)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := s.counters()
+	return n, nil
+}
+
+// Stop shuts every device down: no new events or queries are accepted,
+// queued events are drained into the pipelines, open transactions are
+// flushed, and the workers exit. Stop is idempotent, safe to call
+// concurrently, and returns once every worker has exited.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	shards := make([]*shard, len(e.order))
+	for i, id := range e.order {
+		shards[i] = e.shards[id]
+	}
+	e.mu.Unlock()
+	for _, s := range shards {
+		s.requestStop()
+	}
+	for _, s := range shards {
+		<-s.done
+	}
+}
+
+// Device is a registered device's ingest handle: hot loops resolve it
+// once and submit without a per-event fleet-map lookup.
+type Device struct {
+	s *shard
+}
+
+// Device resolves an ingest handle for the named device.
+func (e *Engine) Device(id string) (*Device, error) {
+	s, err := e.shard(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{s: s}, nil
+}
+
+// ID returns the device's identifier.
+func (d *Device) ID() string { return d.s.id }
+
+// Submit validates and enqueues one issue event, as Engine.Submit.
+func (d *Device) Submit(ev blktrace.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	return d.s.submit(ev)
+}
+
+// ObserveLatency feeds one completion latency (ns), as
+// Engine.ObserveLatency.
+func (d *Device) ObserveLatency(ns int64) { d.s.observeLatency(ns) }

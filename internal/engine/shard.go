@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"io"
+	"sync"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/monitor"
+	"daccor/internal/pipeline"
+)
+
+type queryKind int
+
+const (
+	querySnapshot queryKind = iota
+	queryRules
+	queryStats
+	querySave
+)
+
+type query struct {
+	kind       queryKind
+	minSupport uint32
+	minConf    float64
+	saveTo     io.Writer
+	reply      chan queryReply
+}
+
+type queryReply struct {
+	snapshot core.Snapshot
+	rules    []core.Rule
+	monStats monitor.Stats
+	anStats  core.Stats
+	saveErr  error
+}
+
+// shard is one device's slice of the engine: a pipeline owned by a
+// single worker goroutine, fed through a bounded ring of events. State
+// confinement is the concurrency design — the pipeline is only ever
+// touched by the worker, producers and queriers communicate through the
+// mutex-guarded queues, and the worker drains whole batches per lock
+// acquisition so the hot path amortizes synchronization.
+type shard struct {
+	id     string
+	pipe   *pipeline.Pipeline
+	policy Backpressure
+
+	mu       sync.Mutex
+	notEmpty sync.Cond // signalled when work arrives
+	notFull  sync.Cond // signalled when the worker frees queue space (Block policy)
+	buf      []blktrace.Event
+	head     int // index of the oldest queued event
+	count    int // queued events
+	lats     []int64
+	queries  []query
+	dropped  uint64
+	stopping bool
+
+	done chan struct{} // closed when the worker exits
+}
+
+func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpressure) *shard {
+	s := &shard{
+		id:     id,
+		pipe:   pipe,
+		policy: policy,
+		buf:    make([]blktrace.Event, queueSize),
+		done:   make(chan struct{}),
+	}
+	s.notEmpty.L = &s.mu
+	s.notFull.L = &s.mu
+	return s
+}
+
+// run is the worker loop: sleep until work arrives, take everything
+// queued in one critical section, then process it outside the lock.
+// On stop it drains the final batch, flushes the open transaction, and
+// answers any pending queries against the flushed state.
+func (s *shard) run() {
+	defer close(s.done)
+	var evs []blktrace.Event
+	var lats []int64
+	var queries []query
+	for {
+		s.mu.Lock()
+		for s.count == 0 && len(s.lats) == 0 && len(s.queries) == 0 && !s.stopping {
+			s.notEmpty.Wait()
+		}
+		evs = evs[:0]
+		for s.count > 0 {
+			evs = append(evs, s.buf[s.head])
+			s.head++
+			if s.head == len(s.buf) {
+				s.head = 0
+			}
+			s.count--
+		}
+		lats = append(lats[:0], s.lats...)
+		s.lats = s.lats[:0]
+		queries = append(queries[:0], s.queries...)
+		s.queries = s.queries[:0]
+		stopping := s.stopping
+		if s.policy == Block {
+			s.notFull.Broadcast()
+		}
+		s.mu.Unlock()
+
+		for _, ns := range lats {
+			s.pipe.Monitor().ObserveLatency(ns)
+		}
+		for _, ev := range evs {
+			// Events were validated in Submit; the monitor re-validates
+			// and cannot fail here.
+			_ = s.pipe.HandleIssue(ev)
+		}
+		if stopping {
+			s.pipe.Flush()
+			for _, q := range queries {
+				s.answer(q)
+			}
+			return
+		}
+		for _, q := range queries {
+			s.answer(q)
+		}
+	}
+}
+
+func (s *shard) answer(q query) {
+	var r queryReply
+	switch q.kind {
+	case querySnapshot:
+		r.snapshot = s.pipe.Snapshot(q.minSupport)
+	case queryRules:
+		r.rules = s.pipe.Analyzer().Rules(q.minSupport, q.minConf)
+	case queryStats:
+		r.monStats = s.pipe.Monitor().Stats()
+		r.anStats = s.pipe.Analyzer().Stats()
+	case querySave:
+		_, r.saveErr = s.pipe.Analyzer().WriteTo(q.saveTo)
+	}
+	q.reply <- r
+}
+
+// submit enqueues one pre-validated event. When the queue is full the
+// configured backpressure policy decides: DropOldest evicts the oldest
+// queued event (counted) so the producer never stalls, Block waits for
+// the worker to free space.
+func (s *shard) submit(ev blktrace.Event) error {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	if s.count == len(s.buf) {
+		if s.policy == DropOldest {
+			s.head++
+			if s.head == len(s.buf) {
+				s.head = 0
+			}
+			s.count--
+			s.dropped++
+		} else {
+			for s.count == len(s.buf) && !s.stopping {
+				s.notFull.Wait()
+			}
+			if s.stopping {
+				s.mu.Unlock()
+				return ErrStopped
+			}
+		}
+	}
+	tail := s.head + s.count
+	if tail >= len(s.buf) {
+		tail -= len(s.buf)
+	}
+	s.buf[tail] = ev
+	s.count++
+	s.notEmpty.Signal()
+	s.mu.Unlock()
+	return nil
+}
+
+// observeLatency enqueues one completion latency. Latencies are
+// droppable signal (they only steer the dynamic window), so when the
+// worker is far behind they are silently discarded rather than queued
+// without bound.
+func (s *shard) observeLatency(ns int64) {
+	s.mu.Lock()
+	if !s.stopping && len(s.lats) < len(s.buf) {
+		s.lats = append(s.lats, ns)
+		s.notEmpty.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// ask posts a query to the worker and waits for the reply.
+func (s *shard) ask(q query) (queryReply, error) {
+	q.reply = make(chan queryReply, 1)
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return queryReply{}, ErrStopped
+	}
+	s.queries = append(s.queries, q)
+	s.notEmpty.Signal()
+	s.mu.Unlock()
+	select {
+	case r := <-q.reply:
+		return r, nil
+	case <-s.done:
+		return queryReply{}, ErrStopped
+	}
+}
+
+// counters reads the producer-side counters: total events discarded by
+// drop-oldest backpressure and the current ingest lag (events queued
+// but not yet processed). Unlike queries these never touch the worker,
+// so they stay readable after Stop.
+func (s *shard) counters() (dropped uint64, lag int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped, s.count
+}
+
+// stop asks the worker to drain, flush, and exit. The caller waits on
+// s.done.
+func (s *shard) requestStop() {
+	s.mu.Lock()
+	if !s.stopping {
+		s.stopping = true
+		s.notEmpty.Broadcast()
+		s.notFull.Broadcast()
+	}
+	s.mu.Unlock()
+}

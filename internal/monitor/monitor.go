@@ -84,16 +84,27 @@ type Monitor struct {
 	stats Stats
 }
 
+// Validate reports whether the configuration can build a monitor: a
+// window policy is required and MaxRequests must be non-negative
+// (0 selects DefaultMaxRequests). It is the monitor leg of the unified
+// Config/Validate surface shared with core.Config and pipeline.Config.
+func (c Config) Validate() error {
+	if c.Window == nil {
+		return errors.New("monitor: Config.Window is required")
+	}
+	if c.MaxRequests < 0 {
+		return fmt.Errorf("monitor: MaxRequests must be >= 1 (got %d)", c.MaxRequests)
+	}
+	return nil
+}
+
 // New returns a Monitor forwarding completed transactions to sink.
 func New(cfg Config, sink func(Transaction)) (*Monitor, error) {
-	if cfg.Window == nil {
-		return nil, errors.New("monitor: Config.Window is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxRequests == 0 {
 		cfg.MaxRequests = DefaultMaxRequests
-	}
-	if cfg.MaxRequests < 1 {
-		return nil, fmt.Errorf("monitor: MaxRequests must be >= 1 (got %d)", cfg.MaxRequests)
 	}
 	if sink == nil {
 		return nil, errors.New("monitor: sink is required")

@@ -40,10 +40,34 @@ type Pipeline struct {
 	transactions []monitor.Transaction
 }
 
+// Validate reports whether the configuration can build a pipeline,
+// composing the monitor and analyzer legs of the unified Config
+// surface. Unlike monitor.Config.Validate, a nil Monitor.Window is
+// accepted here because New substitutes the paper's dynamic window;
+// the Analyzer config is skipped when a Restored analyzer supersedes
+// it.
+func (c Config) Validate() error {
+	if c.Restored == nil {
+		if err := c.Analyzer.Validate(); err != nil {
+			return err
+		}
+	}
+	mc := c.Monitor
+	if mc.Window == nil {
+		// Stand-in for the dynamic default New installs; only the
+		// remaining monitor fields are validated.
+		mc.Window = monitor.StaticWindow(1)
+	}
+	return mc.Validate()
+}
+
 // New builds a pipeline. If cfg.Monitor.Window is nil, the paper's
 // dynamic 2×-average-latency window is used with a [50 µs, 100 ms]
 // clamp.
 func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Monitor.Window == nil {
 		w, err := monitor.NewDynamicWindow(50*time.Microsecond, 100*time.Millisecond)
 		if err != nil {

@@ -1,21 +1,26 @@
 // Package realtime runs the characterization pipeline as a concurrent
 // service: block-layer events and completion latencies stream in from
-// producer goroutines, a single collector goroutine owns the monitor
-// and analyzer (no locks on the hot path — state is confined, queries
+// producer goroutines, a worker goroutine owns the monitor and
+// analyzer (no locks on the hot path — state is confined, queries
 // communicate), and consumers ask for snapshots, rules, or statistics
 // at any moment while the stream is live. This is the deployment shape
 // the paper sketches: characterization running alongside the workload,
 // feeding optimization modules continuously.
+//
+// Collector is the single-device convenience: it is the N=1 case of
+// the multi-device engine (internal/engine), which owns the worker,
+// queue, and backpressure machinery. Use the engine directly to
+// characterize several devices at once and aggregate across them.
 package realtime
 
 import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 
 	"daccor/internal/blktrace"
 	"daccor/internal/core"
+	"daccor/internal/engine"
 	"daccor/internal/monitor"
 	"daccor/internal/pipeline"
 )
@@ -25,60 +30,40 @@ type Config struct {
 	// Pipeline configures the monitor and analyzer, as in package
 	// pipeline.
 	Pipeline pipeline.Config
-	// Buffer is the event channel capacity; 0 means DefaultBuffer.
+	// Buffer is the event queue capacity; 0 means DefaultBuffer.
 	Buffer int
-	// DropOnBackpressure makes Submit drop events (counted) instead of
-	// blocking when the collector falls behind — a live monitor must
-	// never stall the I/O path it observes.
+	// DropOnBackpressure makes Submit drop the oldest queued event
+	// (counted) instead of blocking when the collector falls behind —
+	// a live monitor must never stall the I/O path it observes.
 	DropOnBackpressure bool
 }
 
-// DefaultBuffer is the default event channel capacity.
-const DefaultBuffer = 4096
+// Validate reports whether the configuration can start a collector.
+func (cfg Config) Validate() error {
+	if cfg.Buffer < 0 {
+		return fmt.Errorf("realtime: Buffer must be >= 1 (got %d)", cfg.Buffer)
+	}
+	return cfg.Pipeline.Validate()
+}
+
+// DefaultBuffer is the default event queue capacity.
+const DefaultBuffer = engine.DefaultQueueSize
 
 // ErrStopped is returned by Submit and queries after Stop.
 var ErrStopped = errors.New("realtime: collector stopped")
 
-type queryKind int
+// deviceID is the single device a Collector registers in its engine.
+const deviceID = "device0"
 
-const (
-	querySnapshot queryKind = iota
-	queryRules
-	queryStats
-	querySave
-)
-
-type query struct {
-	kind       queryKind
-	minSupport uint32
-	minConf    float64
-	saveTo     io.Writer
-	reply      chan queryReply
-}
-
-type queryReply struct {
-	snapshot core.Snapshot
-	rules    []core.Rule
-	monStats monitor.Stats
-	anStats  core.Stats
-	saveErr  error
-}
-
-// Collector is the running service. All methods are safe for
+// Collector is the running service: a one-device engine.Engine with
+// the original single-device surface. All methods are safe for
 // concurrent use.
 type Collector struct {
-	events  chan blktrace.Event
-	lats    chan int64
-	queries chan query
-	stop    chan struct{} // closed by Stop to request shutdown
-	done    chan struct{} // closed by the loop on exit
-
-	dropMode bool        // immutable after Start
-	dropped  chan uint64 // 1-buffered mailbox holding the drop count
-	stopOnce sync.Once
+	eng *engine.Engine
+	dev *engine.Device
 }
 
-// Start launches the collector goroutine.
+// Start launches the collector.
 func Start(cfg Config) (*Collector, error) {
 	if cfg.Buffer == 0 {
 		cfg.Buffer = DefaultBuffer
@@ -86,165 +71,90 @@ func Start(cfg Config) (*Collector, error) {
 	if cfg.Buffer < 1 {
 		return nil, fmt.Errorf("realtime: Buffer must be >= 1 (got %d)", cfg.Buffer)
 	}
-	pipe, err := pipeline.New(cfg.Pipeline)
+	policy := engine.Block
+	if cfg.DropOnBackpressure {
+		policy = engine.DropOldest
+	}
+	eng, err := engine.New(
+		engine.WithPipeline(cfg.Pipeline),
+		engine.WithQueueSize(cfg.Buffer),
+		engine.WithBackpressure(policy),
+		engine.WithDevices(deviceID),
+	)
 	if err != nil {
 		return nil, err
 	}
-	c := &Collector{
-		events:   make(chan blktrace.Event, cfg.Buffer),
-		lats:     make(chan int64, cfg.Buffer),
-		queries:  make(chan query),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		dropMode: cfg.DropOnBackpressure,
-		dropped:  make(chan uint64, 1),
+	dev, err := eng.Device(deviceID)
+	if err != nil {
+		eng.Stop()
+		return nil, err
 	}
-	c.dropped <- 0
-	go c.loop(pipe)
-	return c, nil
+	return &Collector{eng: eng, dev: dev}, nil
 }
 
-func (c *Collector) loop(pipe *pipeline.Pipeline) {
-	defer close(c.done)
-	for {
-		select {
-		case ev := <-c.events:
-			// Monitor validation errors are counted by the caller via
-			// Submit; events reaching here are pre-validated.
-			_ = pipe.HandleIssue(ev)
-		case ns := <-c.lats:
-			pipe.Monitor().ObserveLatency(ns)
-		case q := <-c.queries:
-			c.answer(pipe, q)
-		case <-c.stop:
-			// Drain whatever producers managed to enqueue, then flush.
-			for {
-				select {
-				case ev := <-c.events:
-					_ = pipe.HandleIssue(ev)
-				case ns := <-c.lats:
-					pipe.Monitor().ObserveLatency(ns)
-				case q := <-c.queries:
-					c.answer(pipe, q)
-				default:
-					pipe.Flush()
-					return
-				}
-			}
-		}
-	}
-}
+// Engine exposes the underlying one-device engine, e.g. to mount the
+// versioned HTTP API with NewEngineHandler.
+func (c *Collector) Engine() *engine.Engine { return c.eng }
 
-func (c *Collector) answer(pipe *pipeline.Pipeline, q query) {
-	var r queryReply
-	switch q.kind {
-	case querySnapshot:
-		r.snapshot = pipe.Snapshot(q.minSupport)
-	case queryRules:
-		r.rules = pipe.Analyzer().Rules(q.minSupport, q.minConf)
-	case queryStats:
-		r.monStats = pipe.Monitor().Stats()
-		r.anStats = pipe.Analyzer().Stats()
-	case querySave:
-		_, r.saveErr = pipe.Analyzer().WriteTo(q.saveTo)
+// mapErr translates engine sentinel errors into this package's.
+func mapErr(err error) error {
+	if errors.Is(err, engine.ErrStopped) {
+		return ErrStopped
 	}
-	q.reply <- r
+	return err
 }
 
 // Submit offers one issue event to the collector. It validates the
 // event, then either enqueues it (blocking under backpressure) or, in
-// DropOnBackpressure mode, drops it and counts the drop. It returns
-// ErrStopped after Stop.
+// DropOnBackpressure mode, drops the oldest queued event and counts
+// the drop. It returns ErrStopped after Stop.
 func (c *Collector) Submit(ev blktrace.Event) error {
-	if err := ev.Validate(); err != nil {
-		return err
-	}
-	select {
-	case <-c.stop:
-		return ErrStopped
-	default:
-	}
-	if c.dropMode {
-		select {
-		case c.events <- ev:
-		case <-c.stop:
-			return ErrStopped
-		default:
-			n := <-c.dropped
-			c.dropped <- n + 1
-		}
-		return nil
-	}
-	select {
-	case c.events <- ev:
-		return nil
-	case <-c.stop:
-		return ErrStopped
-	}
+	return mapErr(c.dev.Submit(ev))
 }
 
 // ObserveLatency feeds one completion latency (ns). It never blocks
 // meaningfully (latencies are droppable signal, not data).
 func (c *Collector) ObserveLatency(ns int64) {
-	select {
-	case c.lats <- ns:
-	case <-c.stop:
-	default:
-	}
+	c.dev.ObserveLatency(ns)
 }
 
 // Snapshot asks the collector for the current synopsis contents.
 func (c *Collector) Snapshot(minSupport uint32) (core.Snapshot, error) {
-	r, err := c.ask(query{kind: querySnapshot, minSupport: minSupport})
-	return r.snapshot, err
+	snap, err := c.eng.Snapshot(deviceID, minSupport)
+	return snap, mapErr(err)
 }
 
 // Rules asks for the current directional association rules.
 func (c *Collector) Rules(minSupport uint32, minConfidence float64) ([]core.Rule, error) {
-	r, err := c.ask(query{kind: queryRules, minSupport: minSupport, minConf: minConfidence})
-	return r.rules, err
+	rules, err := c.eng.Rules(deviceID, minSupport, minConfidence)
+	return rules, mapErr(err)
 }
 
 // WriteSnapshot serialises the live synopsis state (see
 // core.Analyzer.WriteTo) without stopping ingestion — a consistent
 // point-in-time save taken between transactions.
 func (c *Collector) WriteSnapshot(w io.Writer) error {
-	r, err := c.ask(query{kind: querySave, saveTo: w})
-	if err != nil {
-		return err
-	}
-	return r.saveErr
+	return mapErr(c.eng.WriteSnapshot(deviceID, w))
 }
 
 // Stats asks for the monitor and analyzer counters.
 func (c *Collector) Stats() (monitor.Stats, core.Stats, error) {
-	r, err := c.ask(query{kind: queryStats})
-	return r.monStats, r.anStats, err
-}
-
-func (c *Collector) ask(q query) (queryReply, error) {
-	q.reply = make(chan queryReply, 1)
-	select {
-	case c.queries <- q:
-		return <-q.reply, nil
-	case <-c.done:
-		return queryReply{}, ErrStopped
+	ds, err := c.eng.DeviceStatsFor(deviceID)
+	if err != nil {
+		return monitor.Stats{}, core.Stats{}, mapErr(err)
 	}
+	return ds.Monitor, ds.Analyzer, nil
 }
 
 // Dropped reports events discarded under backpressure.
 func (c *Collector) Dropped() uint64 {
-	n := <-c.dropped
-	c.dropped <- n
+	n, _ := c.eng.Dropped(deviceID)
 	return n
 }
 
 // Stop shuts the collector down: no new events are accepted, buffered
 // events are drained into the pipeline, the open transaction is
-// flushed, and the collector goroutine exits. Stop is idempotent and
-// returns once shutdown completes. Events submitted concurrently with
-// Stop may be discarded.
-func (c *Collector) Stop() {
-	c.stopOnce.Do(func() { close(c.stop) })
-	<-c.done
-}
+// flushed, and the worker exits. Stop is idempotent and returns once
+// shutdown completes. Events submitted concurrently with Stop may be
+// discarded.
+func (c *Collector) Stop() { c.eng.Stop() }

@@ -3,104 +3,371 @@ package realtime
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
+
+	"daccor/internal/core"
+	"daccor/internal/engine"
 )
 
-// NewHTTPHandler exposes a collector's live state over HTTP — the ops
-// surface a self-optimizing storage service would poll:
+// Query parameter defaults and bounds, shared by every route:
 //
-//	GET /stats                                 monitor + analyzer counters
-//	GET /snapshot?support=5&top=100            frequent correlations
-//	GET /rules?support=5&confidence=0.5&top=50 directional rules
+//	support     minimum pair counter; unsigned 32-bit; default DefaultSupport
+//	top         maximum entries returned; default DefaultTop, clamped to MaxTop
+//	confidence  rule confidence threshold in [0,1]; default DefaultConfidence
 //
-// All responses are JSON. Query errors are 400s; a stopped collector
-// yields 503.
+// Out-of-range values (negative, overflowing 32 bits, confidence
+// outside [0,1]) are rejected with a bad_param error rather than
+// silently truncated.
+const (
+	DefaultSupport    = 5
+	DefaultTop        = 100
+	MaxTop            = 10_000
+	DefaultConfidence = 0.5
+)
+
+// Machine-readable error codes carried in the v1 envelope.
+const (
+	ErrCodeBadParam      = "bad_param"      // malformed or out-of-range query parameter (HTTP 400)
+	ErrCodeUnknownDevice = "unknown_device" // no such device id (HTTP 404)
+	ErrCodeStopped       = "stopped"        // engine stopped, no live state (HTTP 503)
+	ErrCodeInternal      = "internal"       // unexpected failure (HTTP 500)
+)
+
+// apiError is the machine-readable error half of the v1 envelope.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// envelope is the uniform v1 response shape: exactly one of Data and
+// Error is non-null.
+type envelope struct {
+	Data  any       `json:"data"`
+	Error *apiError `json:"error"`
+}
+
+// NewHTTPHandler exposes a single-device collector's live state over
+// HTTP. It serves the versioned v1 API plus the deprecated unversioned
+// aliases; see NewEngineHandler.
 func NewHTTPHandler(c *Collector) http.Handler {
+	return NewEngineHandler(c.Engine())
+}
+
+// NewEngineHandler exposes a multi-device engine's live state over
+// HTTP — the ops surface a self-optimizing storage service polls.
+//
+// Versioned API (uniform {data, error} envelope, machine-readable
+// error codes; parameter defaults documented above):
+//
+//	GET /v1/stats                          per-device + total monitor/analyzer counters, drops, lag
+//	GET /v1/devices                        registered device IDs with health counters
+//	GET /v1/devices/{id}/snapshot          one device's frequent correlations   ?support=&top=
+//	GET /v1/devices/{id}/rules             one device's directional rules       ?support=&confidence=&top=
+//	GET /v1/snapshot                       fleet-wide merged correlations       ?support=&top=
+//	GET /v1/rules                          fleet-wide merged rules              ?support=&confidence=&top=
+//
+// Errors are 400 (bad_param), 404 (unknown_device), 503 (stopped), or
+// 500 (internal).
+//
+// Deprecated aliases, kept for one release of compatibility with the
+// pre-v1 surface (same response shapes as before, no envelope; they
+// answer with a "Deprecation: true" header and a Link to the successor
+// route). With more than one device registered they serve the merged
+// fleet-wide view:
+//
+//	GET /stats      → /v1/stats
+//	GET /snapshot   → /v1/snapshot
+//	GET /rules      → /v1/rules
+func NewEngineHandler(e *engine.Engine) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		mon, an, err := c.Stats()
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, err := e.Stats()
 		if err != nil {
-			httpError(w, err)
+			writeEngineError(w, err)
+			return
+		}
+		writeData(w, statsBody(st))
+	})
+
+	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
+		st, err := e.Stats()
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		devices := make([]map[string]any, 0, len(st.Devices))
+		for _, d := range st.Devices {
+			devices = append(devices, map[string]any{
+				"id":      d.Device,
+				"events":  d.Monitor.Events,
+				"dropped": d.Dropped,
+				"lag":     d.Lag,
+			})
+		}
+		writeData(w, devices)
+	})
+
+	mux.HandleFunc("GET /v1/devices/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		support, top, err := snapshotParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
+			return
+		}
+		id := r.PathValue("id")
+		snap, err := e.Snapshot(id, support)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		writeData(w, snapshotBody(snap, top, map[string]any{"device": id}))
+	})
+
+	mux.HandleFunc("GET /v1/devices/{id}/rules", func(w http.ResponseWriter, r *http.Request) {
+		support, top, conf, err := ruleParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
+			return
+		}
+		id := r.PathValue("id")
+		rules, err := e.Rules(id, support, conf)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		writeData(w, map[string]any{"device": id, "rules": topRules(rules, top)})
+	})
+
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		support, top, err := snapshotParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
+			return
+		}
+		snap, err := e.MergedSnapshot(support)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		writeData(w, snapshotBody(snap, top, map[string]any{"devices": e.Devices()}))
+	})
+
+	mux.HandleFunc("GET /v1/rules", func(w http.ResponseWriter, r *http.Request) {
+		support, top, conf, err := ruleParams(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
+			return
+		}
+		rules, err := mergedOrSingleRules(e, support, conf)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		writeData(w, map[string]any{"devices": e.Devices(), "rules": topRules(rules, top)})
+	})
+
+	// ---- Deprecated pre-v1 aliases (unenveloped legacy shapes). ----
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		deprecate(w, "/v1/stats")
+		st, err := e.Stats()
+		if err != nil {
+			legacyError(w, err)
 			return
 		}
 		writeJSON(w, map[string]any{
-			"monitor":  mon,
-			"analyzer": an,
-			"dropped":  c.Dropped(),
+			"monitor":  st.TotalMonitor(),
+			"analyzer": st.TotalAnalyzer(),
+			"dropped":  st.TotalDropped(),
 		})
 	})
+
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
-		support, err := uintParam(r, "support", 5)
+		deprecate(w, "/v1/snapshot")
+		support, top, err := snapshotParams(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		top, err := uintParam(r, "top", 100)
+		snap, err := e.MergedSnapshot(support)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		snap, err := c.Snapshot(uint32(support))
-		if err != nil {
-			httpError(w, err)
+			legacyError(w, err)
 			return
 		}
 		writeJSON(w, map[string]any{
 			"totalPairs": len(snap.Pairs),
-			"pairs":      snap.TopPairs(int(top)),
+			"pairs":      snap.TopPairs(top),
 		})
 	})
+
 	mux.HandleFunc("GET /rules", func(w http.ResponseWriter, r *http.Request) {
-		support, err := uintParam(r, "support", 5)
+		deprecate(w, "/v1/rules")
+		support, top, conf, err := ruleParams(r)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		top, err := uintParam(r, "top", 100)
+		rules, err := mergedOrSingleRules(e, support, conf)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			legacyError(w, err)
 			return
 		}
-		conf := 0.5
-		if v := r.URL.Query().Get("confidence"); v != "" {
-			conf, err = strconv.ParseFloat(v, 64)
-			if err != nil || conf < 0 || conf > 1 {
-				http.Error(w, "confidence must be a number in [0,1]", http.StatusBadRequest)
-				return
-			}
-		}
-		rules, err := c.Rules(uint32(support), conf)
-		if err != nil {
-			httpError(w, err)
-			return
-		}
-		if int(top) < len(rules) {
-			rules = rules[:top]
-		}
-		writeJSON(w, map[string]any{"rules": rules})
+		writeJSON(w, map[string]any{"rules": topRules(rules, top)})
 	})
+
 	return mux
 }
 
-func uintParam(r *http.Request, name string, def uint64) (uint64, error) {
-	v := r.URL.Query().Get(name)
+// mergedOrSingleRules serves fleet-wide rules: the exact live-table
+// rules when one device is registered, the merged estimate otherwise.
+func mergedOrSingleRules(e *engine.Engine, support uint32, conf float64) ([]core.Rule, error) {
+	if devices := e.Devices(); len(devices) == 1 {
+		return e.Rules(devices[0], support, conf)
+	}
+	return e.MergedRules(support, conf)
+}
+
+func statsBody(st engine.Stats) map[string]any {
+	devices := make([]map[string]any, 0, len(st.Devices))
+	for _, d := range st.Devices {
+		devices = append(devices, map[string]any{
+			"id":       d.Device,
+			"monitor":  d.Monitor,
+			"analyzer": d.Analyzer,
+			"dropped":  d.Dropped,
+			"lag":      d.Lag,
+		})
+	}
+	return map[string]any{
+		"devices": devices,
+		"totals": map[string]any{
+			"monitor":  st.TotalMonitor(),
+			"analyzer": st.TotalAnalyzer(),
+			"dropped":  st.TotalDropped(),
+		},
+	}
+}
+
+func snapshotBody(snap core.Snapshot, top int, extra map[string]any) map[string]any {
+	body := map[string]any{
+		"totalPairs": len(snap.Pairs),
+		"pairs":      snap.TopPairs(top),
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	return body
+}
+
+func topRules(rules []core.Rule, top int) []core.Rule {
+	if top < len(rules) {
+		rules = rules[:top]
+	}
+	return rules
+}
+
+func snapshotParams(r *http.Request) (support uint32, top int, err error) {
+	support, err = supportParam(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	top, err = topParam(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	return support, top, nil
+}
+
+func ruleParams(r *http.Request) (support uint32, top int, conf float64, err error) {
+	support, top, err = snapshotParams(r)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	conf = DefaultConfidence
+	if v := r.URL.Query().Get("confidence"); v != "" {
+		conf, err = strconv.ParseFloat(v, 64)
+		if err != nil || conf < 0 || conf > 1 {
+			return 0, 0, 0, errors.New("confidence must be a number in [0,1]")
+		}
+	}
+	return support, top, conf, nil
+}
+
+// supportParam parses ?support= (default DefaultSupport). Values that
+// do not fit an unsigned 32-bit counter are rejected, not truncated.
+func supportParam(r *http.Request) (uint32, error) {
+	v := r.URL.Query().Get("support")
 	if v == "" {
-		return def, nil
+		return DefaultSupport, nil
 	}
 	n, err := strconv.ParseUint(v, 10, 32)
 	if err != nil {
-		return 0, errors.New(name + " must be a non-negative integer")
+		return 0, errors.New("support must be a non-negative 32-bit integer")
 	}
-	return n, nil
+	return uint32(n), nil
 }
 
-func httpError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrStopped) {
+// topParam parses ?top= (default DefaultTop). Negative and
+// non-numeric values are rejected; anything above MaxTop is clamped so
+// a single request cannot ask for an unbounded result set. Parsing at
+// 31 bits keeps the conversion to int safe on 32-bit platforms.
+func topParam(r *http.Request) (int, error) {
+	v := r.URL.Query().Get("top")
+	if v == "" {
+		return DefaultTop, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 31)
+	if err != nil {
+		return 0, fmt.Errorf("top must be a non-negative integer <= %d", MaxTop)
+	}
+	if n > MaxTop {
+		n = MaxTop
+	}
+	return int(n), nil
+}
+
+func writeData(w http.ResponseWriter, v any) {
+	writeJSON(w, envelope{Data: v})
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(envelope{Error: &apiError{Code: code, Message: message}})
+}
+
+// writeEngineError maps engine sentinel errors onto the envelope's
+// machine-readable codes.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrUnknownDevice):
+		writeError(w, http.StatusNotFound, ErrCodeUnknownDevice, err.Error())
+	case errors.Is(err, engine.ErrStopped), errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, ErrCodeStopped, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
+	}
+}
+
+// legacyError preserves the pre-v1 plain-text error behaviour for the
+// deprecated aliases.
+func legacyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, engine.ErrStopped) || errors.Is(err, ErrStopped) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// deprecate marks a legacy route per the HTTP deprecation-header
+// convention, pointing at its v1 successor.
+func deprecate(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

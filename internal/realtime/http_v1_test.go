@@ -1,0 +1,379 @@
+package realtime
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/engine"
+	"daccor/internal/monitor"
+)
+
+// servedEngine starts a two-device engine, feeds each device the same
+// correlated pair eight times, waits for ingestion, and serves the v1
+// API over httptest.
+func servedEngine(t *testing.T) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	e, err := engine.New(
+		engine.WithMonitor(monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)}),
+		engine.WithAnalyzer(core.Config{ItemCapacity: 4096, PairCapacity: 4096}),
+		engine.WithDevices("vol0", "vol1"),
+		engine.WithBackpressure(engine.Block),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := blktrace.Extent{Block: 10, Len: 1}
+	b := blktrace.Extent{Block: 20, Len: 1}
+	for _, id := range []string{"vol0", "vol1"} {
+		for i := 0; i < 8; i++ {
+			base := int64(i) * int64(time.Second)
+			must(t, e.Submit(id, blktrace.Event{Time: base, Op: blktrace.OpRead, Extent: a}))
+			must(t, e.Submit(id, blktrace.Event{Time: base + 1000, Op: blktrace.OpRead, Extent: b}))
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := e.Stats()
+		must(t, err)
+		if st.TotalMonitor().Events >= 32 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ingestion timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv := httptest.NewServer(NewEngineHandler(e))
+	t.Cleanup(srv.Close)
+	return e, srv
+}
+
+// getEnvelope fetches a v1 route and decodes the {data, error}
+// envelope, verifying its invariant: exactly one of data and error is
+// set.
+func getEnvelope(t *testing.T, url string, data any) (int, *struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Data  json.RawMessage `json:"data"`
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if env.Error != nil {
+			t.Errorf("%s: 200 with error %+v", url, env.Error)
+		}
+		if string(env.Data) == "null" {
+			t.Errorf("%s: 200 with null data", url)
+		}
+		if data != nil {
+			if err := json.Unmarshal(env.Data, data); err != nil {
+				t.Fatalf("unmarshal %s data: %v", url, err)
+			}
+		}
+	} else {
+		if env.Error == nil {
+			t.Errorf("%s: status %d with null error", url, resp.StatusCode)
+		}
+		if string(env.Data) != "null" {
+			t.Errorf("%s: status %d with non-null data %s", url, resp.StatusCode, env.Data)
+		}
+	}
+	return resp.StatusCode, env.Error
+}
+
+func TestV1Stats(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	var body struct {
+		Devices []struct {
+			ID      string `json:"id"`
+			Monitor struct {
+				Events uint64
+			} `json:"monitor"`
+			Dropped uint64 `json:"dropped"`
+			Lag     int    `json:"lag"`
+		} `json:"devices"`
+		Totals struct {
+			Monitor struct {
+				Events uint64
+			} `json:"monitor"`
+			Dropped uint64 `json:"dropped"`
+		} `json:"totals"`
+	}
+	code, _ := getEnvelope(t, srv.URL+"/v1/stats", &body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body.Devices) != 2 {
+		t.Fatalf("devices = %+v, want 2", body.Devices)
+	}
+	for _, d := range body.Devices {
+		if d.Monitor.Events != 16 {
+			t.Errorf("device %s events = %d, want 16", d.ID, d.Monitor.Events)
+		}
+		if d.Dropped != 0 || d.Lag != 0 {
+			t.Errorf("device %s dropped/lag = %d/%d, want 0/0", d.ID, d.Dropped, d.Lag)
+		}
+	}
+	if body.Totals.Monitor.Events != 32 {
+		t.Errorf("total events = %d, want 32", body.Totals.Monitor.Events)
+	}
+}
+
+func TestV1Devices(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	var body []struct {
+		ID     string `json:"id"`
+		Events uint64 `json:"events"`
+	}
+	code, _ := getEnvelope(t, srv.URL+"/v1/devices", &body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body) != 2 || body[0].ID != "vol0" || body[1].ID != "vol1" {
+		t.Fatalf("devices = %+v", body)
+	}
+}
+
+func TestV1DeviceSnapshot(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	var body struct {
+		Device     string `json:"device"`
+		TotalPairs int    `json:"totalPairs"`
+		Pairs      []struct {
+			Count uint32
+		} `json:"pairs"`
+	}
+	code, _ := getEnvelope(t, srv.URL+"/v1/devices/vol0/snapshot?support=3&top=10", &body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.Device != "vol0" || body.TotalPairs != 1 || len(body.Pairs) != 1 {
+		t.Fatalf("body = %+v", body)
+	}
+	if body.Pairs[0].Count < 7 {
+		t.Errorf("count = %d, want >= 7", body.Pairs[0].Count)
+	}
+}
+
+func TestV1MergedSnapshot(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	var body struct {
+		Devices    []string `json:"devices"`
+		TotalPairs int      `json:"totalPairs"`
+		Pairs      []struct {
+			Count uint32
+		} `json:"pairs"`
+	}
+	code, _ := getEnvelope(t, srv.URL+"/v1/snapshot?support=3", &body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body.Devices) != 2 || body.TotalPairs != 1 {
+		t.Fatalf("body = %+v", body)
+	}
+	// Both devices saw the same pair: merged count is the sum (>= 14).
+	if body.Pairs[0].Count < 14 {
+		t.Errorf("merged count = %d, want >= 14 (summed across devices)", body.Pairs[0].Count)
+	}
+}
+
+func TestV1DeviceRules(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	var body struct {
+		Device string `json:"device"`
+		Rules  []struct {
+			Confidence float64
+		} `json:"rules"`
+	}
+	code, _ := getEnvelope(t, srv.URL+"/v1/devices/vol1/rules?support=3&confidence=0.9&top=5", &body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body.Device != "vol1" || len(body.Rules) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+	for _, r := range body.Rules {
+		if r.Confidence < 0.9 {
+			t.Errorf("rule below confidence filter: %+v", r)
+		}
+	}
+}
+
+func TestV1MergedRules(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	var body struct {
+		Devices []string `json:"devices"`
+		Rules   []struct {
+			Support    uint32
+			Confidence float64
+		} `json:"rules"`
+	}
+	// Support 10 exceeds any single device's counter (7) but not the
+	// fleet-wide sum — only the merged view can satisfy it.
+	code, _ := getEnvelope(t, srv.URL+"/v1/rules?support=10&confidence=0.5", &body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(body.Devices) != 2 || len(body.Rules) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+	if body.Rules[0].Support < 14 {
+		t.Errorf("merged support = %d, want >= 14", body.Rules[0].Support)
+	}
+}
+
+func TestV1UnknownDevice(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	for _, path := range []string{
+		"/v1/devices/nope/snapshot",
+		"/v1/devices/nope/rules",
+	} {
+		code, apiErr := getEnvelope(t, srv.URL+path, nil)
+		if code != http.StatusNotFound {
+			t.Errorf("%s: status = %d, want 404", path, code)
+		}
+		if apiErr == nil || apiErr.Code != ErrCodeUnknownDevice {
+			t.Errorf("%s: error = %+v, want code %q", path, apiErr, ErrCodeUnknownDevice)
+		}
+	}
+}
+
+func TestV1BadParams(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	for _, path := range []string{
+		"/v1/snapshot?support=x",
+		"/v1/snapshot?top=-1",
+		"/v1/snapshot?support=99999999999999999999",
+		"/v1/devices/vol0/snapshot?top=x",
+		"/v1/devices/vol0/rules?confidence=2",
+		"/v1/rules?confidence=nope",
+		"/v1/rules?support=4294967296", // one past uint32
+	} {
+		code, apiErr := getEnvelope(t, srv.URL+path, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, code)
+		}
+		if apiErr == nil || apiErr.Code != ErrCodeBadParam {
+			t.Errorf("%s: error = %+v, want code %q", path, apiErr, ErrCodeBadParam)
+		}
+	}
+}
+
+func TestV1TopClamped(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	// A huge-but-parseable top is clamped to MaxTop, not rejected.
+	code, _ := getEnvelope(t, srv.URL+"/v1/snapshot?top=2000000000", nil)
+	if code != http.StatusOK {
+		t.Errorf("clamped top: status = %d, want 200", code)
+	}
+}
+
+func TestV1AfterStop(t *testing.T) {
+	e, srv := servedEngine(t)
+	e.Stop()
+	for _, path := range []string{
+		"/v1/stats",
+		"/v1/devices",
+		"/v1/devices/vol0/snapshot",
+		"/v1/devices/vol0/rules",
+		"/v1/snapshot",
+		"/v1/rules",
+	} {
+		code, apiErr := getEnvelope(t, srv.URL+path, nil)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("%s: status = %d, want 503", path, code)
+		}
+		if apiErr == nil || apiErr.Code != ErrCodeStopped {
+			t.Errorf("%s: error = %+v, want code %q", path, apiErr, ErrCodeStopped)
+		}
+	}
+}
+
+// TestDeprecatedAliases pins the compatibility contract: the pre-v1
+// routes keep answering with their original shapes, marked with a
+// Deprecation header pointing at the successor route.
+func TestDeprecatedAliases(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	for path, successor := range map[string]string{
+		"/stats":    "/v1/stats",
+		"/snapshot": "/v1/snapshot",
+		"/rules":    "/v1/rules",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status = %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Deprecation"); got != "true" {
+			t.Errorf("%s: Deprecation header = %q, want \"true\"", path, got)
+		}
+		if got := resp.Header.Get("Link"); got != "<"+successor+">; rel=\"successor-version\"" {
+			t.Errorf("%s: Link header = %q", path, got)
+		}
+		// Legacy bodies are unenveloped: no data/error wrapper.
+		var body map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if _, ok := body["data"]; ok {
+			t.Errorf("%s: legacy body unexpectedly enveloped: %v", path, body)
+		}
+	}
+}
+
+// TestAliasesServeMergedView checks the multi-device behaviour of the
+// legacy aliases: with two devices they answer with fleet-wide sums.
+func TestAliasesServeMergedView(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	var stats struct {
+		Monitor struct{ Events uint64 }
+		Dropped uint64
+	}
+	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if stats.Monitor.Events != 32 {
+		t.Errorf("alias /stats events = %d, want 32 (both devices)", stats.Monitor.Events)
+	}
+	var snap struct {
+		Pairs []struct{ Count uint32 }
+	}
+	if code := getJSON(t, srv.URL+"/snapshot?support=3", &snap); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(snap.Pairs) != 1 || snap.Pairs[0].Count < 14 {
+		t.Errorf("alias /snapshot = %+v, want merged count >= 14", snap)
+	}
+}
