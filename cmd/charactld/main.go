@@ -13,6 +13,13 @@
 //	curl localhost:7233/v1/devices/dev0/snapshot?support=5
 //	curl localhost:7233/v1/snapshot?support=5        # fleet-wide merge
 //	curl localhost:7233/v1/rules?confidence=0.8      # fleet-wide rules
+//	curl localhost:7233/v1/metrics                   # Prometheus text format
+//
+// With -pprof, the standard net/http/pprof profiling handlers are
+// mounted under /debug/pprof/ on the same listener:
+//
+//	charactld -workload wdev -pprof
+//	go tool pprof http://localhost:7233/debug/pprof/profile?seconds=10
 //
 // The pre-v1 routes (/stats, /snapshot, /rules) remain as deprecated
 // aliases for one release.
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -43,6 +51,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7233", "HTTP listen address")
 	seed := flag.Int64("seed", 1, "random seed (device i streams with seed+i)")
 	pace := flag.Duration("pace", 50*time.Microsecond, "mean gap between submitted events per device (0 = as fast as possible)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	if *devices < 1 {
@@ -79,11 +88,29 @@ func main() {
 		go feedForever(dev, trace, *pace)
 	}
 
+	handler := realtime.NewEngineHandler(eng)
+	if *pprofOn {
+		// The profiling surface is opt-in: it exposes stacks, heap
+		// contents, and CPU time, which an always-on ops endpoint
+		// should not.
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = root
+	}
+
 	log.Printf("charactld: streaming %q to %d device(s) (%d events per loop), serving on http://%s",
 		*wl, *devices, total, *listen)
-	log.Printf("v1 endpoints: /v1/stats  /v1/devices  /v1/devices/{id}/snapshot  /v1/devices/{id}/rules  /v1/snapshot  /v1/rules")
+	log.Printf("v1 endpoints: /v1/stats  /v1/devices  /v1/devices/{id}/snapshot  /v1/devices/{id}/rules  /v1/snapshot  /v1/rules  /v1/metrics")
 	log.Printf("deprecated aliases: /stats  /snapshot  /rules")
-	if err := http.ListenAndServe(*listen, realtime.NewEngineHandler(eng)); err != nil {
+	if *pprofOn {
+		log.Printf("pprof: /debug/pprof/")
+	}
+	if err := http.ListenAndServe(*listen, handler); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,11 +1,27 @@
 package core
 
-import "daccor/internal/blktrace"
+import (
+	"math"
+
+	"daccor/internal/blktrace"
+)
+
+// satAdd sums two counters, clamping at the uint32 ceiling. Per-device
+// counters can each be near the ceiling after a long run, so a
+// fleet-wide sum must saturate rather than wrap: a wrapped counter
+// would demote the fleet's hottest correlation to the bottom of the
+// merged ranking.
+func satAdd(a, b uint32) uint32 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxUint32
+}
 
 // MergeSnapshots combines per-device synopsis exports into one
 // fleet-wide view: the union of the pair and item sets with counters
-// summed and the tier taken as the highest tier any device holds the
-// entry in. This is the aggregation layer of the multi-device engine —
+// summed (saturating at the uint32 ceiling) and the tier taken as the
+// highest tier any device holds the entry in. This is the aggregation layer of the multi-device engine —
 // each device maintains its own bounded synopsis at hardware speed, and
 // cross-device questions ("what correlates fleet-wide?") are answered
 // by merging the per-device exports, the per-stream-synopsis-then-
@@ -22,7 +38,7 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	for _, s := range snaps {
 		for _, pc := range s.Pairs {
 			if i, ok := pairAt[pc.Pair]; ok {
-				out.Pairs[i].Count += pc.Count
+				out.Pairs[i].Count = satAdd(out.Pairs[i].Count, pc.Count)
 				if pc.Tier > out.Pairs[i].Tier {
 					out.Pairs[i].Tier = pc.Tier
 				}
@@ -33,7 +49,7 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 		}
 		for _, ic := range s.Items {
 			if i, ok := itemAt[ic.Extent]; ok {
-				out.Items[i].Count += ic.Count
+				out.Items[i].Count = satAdd(out.Items[i].Count, ic.Count)
 				if ic.Tier > out.Items[i].Tier {
 					out.Items[i].Tier = ic.Tier
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -69,6 +70,97 @@ func TestMergeSnapshotsSumsAndUnions(t *testing.T) {
 	// Deterministic: argument order must not matter.
 	if rev := MergeSnapshots(b, a); !reflect.DeepEqual(rev, got) {
 		t.Errorf("merge order-dependent: %+v vs %+v", rev, got)
+	}
+}
+
+// TestMergeSnapshotsEdgeCases walks the boundary inputs of the
+// aggregation layer: no devices, one device, devices disagreeing on an
+// entry's tier, and per-device counters whose sum exceeds the uint32
+// range (which must saturate, not wrap — a wrapped counter would bury
+// the fleet's hottest pair at the bottom of the merged ranking).
+func TestMergeSnapshotsEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   []Snapshot
+		want Snapshot
+	}{
+		{
+			name: "empty",
+			in:   nil,
+			want: Snapshot{},
+		},
+		{
+			name: "all inputs empty",
+			in:   []Snapshot{{}, {}, {}},
+			want: Snapshot{},
+		},
+		{
+			name: "single device passes through",
+			in: []Snapshot{{
+				Pairs: []PairCount{{Pair: pair(1, 2), Count: 6, Tier: Tier2}},
+				Items: []ItemCount{{Extent: ext(1, 1), Count: 6, Tier: Tier2}},
+			}},
+			want: Snapshot{
+				Pairs: []PairCount{{Pair: pair(1, 2), Count: 6, Tier: Tier2}},
+				Items: []ItemCount{{Extent: ext(1, 1), Count: 6, Tier: Tier2}},
+			},
+		},
+		{
+			name: "conflicting tiers take the max either way",
+			in: []Snapshot{
+				{
+					Pairs: []PairCount{{Pair: pair(1, 2), Count: 1, Tier: Tier2}},
+					Items: []ItemCount{{Extent: ext(1, 1), Count: 1, Tier: Tier1}},
+				},
+				{
+					Pairs: []PairCount{{Pair: pair(1, 2), Count: 1, Tier: Tier1}},
+					Items: []ItemCount{{Extent: ext(1, 1), Count: 1, Tier: Tier2}},
+				},
+			},
+			want: Snapshot{
+				Pairs: []PairCount{{Pair: pair(1, 2), Count: 2, Tier: Tier2}},
+				Items: []ItemCount{{Extent: ext(1, 1), Count: 2, Tier: Tier2}},
+			},
+		},
+		{
+			name: "counter overflow saturates",
+			in: []Snapshot{
+				{
+					Pairs: []PairCount{{Pair: pair(1, 2), Count: math.MaxUint32 - 1, Tier: Tier2}},
+					Items: []ItemCount{{Extent: ext(1, 1), Count: math.MaxUint32, Tier: Tier2}},
+				},
+				{
+					Pairs: []PairCount{
+						{Pair: pair(1, 2), Count: 7, Tier: Tier2},
+						{Pair: pair(3, 4), Count: 5, Tier: Tier1},
+					},
+					Items: []ItemCount{{Extent: ext(1, 1), Count: 1, Tier: Tier2}},
+				},
+			},
+			want: Snapshot{
+				Pairs: []PairCount{
+					{Pair: pair(1, 2), Count: math.MaxUint32, Tier: Tier2},
+					{Pair: pair(3, 4), Count: 5, Tier: Tier1},
+				},
+				Items: []ItemCount{{Extent: ext(1, 1), Count: math.MaxUint32, Tier: Tier2}},
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MergeSnapshots(tc.in...)
+			if len(got.Pairs) != len(tc.want.Pairs) || len(got.Items) != len(tc.want.Items) ||
+				(len(got.Pairs) > 0 || len(got.Items) > 0) && !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("MergeSnapshots = %+v, want %+v", got, tc.want)
+			}
+			// Saturation (like summation) must be commutative.
+			if len(tc.in) > 1 {
+				rev := MergeSnapshots(tc.in[len(tc.in)-1], tc.in[0])
+				fwd := MergeSnapshots(tc.in[0], tc.in[len(tc.in)-1])
+				if !reflect.DeepEqual(rev, fwd) {
+					t.Errorf("merge not commutative: %+v vs %+v", rev, fwd)
+				}
+			}
+		})
 	}
 }
 

@@ -20,11 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"time"
 
 	"daccor/internal/blktrace"
 	"daccor/internal/core"
 	"daccor/internal/monitor"
+	"daccor/internal/obs"
 	"daccor/internal/pipeline"
 )
 
@@ -60,6 +63,7 @@ type settings struct {
 	queueSize int
 	policy    Backpressure
 	devices   []string
+	metrics   *obs.Registry
 }
 
 // Option configures an Engine under construction; see With*.
@@ -102,16 +106,26 @@ func WithDevices(ids ...string) Option {
 	return func(s *settings) { s.devices = append(s.devices, ids...) }
 }
 
+// WithMetrics makes the engine publish its instruments into an
+// existing registry instead of creating its own — so one process can
+// expose several engines (or extra app-level metrics) from a single
+// /v1/metrics endpoint. Engines sharing a registry must not share
+// device IDs, or their per-device series would collide.
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *settings) { s.metrics = r }
+}
+
 // Engine is the multi-device collection engine. All methods are safe
 // for concurrent use.
 type Engine struct {
 	tmpl      pipeline.Config
 	queueSize int
 	policy    Backpressure
+	metrics   *obs.Registry
 
 	mu           sync.Mutex
 	shards       map[string]*shard
-	order        []string // registration order, for deterministic listings
+	order        []string // sorted by device ID, for deterministic listings
 	stopped      bool
 	restoredUsed bool
 }
@@ -142,12 +156,19 @@ func New(opts ...Option) (*Engine, error) {
 	if err := s.tmpl.Validate(); err != nil {
 		return nil, err
 	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
 	e := &Engine{
 		tmpl:      s.tmpl,
 		queueSize: s.queueSize,
 		policy:    s.policy,
+		metrics:   s.metrics,
 		shards:    make(map[string]*shard),
 	}
+	// Monitor and analyzer counters are worker-owned; mirror them into
+	// the registry only when something actually scrapes.
+	e.metrics.OnCollect(e.collect)
 	for _, id := range s.devices {
 		if err := e.Register(id); err != nil {
 			e.Stop()
@@ -186,13 +207,26 @@ func (e *Engine) Register(id string) error {
 		return err
 	}
 	sh := newShard(id, pipe, e.queueSize, e.policy)
+	sh.metrics = newShardMetrics(e.metrics, sh, e.queueSize)
 	e.shards[id] = sh
-	e.order = append(e.order, id)
+	// Keep the listing order sorted by ID rather than by registration:
+	// devices registered concurrently would otherwise make /v1/devices
+	// and the metrics exposition depend on goroutine scheduling.
+	at := sort.SearchStrings(e.order, id)
+	e.order = append(e.order, "")
+	copy(e.order[at+1:], e.order[at:])
+	e.order[at] = id
 	go sh.run()
 	return nil
 }
 
-// Devices lists the registered device IDs in registration order. It
+// Metrics returns the registry holding the engine's instruments — the
+// one given with WithMetrics, or the engine's own. The HTTP layer
+// serves it at /v1/metrics.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
+
+// Devices lists the registered device IDs sorted by ID (a
+// deterministic order regardless of registration interleaving). It
 // keeps working after Stop.
 func (e *Engine) Devices() []string {
 	e.mu.Lock()
@@ -212,7 +246,7 @@ func (e *Engine) shard(id string) (*shard, error) {
 	return s, nil
 }
 
-// orderedShards returns the shards in registration order.
+// orderedShards returns the shards sorted by device ID.
 func (e *Engine) orderedShards() []*shard {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -319,14 +353,16 @@ type DeviceStats struct {
 	Device   string
 	Monitor  monitor.Stats
 	Analyzer core.Stats
+	// Window is the monitor's current rolling transaction window.
+	Window time.Duration
 	// Dropped counts events discarded by the drop-oldest policy.
 	Dropped uint64
 	// Lag is the number of events queued but not yet processed.
 	Lag int
 }
 
-// Stats is the engine-wide view: one entry per device, in registration
-// order.
+// Stats is the engine-wide view: one entry per device, sorted by
+// device ID.
 type Stats struct {
 	Devices []DeviceStats
 }
@@ -379,7 +415,7 @@ func (e *Engine) DeviceStatsFor(id string) (DeviceStats, error) {
 	return e.statsOf(s)
 }
 
-// Stats returns every device's counters in registration order.
+// Stats returns every device's counters sorted by device ID.
 func (e *Engine) Stats() (Stats, error) {
 	shards := e.orderedShards()
 	st := Stats{Devices: make([]DeviceStats, 0, len(shards))}
@@ -403,6 +439,7 @@ func (e *Engine) statsOf(s *shard) (DeviceStats, error) {
 		Device:   s.id,
 		Monitor:  r.monStats,
 		Analyzer: r.anStats,
+		Window:   r.window,
 		Dropped:  dropped,
 		Lag:      lag,
 	}, nil

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"time"
+
+	"daccor/internal/obs"
+)
+
+// Metric names exposed by the engine, all labeled {device="..."}.
+// Producer-side instruments (submits, drops, queue depth, submit→
+// analyze latency) are updated on the event path; the monitor and
+// analyzer families are mirrors of the worker-owned stats structs,
+// refreshed by a collect hook at scrape time so the hot path never
+// pays for them.
+const (
+	MetricSubmitted     = "daccor_engine_events_submitted_total"
+	MetricDropped       = "daccor_engine_events_dropped_total"
+	MetricBlocked       = "daccor_engine_submit_blocked_total"
+	MetricQueueDepth    = "daccor_engine_queue_depth"
+	MetricQueueCapacity = "daccor_engine_queue_capacity"
+	MetricSubmitLatency = "daccor_engine_submit_latency_seconds"
+)
+
+// latencySampleMask subsamples the submit→analyze latency histogram:
+// one in every 64 submitted events is timestamped at enqueue and
+// measured after the worker analyzes it. Sampling keeps time.Now off
+// the common path; queueing latency is a smooth signal, so 1/64
+// coverage loses nothing an operator can act on.
+const latencySampleMask = 63
+
+// shardMetrics is one device's producer-side instruments.
+type shardMetrics struct {
+	submitted *obs.Counter
+	dropped   *obs.Counter
+	blocked   *obs.Counter
+	latency   *obs.Histogram
+}
+
+// newShardMetrics registers one device's instruments. The queue-depth
+// gauge reads the shard's live counters at scrape time; capacity is a
+// constant gauge so dashboards can plot depth/capacity saturation.
+func newShardMetrics(r *obs.Registry, s *shard, queueSize int) *shardMetrics {
+	lbl := obs.L("device", s.id)
+	m := &shardMetrics{
+		submitted: r.Counter(MetricSubmitted, "Events accepted by Submit, per device.", lbl),
+		dropped:   r.Counter(MetricDropped, "Events discarded by the drop-oldest backpressure policy.", lbl),
+		blocked:   r.Counter(MetricBlocked, "Submits that had to wait for queue space under the Block policy.", lbl),
+		latency: r.Histogram(MetricSubmitLatency,
+			"Sampled wall-clock latency from Submit to completed analysis, in seconds.",
+			obs.LatencyBuckets(), lbl),
+	}
+	r.GaugeFunc(MetricQueueDepth, "Events queued but not yet processed (ingest lag).",
+		func() float64 { _, lag := s.counters(); return float64(lag) }, lbl)
+	r.Gauge(MetricQueueCapacity, "Per-device event queue capacity.", lbl).Set(float64(queueSize))
+	return m
+}
+
+// Mirrored per-device monitor and analyzer metric families; see
+// Engine.collect.
+const (
+	MetricMonitorEvents       = "daccor_monitor_events_total"
+	MetricMonitorFiltered     = "daccor_monitor_filtered_total"
+	MetricMonitorDuplicates   = "daccor_monitor_duplicates_total"
+	MetricMonitorTransactions = "daccor_monitor_transactions_total"
+	MetricMonitorCapSplits    = "daccor_monitor_cap_splits_total"
+	MetricMonitorOutOfOrder   = "daccor_monitor_out_of_order_total"
+	MetricMonitorWindow       = "daccor_monitor_window_seconds"
+
+	MetricAnalyzerTransactions   = "daccor_analyzer_transactions_total"
+	MetricAnalyzerExtentTouches  = "daccor_analyzer_extent_touches_total"
+	MetricAnalyzerPairTouches    = "daccor_analyzer_pair_touches_total"
+	MetricAnalyzerItemPromotions = "daccor_analyzer_item_promotions_total"
+	MetricAnalyzerPairPromotions = "daccor_analyzer_pair_promotions_total"
+	MetricAnalyzerItemEvictions  = "daccor_analyzer_item_evictions_total"
+	MetricAnalyzerPairEvictions  = "daccor_analyzer_pair_evictions_total"
+	MetricAnalyzerPairDemotions  = "daccor_analyzer_pair_demotions_total"
+)
+
+// collect mirrors the worker-owned monitor and analyzer stats into the
+// registry. It runs as a collect hook at scrape time: one stats query
+// per device, then Store on mirror counters — the analyzer itself
+// never touches an atomic. After Stop the stats query fails and the
+// mirrors simply retain their last values.
+func (e *Engine) collect() {
+	st, err := e.Stats()
+	if err != nil {
+		return
+	}
+	r := e.metrics
+	for _, d := range st.Devices {
+		lbl := obs.L("device", d.Device)
+		r.Counter(MetricMonitorEvents, "Events accepted by the monitor (after PID filtering).", lbl).Store(d.Monitor.Events)
+		r.Counter(MetricMonitorFiltered, "Events dropped by the PID filter.", lbl).Store(d.Monitor.Filtered)
+		r.Counter(MetricMonitorDuplicates, "Events removed by in-transaction deduplication.", lbl).Store(d.Monitor.Duplicates)
+		r.Counter(MetricMonitorTransactions, "Transactions emitted by the monitor.", lbl).Store(d.Monitor.Transactions)
+		r.Counter(MetricMonitorCapSplits, "Transactions closed by the size cap (overflow spills).", lbl).Store(d.Monitor.CapSplits)
+		r.Counter(MetricMonitorOutOfOrder, "Events with timestamps before the open transaction's last event.", lbl).Store(d.Monitor.OutOfOrder)
+		r.Gauge(MetricMonitorWindow, "Current rolling transaction window, in seconds.", lbl).Set(d.Window.Seconds())
+
+		r.Counter(MetricAnalyzerTransactions, "Transactions processed by the online analyzer.", lbl).Store(d.Analyzer.Transactions)
+		r.Counter(MetricAnalyzerExtentTouches, "Item-table extent touches (hits).", lbl).Store(d.Analyzer.Extents)
+		r.Counter(MetricAnalyzerPairTouches, "Correlation-table pair touches (hits).", lbl).Store(d.Analyzer.PairTouches)
+		r.Counter(MetricAnalyzerItemPromotions, "Item-table T1-to-T2 promotions.", lbl).Store(d.Analyzer.ItemPromotions)
+		r.Counter(MetricAnalyzerPairPromotions, "Correlation-table T1-to-T2 promotions.", lbl).Store(d.Analyzer.PairPromotions)
+		r.Counter(MetricAnalyzerItemEvictions, "Item-table evictions.", lbl).Store(d.Analyzer.ItemEvictions)
+		r.Counter(MetricAnalyzerPairEvictions, "Correlation-table evictions.", lbl).Store(d.Analyzer.PairEvictions)
+		r.Counter(MetricAnalyzerPairDemotions, "Pair demotions cascaded from item evictions.", lbl).Store(d.Analyzer.PairDemotions)
+	}
+}
+
+// observeSubmitLatency records one sampled submit→analyze latency.
+func (m *shardMetrics) observeSubmitLatency(enqueuedUnixNano int64) {
+	m.latency.Observe(time.Duration(time.Now().UnixNano() - enqueuedUnixNano).Seconds())
+}

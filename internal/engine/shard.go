@@ -3,6 +3,7 @@ package engine
 import (
 	"io"
 	"sync"
+	"time"
 
 	"daccor/internal/blktrace"
 	"daccor/internal/core"
@@ -32,6 +33,7 @@ type queryReply struct {
 	rules    []core.Rule
 	monStats monitor.Stats
 	anStats  core.Stats
+	window   time.Duration
 	saveErr  error
 }
 
@@ -42,19 +44,21 @@ type queryReply struct {
 // mutex-guarded queues, and the worker drains whole batches per lock
 // acquisition so the hot path amortizes synchronization.
 type shard struct {
-	id     string
-	pipe   *pipeline.Pipeline
-	policy Backpressure
+	id      string
+	pipe    *pipeline.Pipeline
+	policy  Backpressure
+	metrics *shardMetrics
 
 	mu       sync.Mutex
 	notEmpty sync.Cond // signalled when work arrives
 	notFull  sync.Cond // signalled when the worker frees queue space (Block policy)
 	buf      []blktrace.Event
-	head     int // index of the oldest queued event
-	count    int // queued events
+	tsbuf    []int64 // parallel ring: sampled enqueue times (UnixNano), 0 = unsampled
+	head     int     // index of the oldest queued event
+	count    int     // queued events
+	seq      uint64  // submits seen, drives latency sampling
 	lats     []int64
 	queries  []query
-	dropped  uint64
 	stopping bool
 
 	done chan struct{} // closed when the worker exits
@@ -66,6 +70,7 @@ func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpres
 		pipe:   pipe,
 		policy: policy,
 		buf:    make([]blktrace.Event, queueSize),
+		tsbuf:  make([]int64, queueSize),
 		done:   make(chan struct{}),
 	}
 	s.notEmpty.L = &s.mu
@@ -80,6 +85,7 @@ func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpres
 func (s *shard) run() {
 	defer close(s.done)
 	var evs []blktrace.Event
+	var tss []int64
 	var lats []int64
 	var queries []query
 	for {
@@ -88,8 +94,10 @@ func (s *shard) run() {
 			s.notEmpty.Wait()
 		}
 		evs = evs[:0]
+		tss = tss[:0]
 		for s.count > 0 {
 			evs = append(evs, s.buf[s.head])
+			tss = append(tss, s.tsbuf[s.head])
 			s.head++
 			if s.head == len(s.buf) {
 				s.head = 0
@@ -109,10 +117,13 @@ func (s *shard) run() {
 		for _, ns := range lats {
 			s.pipe.Monitor().ObserveLatency(ns)
 		}
-		for _, ev := range evs {
+		for i, ev := range evs {
 			// Events were validated in Submit; the monitor re-validates
 			// and cannot fail here.
 			_ = s.pipe.HandleIssue(ev)
+			if tss[i] != 0 {
+				s.metrics.observeSubmitLatency(tss[i])
+			}
 		}
 		if stopping {
 			s.pipe.Flush()
@@ -137,6 +148,7 @@ func (s *shard) answer(q query) {
 	case queryStats:
 		r.monStats = s.pipe.Monitor().Stats()
 		r.anStats = s.pipe.Analyzer().Stats()
+		r.window = s.pipe.WindowDuration()
 	case querySave:
 		_, r.saveErr = s.pipe.Analyzer().WriteTo(q.saveTo)
 	}
@@ -160,8 +172,9 @@ func (s *shard) submit(ev blktrace.Event) error {
 				s.head = 0
 			}
 			s.count--
-			s.dropped++
+			s.metrics.dropped.Inc()
 		} else {
+			s.metrics.blocked.Inc()
 			for s.count == len(s.buf) && !s.stopping {
 				s.notFull.Wait()
 			}
@@ -171,12 +184,19 @@ func (s *shard) submit(ev blktrace.Event) error {
 			}
 		}
 	}
+	s.seq++
+	var ts int64
+	if s.seq&latencySampleMask == 0 {
+		ts = time.Now().UnixNano()
+	}
 	tail := s.head + s.count
 	if tail >= len(s.buf) {
 		tail -= len(s.buf)
 	}
 	s.buf[tail] = ev
+	s.tsbuf[tail] = ts
 	s.count++
+	s.metrics.submitted.Inc()
 	s.notEmpty.Signal()
 	s.mu.Unlock()
 	return nil
@@ -217,11 +237,12 @@ func (s *shard) ask(q query) (queryReply, error) {
 // counters reads the producer-side counters: total events discarded by
 // drop-oldest backpressure and the current ingest lag (events queued
 // but not yet processed). Unlike queries these never touch the worker,
-// so they stay readable after Stop.
+// so they stay readable after Stop. The drop count lives in the
+// metrics layer (single source of truth for accounting and /v1/metrics).
 func (s *shard) counters() (dropped uint64, lag int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.dropped, s.count
+	return s.metrics.dropped.Value(), s.count
 }
 
 // stop asks the worker to drain, flush, and exit. The caller waits on

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+)
+
+// TestEngineConcurrentStress drives all four engine verbs at once —
+// Register, Submit, Snapshot/Stats/merge queries, and finally Stop —
+// across 8 devices. It exists to run under -race: the engine's claim
+// is that shard state is confined to worker goroutines and everything
+// else goes through channels, and this is the test that would catch a
+// shortcut past that design.
+func TestEngineConcurrentStress(t *testing.T) {
+	e := mustEngine(t, WithQueueSize(256), WithBackpressure(DropOldest))
+	const devices = 8
+	const eventsPerDevice = 400
+
+	ids := make([]string, devices)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("dev%d", i)
+	}
+
+	// Readers hammer the query surface for the whole test, including
+	// while devices are still being registered (ErrUnknownDevice is
+	// expected then) and across Stop (ErrStopped is expected after).
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				var err error
+				switch i % 4 {
+				case 0:
+					_, err = e.Snapshot(ids[(r+i)%devices], 1)
+				case 1:
+					_, err = e.Stats()
+				case 2:
+					_, err = e.MergedSnapshot(1)
+				case 3:
+					_ = e.Devices()
+					err = e.Metrics().WritePrometheus(io.Discard)
+				}
+				if err != nil && !errors.Is(err, ErrUnknownDevice) && !errors.Is(err, ErrStopped) {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Each feeder registers its own device and then streams events, so
+	// registration races both the other registrations and the readers.
+	var feeders sync.WaitGroup
+	for d := 0; d < devices; d++ {
+		feeders.Add(1)
+		go func(id string) {
+			defer feeders.Done()
+			if err := e.Register(id); err != nil {
+				t.Errorf("register %s: %v", id, err)
+				return
+			}
+			dev, err := e.Device(id)
+			if err != nil {
+				t.Errorf("device %s: %v", id, err)
+				return
+			}
+			for i := 0; i < eventsPerDevice; i++ {
+				ev := blktrace.Event{
+					Time:   int64(i) * int64(time.Millisecond),
+					Op:     blktrace.OpRead,
+					Extent: blktrace.Extent{Block: uint64(1 + i%64), Len: 1},
+				}
+				if err := dev.Submit(ev); err != nil {
+					t.Errorf("submit %s: %v", id, err)
+					return
+				}
+				dev.ObserveLatency(int64(40 * time.Microsecond))
+			}
+		}(ids[d])
+	}
+	feeders.Wait()
+
+	// Every event must be accounted for (processed or counted dropped)
+	// before the shutdown race starts.
+	for _, id := range ids {
+		ds := waitDrained(t, e, id, eventsPerDevice)
+		if ds.Monitor.Events+ds.Dropped != eventsPerDevice {
+			t.Errorf("%s: %d processed + %d dropped, want %d total",
+				id, ds.Monitor.Events, ds.Dropped, eventsPerDevice)
+		}
+	}
+
+	// Late submitters race Stop itself: they must only ever observe a
+	// clean ErrStopped, never a hang or a corrupted queue.
+	var late sync.WaitGroup
+	for d := 0; d < 2; d++ {
+		late.Add(1)
+		go func(id string) {
+			defer late.Done()
+			dev, err := e.Device(id)
+			if err != nil {
+				t.Errorf("device %s: %v", id, err)
+				return
+			}
+			for i := 0; ; i++ {
+				ev := blktrace.Event{
+					Time:   int64(eventsPerDevice+i) * int64(time.Millisecond),
+					Op:     blktrace.OpRead,
+					Extent: blktrace.Extent{Block: 1, Len: 1},
+				}
+				if err := dev.Submit(ev); err != nil {
+					if !errors.Is(err, ErrStopped) {
+						t.Errorf("late submit %s: %v", id, err)
+					}
+					return
+				}
+			}
+		}(ids[d])
+	}
+	time.Sleep(2 * time.Millisecond)
+	e.Stop()
+	late.Wait()
+	close(stopReaders)
+	readers.Wait()
+
+	if err := e.Submit(ids[0], blktrace.Event{
+		Op: blktrace.OpRead, Extent: blktrace.Extent{Block: 1, Len: 1},
+	}); !errors.Is(err, ErrStopped) {
+		t.Errorf("post-stop submit = %v, want ErrStopped", err)
+	}
+	if err := e.Register("devZ"); !errors.Is(err, ErrStopped) {
+		t.Errorf("post-stop register = %v, want ErrStopped", err)
+	}
+	// The roster survives shutdown, still sorted.
+	if got := e.Devices(); !reflect.DeepEqual(got, ids) {
+		t.Errorf("post-stop Devices() = %v, want %v", got, ids)
+	}
+}
+
+// TestEngineDeterministicOrder pins the fix for scheduling-dependent
+// device ordering: no matter which goroutine wins each registration
+// race, Devices(), Stats(), and the metrics exposition must list
+// devices in sorted ID order — /v1/devices and scrape output may not
+// depend on who registered first.
+func TestEngineDeterministicOrder(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		ids := make([]string, 16)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("vol%02d", i)
+		}
+		e := mustEngine(t)
+		perm := rand.New(rand.NewSource(int64(trial))).Perm(len(ids))
+		var wg sync.WaitGroup
+		for _, i := range perm {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				if err := e.Register(id); err != nil {
+					t.Errorf("register %s: %v", id, err)
+				}
+			}(ids[i])
+		}
+		wg.Wait()
+
+		if got := e.Devices(); !reflect.DeepEqual(got, ids) {
+			t.Fatalf("trial %d: Devices() = %v, want sorted %v", trial, got, ids)
+		}
+		st, err := e.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ds := range st.Devices {
+			if ds.Device != ids[i] {
+				t.Errorf("trial %d: Stats()[%d] = %s, want %s", trial, i, ds.Device, ids[i])
+			}
+		}
+		var b1, b2 bytes.Buffer
+		if err := e.Metrics().WritePrometheus(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Metrics().WritePrometheus(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if b1.String() != b2.String() {
+			t.Errorf("trial %d: metric exposition not stable across scrapes", trial)
+		}
+		e.Stop()
+	}
+}

@@ -199,6 +199,12 @@ func (m *Monitor) Flush() { m.emit() }
 // Stats returns a copy of the monitor's counters.
 func (m *Monitor) Stats() Stats { return m.stats }
 
+// WindowDuration reports the window policy's current transaction
+// window — the live value of the paper's dynamic 2×-average-latency
+// window, surfaced as the rolling-window-size gauge in the
+// observability layer.
+func (m *Monitor) WindowDuration() time.Duration { return m.cfg.Window.Window() }
+
 // Run drains a source through the monitor, flushing at EOF.
 func (m *Monitor) Run(src blktrace.Source) error {
 	for {

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text
+// exposition format this package encodes.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus encodes the registry in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label values, histograms expanded into cumulative
+// _bucket/_sum/_count series. Collect hooks run first, so pull-style
+// mirrors are refreshed in the same pass.
+//
+// The output is deterministic for a given registry state, which is
+// what makes scrapes diffable and the encoder testable byte-for-byte.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.collects...)
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	// Snapshot each family's series list under the lock; instrument
+	// values are atomics and fns are called after release, so a slow
+	// GaugeFunc can never hold up registrations.
+	type famSnap struct {
+		fam    *family
+		series []*series
+	}
+	snaps := make([]famSnap, len(fams))
+	for i, f := range fams {
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		list := make([]*series, len(keys))
+		for j, k := range keys {
+			list[j] = f.series[k]
+		}
+		snaps[i] = famSnap{fam: f, series: list}
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, snap := range snaps {
+		f := snap.fam
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range snap.series {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", s.labels, "", formatUint(s.counter.Value()))
+			case kindGauge:
+				v := 0.0
+				if s.fn != nil {
+					v = s.fn()
+				} else {
+					v = s.gauge.Value()
+				}
+				writeSample(bw, f.name, "", s.labels, "", formatFloat(v))
+			case kindHistogram:
+				bounds, cum := s.hist.snapshot()
+				for i, b := range bounds {
+					writeSample(bw, f.name, "_bucket", s.labels, formatFloat(b), formatUint(cum[i]))
+				}
+				writeSample(bw, f.name, "_bucket", s.labels, "+Inf", formatUint(cum[len(cum)-1]))
+				writeSample(bw, f.name, "_sum", s.labels, "", formatFloat(s.hist.Sum()))
+				writeSample(bw, f.name, "_count", s.labels, "", formatUint(s.hist.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line. le, when non-empty,
+// is appended as the bucket-bound label.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(EscapeLabelValue(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// EscapeLabelValue escapes a label value per the text format:
+// backslash, double-quote, and newline become \\, \", and \n. Every
+// string is a legal label value once escaped, so arbitrary device IDs
+// and route patterns are safe to use as labels.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// unescapeLabelValue inverts EscapeLabelValue; it reports false on a
+// malformed escape, which the encoder must never emit.
+func unescapeLabelValue(s string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			if s[i] == '"' || s[i] == '\n' {
+				return "", false // raw specials must not survive escaping
+			}
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", false
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", false
+		}
+	}
+	return b.String(), true
+}
+
+// FuzzEscapeLabelValue checks the escaping is invertible and leaves no
+// raw quote or newline that would corrupt the exposition line.
+func FuzzEscapeLabelValue(f *testing.F) {
+	for _, s := range []string{"", "plain", `back\slash`, `qu"ote`, "new\nline", `\n`, `\\"`, "μ\x00\xff"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := EscapeLabelValue(s)
+		if strings.ContainsAny(esc, "\"\n") && !strings.Contains(esc, "\\") {
+			t.Fatalf("EscapeLabelValue(%q) = %q leaves raw specials", s, esc)
+		}
+		got, ok := unescapeLabelValue(esc)
+		if !ok {
+			t.Fatalf("EscapeLabelValue(%q) = %q is not well-formed", s, esc)
+		}
+		if got != s {
+			t.Fatalf("round-trip of %q via %q = %q", s, esc, got)
+		}
+	})
+}
+
+// FuzzValidNames pins the hand-rolled name validators to the format's
+// published grammars.
+func FuzzValidNames(f *testing.F) {
+	metricRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	for _, s := range []string{"", "a", "_ok", "0bad", "a:b", "__reserved", "sp ace", "é", "a\x00b"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if got, want := ValidMetricName(s), metricRe.MatchString(s); got != want {
+			t.Errorf("ValidMetricName(%q) = %v, grammar says %v", s, got, want)
+		}
+		if got, want := ValidLabelName(s), labelRe.MatchString(s) && !strings.HasPrefix(s, "__"); got != want {
+			t.Errorf("ValidLabelName(%q) = %v, grammar says %v", s, got, want)
+		}
+	})
+}
+
+var sampleLineRe = regexp.MustCompile(`^fuzz_total\{k="(.*)"\} ([0-9e+.]+)$`)
+
+// FuzzWritePrometheus drives arbitrary help text and label values
+// through a real registry and requires the exposition to stay
+// line-parseable: exactly one HELP, one TYPE, and one sample line whose
+// label value unescapes back to the original.
+func FuzzWritePrometheus(f *testing.F) {
+	f.Add("help", "value", uint64(1))
+	f.Add("multi\nline \\help", `la"bel\`, uint64(0))
+	f.Add("", "\n\n", uint64(1<<40))
+	f.Fuzz(func(t *testing.T, help, labelValue string, v uint64) {
+		r := NewRegistry()
+		r.Counter("fuzz_total", help, L("k", labelValue)).Add(v)
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		if !strings.HasSuffix(out, "\n") {
+			t.Fatalf("exposition does not end in newline: %q", out)
+		}
+		lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+		want := 3 // HELP + TYPE + sample; the HELP line is omitted for empty help
+		if help == "" {
+			want = 2
+		}
+		if len(lines) != want {
+			t.Fatalf("help=%q label=%q: %d lines, want %d:\n%s",
+				help, labelValue, len(lines), want, out)
+		}
+		if help != "" && !strings.HasPrefix(lines[0], "# HELP fuzz_total") {
+			t.Errorf("line 0 = %q, want HELP comment", lines[0])
+		}
+		if lines[len(lines)-2] != "# TYPE fuzz_total counter" {
+			t.Errorf("line %d = %q, want TYPE comment", len(lines)-2, lines[len(lines)-2])
+		}
+		m := sampleLineRe.FindStringSubmatch(lines[len(lines)-1])
+		if m == nil {
+			t.Fatalf("sample line %q does not parse", lines[2])
+		}
+		got, ok := unescapeLabelValue(m[1])
+		if !ok || got != labelValue {
+			t.Errorf("label survives as %q (ok=%v), want %q", got, ok, labelValue)
+		}
+		if num, err := strconv.ParseFloat(m[2], 64); err != nil || num != float64(v) {
+			t.Errorf("sample value %q (%v), want %s", m[2], err,
+				strconv.FormatFloat(float64(v), 'g', -1, 64))
+		}
+	})
+}

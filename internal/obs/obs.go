@@ -1,0 +1,159 @@
+// Package obs is the framework's dependency-free observability layer:
+// atomic instruments (counters, gauges, fixed-bucket histograms), a
+// named registry with labeled series, and a Prometheus text-format
+// encoder. The hot layers — engine shards, monitors, analyzers, the
+// HTTP server — register instruments here and the versioned HTTP API
+// exposes the whole registry at /v1/metrics.
+//
+// The design follows the rest of the repository: no third-party
+// dependencies, explicit construction, and instruments cheap enough to
+// live on paths that process one block-layer event per call. A Counter
+// increment is a single atomic add; a Histogram observation is a
+// binary search over a handful of bucket bounds plus two atomic adds.
+// Anything more expensive (mirroring single-goroutine stats structs,
+// walking engine shards) happens at scrape time via collect hooks, not
+// on the event path.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric backed by one atomic
+// word. The zero value is ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Store overwrites the counter's value. It exists for mirror counters
+// that track an external monotonic source (e.g. a worker-owned stats
+// struct read at scrape time); on a counter that is also incremented
+// directly it would break monotonicity.
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits in
+// one atomic word. The zero value is ready to use and reads 0.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (possibly negative) to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with Prometheus semantics:
+// observations are counted into the first bucket whose upper bound is
+// >= the value, plus a +Inf overflow bucket, a running sum, and a
+// total count. All fields are atomics, so concurrent Observe calls
+// from producer goroutines and scrapes never block each other.
+//
+// Buckets are stored non-cumulatively and accumulated by the encoder,
+// which keeps Observe to two atomic adds (bucket + count) and one CAS
+// loop (sum).
+type Histogram struct {
+	bounds  []float64 // sorted ascending upper bounds, +Inf excluded
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits
+}
+
+// NewHistogram returns a histogram over the given upper bounds. The
+// bounds must be sorted ascending with no duplicates, NaNs, or +Inf
+// (the overflow bucket is implicit); otherwise NewHistogram panics, as
+// bucket layouts are compile-time decisions.
+func NewHistogram(bounds []float64) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram bounds must be finite")
+		}
+		if i > 0 && bounds[i-1] >= b {
+			panic("obs: histogram bounds must be sorted ascending without duplicates")
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns the bounds and cumulative bucket counts, ending
+// with the +Inf bucket (== Count at the time of the read, modulo
+// concurrent observations).
+func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64) {
+	cumulative = make([]uint64, len(h.buckets))
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		cumulative[i] = run
+	}
+	return h.bounds, cumulative
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and growing by factor — the standard layout for latency
+// histograms. It panics on a non-positive start, a factor <= 1, or
+// n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the default layout for latency-in-seconds
+// histograms: twelve bounds from 1 µs to ~4.2 s in powers of four
+// (plus the implicit +Inf bucket). The layout keeps the per-series
+// footprint small while resolving both microsecond queue hops and
+// multi-second stalls.
+func LatencyBuckets() []float64 { return ExpBuckets(1e-6, 4, 12) }

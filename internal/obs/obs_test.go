@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+	c.Store(7)
+	if got := c.Value(); got != 7 {
+		t.Errorf("after Store, Value = %d, want 7", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if got := g.Value(); got != 0 {
+		t.Errorf("zero gauge = %v, want 0", got)
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("Value = %v, want 1.5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 5556.5 {
+		t.Errorf("Sum = %v, want 5556.5", got)
+	}
+	_, cum := h.snapshot()
+	want := []uint64{2, 3, 4, 6} // <=1: {0.5, 1}; <=10: +5; <=100: +50; +Inf: +2
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"unsorted":  {10, 1},
+		"duplicate": {1, 1},
+		"nan":       {math.NaN()},
+		"inf":       {math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds: want panic", name)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if b := LatencyBuckets(); len(b) != 12 || b[0] != 1e-6 {
+		t.Errorf("LatencyBuckets = %v", b)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("device", "d0"))
+	b := r.Counter("x_total", "help", L("device", "d0"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c := r.Counter("x_total", "help", L("device", "d1"))
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+	// Label order must not matter for identity.
+	p := r.Gauge("g", "", L("a", "1"), L("b", "2"))
+	q := r.Gauge("g", "", L("b", "2"), L("a", "1"))
+	if p != q {
+		t.Error("label order changed series identity")
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "")
+	for name, fn := range map[string]func(){
+		"bad metric name": func() { r.Counter("0bad", "") },
+		"bad label name":  func() { r.Counter("m", "", L("0bad", "v")) },
+		"reserved label":  func() { r.Counter("m2", "", L("__name__", "v")) },
+		"duplicate label": func() { r.Counter("m3", "", L("a", "1"), L("a", "2")) },
+		"type mismatch":   func() { r.Gauge("ok_total", "") },
+		"bucket mismatch": func() { h := r.Histogram("h", "", []float64{1}); _ = h; r.Histogram("h", "", []float64{2}) },
+		"nil gauge fn":    func() { r.GaugeFunc("gf", "", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "events\nwith newline", L("device", `d"0\x`)).Add(3)
+	r.Gauge("a_gauge", "a gauge").Set(1.5)
+	r.GaugeFunc("a_func", "computed", func() float64 { return 7 })
+	h := r.Histogram("c_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_func computed
+# TYPE a_func gauge
+a_func 7
+# HELP a_gauge a gauge
+# TYPE a_gauge gauge
+a_gauge 1.5
+# HELP b_total events\nwith newline
+# TYPE b_total counter
+b_total{device="d\"0\\x"} 3
+# HELP c_seconds latency
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.001"} 1
+c_seconds_bucket{le="0.01"} 1
+c_seconds_bucket{le="+Inf"} 2
+c_seconds_sum 0.5005
+c_seconds_count 2
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// A second encode of an unchanged registry is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != want {
+		t.Error("second exposition differs from first")
+	}
+}
+
+func TestOnCollect(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.OnCollect(func() {
+		calls++
+		r.Counter("pulled_total", "mirrored").Store(uint64(calls))
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("collect hook ran %d times, want 1", calls)
+	}
+	if !strings.Contains(sb.String(), "pulled_total 1") {
+		t.Errorf("hook-created metric missing:\n%s", sb.String())
+	}
+}
+
+// TestConcurrentUse exercises instruments and scrapes from many
+// goroutines; it exists to run under -race.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("hits_total", "", L("worker", string(rune('a'+g)))).Inc()
+				r.Gauge("depth", "").Set(float64(i))
+				r.Histogram("lat", "", []float64{1, 2}).Observe(float64(i % 3))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	var total uint64
+	for g := 0; g < 8; g++ {
+		total += r.Counter("hits_total", "", L("worker", string(rune('a'+g)))).Value()
+	}
+	if total != 8*500 {
+		t.Errorf("total hits = %d, want %d", total, 8*500)
+	}
+}

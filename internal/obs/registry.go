@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Label is one name=value dimension of a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// kind is a metric family's type as exposed in the TYPE comment.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labeled instance of a family. Exactly one of the
+// instrument fields is set, matching the family's kind (fn may stand
+// in for a Gauge).
+type series struct {
+	labels  []Label // sorted by name
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64 // histograms only
+	series map[string]*series
+}
+
+// Registry is a named collection of metric families. All methods are
+// safe for concurrent use. Instrument lookups are get-or-create:
+// asking twice for the same name and labels returns the same
+// instrument, so hot paths resolve instruments once and callers that
+// cannot (e.g. scrape-time mirrors) still get stable identities.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	collects []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnCollect registers a hook run at the start of every exposition.
+// Hooks pull state that is too expensive to push per event — e.g. the
+// engine mirrors its per-device monitor/analyzer stats into registry
+// instruments from one hook. Hooks may create and update instruments
+// on the registry they are registered with.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collects = append(r.collects, fn)
+}
+
+// Counter returns the counter for name and labels, creating the family
+// and series as needed. It panics if name or a label is invalid or if
+// the name is already registered as a different type — metric
+// identities are programmer-controlled, so a clash is a bug, not a
+// runtime condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.seriesFor(name, help, kindCounter, nil, labels)
+	return s.counter
+}
+
+// Gauge returns the gauge for name and labels, creating it as needed.
+// The same panics as Counter apply.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.seriesFor(name, help, kindGauge, nil, labels)
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time — for values that already live somewhere cheap to
+// read (a queue depth, a window duration) where a mirror would be
+// redundant. Re-registering the same name and labels replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if fn == nil {
+		panic("obs: GaugeFunc requires a non-nil fn")
+	}
+	s := r.seriesFor(name, help, kindGauge, nil, labels)
+	r.mu.Lock()
+	s.fn = fn
+	s.gauge = nil
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram for name and labels, creating it
+// with the given bucket bounds as needed. All series of one family
+// share a layout; a different bounds slice for an existing family
+// panics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.seriesFor(name, help, kindHistogram, bounds, labels)
+	return s.hist
+}
+
+// seriesFor is the get-or-create core behind the typed accessors.
+func (r *Registry) seriesFor(name, help string, k kind, bounds []float64, labels []Label) *series {
+	if !ValidMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !ValidLabelName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l.Name, name))
+		}
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Name == sorted[i].Name {
+			panic(fmt.Sprintf("obs: duplicate label %q on metric %q", sorted[i].Name, name))
+		}
+	}
+	key := seriesKey(sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		if k == kindHistogram {
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, k, f.kind))
+	}
+	if k == kindHistogram && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different buckets", name))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: sorted}
+		switch k {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = NewHistogram(f.bounds)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey canonically encodes sorted labels for map identity.
+func seriesKey(sorted []Label) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range sorted {
+		b.WriteString(l.Name)
+		b.WriteByte(0x1f)
+		b.WriteString(l.Value)
+		b.WriteByte(0x1e)
+	}
+	return b.String()
+}
+
+// ValidMetricName reports whether s is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidLabelName reports whether s is a legal Prometheus label name:
+// [a-zA-Z_][a-zA-Z0-9_]*. Names beginning with __ are reserved by the
+// exposition format and rejected.
+func ValidLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

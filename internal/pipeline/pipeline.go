@@ -116,6 +116,10 @@ func (p *Pipeline) Analyzer() *core.Analyzer { return p.analyzer }
 // Monitor exposes the monitoring module.
 func (p *Pipeline) Monitor() *monitor.Monitor { return p.mon }
 
+// WindowDuration reports the monitor's current transaction window;
+// see monitor.Monitor.WindowDuration.
+func (p *Pipeline) WindowDuration() time.Duration { return p.mon.WindowDuration() }
+
 // Snapshot exports the synopsis at minSupport.
 func (p *Pipeline) Snapshot(minSupport uint32) core.Snapshot {
 	return p.analyzer.Snapshot(minSupport)

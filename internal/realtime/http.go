@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"daccor/internal/core"
 	"daccor/internal/engine"
+	"daccor/internal/obs"
 )
 
 // Query parameter defaults and bounds, shared by every route:
@@ -67,9 +69,15 @@ func NewHTTPHandler(c *Collector) http.Handler {
 //	GET /v1/devices/{id}/rules             one device's directional rules       ?support=&confidence=&top=
 //	GET /v1/snapshot                       fleet-wide merged correlations       ?support=&top=
 //	GET /v1/rules                          fleet-wide merged rules              ?support=&confidence=&top=
+//	GET /v1/metrics                        Prometheus text exposition of the engine's registry
 //
 // Errors are 400 (bad_param), 404 (unknown_device), 503 (stopped), or
 // 500 (internal).
+//
+// Every route (v1 and legacy) passes through metrics middleware that
+// records per-route request counts by status code and request latency
+// into the engine's registry, so the metrics endpoint also observes
+// the API serving it.
 //
 // Deprecated aliases, kept for one release of compatibility with the
 // pre-v1 surface (same response shapes as before, no envelope; they
@@ -168,6 +176,12 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 		writeData(w, map[string]any{"devices": e.Devices(), "rules": topRules(rules, top)})
 	})
 
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		// An encode error means the scraper went away mid-response.
+		_ = e.Metrics().WritePrometheus(w)
+	})
+
 	// ---- Deprecated pre-v1 aliases (unenveloped legacy shapes). ----
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
@@ -217,7 +231,46 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 		writeJSON(w, map[string]any{"rules": topRules(rules, top)})
 	})
 
-	return mux
+	return withHTTPMetrics(e.Metrics(), mux)
+}
+
+// HTTP server metric families recorded by the middleware.
+const (
+	MetricHTTPRequests = "daccor_http_requests_total"
+	MetricHTTPLatency  = "daccor_http_request_seconds"
+)
+
+// withHTTPMetrics wraps the API mux with per-route observability: a
+// request counter labeled {route, code} and a latency histogram
+// labeled {route}. The route label is the registered mux pattern (a
+// bounded set), never the raw URL path — device IDs and query strings
+// must not mint unbounded label cardinality.
+func withHTTPMetrics(reg *obs.Registry, mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start).Seconds()
+		reg.Counter(MetricHTTPRequests, "HTTP requests served, by route pattern and status code.",
+			obs.L("route", route), obs.L("code", strconv.Itoa(sw.code))).Inc()
+		reg.Histogram(MetricHTTPLatency, "HTTP request latency by route pattern, in seconds.",
+			obs.LatencyBuckets(), obs.L("route", route)).Observe(elapsed)
+	})
+}
+
+// statusWriter captures the status code written by a handler.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // mergedOrSingleRules serves fleet-wide rules: the exact live-table
@@ -236,6 +289,7 @@ func statsBody(st engine.Stats) map[string]any {
 			"id":       d.Device,
 			"monitor":  d.Monitor,
 			"analyzer": d.Analyzer,
+			"windowNs": d.Window.Nanoseconds(),
 			"dropped":  d.Dropped,
 			"lag":      d.Lag,
 		})
