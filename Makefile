@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-engine
+.PHONY: ci fmt vet test race bench bench-engine bench-hot
 
 ci: fmt vet race
 
@@ -23,10 +23,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark harness (one benchmark per table/figure plus the
-# engine and pipeline throughput benchmarks).
+# Full benchmark harness: the hot-path microbenchmarks (synopsis
+# table, analyzer, batched engine ingest) plus one benchmark per
+# table/figure of the paper's evaluation. The text output is converted
+# by cmd/benchjson and recorded as BENCH_baseline.json — commit the
+# refreshed file when a change intentionally moves the numbers.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	@$(GO) test -bench . -benchmem -run '^$$' . ./internal/core ./internal/engine | tee bench.out
+	@$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out
+	@rm -f bench.out
+	@echo "wrote BENCH_baseline.json"
+
+# Hot-path benchmarks only: the numbers the zero-allocation work
+# tracks (guarded separately by the AllocsPerRun tests).
+bench-hot:
+	$(GO) test -bench 'TableTouch|AnalyzerProcess|EngineSubmitBatch' -benchmem -run '^$$' ./internal/core ./internal/engine
+	$(GO) test -bench 'EngineIngest|OnlineAnalysisThroughput|MonitorThroughput' -benchmem -run '^$$' .
 
 # Multi-device ingest benchmark only: throughput scaling with worker
 # count (compare devices-1 vs devices-4 ns/op on a multi-core host).

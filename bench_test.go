@@ -123,8 +123,9 @@ func BenchmarkMonitorThroughput(b *testing.B) {
 
 // BenchmarkEngineIngest measures the multi-device collection engine:
 // total events per second across N devices, each fed an MSR-style
-// synthetic stream by its own producer goroutine and processed by its
-// own shard worker. The total event count is fixed per iteration, so
+// synthetic stream by its own producer goroutine (in SubmitBatch
+// chunks, the replayer ingest path) and processed by its own shard
+// worker. The total event count is fixed per iteration, so
 // ns/op dropping as the device count rises is throughput scaling with
 // worker count (visible on multi-core hosts; GOMAXPROCS=1 serializes
 // the workers).
@@ -168,18 +169,32 @@ func BenchmarkEngineIngest(b *testing.B) {
 			b.ResetTimer()
 			var wg sync.WaitGroup
 			per := b.N / shards
+			const chunk = 256 // events per SubmitBatch: one queue lock per chunk
 			for g := 0; g < shards; g++ {
 				wg.Add(1)
 				go func(dev *engine.Device, n int) {
 					defer wg.Done()
+					batch := make([]blktrace.Event, 0, chunk)
+					flush := func() bool {
+						if len(batch) == 0 {
+							return true
+						}
+						if err := dev.SubmitBatch(batch); err != nil {
+							b.Error(err)
+							return false
+						}
+						batch = batch[:0]
+						return true
+					}
 					for i := 0; i < n; i++ {
 						ev := events[i%len(events)]
 						ev.Time = int64(i) * 10_000 // monotone across trace wraps
-						if err := dev.Submit(ev); err != nil {
-							b.Error(err)
+						batch = append(batch, ev)
+						if len(batch) == chunk && !flush() {
 							return
 						}
 					}
+					flush()
 				}(devs[g], per)
 			}
 			wg.Wait()

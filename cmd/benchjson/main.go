@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench` text output into a
+// stable JSON document, so benchmark baselines can be committed and
+// diffed (see BENCH_baseline.json and the `make bench` target).
+//
+//	go test -bench . -benchmem ./... | benchjson > BENCH_baseline.json
+//
+// The parser accepts the standard benchmark result line:
+//
+//	BenchmarkName[-GOMAXPROCS]  N  X ns/op  [Y MB/s]  [Z B/op]  [W allocs/op]
+//
+// plus the goos/goarch/pkg/cpu context lines, which are carried into
+// the output as metadata. Lines that are not benchmark results (PASS,
+// ok, test logs) are ignored, so the whole `go test` stream can be
+// piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	// Name is the benchmark name exactly as printed, including any
+	// -GOMAXPROCS suffix — a trailing -N is textually ambiguous with a
+	// numbered sub-benchmark (devices-4 vs running at GOMAXPROCS=4), so
+	// the name is never rewritten and baselines are keyed verbatim.
+	Name string `json:"name"`
+	// Pkg is the package under test, from the preceding "pkg:" line.
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is the parsed trailing -N of the name (0 when absent) —
+	// GOMAXPROCS when the suffix is one, per the caveat on Name.
+	Procs int `json:"procs,omitempty"`
+	// N is the iteration count.
+	N int64 `json:"n"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerSec is throughput, when the benchmark calls SetBytes.
+	MBPerSec float64 `json:"mb_per_s,omitempty"`
+	// BytesPerOp and AllocsPerOp are present with -benchmem.
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Doc is the whole converted run.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseResult(line)
+			if ok {
+				res.Pkg = pkg
+				doc.Benchmarks = append(doc.Benchmarks, res)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResult parses one benchmark result line; ok is false for lines
+// that start with "Benchmark" but are not results (e.g. a test log
+// line that happens to mention a benchmark).
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 { // minimum shape: Name N value ns/op
+		return Result{}, false
+	}
+	var res Result
+	res.Name = fields[0]
+	if i := strings.LastIndexByte(res.Name, '-'); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = procs
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.N = n
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			sawNs = true
+		case "MB/s":
+			res.MBPerSec = v
+		case "B/op":
+			res.BytesPerOp = int64(v)
+		case "allocs/op":
+			res.AllocsPerOp = int64(v)
+		}
+	}
+	return res, sawNs
+}

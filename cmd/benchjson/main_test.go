@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: daccor/internal/core
+cpu: Test CPU @ 3.00GHz
+BenchmarkTableTouch/churn-8   	 8227395	       143.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTableTouch/hit       	20000000	        58.76 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEndToEndPipeline-8   	      50	  22000000 ns/op	 150.25 MB/s	 1200000 B/op	    9000 allocs/op
+some log line
+BenchmarkMentionedInALog ran fine
+PASS
+ok  	daccor/internal/core	12.3s
+`
+	doc, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU != "Test CPU @ 3.00GHz" {
+		t.Errorf("metadata = %q/%q/%q", doc.Goos, doc.Goarch, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	// Names are kept verbatim (a trailing -N is ambiguous with numbered
+	// sub-benchmarks); the parsed suffix lands in Procs.
+	r := doc.Benchmarks[0]
+	if r.Name != "BenchmarkTableTouch/churn-8" || r.Procs != 8 || r.N != 8227395 ||
+		r.NsPerOp != 143.2 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 ||
+		r.Pkg != "daccor/internal/core" {
+		t.Errorf("churn = %+v", r)
+	}
+	if r := doc.Benchmarks[1]; r.Name != "BenchmarkTableTouch/hit" || r.Procs != 0 {
+		t.Errorf("hit = %+v", r)
+	}
+	if r := doc.Benchmarks[2]; r.Name != "BenchmarkEndToEndPipeline-8" ||
+		r.MBPerSec != 150.25 || r.AllocsPerOp != 9000 {
+		t.Errorf("pipeline = %+v", r)
+	}
+}

@@ -146,26 +146,50 @@ func loadWorkload(name string, n int, seed int64) (*blktrace.Trace, error) {
 	return blktrace.ReadTrace(f)
 }
 
+// feedBatch is the replay batch size when streaming unpaced: big
+// enough to amortize the per-batch queue lock, small enough that
+// queries never wait long behind a batch.
+const feedBatch = 256
+
 // feedForever loops the trace through one device, re-basing timestamps
-// each iteration so the stream is continuous.
+// each iteration so the stream is continuous. Unpaced replay submits
+// in batches (one queue lock per feedBatch events); paced replay keeps
+// the per-event path so the gap applies between individual events.
 func feedForever(dev *engine.Device, t *blktrace.Trace, pace time.Duration) {
 	if t.Len() == 0 {
 		return
 	}
 	var clock int64
+	batch := make([]blktrace.Event, 0, feedBatch)
 	for {
 		base := t.Events[0].Time
 		var last int64
 		for _, ev := range t.Events {
 			ev.Time = clock + (ev.Time - base)
 			last = ev.Time
-			if err := dev.Submit(ev); err != nil {
-				return // engine stopped
+			if pace > 0 {
+				if err := dev.Submit(ev); err != nil {
+					return // engine stopped
+				}
+				dev.ObserveLatency(int64(40 * time.Microsecond))
+				time.Sleep(pace)
+				continue
+			}
+			batch = append(batch, ev)
+			if len(batch) == feedBatch {
+				if err := dev.SubmitBatch(batch); err != nil {
+					return // engine stopped
+				}
+				dev.ObserveLatency(int64(40 * time.Microsecond))
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if err := dev.SubmitBatch(batch); err != nil {
+				return
 			}
 			dev.ObserveLatency(int64(40 * time.Microsecond))
-			if pace > 0 {
-				time.Sleep(pace)
-			}
+			batch = batch[:0]
 		}
 		clock = last + int64(time.Millisecond)
 	}

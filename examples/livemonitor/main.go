@@ -61,11 +61,16 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for _, ev := range syn.Trace.Events {
-				if err := dev.Submit(ev); err != nil {
+			// Batched ingest: one queue lock per chunk instead of per
+			// event.
+			evs := syn.Trace.Events
+			for len(evs) > 0 {
+				n := min(256, len(evs))
+				if err := dev.SubmitBatch(evs[:n]); err != nil {
 					log.Printf("submit %s: %v", dev.ID(), err)
 					return
 				}
+				evs = evs[n:]
 			}
 		}()
 	}

@@ -53,6 +53,22 @@ func (e Extent) Less(o Extent) bool {
 	return e.Len < o.Len
 }
 
+// Compare is the three-way form of Less, usable with slices.SortFunc:
+// negative when e < o, zero when equal, positive when e > o.
+func (e Extent) Compare(o Extent) int {
+	switch {
+	case e.Block < o.Block:
+		return -1
+	case e.Block > o.Block:
+		return 1
+	case e.Len < o.Len:
+		return -1
+	case e.Len > o.Len:
+		return 1
+	}
+	return 0
+}
+
 // String formats the extent as "block+len", e.g. "100+4", matching the
 // paper's notation.
 func (e Extent) String() string {
@@ -74,6 +90,15 @@ func MakePair(a, b Extent) Pair {
 		a, b = b, a
 	}
 	return Pair{A: a, B: b}
+}
+
+// Compare orders pairs canonically: by A, then by B. Negative when
+// p < o, zero when equal, positive when p > o.
+func (p Pair) Compare(o Pair) int {
+	if c := p.A.Compare(o.A); c != 0 {
+		return c
+	}
+	return p.B.Compare(o.B)
 }
 
 // Contains reports whether the pair includes extent e.

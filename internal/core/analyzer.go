@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"daccor/internal/blktrace"
 )
@@ -49,6 +49,19 @@ func splitTiers(c int, ratio float64) (t1, t2 int) {
 	return t1, total - t1
 }
 
+// pairLinks are one correlation-table entry's links in the intrusive
+// pair-membership lists: every live pair entry is threaded into two
+// doubly linked lists, one per member extent (one list when A == B),
+// anchored by Analyzer.pairHeads. The links are stored in a flat slice
+// parallel to the pair table's entry arena and addressed by the same
+// slot index, replacing the old map[Extent]map[Pair]struct{} index —
+// membership updates become pointer writes into pre-allocated memory
+// instead of per-pair map insertions.
+type pairLinks struct {
+	nextA, prevA int32 // neighbours in A's membership list
+	nextB, prevB int32 // neighbours in B's membership list
+}
+
 // Analyzer is the online analysis module: it consumes transactions and
 // maintains the synopsis data structure. Analyzer is not safe for
 // concurrent use; callers (the monitor pipeline) feed it from a single
@@ -58,17 +71,23 @@ type Analyzer struct {
 	items *Table[blktrace.Extent]
 	pairs *Table[blktrace.Pair]
 
-	// pairsByExtent indexes live correlation-table entries by member
-	// extent so that the eviction rule "when an extent is evicted from
-	// the item table, we also demote it in the correlation table" is
-	// O(pairs containing that extent).
-	pairsByExtent map[blktrace.Extent]map[blktrace.Pair]struct{}
+	// pairHeads anchors, per member extent, the intrusive list of live
+	// correlation-table entries containing that extent, so the eviction
+	// rule "when an extent is evicted from the item table, we also
+	// demote it in the correlation table" is O(pairs containing that
+	// extent). pairLinks[slot] carries the list links for the pair
+	// entry living in arena slot `slot` of the pair table.
+	pairHeads map[blktrace.Extent]int32
+	pairLinks []pairLinks
 
 	// pendingDemote collects extents whose item-table entry was
 	// evicted during the current batch of touches; their pairs are
 	// demoted after the touch completes so that the pair table is not
 	// mutated re-entrantly from inside its own callbacks.
 	pendingDemote []blktrace.Extent
+	// demoteScratch is the persistent sort buffer flushDemotions reuses
+	// across transactions, keeping the steady-state path allocation-free.
+	demoteScratch []blktrace.Pair
 
 	stats Stats
 }
@@ -103,9 +122,9 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 		return nil, err
 	}
 	a := &Analyzer{
-		cfg:           cfg,
-		pairsByExtent: make(map[blktrace.Extent]map[blktrace.Pair]struct{}),
+		pairHeads: make(map[blktrace.Extent]int32),
 	}
+	a.cfg = cfg
 	i1, i2 := splitTiers(cfg.ItemCapacity, cfg.TierRatio)
 	p1, p2 := splitTiers(cfg.PairCapacity, cfg.TierRatio)
 	var err error
@@ -121,10 +140,11 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 		Capacity1:        p1,
 		Capacity2:        p2,
 		PromoteThreshold: cfg.PromoteThreshold,
-	}, a.onPairEvict)
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
+	a.pairs.onEvictSlot = a.onPairEvict
 	return a, nil
 }
 
@@ -133,36 +153,89 @@ func (a *Analyzer) onItemEvict(e blktrace.Extent, _ uint32) {
 	a.pendingDemote = append(a.pendingDemote, e)
 }
 
-func (a *Analyzer) onPairEvict(p blktrace.Pair, _ uint32) {
+// onPairEvict unthreads an evicted correlation-table entry from both
+// member extents' intrusive lists. It runs before the table recycles
+// the slot, so the slot index is still valid for link surgery.
+func (a *Analyzer) onPairEvict(s int32, p blktrace.Pair, _ uint32) {
 	a.stats.PairEvictions++
-	a.unregisterPair(p)
-}
-
-func (a *Analyzer) registerPair(p blktrace.Pair) {
-	for _, e := range [...]blktrace.Extent{p.A, p.B} {
-		set, ok := a.pairsByExtent[e]
-		if !ok {
-			set = make(map[blktrace.Pair]struct{})
-			a.pairsByExtent[e] = set
-		}
-		set[p] = struct{}{}
-		if p.A == p.B {
-			break
-		}
+	a.unlinkMember(s, p.A)
+	if p.A != p.B {
+		a.unlinkMember(s, p.B)
 	}
 }
 
-func (a *Analyzer) unregisterPair(p blktrace.Pair) {
-	for _, e := range [...]blktrace.Extent{p.A, p.B} {
-		if set, ok := a.pairsByExtent[e]; ok {
-			delete(set, p)
-			if len(set) == 0 {
-				delete(a.pairsByExtent, e)
-			}
-		}
-		if p.A == p.B {
-			break
-		}
+// memberNext returns the slot after s in e's membership list; a pair
+// entry uses its A-side links when e is its A extent, B-side otherwise.
+func (a *Analyzer) memberNext(s int32, e blktrace.Extent) int32 {
+	if a.pairs.keyAt(s).A == e {
+		return a.pairLinks[s].nextA
+	}
+	return a.pairLinks[s].nextB
+}
+
+func (a *Analyzer) memberPrev(s int32, e blktrace.Extent) int32 {
+	if a.pairs.keyAt(s).A == e {
+		return a.pairLinks[s].prevA
+	}
+	return a.pairLinks[s].prevB
+}
+
+func (a *Analyzer) setMemberNext(s int32, e blktrace.Extent, v int32) {
+	if a.pairs.keyAt(s).A == e {
+		a.pairLinks[s].nextA = v
+	} else {
+		a.pairLinks[s].nextB = v
+	}
+}
+
+func (a *Analyzer) setMemberPrev(s int32, e blktrace.Extent, v int32) {
+	if a.pairs.keyAt(s).A == e {
+		a.pairLinks[s].prevA = v
+	} else {
+		a.pairLinks[s].prevB = v
+	}
+}
+
+// linkMember pushes slot s onto the head of e's membership list.
+func (a *Analyzer) linkMember(s int32, e blktrace.Extent) {
+	h, ok := a.pairHeads[e]
+	if !ok {
+		h = nilSlot
+	}
+	a.setMemberNext(s, e, h)
+	a.setMemberPrev(s, e, nilSlot)
+	if h != nilSlot {
+		a.setMemberPrev(h, e, s)
+	}
+	a.pairHeads[e] = s
+}
+
+// unlinkMember removes slot s from e's membership list, dropping the
+// head anchor when the list empties.
+func (a *Analyzer) unlinkMember(s int32, e blktrace.Extent) {
+	prev, next := a.memberPrev(s, e), a.memberNext(s, e)
+	if prev != nilSlot {
+		a.setMemberNext(prev, e, next)
+	} else if next != nilSlot {
+		a.pairHeads[e] = next
+	} else {
+		delete(a.pairHeads, e)
+	}
+	if next != nilSlot {
+		a.setMemberPrev(next, e, prev)
+	}
+}
+
+// registerPair threads the pair entry in arena slot s into the
+// membership lists of its member extents (one list when A == B).
+func (a *Analyzer) registerPair(s int32, p blktrace.Pair) {
+	for int(s) >= len(a.pairLinks) {
+		a.pairLinks = append(a.pairLinks, pairLinks{})
+	}
+	a.pairLinks[s] = pairLinks{nextA: nilSlot, prevA: nilSlot, nextB: nilSlot, prevB: nilSlot}
+	a.linkMember(s, p.A)
+	if p.A != p.B {
+		a.linkMember(s, p.B)
 	}
 }
 
@@ -189,9 +262,10 @@ func (a *Analyzer) Process(extents []blktrace.Extent) {
 		for j := i + 1; j < len(extents); j++ {
 			p := blktrace.MakePair(extents[i], extents[j])
 			a.stats.PairTouches++
-			switch a.pairs.Touch(p) {
+			r, s := a.pairs.touch(p)
+			switch r {
 			case Inserted:
-				a.registerPair(p)
+				a.registerPair(s, p)
 			case Promoted:
 				a.stats.PairPromotions++
 			}
@@ -203,28 +277,79 @@ func (a *Analyzer) Process(extents []blktrace.Extent) {
 // flushDemotions applies the item-eviction → pair-demotion rule for
 // every item evicted during the last batch of touches. Pairs of one
 // evicted extent are demoted in canonical order so the analyzer is
-// fully deterministic (map iteration order must not leak into the LRU
-// order, or replays and restored snapshots would diverge).
+// fully deterministic (membership-list order must not leak into the
+// LRU order, or replays and restored snapshots would diverge). The
+// sort runs over a persistent scratch buffer with a non-capturing
+// comparison function, so the steady-state path allocates nothing.
 func (a *Analyzer) flushDemotions() {
-	var batch []blktrace.Pair
 	for _, e := range a.pendingDemote {
-		batch = batch[:0]
-		for p := range a.pairsByExtent[e] {
-			batch = append(batch, p)
+		batch := a.demoteScratch[:0]
+		s, ok := a.pairHeads[e]
+		if !ok {
+			s = nilSlot
 		}
-		sort.Slice(batch, func(i, j int) bool {
-			if batch[i].A != batch[j].A {
-				return batch[i].A.Less(batch[j].A)
-			}
-			return batch[i].B.Less(batch[j].B)
-		})
+		for ; s != nilSlot; s = a.memberNext(s, e) {
+			batch = append(batch, a.pairs.keyAt(s))
+		}
+		slices.SortFunc(batch, blktrace.Pair.Compare)
 		for _, p := range batch {
 			if a.pairs.Demote(p) {
 				a.stats.PairDemotions++
 			}
 		}
+		a.demoteScratch = batch
 	}
 	a.pendingDemote = a.pendingDemote[:0]
+}
+
+// checkMembershipInvariants verifies that the intrusive membership
+// lists exactly mirror the live correlation-table entries: every live
+// pair is threaded into each member extent's list exactly once, links
+// are mutually consistent, and no list reaches a dead slot. O(pairs);
+// used by tests and fuzz targets via an export_test shim.
+func (a *Analyzer) checkMembershipInvariants() error {
+	seen := make(map[int32]int)
+	for e, h := range a.pairHeads {
+		if h == nilSlot {
+			return fmt.Errorf("extent %v anchors a nil head", e)
+		}
+		prev := nilSlot
+		for s := h; s != nilSlot; s = a.memberNext(s, e) {
+			if int(s) >= len(a.pairLinks) || s < 0 {
+				return fmt.Errorf("extent %v list reaches out-of-range slot %d", e, s)
+			}
+			p := a.pairs.keyAt(s)
+			if p.A != e && p.B != e {
+				return fmt.Errorf("slot %d (%v) threaded into list of non-member %v", s, p, e)
+			}
+			if got, ok := a.pairs.index[p]; !ok || got != s {
+				return fmt.Errorf("slot %d (%v) in membership list is not live in the pair table", s, p)
+			}
+			if a.memberPrev(s, e) != prev {
+				return fmt.Errorf("slot %d (%v): prev link broken in %v's list", s, p, e)
+			}
+			seen[s]++
+			if seen[s] > 2 {
+				return fmt.Errorf("slot %d threaded more than twice (cycle?)", s)
+			}
+			prev = s
+		}
+	}
+	for p, s := range a.pairs.index {
+		want := 2
+		if p.A == p.B {
+			want = 1
+		}
+		if seen[s] != want {
+			return fmt.Errorf("pair %v (slot %d) threaded %d times, want %d", p, s, seen[s], want)
+		}
+	}
+	for s, n := range seen {
+		if _, ok := a.pairs.index[a.pairs.keyAt(s)]; !ok {
+			return fmt.Errorf("dead slot %d threaded %d times", s, n)
+		}
+	}
+	return nil
 }
 
 // Items exposes the item table (read-mostly; used by optimizers and

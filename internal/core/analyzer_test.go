@@ -120,9 +120,12 @@ func TestPairEvictionCleansIndex(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		a.Process([]blktrace.Extent{ext(uint64(2*i), 1), ext(uint64(2*i+1), 1)})
 	}
-	if len(a.pairsByExtent) > 2*a.Pairs().Capacity() {
-		t.Errorf("pairsByExtent leaked: %d entries for capacity %d",
-			len(a.pairsByExtent), a.Pairs().Capacity())
+	if len(a.pairHeads) > 2*a.Pairs().Capacity() {
+		t.Errorf("pairHeads leaked: %d entries for capacity %d",
+			len(a.pairHeads), a.Pairs().Capacity())
+	}
+	if err := a.checkMembershipInvariants(); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -150,15 +153,15 @@ func TestPairsByExtentConsistentQuick(t *testing.T) {
 			}
 			a.Process(tx)
 		}
-		// Index must exactly mirror live pair entries.
+		// The membership lists must exactly mirror live pair entries.
 		live := map[blktrace.Pair]struct{}{}
 		for _, e := range a.Pairs().Entries(0) {
 			live[e.Key] = struct{}{}
 		}
 		indexed := map[blktrace.Pair]struct{}{}
-		for _, set := range a.pairsByExtent {
-			for p := range set {
-				indexed[p] = struct{}{}
+		for e, h := range a.pairHeads {
+			for s := h; s != nilSlot; s = a.memberNext(s, e) {
+				indexed[a.pairs.keyAt(s)] = struct{}{}
 			}
 		}
 		if len(live) != len(indexed) {
@@ -169,7 +172,8 @@ func TestPairsByExtentConsistentQuick(t *testing.T) {
 				return false
 			}
 		}
-		return a.Items().CheckInvariants() == nil && a.Pairs().CheckInvariants() == nil
+		return a.checkMembershipInvariants() == nil &&
+			a.Items().CheckInvariants() == nil && a.Pairs().CheckInvariants() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
@@ -296,27 +300,5 @@ func TestFrequentPairSurvivesNoise(t *testing.T) {
 	c, _ := a.Pairs().Count(p)
 	if c < 90 { // ~100 sightings
 		t.Errorf("hot pair count = %d, want ~100", c)
-	}
-}
-
-func BenchmarkAnalyzerProcess(b *testing.B) {
-	a, err := NewAnalyzer(Config{ItemCapacity: 16 * 1024, PairCapacity: 16 * 1024})
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(1))
-	txs := make([][]blktrace.Extent, 1024)
-	for i := range txs {
-		n := 2 + rng.Intn(7)
-		tx := make([]blktrace.Extent, n)
-		for j := range tx {
-			tx[j] = ext(uint64(rng.Intn(1<<20)), uint32(1+rng.Intn(64)))
-		}
-		txs[i] = tx
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a.Process(txs[i%len(txs)])
 	}
 }

@@ -2,3 +2,7 @@ package core
 
 // CheckInvariants exposes the structural invariant checker to tests.
 func (t *Table[K]) CheckInvariants() error { return t.checkInvariants() }
+
+// CheckMembershipInvariants exposes the intrusive pair-membership
+// checker to tests and fuzz targets.
+func (a *Analyzer) CheckMembershipInvariants() error { return a.checkMembershipInvariants() }

@@ -37,12 +37,97 @@ func FuzzLoadAnalyzer(f *testing.F) {
 		if err := got.Pairs().CheckInvariants(); err != nil {
 			t.Fatalf("accepted snapshot violates pair invariants: %v", err)
 		}
+		if err := got.CheckMembershipInvariants(); err != nil {
+			t.Fatalf("accepted snapshot violates membership invariants: %v", err)
+		}
 		var out bytes.Buffer
 		if _, err := got.WriteTo(&out); err != nil {
 			t.Fatalf("accepted snapshot failed to re-save: %v", err)
 		}
 		if _, err := LoadAnalyzer(&out); err != nil {
 			t.Fatalf("re-saved snapshot failed to load: %v", err)
+		}
+	})
+}
+
+// FuzzTableOps drives an arbitrary operation stream (touch, demote,
+// remove) against a small arena-backed table, checking the structural
+// and free-list invariants — no double-free, no lost slots, index and
+// lists consistent — after every operation.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{3, 2, 0, 0, 1, 0, 2, 1, 3, 0, 5})
+	f.Add([]byte{1, 1, 2})
+	f.Add(bytes.Repeat([]byte{2, 7}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		cfg := TableConfig{
+			Capacity1:        1 + int(data[0]%8),
+			Capacity2:        1 + int(data[1]%8),
+			PromoteThreshold: 2 + uint32(data[2]%3),
+		}
+		tbl, err := NewTable[uint64](cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 3; i+1 < len(data); i += 2 {
+			k := uint64(data[i+1] % 32)
+			switch data[i] % 4 {
+			case 0, 1:
+				tbl.Touch(k)
+			case 2:
+				tbl.Demote(k)
+			case 3:
+				tbl.Remove(k)
+			}
+			if err := tbl.checkInvariants(); err != nil {
+				t.Fatalf("after op %d: %v", i, err)
+			}
+		}
+	})
+}
+
+// FuzzAnalyzerMembership drives transaction streams through a small
+// analyzer and checks that the intrusive pair-membership lists stay an
+// exact mirror of the live correlation table.
+func FuzzAnalyzerMembership(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 0, 5, 6})
+	f.Add(bytes.Repeat([]byte{9, 8, 7, 0}, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := NewAnalyzer(Config{ItemCapacity: 3, PairCapacity: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tx []blktrace.Extent
+		seen := map[blktrace.Extent]bool{}
+		flush := func() {
+			a.Process(tx)
+			tx = tx[:0]
+			for e := range seen {
+				delete(seen, e)
+			}
+			if err := a.CheckMembershipInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, b := range data {
+			if b == 0 || len(tx) >= 6 {
+				flush()
+				continue
+			}
+			e := blktrace.Extent{Block: uint64(b % 16), Len: 1 + uint32(b%3)}
+			if !seen[e] { // the monitor guarantees deduplicated extents
+				seen[e] = true
+				tx = append(tx, e)
+			}
+		}
+		flush()
+		if err := a.Items().CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Pairs().CheckInvariants(); err != nil {
+			t.Fatal(err)
 		}
 	})
 }

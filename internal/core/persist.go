@@ -189,7 +189,7 @@ func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
 		if err := a.pairs.restore(p, rec.Count, Tier(rec.Tier)); err != nil {
 			return nil, err
 		}
-		a.registerPair(p)
+		a.registerPair(a.pairs.index[p], p)
 	}
 	return a, nil
 }
@@ -205,13 +205,11 @@ func (t *Table[K]) restore(k K, count uint32, tier Tier) error {
 	if count == 0 {
 		return fmt.Errorf("core: snapshot entry %v has zero count", k)
 	}
-	e := &entry[K]{key: k, count: count, tier: tier}
 	switch tier {
 	case Tier1:
 		if t.t1.size >= t.cfg.Capacity1 {
 			return fmt.Errorf("core: snapshot overflows T1 capacity %d", t.cfg.Capacity1)
 		}
-		t.t1.moveToBackNew(e)
 	case Tier2:
 		if t.t2.size >= t.cfg.Capacity2 {
 			return fmt.Errorf("core: snapshot overflows T2 capacity %d", t.cfg.Capacity2)
@@ -219,24 +217,15 @@ func (t *Table[K]) restore(k K, count uint32, tier Tier) error {
 		if count < t.cfg.PromoteThreshold {
 			return fmt.Errorf("core: snapshot T2 entry %v below promote threshold", k)
 		}
-		t.t2.moveToBackNew(e)
 	default:
 		return fmt.Errorf("core: snapshot entry %v has invalid tier %d", k, tier)
 	}
-	t.index[k] = e
+	s := t.alloc(k, count, tier)
+	if tier == Tier1 {
+		t.listPushBack(&t.t1, s)
+	} else {
+		t.listPushBack(&t.t2, s)
+	}
+	t.index[k] = s
 	return nil
-}
-
-// moveToBackNew appends a fresh (unlinked) entry at the LRU end.
-func (l *lruList[K]) moveToBackNew(e *entry[K]) {
-	e.next = nil
-	e.prev = l.back
-	if l.back != nil {
-		l.back.next = e
-	}
-	l.back = e
-	if l.front == nil {
-		l.front = e
-	}
-	l.size++
 }

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refModel is a deliberately naive reference implementation of the
+// two-tier table semantics — plain maps and slices, MRU at index 0 —
+// against which the arena-backed Table is differentially tested. It
+// mirrors the documented behaviour of Touch/Demote/Remove, including
+// the eviction callback sequence, with none of the arena machinery.
+type refModel struct {
+	cfg    TableConfig
+	t1, t2 []uint64
+	count  map[uint64]uint32
+	tier   map[uint64]Tier
+	evicts []refEvict
+}
+
+type refEvict struct {
+	key   uint64
+	count uint32
+}
+
+func newRefModel(cfg TableConfig) *refModel {
+	return &refModel{
+		cfg:   cfg,
+		count: make(map[uint64]uint32),
+		tier:  make(map[uint64]Tier),
+	}
+}
+
+func refIndexOf(l []uint64, k uint64) int {
+	for i, v := range l {
+		if v == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func refDelete(l []uint64, k uint64) []uint64 {
+	i := refIndexOf(l, k)
+	return append(l[:i], l[i+1:]...)
+}
+
+func (r *refModel) evictBack(l *[]uint64) {
+	k := (*l)[len(*l)-1]
+	*l = (*l)[:len(*l)-1]
+	r.evicts = append(r.evicts, refEvict{key: k, count: r.count[k]})
+	delete(r.count, k)
+	delete(r.tier, k)
+}
+
+func (r *refModel) touch(k uint64) TouchResult {
+	switch r.tier[k] {
+	case Tier1:
+		r.count[k]++
+		if r.count[k] >= r.cfg.PromoteThreshold {
+			r.t1 = refDelete(r.t1, k)
+			if len(r.t2) >= r.cfg.Capacity2 {
+				r.evictBack(&r.t2)
+			}
+			r.tier[k] = Tier2
+			r.t2 = append([]uint64{k}, r.t2...)
+			return Promoted
+		}
+		r.t1 = append([]uint64{k}, refDelete(r.t1, k)...)
+		return HitT1
+	case Tier2:
+		r.count[k]++
+		r.t2 = append([]uint64{k}, refDelete(r.t2, k)...)
+		return HitT2
+	}
+	if len(r.t1) >= r.cfg.Capacity1 {
+		r.evictBack(&r.t1)
+	}
+	r.t1 = append([]uint64{k}, r.t1...)
+	r.count[k] = 1
+	r.tier[k] = Tier1
+	return Inserted
+}
+
+func (r *refModel) demote(k uint64) bool {
+	switch r.tier[k] {
+	case Tier1:
+		r.t1 = append(refDelete(r.t1, k), k)
+	case Tier2:
+		r.t2 = append(refDelete(r.t2, k), k)
+	default:
+		return false
+	}
+	return true
+}
+
+func (r *refModel) remove(k uint64) bool {
+	switch r.tier[k] {
+	case Tier1:
+		r.t1 = refDelete(r.t1, k)
+	case Tier2:
+		r.t2 = refDelete(r.t2, k)
+	default:
+		return false
+	}
+	delete(r.count, k)
+	delete(r.tier, k)
+	return true
+}
+
+// entries mirrors Table.Entries(0): T2 first, MRU→LRU per tier.
+func (r *refModel) entries() []Entry[uint64] {
+	out := make([]Entry[uint64], 0, len(r.t1)+len(r.t2))
+	for _, k := range r.t2 {
+		out = append(out, Entry[uint64]{Key: k, Count: r.count[k], Tier: Tier2})
+	}
+	for _, k := range r.t1 {
+		out = append(out, Entry[uint64]{Key: k, Count: r.count[k], Tier: Tier1})
+	}
+	return out
+}
+
+// TestTableDifferential drives ~100k randomized mixed operations
+// through the arena-backed table and the naive reference model in
+// lockstep, asserting identical results per operation and identical
+// eviction sequences — the arena/free-list machinery must be purely a
+// memory-layout change.
+func TestTableDifferential(t *testing.T) {
+	const opsPerSeed = 25_000
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := TableConfig{
+				Capacity1:        1 + rng.Intn(16),
+				Capacity2:        1 + rng.Intn(16),
+				PromoteThreshold: uint32(2 + rng.Intn(3)),
+			}
+			var evicts []refEvict
+			tbl, err := NewTable[uint64](cfg, func(k uint64, c uint32) {
+				evicts = append(evicts, refEvict{key: k, count: c})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newRefModel(cfg)
+			keyspace := uint64(8 + rng.Intn(56))
+			for op := 0; op < opsPerSeed; op++ {
+				k := rng.Uint64() % keyspace
+				switch rng.Intn(10) {
+				case 0: // demote
+					if got, want := tbl.Demote(k), ref.demote(k); got != want {
+						t.Fatalf("op %d: Demote(%d) = %v, ref %v", op, k, got, want)
+					}
+				case 1: // remove
+					if got, want := tbl.Remove(k), ref.remove(k); got != want {
+						t.Fatalf("op %d: Remove(%d) = %v, ref %v", op, k, got, want)
+					}
+				default: // touch (miss/hit/promote mix)
+					if got, want := tbl.Touch(k), ref.touch(k); got != want {
+						t.Fatalf("op %d: Touch(%d) = %v, ref %v", op, k, got, want)
+					}
+				}
+				if len(evicts) != len(ref.evicts) {
+					t.Fatalf("op %d: %d evictions, ref %d", op, len(evicts), len(ref.evicts))
+				}
+				if len(evicts) > 0 {
+					i := len(evicts) - 1
+					if evicts[i] != ref.evicts[i] {
+						t.Fatalf("op %d: eviction %d = %+v, ref %+v", op, i, evicts[i], ref.evicts[i])
+					}
+				}
+				if op%4096 == 0 {
+					if err := tbl.checkInvariants(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if err := tbl.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			got, want := tbl.Entries(0), ref.entries()
+			if len(got) != len(want) {
+				t.Fatalf("final entries: %d, ref %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("final entry %d = %+v, ref %+v", i, got[i], want[i])
+				}
+			}
+			if uint64(len(evicts)) != tbl.Evictions() {
+				t.Fatalf("eviction counter %d, callback saw %d", tbl.Evictions(), len(evicts))
+			}
+		})
+	}
+}

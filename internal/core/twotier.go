@@ -14,7 +14,10 @@
 // (extents), frequency (tier promotion by counter), and recency (LRU).
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // TouchResult describes what a Table.Touch call did.
 type TouchResult int
@@ -58,73 +61,91 @@ const (
 	Tier2 Tier = 2
 )
 
-// entry is a node in one of the two intrusive LRU lists.
+// nilSlot is the null arena index, playing the role a nil pointer did
+// when entries were individually heap-allocated.
+const nilSlot int32 = -1
+
+// entry is a node in the table's entry arena. Entries are linked into
+// one of the two intrusive LRU lists by arena index rather than by
+// pointer: slots are stable for the life of an entry (the arena only
+// grows, never compacts), 32-bit indices halve the link footprint on
+// 64-bit hosts, and a slab of entries is one allocation instead of one
+// per insert. A free entry is chained into the free list through its
+// next field and carries tier TierNone.
 type entry[K comparable] struct {
 	key        K
 	count      uint32
 	tier       Tier
-	prev, next *entry[K]
+	prev, next int32
 }
 
-// lruList is an intrusive doubly linked list; front is MRU, back is LRU.
-// The zero value is an empty list.
-type lruList[K comparable] struct {
-	front, back *entry[K]
+// lruList is an intrusive doubly linked list of arena slots; front is
+// MRU, back is LRU. Link updates live on Table (they need the arena).
+type lruList struct {
+	front, back int32
 	size        int
 }
 
-func (l *lruList[K]) pushFront(e *entry[K]) {
-	e.prev = nil
+func newLRUList() lruList { return lruList{front: nilSlot, back: nilSlot} }
+
+func (t *Table[K]) listPushFront(l *lruList, s int32) {
+	e := &t.arena[s]
+	e.prev = nilSlot
 	e.next = l.front
-	if l.front != nil {
-		l.front.prev = e
+	if l.front != nilSlot {
+		t.arena[l.front].prev = s
 	}
-	l.front = e
-	if l.back == nil {
-		l.back = e
+	l.front = s
+	if l.back == nilSlot {
+		l.back = s
 	}
 	l.size++
 }
 
-func (l *lruList[K]) remove(e *entry[K]) {
-	if e.prev != nil {
-		e.prev.next = e.next
+func (t *Table[K]) listPushBack(l *lruList, s int32) {
+	e := &t.arena[s]
+	e.next = nilSlot
+	e.prev = l.back
+	if l.back != nilSlot {
+		t.arena[l.back].next = s
+	}
+	l.back = s
+	if l.front == nilSlot {
+		l.front = s
+	}
+	l.size++
+}
+
+func (t *Table[K]) listRemove(l *lruList, s int32) {
+	e := &t.arena[s]
+	if e.prev != nilSlot {
+		t.arena[e.prev].next = e.next
 	} else {
 		l.front = e.next
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if e.next != nilSlot {
+		t.arena[e.next].prev = e.prev
 	} else {
 		l.back = e.prev
 	}
-	e.prev, e.next = nil, nil
+	e.prev, e.next = nilSlot, nilSlot
 	l.size--
 }
 
-func (l *lruList[K]) moveToFront(e *entry[K]) {
-	if l.front == e {
+func (t *Table[K]) listMoveToFront(l *lruList, s int32) {
+	if l.front == s {
 		return
 	}
-	l.remove(e)
-	l.pushFront(e)
+	t.listRemove(l, s)
+	t.listPushFront(l, s)
 }
 
-func (l *lruList[K]) moveToBack(e *entry[K]) {
-	if l.back == e {
+func (t *Table[K]) listMoveToBack(l *lruList, s int32) {
+	if l.back == s {
 		return
 	}
-	l.remove(e)
-	// push back
-	e.next = nil
-	e.prev = l.back
-	if l.back != nil {
-		l.back.next = e
-	}
-	l.back = e
-	if l.front == nil {
-		l.front = e
-	}
-	l.size++
+	t.listRemove(l, s)
+	t.listPushBack(l, s)
 }
 
 // TableConfig configures a two-tier table.
@@ -148,20 +169,45 @@ func (c TableConfig) validate() error {
 	if c.Capacity1 <= 0 || c.Capacity2 <= 0 {
 		return fmt.Errorf("core: tier capacities must be positive (got %d, %d)", c.Capacity1, c.Capacity2)
 	}
+	if int64(c.Capacity1)+int64(c.Capacity2) > int64(math.MaxInt32) {
+		return fmt.Errorf("core: total capacity %d exceeds the 2^31-1 arena slot limit",
+			int64(c.Capacity1)+int64(c.Capacity2))
+	}
 	if c.PromoteThreshold < 2 {
 		return fmt.Errorf("core: promote threshold must be >= 2 (got %d)", c.PromoteThreshold)
 	}
 	return nil
 }
 
+// arenaMaxPrealloc caps the entry slab (and index hint) reserved up
+// front, so a table with a huge configured capacity (legitimate, or
+// from a forged snapshot header) does not pre-allocate gigabytes before
+// any entry exists. Beyond this the arena grows by amortized append,
+// still never shrinking — slots stay stable and reusable.
+const arenaMaxPrealloc = 1 << 20
+
 // Table is a fixed-capacity two-tier LRU/frequency table over keys of
 // type K. All operations are O(1). Table is not safe for concurrent
 // use; the analyzer serializes access.
+//
+// Entries live in a pre-allocated arena and evicted slots are recycled
+// through a free list, so after warm-up the steady-state Touch path
+// performs no heap allocation.
 type Table[K comparable] struct {
 	cfg     TableConfig
-	t1, t2  lruList[K]
-	index   map[K]*entry[K]
+	arena   []entry[K] // entry slab; grows to at most Capacity1+Capacity2
+	free    int32      // head of the free-slot list, chained via entry.next
+	freeLen int
+	t1, t2  lruList
+	index   map[K]int32
 	onEvict func(K, uint32) // key and its count at eviction time
+	// onEvictSlot, when set, additionally reports the evicted entry's
+	// arena slot — the analyzer threads its intrusive pair-membership
+	// links through slots and needs the index to unlink in O(1). It is
+	// called before the slot is recycled, so keyAt(slot) is still valid
+	// inside the callback. Like onEvict it must not call back into the
+	// table.
+	onEvictSlot func(int32, K, uint32)
 
 	evictions  uint64
 	promotions uint64
@@ -177,27 +223,59 @@ func NewTable[K comparable](cfg TableConfig, onEvict func(K, uint32)) (*Table[K]
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	// The size hint is only an optimisation; cap it so a table with a
-	// huge configured capacity (legitimate, or from a forged snapshot
-	// header) does not pre-allocate gigabytes before any entry exists.
 	hint := cfg.Capacity1 + cfg.Capacity2
-	if hint > 1<<20 {
-		hint = 1 << 20
+	if hint > arenaMaxPrealloc {
+		hint = arenaMaxPrealloc
 	}
 	return &Table[K]{
 		cfg:     cfg,
-		index:   make(map[K]*entry[K], hint),
+		arena:   make([]entry[K], 0, hint),
+		free:    nilSlot,
+		t1:      newLRUList(),
+		t2:      newLRUList(),
+		index:   make(map[K]int32, hint),
 		onEvict: onEvict,
 	}, nil
 }
 
-func (t *Table[K]) evict(l *lruList[K], e *entry[K]) {
-	l.remove(e)
-	delete(t.index, e.key)
-	t.evictions++
-	if t.onEvict != nil {
-		t.onEvict(e.key, e.count)
+// alloc takes a slot from the free list, or extends the arena while it
+// is still below total capacity (the only allocating path, exercised
+// only during warm-up).
+func (t *Table[K]) alloc(k K, count uint32, tier Tier) int32 {
+	if s := t.free; s != nilSlot {
+		t.free = t.arena[s].next
+		t.freeLen--
+		t.arena[s] = entry[K]{key: k, count: count, tier: tier, prev: nilSlot, next: nilSlot}
+		return s
 	}
+	t.arena = append(t.arena, entry[K]{key: k, count: count, tier: tier, prev: nilSlot, next: nilSlot})
+	return int32(len(t.arena) - 1)
+}
+
+// freeSlot recycles an arena slot onto the free list, clearing the key
+// so stale state cannot leak into a future occupant.
+func (t *Table[K]) freeSlot(s int32) {
+	t.arena[s] = entry[K]{tier: TierNone, prev: nilSlot, next: t.free}
+	t.free = s
+	t.freeLen++
+}
+
+// keyAt reads the key stored in an arena slot. Callers must hold a live
+// slot (from touch, or inside an eviction callback).
+func (t *Table[K]) keyAt(s int32) K { return t.arena[s].key }
+
+func (t *Table[K]) evict(l *lruList, s int32) {
+	k, c := t.arena[s].key, t.arena[s].count
+	t.listRemove(l, s)
+	delete(t.index, k)
+	t.evictions++
+	if t.onEvictSlot != nil {
+		t.onEvictSlot(s, k, c)
+	}
+	if t.onEvict != nil {
+		t.onEvict(k, c)
+	}
+	t.freeSlot(s)
 }
 
 // Touch records one sighting of key k: a hit moves the entry to the MRU
@@ -206,34 +284,42 @@ func (t *Table[K]) evict(l *lruList[K], e *entry[K]) {
 // inserts the key at the T1 MRU position, evicting the T1 LRU victim if
 // T1 is full.
 func (t *Table[K]) Touch(k K) TouchResult {
-	if e, ok := t.index[k]; ok {
+	r, _ := t.touch(k)
+	return r
+}
+
+// touch is Touch plus the arena slot now holding k, which the analyzer
+// uses to maintain its intrusive pair-membership lists.
+func (t *Table[K]) touch(k K) (TouchResult, int32) {
+	if s, ok := t.index[k]; ok {
+		e := &t.arena[s]
 		e.count++
 		switch e.tier {
 		case Tier1:
 			if e.count >= t.cfg.PromoteThreshold {
-				t.t1.remove(e)
+				t.listRemove(&t.t1, s)
 				if t.t2.size >= t.cfg.Capacity2 {
 					t.evict(&t.t2, t.t2.back)
 				}
-				e.tier = Tier2
-				t.t2.pushFront(e)
+				t.arena[s].tier = Tier2
+				t.listPushFront(&t.t2, s)
 				t.promotions++
-				return Promoted
+				return Promoted, s
 			}
-			t.t1.moveToFront(e)
-			return HitT1
+			t.listMoveToFront(&t.t1, s)
+			return HitT1, s
 		default: // Tier2
-			t.t2.moveToFront(e)
-			return HitT2
+			t.listMoveToFront(&t.t2, s)
+			return HitT2, s
 		}
 	}
 	if t.t1.size >= t.cfg.Capacity1 {
 		t.evict(&t.t1, t.t1.back)
 	}
-	e := &entry[K]{key: k, count: 1, tier: Tier1}
-	t.t1.pushFront(e)
-	t.index[k] = e
-	return Inserted
+	s := t.alloc(k, 1, Tier1)
+	t.listPushFront(&t.t1, s)
+	t.index[k] = s
+	return Inserted, s
 }
 
 // Demote moves the entry for k to the LRU end of its tier, marking it
@@ -241,15 +327,15 @@ func (t *Table[K]) Touch(k K) TouchResult {
 // "reduce the relevancy of an entry without immediate eviction". It
 // reports whether the key was present.
 func (t *Table[K]) Demote(k K) bool {
-	e, ok := t.index[k]
+	s, ok := t.index[k]
 	if !ok {
 		return false
 	}
-	switch e.tier {
+	switch t.arena[s].tier {
 	case Tier1:
-		t.t1.moveToBack(e)
+		t.listMoveToBack(&t.t1, s)
 	default:
-		t.t2.moveToBack(e)
+		t.listMoveToBack(&t.t2, s)
 	}
 	return true
 }
@@ -257,36 +343,37 @@ func (t *Table[K]) Demote(k K) bool {
 // Remove deletes the entry for k without invoking the eviction
 // callback, reporting whether it was present.
 func (t *Table[K]) Remove(k K) bool {
-	e, ok := t.index[k]
+	s, ok := t.index[k]
 	if !ok {
 		return false
 	}
-	switch e.tier {
+	switch t.arena[s].tier {
 	case Tier1:
-		t.t1.remove(e)
+		t.listRemove(&t.t1, s)
 	default:
-		t.t2.remove(e)
+		t.listRemove(&t.t2, s)
 	}
 	delete(t.index, k)
+	t.freeSlot(s)
 	return true
 }
 
 // Count returns the sighting counter for k and whether it is present.
 func (t *Table[K]) Count(k K) (uint32, bool) {
-	e, ok := t.index[k]
+	s, ok := t.index[k]
 	if !ok {
 		return 0, false
 	}
-	return e.count, true
+	return t.arena[s].count, true
 }
 
 // TierOf returns which tier holds k (TierNone if absent).
 func (t *Table[K]) TierOf(k K) Tier {
-	e, ok := t.index[k]
+	s, ok := t.index[k]
 	if !ok {
 		return TierNone
 	}
-	return e.tier
+	return t.arena[s].tier
 }
 
 // Len returns the total number of entries across both tiers.
@@ -316,10 +403,26 @@ type Entry[K comparable] struct {
 
 // Entries returns all entries with Count >= minCount, T2 first, each
 // tier in MRU→LRU order. minCount 0 or 1 returns everything.
+//
+// The result is sized to the number of matching entries (counted in a
+// first pass when minCount filters), not to Len(), so a high minCount
+// over a large table does not allocate slots it will never fill.
 func (t *Table[K]) Entries(minCount uint32) []Entry[K] {
-	out := make([]Entry[K], 0, t.Len())
-	for _, l := range []*lruList[K]{&t.t2, &t.t1} {
-		for e := l.front; e != nil; e = e.next {
+	n := t.Len()
+	if minCount > 1 {
+		n = 0
+		for _, l := range [...]*lruList{&t.t2, &t.t1} {
+			for s := l.front; s != nilSlot; s = t.arena[s].next {
+				if t.arena[s].count >= minCount {
+					n++
+				}
+			}
+		}
+	}
+	out := make([]Entry[K], 0, n)
+	for _, l := range [...]*lruList{&t.t2, &t.t1} {
+		for s := l.front; s != nilSlot; s = t.arena[s].next {
+			e := &t.arena[s]
 			if e.count >= minCount {
 				out = append(out, Entry[K]{Key: e.key, Count: e.count, Tier: e.tier})
 			}
@@ -328,8 +431,11 @@ func (t *Table[K]) Entries(minCount uint32) []Entry[K] {
 	return out
 }
 
-// checkInvariants verifies structural invariants; it is used by tests
-// (exposed via an export_test shim) and costs O(n).
+// checkInvariants verifies structural invariants — list/index/tier
+// consistency plus the arena accounting: every slot is either linked
+// into exactly one tier list or chained exactly once through the free
+// list (no double-free, no lost slots). It is used by tests (exposed
+// via an export_test shim) and costs O(n).
 func (t *Table[K]) checkInvariants() error {
 	if t.t1.size > t.cfg.Capacity1 {
 		return fmt.Errorf("T1 over capacity: %d > %d", t.t1.size, t.cfg.Capacity1)
@@ -337,24 +443,38 @@ func (t *Table[K]) checkInvariants() error {
 	if t.t2.size > t.cfg.Capacity2 {
 		return fmt.Errorf("T2 over capacity: %d > %d", t.t2.size, t.cfg.Capacity2)
 	}
+	const (
+		unseen = iota
+		live
+		freed
+	)
+	state := make([]uint8, len(t.arena))
 	seen := 0
-	for tierNo, l := range map[Tier]*lruList[K]{Tier1: &t.t1, Tier2: &t.t2} {
+	for tierNo, l := range map[Tier]*lruList{Tier1: &t.t1, Tier2: &t.t2} {
 		n := 0
-		var prev *entry[K]
-		for e := l.front; e != nil; e = e.next {
+		prev := nilSlot
+		for s := l.front; s != nilSlot; s = t.arena[s].next {
+			if s < 0 || int(s) >= len(t.arena) {
+				return fmt.Errorf("tier %d links out-of-range slot %d", tierNo, s)
+			}
+			if state[s] != unseen {
+				return fmt.Errorf("slot %d linked more than once", s)
+			}
+			state[s] = live
+			e := &t.arena[s]
 			if e.tier != tierNo {
 				return fmt.Errorf("entry %v in list %d has tier %d", e.key, tierNo, e.tier)
 			}
 			if e.prev != prev {
 				return fmt.Errorf("broken prev link at %v", e.key)
 			}
-			if idx, ok := t.index[e.key]; !ok || idx != e {
+			if idx, ok := t.index[e.key]; !ok || idx != s {
 				return fmt.Errorf("index mismatch for %v", e.key)
 			}
 			if tierNo == Tier2 && e.count < t.cfg.PromoteThreshold {
 				return fmt.Errorf("T2 entry %v has count %d below threshold", e.key, e.count)
 			}
-			prev = e
+			prev = s
 			n++
 		}
 		if l.back != prev {
@@ -367,6 +487,29 @@ func (t *Table[K]) checkInvariants() error {
 	}
 	if seen != len(t.index) {
 		return fmt.Errorf("index has %d entries, lists have %d", len(t.index), seen)
+	}
+	nf := 0
+	for s := t.free; s != nilSlot; s = t.arena[s].next {
+		if s < 0 || int(s) >= len(t.arena) {
+			return fmt.Errorf("free list links out-of-range slot %d", s)
+		}
+		if state[s] == live {
+			return fmt.Errorf("slot %d is both live and free", s)
+		}
+		if state[s] == freed {
+			return fmt.Errorf("slot %d freed twice (free-list cycle or double-free)", s)
+		}
+		state[s] = freed
+		if t.arena[s].tier != TierNone {
+			return fmt.Errorf("free slot %d has tier %d", s, t.arena[s].tier)
+		}
+		nf++
+	}
+	if nf != t.freeLen {
+		return fmt.Errorf("free list length %d, counted %d", t.freeLen, nf)
+	}
+	if seen+nf != len(t.arena) {
+		return fmt.Errorf("lost slots: %d live + %d free != %d arena slots", seen, nf, len(t.arena))
 	}
 	return nil
 }

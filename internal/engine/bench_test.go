@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/monitor"
+)
+
+// BenchmarkEngineSubmitBatch measures the batched ingest path in
+// isolation: one producer streaming pre-built batches into a single
+// shard under the Block policy (every event is processed, so ns/op is
+// honest end-to-end work). Sub-benchmarks sweep the batch size; the
+// gap between batch-1 and the larger sizes is the per-event lock and
+// signal overhead that SubmitBatch amortizes.
+func BenchmarkEngineSubmitBatch(b *testing.B) {
+	for _, size := range []int{1, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			eng, err := New(
+				WithMonitor(monitor.Config{Window: monitor.StaticWindow(100 * time.Microsecond)}),
+				WithAnalyzer(core.Config{ItemCapacity: 16 * 1024, PairCapacity: 16 * 1024}),
+				WithQueueSize(8192),
+				WithBackpressure(Block),
+				WithDevices("dev0"),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dev, err := eng.Device("dev0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]blktrace.Event, size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += size {
+				n := min(size, b.N-done)
+				for i := 0; i < n; i++ {
+					seq := done + i
+					batch[i] = blktrace.Event{
+						Time: int64(seq) * 10_000, // monotone
+						Op:   blktrace.OpRead,
+						Extent: blktrace.Extent{
+							Block: uint64(seq%4096) * 8, Len: 8,
+						},
+					}
+				}
+				if err := dev.SubmitBatch(batch[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng.Stop() // drain before the clock stops
+			b.StopTimer()
+		})
+	}
+}

@@ -19,6 +19,8 @@ const (
 	MetricQueueDepth    = "daccor_engine_queue_depth"
 	MetricQueueCapacity = "daccor_engine_queue_capacity"
 	MetricSubmitLatency = "daccor_engine_submit_latency_seconds"
+	MetricBatches       = "daccor_engine_batches_submitted_total"
+	MetricBatchSize     = "daccor_engine_submit_batch_size"
 )
 
 // latencySampleMask subsamples the submit→analyze latency histogram:
@@ -33,6 +35,8 @@ type shardMetrics struct {
 	submitted *obs.Counter
 	dropped   *obs.Counter
 	blocked   *obs.Counter
+	batches   *obs.Counter
+	batchSize *obs.Histogram
 	latency   *obs.Histogram
 }
 
@@ -45,6 +49,10 @@ func newShardMetrics(r *obs.Registry, s *shard, queueSize int) *shardMetrics {
 		submitted: r.Counter(MetricSubmitted, "Events accepted by Submit, per device.", lbl),
 		dropped:   r.Counter(MetricDropped, "Events discarded by the drop-oldest backpressure policy.", lbl),
 		blocked:   r.Counter(MetricBlocked, "Submits that had to wait for queue space under the Block policy.", lbl),
+		batches:   r.Counter(MetricBatches, "Batches accepted by SubmitBatch, per device.", lbl),
+		batchSize: r.Histogram(MetricBatchSize,
+			"Events per SubmitBatch call.",
+			obs.ExpBuckets(1, 2, 13), lbl),
 		latency: r.Histogram(MetricSubmitLatency,
 			"Sampled wall-clock latency from Submit to completed analysis, in seconds.",
 			obs.LatencyBuckets(), lbl),

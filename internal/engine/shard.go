@@ -167,12 +167,7 @@ func (s *shard) submit(ev blktrace.Event) error {
 	}
 	if s.count == len(s.buf) {
 		if s.policy == DropOldest {
-			s.head++
-			if s.head == len(s.buf) {
-				s.head = 0
-			}
-			s.count--
-			s.metrics.dropped.Inc()
+			s.dropOldestLocked()
 		} else {
 			s.metrics.blocked.Inc()
 			for s.count == len(s.buf) && !s.stopping {
@@ -184,6 +179,63 @@ func (s *shard) submit(ev blktrace.Event) error {
 			}
 		}
 	}
+	s.enqueueLocked(ev)
+	s.metrics.submitted.Inc()
+	s.notEmpty.Signal()
+	s.mu.Unlock()
+	return nil
+}
+
+// submitBatch enqueues a batch of pre-validated events under a single
+// lock acquisition — the amortization that makes replayed and bulk
+// ingestion cheap. Backpressure applies per event exactly as in
+// submit: DropOldest discards the oldest queued events to admit the
+// batch without stalling, Block parks until the worker frees space
+// (waking the worker first, so a batch larger than the queue drains
+// through it rather than deadlocking). On ErrStopped mid-wait the
+// events enqueued so far remain queued and are drained by the stopping
+// worker.
+func (s *shard) submitBatch(evs []blktrace.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		return ErrStopped
+	}
+	n := 0
+	for _, ev := range evs {
+		for s.count == len(s.buf) {
+			if s.policy == DropOldest {
+				s.dropOldestLocked()
+				continue
+			}
+			s.metrics.blocked.Inc()
+			// The queue is full, so the worker has a whole buffer to
+			// chew on; make sure it is awake before parking.
+			s.notEmpty.Signal()
+			for s.count == len(s.buf) && !s.stopping {
+				s.notFull.Wait()
+			}
+			if s.stopping {
+				s.finishBatchLocked(n, len(evs))
+				s.mu.Unlock()
+				return ErrStopped
+			}
+		}
+		s.enqueueLocked(ev)
+		n++
+	}
+	s.finishBatchLocked(n, len(evs))
+	s.notEmpty.Signal()
+	s.mu.Unlock()
+	return nil
+}
+
+// enqueueLocked appends one event at the ring tail, stamping the
+// 1-in-64 latency sample. Callers hold s.mu and have ensured space.
+func (s *shard) enqueueLocked(ev blktrace.Event) {
 	s.seq++
 	var ts int64
 	if s.seq&latencySampleMask == 0 {
@@ -196,10 +248,31 @@ func (s *shard) submit(ev blktrace.Event) error {
 	s.buf[tail] = ev
 	s.tsbuf[tail] = ts
 	s.count++
-	s.metrics.submitted.Inc()
-	s.notEmpty.Signal()
-	s.mu.Unlock()
-	return nil
+}
+
+// dropOldestLocked discards the oldest queued event (counted) and
+// clears the recycled slot's sampled enqueue timestamp, so a slot that
+// held a sampled event cannot report a stale latency if anything other
+// than an immediate overwrite recycles it.
+func (s *shard) dropOldestLocked() {
+	s.buf[s.head] = blktrace.Event{}
+	s.tsbuf[s.head] = 0
+	s.head++
+	if s.head == len(s.buf) {
+		s.head = 0
+	}
+	s.count--
+	s.metrics.dropped.Inc()
+}
+
+// finishBatchLocked records batch accounting: n events actually
+// enqueued (n < size only when stopping interrupted a blocked batch).
+func (s *shard) finishBatchLocked(n, size int) {
+	if n > 0 {
+		s.metrics.submitted.Add(uint64(n))
+	}
+	s.metrics.batches.Inc()
+	s.metrics.batchSize.Observe(float64(size))
 }
 
 // observeLatency enqueues one completion latency. Latencies are

@@ -112,6 +112,14 @@ func (c *Collector) Submit(ev blktrace.Event) error {
 	return mapErr(c.dev.Submit(ev))
 }
 
+// SubmitBatch offers a batch of issue events under a single queue
+// lock acquisition — the cheap path for replayed traces and bulk
+// producers. Validation and backpressure behave as for the equivalent
+// sequence of Submit calls; an invalid event rejects the whole batch.
+func (c *Collector) SubmitBatch(evs []blktrace.Event) error {
+	return mapErr(c.dev.SubmitBatch(evs))
+}
+
 // ObserveLatency feeds one completion latency (ns). It never blocks
 // meaningfully (latencies are droppable signal, not data).
 func (c *Collector) ObserveLatency(ns int64) {

@@ -45,6 +45,44 @@ func TestSubmitValidates(t *testing.T) {
 	}
 }
 
+func TestSubmitBatch(t *testing.T) {
+	c, err := Start(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := make([]blktrace.Event, 16)
+	for i := range evs {
+		evs[i] = blktrace.Event{Time: int64(i) * int64(time.Second), Op: blktrace.OpRead,
+			Extent: blktrace.Extent{Block: uint64(10 + i%2*10), Len: 1}}
+	}
+	if err := c.SubmitBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	bad := evs
+	bad[3].Extent.Len = 0
+	if err := c.SubmitBatch(bad); err == nil {
+		t.Error("want validation error for bad batch event")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ms, _, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms.Events >= 16 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch not drained: %d events", ms.Events)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	if err := c.SubmitBatch(evs[:3]); !errors.Is(err, ErrStopped) {
+		t.Errorf("SubmitBatch after stop = %v, want ErrStopped", err)
+	}
+}
+
 func TestEndToEndConcurrent(t *testing.T) {
 	syn, err := workload.Generate(workload.SyntheticConfig{
 		Kind:        workload.OneToOne,

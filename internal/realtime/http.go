@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"daccor/internal/blktrace"
 	"daccor/internal/core"
 	"daccor/internal/engine"
 	"daccor/internal/obs"
@@ -27,6 +28,15 @@ const (
 	DefaultTop        = 100
 	MaxTop            = 10_000
 	DefaultConfidence = 0.5
+)
+
+// MaxIngestBatch bounds the events accepted by one POST to the ingest
+// route, and maxIngestBody bounds the request body read to decode
+// them, so a single request can neither monopolize a device queue nor
+// balloon the decoder.
+const (
+	MaxIngestBatch = 10_000
+	maxIngestBody  = 8 << 20
 )
 
 // Machine-readable error codes carried in the v1 envelope.
@@ -70,6 +80,15 @@ func NewHTTPHandler(c *Collector) http.Handler {
 //	GET /v1/snapshot                       fleet-wide merged correlations       ?support=&top=
 //	GET /v1/rules                          fleet-wide merged rules              ?support=&confidence=&top=
 //	GET /v1/metrics                        Prometheus text exposition of the engine's registry
+//	POST /v1/devices/{id}/events           batch event ingest (JSON body, see below)
+//
+// The ingest route accepts {"events": [{"time", "pid", "op", "block",
+// "len"}, ...]} with op "read" or "write", at most MaxIngestBatch
+// events per request, and submits the whole batch to the device under
+// one queue lock acquisition (Engine.SubmitBatch). A malformed or
+// invalid event rejects the entire batch with bad_param, identifying
+// the offending index; nothing is partially ingested. On success the
+// response reports {"device", "accepted"}.
 //
 // Errors are 400 (bad_param), 404 (unknown_device), 503 (stopped), or
 // 500 (internal).
@@ -176,6 +195,20 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 		writeData(w, map[string]any{"devices": e.Devices(), "rules": topRules(rules, top)})
 	})
 
+	mux.HandleFunc("POST /v1/devices/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		evs, err := decodeIngestBody(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
+			return
+		}
+		id := r.PathValue("id")
+		if err := e.SubmitBatch(id, evs); err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		writeData(w, map[string]any{"device": id, "accepted": len(evs)})
+	})
+
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", obs.TextContentType)
 		// An encode error means the scraper went away mid-response.
@@ -271,6 +304,60 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// ingestEvent is the wire shape of one event on the ingest route.
+type ingestEvent struct {
+	Time  int64  `json:"time"`
+	PID   uint32 `json:"pid"`
+	Op    string `json:"op"`
+	Block uint64 `json:"block"`
+	Len   uint32 `json:"len"`
+}
+
+// ingestBody is the wire shape of the ingest request body.
+type ingestBody struct {
+	Events []ingestEvent `json:"events"`
+}
+
+// decodeIngestBody parses and validates a batch ingest request. Every
+// event is checked here so a bad one answers 400 with its index,
+// rather than surfacing as an opaque engine error.
+func decodeIngestBody(r *http.Request) ([]blktrace.Event, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxIngestBody))
+	dec.DisallowUnknownFields()
+	var body ingestBody
+	if err := dec.Decode(&body); err != nil {
+		return nil, fmt.Errorf("invalid JSON body: %v", err)
+	}
+	if len(body.Events) == 0 {
+		return nil, errors.New("events must be a non-empty array")
+	}
+	if len(body.Events) > MaxIngestBatch {
+		return nil, fmt.Errorf("batch too large: %d events (max %d)", len(body.Events), MaxIngestBatch)
+	}
+	evs := make([]blktrace.Event, len(body.Events))
+	for i, we := range body.Events {
+		var op blktrace.Op
+		switch we.Op {
+		case "read":
+			op = blktrace.OpRead
+		case "write":
+			op = blktrace.OpWrite
+		default:
+			return nil, fmt.Errorf("event %d: op must be \"read\" or \"write\" (got %q)", i, we.Op)
+		}
+		evs[i] = blktrace.Event{
+			Time:   we.Time,
+			PID:    we.PID,
+			Op:     op,
+			Extent: blktrace.Extent{Block: we.Block, Len: we.Len},
+		}
+		if err := evs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %v", i, err)
+		}
+	}
+	return evs, nil
 }
 
 // mergedOrSingleRules serves fleet-wide rules: the exact live-table
