@@ -1,11 +1,13 @@
-# CI / developer targets. `make ci` is the gate: formatting, vet, and
-# the full test suite under the race detector.
+# CI / developer targets. `make ci` is the gate: formatting, vet, the
+# full test suite under the race detector, the zero-allocation guards
+# (which need a non-race run — the race runtime allocates), and the
+# fault-injection suite repeated twice.
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-engine bench-hot
+.PHONY: ci fmt vet test race bench bench-engine bench-hot alloc-guard fault
 
-ci: fmt vet race
+ci: fmt vet race alloc-guard fault
 
 # Fail if any file is not gofmt-clean.
 fmt:
@@ -22,6 +24,20 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The AllocsPerRun guards must run without -race (the race runtime
+# itself allocates, which would mask — or falsely trip — a hot-path
+# allocation regression).
+alloc-guard:
+	$(GO) test -run 'ZeroAllocSteadyState' ./internal/core
+
+# Fault-injection and recovery suite: supervised worker panics,
+# checkpoint write failures, restore paths, post-Stop semantics.
+# -count=2 catches state leaking across runs (a supervisor that only
+# recovers once, a checkpoint store that can't reopen its directory).
+fault:
+	$(GO) test -race -count=2 -run 'Fault|Supervisor|Checkpoint|Stopped|Health|Readyz' \
+		./internal/engine ./internal/checkpoint ./internal/realtime
 
 # Full benchmark harness: the hot-path microbenchmarks (synopsis
 # table, analyzer, batched engine ingest) plus one benchmark per

@@ -14,6 +14,21 @@
 //	curl localhost:7233/v1/snapshot?support=5        # fleet-wide merge
 //	curl localhost:7233/v1/rules?confidence=0.8      # fleet-wide rules
 //	curl localhost:7233/v1/metrics                   # Prometheus text format
+//	curl localhost:7233/v1/healthz                   # per-device supervision health
+//	curl localhost:7233/v1/readyz                    # readiness probe
+//
+// With -checkpoint-dir, each device's synopsis is persisted crash-safely
+// every -checkpoint-interval (atomic rename + fsync, keeping the last
+// -checkpoint-keep generations) and restored on startup, so a restart
+// skips the cold-start transient and a crash loses at most one
+// interval:
+//
+//	charactld -workload wdev -checkpoint-dir /var/lib/charactld
+//
+// On SIGINT/SIGTERM the daemon shuts down in order: the HTTP listener
+// stops accepting and drains in-flight requests under a deadline, the
+// engine drains its queues and flushes open transactions, and each
+// device writes a final checkpoint before the process exits.
 //
 // With -pprof, the standard net/http/pprof profiling handlers are
 // mounted under /debug/pprof/ on the same listener:
@@ -26,21 +41,32 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"daccor/internal/blktrace"
+	"daccor/internal/checkpoint"
 	"daccor/internal/core"
 	"daccor/internal/engine"
 	"daccor/internal/msr"
 	"daccor/internal/realtime"
 	"daccor/internal/workload"
 )
+
+// shutdownTimeout bounds how long the HTTP server may spend draining
+// in-flight requests once a termination signal arrives; the engine
+// flush that follows is not subject to it (losing the final checkpoint
+// to an impatient timer would defeat the point of checkpointing).
+const shutdownTimeout = 5 * time.Second
 
 func main() {
 	wl := flag.String("workload", "wdev", "workload to stream: wdev, src2, rsrch, stg, hm, one-to-one, one-to-many, many-to-many, or a trace file path")
@@ -52,6 +78,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (device i streams with seed+i)")
 	pace := flag.Duration("pace", 50*time.Microsecond, "mean gap between submitted events per device (0 = as fast as possible)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for crash-safe per-device synopsis checkpoints (empty = checkpointing off)")
+	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "how often each device persists its synopsis (with -checkpoint-dir)")
+	ckptKeep := flag.Int("checkpoint-keep", checkpoint.DefaultKeep, "checkpoint generations retained per device (with -checkpoint-dir)")
 	flag.Parse()
 
 	if *devices < 1 {
@@ -61,15 +90,36 @@ func main() {
 	for i := range ids {
 		ids[i] = fmt.Sprintf("dev%d", i)
 	}
-	eng, err := engine.New(
+	opts := []engine.Option{
 		engine.WithAnalyzer(core.Config{ItemCapacity: *capacity, PairCapacity: *capacity}),
 		engine.WithQueueSize(*queue),
 		// A monitor must never stall its workload: drop-oldest, counted.
 		engine.WithBackpressure(engine.DropOldest),
-		engine.WithDevices(ids...),
-	)
+	}
+	if *ckptDir != "" {
+		if *ckptInterval <= 0 {
+			log.Fatalf("charactld: -checkpoint-interval must be > 0 (got %v)", *ckptInterval)
+		}
+		store, err := checkpoint.Open(checkpoint.Config{Dir: *ckptDir, Keep: *ckptKeep})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, engine.WithCheckpoints(store, *ckptInterval))
+	}
+	// Devices are registered after the options so checkpoint restore
+	// applies to each of them.
+	opts = append(opts, engine.WithDevices(ids...))
+	eng, err := engine.New(opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *ckptDir != "" {
+		for _, h := range eng.Health() {
+			if h.CheckpointSeq != 0 {
+				log.Printf("charactld: %s restored checkpoint generation %d (%s)",
+					h.Device, h.CheckpointSeq, h.LastCheckpoint.Format(time.RFC3339))
+			}
+		}
 	}
 
 	var total int
@@ -105,13 +155,42 @@ func main() {
 
 	log.Printf("charactld: streaming %q to %d device(s) (%d events per loop), serving on http://%s",
 		*wl, *devices, total, *listen)
-	log.Printf("v1 endpoints: /v1/stats  /v1/devices  /v1/devices/{id}/snapshot  /v1/devices/{id}/rules  /v1/snapshot  /v1/rules  /v1/metrics")
+	log.Printf("v1 endpoints: /v1/stats  /v1/devices  /v1/devices/{id}/snapshot  /v1/devices/{id}/rules  /v1/snapshot  /v1/rules  /v1/metrics  /v1/healthz  /v1/readyz")
 	log.Printf("deprecated aliases: /stats  /snapshot  /rules")
 	if *pprofOn {
 		log.Printf("pprof: /debug/pprof/")
 	}
-	if err := http.ListenAndServe(*listen, handler); err != nil {
-		log.Fatal(err)
+	if *ckptDir != "" {
+		log.Printf("checkpoints: %s every %v (keep %d)", *ckptDir, *ckptInterval, *ckptKeep)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("charactld: %v: shutting down (drain deadline %v)", sig, shutdownTimeout)
+		// Stop serving first so probes and clients see the listener go
+		// away before the engine stops answering, then drain the engine:
+		// queued events are processed, transactions flushed, and each
+		// device writes its final checkpoint.
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("charactld: http shutdown: %v", err)
+		}
+		cancel()
+		eng.Stop()
+		log.Printf("charactld: drained and stopped")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			// The listener died on its own (port conflict, fd pressure);
+			// still drain the engine so the final checkpoint is written.
+			eng.Stop()
+			log.Fatal(err)
+		}
 	}
 }
 
@@ -169,7 +248,7 @@ func feedForever(dev *engine.Device, t *blktrace.Trace, pace time.Duration) {
 			last = ev.Time
 			if pace > 0 {
 				if err := dev.Submit(ev); err != nil {
-					return // engine stopped
+					return // engine stopped or device failed
 				}
 				dev.ObserveLatency(int64(40 * time.Microsecond))
 				time.Sleep(pace)
@@ -178,7 +257,7 @@ func feedForever(dev *engine.Device, t *blktrace.Trace, pace time.Duration) {
 			batch = append(batch, ev)
 			if len(batch) == feedBatch {
 				if err := dev.SubmitBatch(batch); err != nil {
-					return // engine stopped
+					return // engine stopped or device failed
 				}
 				dev.ObserveLatency(int64(40 * time.Microsecond))
 				batch = batch[:0]

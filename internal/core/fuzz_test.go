@@ -2,6 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
 	"testing"
 
 	"daccor/internal/blktrace"
@@ -46,6 +50,68 @@ func FuzzLoadAnalyzer(f *testing.F) {
 		}
 		if _, err := LoadAnalyzer(&out); err != nil {
 			t.Fatalf("re-saved snapshot failed to load: %v", err)
+		}
+	})
+}
+
+// FuzzReadSnapshot targets the snapshot decoder's error discipline:
+// arbitrary input must either load cleanly or fail with one of the
+// typed ErrBadSnapshot* sentinels (or a located truncation wrapping
+// io.EOF/ErrUnexpectedEOF) — never a panic, never an unclassified
+// error, and never an allocation sized by a hostile header field.
+func FuzzReadSnapshot(f *testing.F) {
+	a, err := NewAnalyzer(Config{ItemCapacity: 4, PairCapacity: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	a.Process([]blktrace.Extent{{Block: 1, Len: 1}, {Block: 2, Len: 2}})
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Seed the hostile-header shapes: huge capacities, poisoned ratio,
+	// inflated record counts.
+	for _, m := range []struct {
+		off int
+		v   uint64
+	}{
+		{6, 1 << 40},                          // itemCap
+		{14, 1 << 63},                         // pairCap
+		{26, math.Float64bits(math.NaN())},    // ratioBits
+		{26, math.Float64bits(math.Inf(-1))},  // ratioBits
+		{len(valid) - 4, 0xFFFFFFFF_FFFFFFFF}, // clobber the tail
+	} {
+		mut := bytes.Clone(valid)
+		if m.off+8 <= len(mut) {
+			binary.LittleEndian.PutUint64(mut[m.off:], m.v)
+		}
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := LoadAnalyzer(bytes.NewReader(data))
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrBadSnapshotMagic),
+				errors.Is(err, ErrBadSnapshotVersion),
+				errors.Is(err, ErrBadSnapshotHeader),
+				errors.Is(err, ErrBadSnapshotRecord):
+			case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+			default:
+				t.Fatalf("unclassified load error: %v", err)
+			}
+			return
+		}
+		if c := got.Config(); c.ItemCapacity > MaxSnapshotCapacity || c.PairCapacity > MaxSnapshotCapacity {
+			t.Fatalf("accepted snapshot with out-of-bounds capacities: %+v", c)
+		}
+		if err := got.Items().CheckInvariants(); err != nil {
+			t.Fatalf("accepted snapshot violates item invariants: %v", err)
+		}
+		if err := got.Pairs().CheckInvariants(); err != nil {
+			t.Fatalf("accepted snapshot violates pair invariants: %v", err)
 		}
 	})
 }

@@ -26,10 +26,24 @@ const (
 	synVersion = 1
 )
 
-// Persistence errors.
+// MaxSnapshotCapacity bounds the table capacities LoadAnalyzer will
+// accept from a snapshot header. Snapshots are read from disk and over
+// trust boundaries (checkpoint directories, operator-supplied files),
+// so a corrupt or hostile 64-bit capacity field must fail validation
+// here — before it is ever used to size an allocation — rather than
+// attempt a multi-gigabyte table build. 16Mi entries per table is far
+// beyond any configuration the paper's experiments contemplate (§IV
+// uses tables of a few thousand entries).
+const MaxSnapshotCapacity = 1 << 24
+
+// Persistence errors. Load failures wrap one of these sentinels and
+// carry the byte offset where decoding stopped, so a corrupt
+// checkpoint can be diagnosed from the error string alone.
 var (
 	ErrBadSnapshotMagic   = errors.New("core: bad magic, not a synopsis snapshot")
 	ErrBadSnapshotVersion = errors.New("core: unsupported snapshot version")
+	ErrBadSnapshotHeader  = errors.New("core: invalid snapshot header")
+	ErrBadSnapshotRecord  = errors.New("core: invalid snapshot record")
 )
 
 type countingWriter struct {
@@ -108,21 +122,43 @@ type pairRecord struct {
 	ALen, BLen     uint32
 }
 
+// countingReader tracks the byte offset of every decode so that a
+// failure anywhere in the stream can report exactly where the snapshot
+// went bad.
+type countingReader struct {
+	r   *bufio.Reader
+	off int64
+}
+
+func (cr *countingReader) read(v any) error {
+	if err := binary.Read(cr.r, binary.LittleEndian, v); err != nil {
+		return fmt.Errorf("core: snapshot truncated at offset %d: %w", cr.off, err)
+	}
+	cr.off += int64(binary.Size(v))
+	return nil
+}
+
 // LoadAnalyzer reconstructs an analyzer from a snapshot produced by
 // WriteTo. The restored analyzer is behaviourally identical to the
 // saved one: same configuration, same counters, same recency order in
 // every tier.
+//
+// The input is treated as untrusted: every header field is validated
+// against sane bounds before it sizes any allocation, record counts
+// are checked against the declared capacities, and all failures wrap
+// an ErrBadSnapshot* sentinel with the byte offset of the bad field.
 func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
-	br := bufio.NewReader(r)
+	cr := &countingReader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(synMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(cr.r, magic); err != nil {
 		return nil, ErrBadSnapshotMagic
 	}
 	if string(magic) != synMagic {
 		return nil, ErrBadSnapshotMagic
 	}
+	cr.off = int64(len(synMagic))
 	var version uint16
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+	if err := cr.read(&version); err != nil {
 		return nil, err
 	}
 	if version != synVersion {
@@ -134,46 +170,91 @@ func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
 		ratioBits        uint64
 		stats            Stats
 	)
-	for _, v := range []any{&itemCap, &pairCap, &threshold, &ratioBits, &stats} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+	hdr := []struct {
+		v    any
+		name string
+	}{
+		{&itemCap, "item capacity"},
+		{&pairCap, "pair capacity"},
+		{&threshold, "promote threshold"},
+		{&ratioBits, "tier ratio"},
+		{&stats, "stats"},
+	}
+	offs := make(map[string]int64, len(hdr))
+	for _, f := range hdr {
+		offs[f.name] = cr.off
+		if err := cr.read(f.v); err != nil {
 			return nil, err
 		}
+	}
+	// Bound the capacities before they flow into NewAnalyzer: the raw
+	// u64s are attacker-controlled, and int(1<<40) must never reach an
+	// allocation size.
+	for _, c := range []struct {
+		v    uint64
+		name string
+	}{{itemCap, "item capacity"}, {pairCap, "pair capacity"}} {
+		if c.v == 0 || c.v > MaxSnapshotCapacity {
+			return nil, fmt.Errorf("%w: %s %d at offset %d (want 1..%d)",
+				ErrBadSnapshotHeader, c.name, c.v, offs[c.name], MaxSnapshotCapacity)
+		}
+	}
+	ratio := math.Float64frombits(ratioBits)
+	if math.IsNaN(ratio) || math.IsInf(ratio, 0) || ratio < 0 {
+		return nil, fmt.Errorf("%w: tier ratio %v at offset %d",
+			ErrBadSnapshotHeader, ratio, offs["tier ratio"])
 	}
 	a, err := NewAnalyzer(Config{
 		ItemCapacity:     int(itemCap),
 		PairCapacity:     int(pairCap),
 		PromoteThreshold: threshold,
-		TierRatio:        math.Float64frombits(ratioBits),
+		TierRatio:        ratio,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: snapshot config invalid: %w", err)
+		return nil, fmt.Errorf("%w: config rejected at offset %d: %v",
+			ErrBadSnapshotHeader, offs["item capacity"], err)
 	}
 	a.stats = stats
 
 	var nItems uint32
-	if err := binary.Read(br, binary.LittleEndian, &nItems); err != nil {
+	countOff := cr.off
+	if err := cr.read(&nItems); err != nil {
 		return nil, err
 	}
+	// Capacity C is per tier, so a full table holds 2C entries.
+	if uint64(nItems) > 2*itemCap {
+		return nil, fmt.Errorf("%w: %d item records at offset %d exceed capacity %d",
+			ErrBadSnapshotHeader, nItems, countOff, 2*itemCap)
+	}
 	for i := uint32(0); i < nItems; i++ {
+		recOff := cr.off
 		var rec itemRecord
-		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+		if err := cr.read(&rec); err != nil {
 			return nil, err
 		}
 		e := blktrace.Extent{Block: rec.Block, Len: rec.Len}
 		if e.Len == 0 {
-			return nil, fmt.Errorf("core: snapshot item %v has zero length", e)
+			return nil, fmt.Errorf("%w: item %v at offset %d has zero length",
+				ErrBadSnapshotRecord, e, recOff)
 		}
 		if err := a.items.restore(e, rec.Count, Tier(rec.Tier)); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: item %d at offset %d: %v",
+				ErrBadSnapshotRecord, i, recOff, err)
 		}
 	}
 	var nPairs uint32
-	if err := binary.Read(br, binary.LittleEndian, &nPairs); err != nil {
+	countOff = cr.off
+	if err := cr.read(&nPairs); err != nil {
 		return nil, err
 	}
+	if uint64(nPairs) > 2*pairCap {
+		return nil, fmt.Errorf("%w: %d pair records at offset %d exceed capacity %d",
+			ErrBadSnapshotHeader, nPairs, countOff, 2*pairCap)
+	}
 	for i := uint32(0); i < nPairs; i++ {
+		recOff := cr.off
 		var rec pairRecord
-		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+		if err := cr.read(&rec); err != nil {
 			return nil, err
 		}
 		p := blktrace.Pair{
@@ -181,13 +262,16 @@ func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
 			B: blktrace.Extent{Block: rec.BBlock, Len: rec.BLen},
 		}
 		if p.A.Len == 0 || p.B.Len == 0 {
-			return nil, fmt.Errorf("core: snapshot pair %v has zero-length extent", p)
+			return nil, fmt.Errorf("%w: pair %v at offset %d has zero-length extent",
+				ErrBadSnapshotRecord, p, recOff)
 		}
 		if p.B.Less(p.A) {
-			return nil, fmt.Errorf("core: snapshot pair %v not canonical", p)
+			return nil, fmt.Errorf("%w: pair %v at offset %d not canonical",
+				ErrBadSnapshotRecord, p, recOff)
 		}
 		if err := a.pairs.restore(p, rec.Count, Tier(rec.Tier)); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: pair %d at offset %d: %v",
+				ErrBadSnapshotRecord, i, recOff, err)
 		}
 		a.registerPair(a.pairs.index[p], p)
 	}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -149,6 +151,92 @@ func TestLoadRejectsTruncation(t *testing.T) {
 		if _, err := LoadAnalyzer(bytes.NewReader(full[:cut])); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
+	}
+}
+
+// snapshotBytes returns a valid snapshot of a small exercised analyzer
+// plus the byte offsets of the header fields, so tests can corrupt
+// specific fields in place.
+func snapshotBytes(t *testing.T) (data []byte, off struct{ itemCap, pairCap, ratio, nItems int }) {
+	t.Helper()
+	a := mustAnalyzer(t, Config{ItemCapacity: 8, PairCapacity: 8})
+	a.Process([]blktrace.Extent{ext(1, 1), ext(2, 1)})
+	a.Process([]blktrace.Extent{ext(1, 1), ext(2, 1)})
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// magic(4) | version u16 | itemCap u64 | pairCap u64 |
+	// threshold u32 | ratioBits u64 | stats | nItems u32 | ...
+	off.itemCap = 4 + 2
+	off.pairCap = off.itemCap + 8
+	off.ratio = off.pairCap + 8 + 4
+	off.nItems = off.ratio + 8 + binary.Size(Stats{})
+	return buf.Bytes(), off
+}
+
+// A corrupt or hostile header must be rejected with a located error
+// before it can size an allocation — int(1<<40) must never reach a
+// table build.
+func TestLoadRejectsHostileHeader(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(data []byte, off struct{ itemCap, pairCap, ratio, nItems int })
+	}{
+		{"item capacity huge", func(d []byte, o struct{ itemCap, pairCap, ratio, nItems int }) {
+			binary.LittleEndian.PutUint64(d[o.itemCap:], 1<<40)
+		}},
+		{"item capacity zero", func(d []byte, o struct{ itemCap, pairCap, ratio, nItems int }) {
+			binary.LittleEndian.PutUint64(d[o.itemCap:], 0)
+		}},
+		{"pair capacity overflows int", func(d []byte, o struct{ itemCap, pairCap, ratio, nItems int }) {
+			binary.LittleEndian.PutUint64(d[o.pairCap:], 1<<63)
+		}},
+		{"tier ratio NaN", func(d []byte, o struct{ itemCap, pairCap, ratio, nItems int }) {
+			binary.LittleEndian.PutUint64(d[o.ratio:], math.Float64bits(math.NaN()))
+		}},
+		{"tier ratio +Inf", func(d []byte, o struct{ itemCap, pairCap, ratio, nItems int }) {
+			binary.LittleEndian.PutUint64(d[o.ratio:], math.Float64bits(math.Inf(1)))
+		}},
+		{"tier ratio negative", func(d []byte, o struct{ itemCap, pairCap, ratio, nItems int }) {
+			binary.LittleEndian.PutUint64(d[o.ratio:], math.Float64bits(-0.5))
+		}},
+		{"item count exceeds capacity", func(d []byte, o struct{ itemCap, pairCap, ratio, nItems int }) {
+			binary.LittleEndian.PutUint32(d[o.nItems:], 1<<30)
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			data, off := snapshotBytes(t)
+			tc.corrupt(data, off)
+			_, err := LoadAnalyzer(bytes.NewReader(data))
+			if !errors.Is(err, ErrBadSnapshotHeader) {
+				t.Fatalf("got %v, want ErrBadSnapshotHeader", err)
+			}
+			if !strings.Contains(err.Error(), "offset") {
+				t.Errorf("error %q does not locate the bad field", err)
+			}
+		})
+	}
+}
+
+// Decode failures must say where the stream went bad.
+func TestLoadErrorsCarryOffsets(t *testing.T) {
+	data, off := snapshotBytes(t)
+	if _, err := LoadAnalyzer(bytes.NewReader(data[:off.nItems+2])); err == nil ||
+		!strings.Contains(err.Error(), "offset") {
+		t.Errorf("truncation error %v lacks an offset", err)
+	}
+	// Duplicate item record: copy the first record over the second.
+	recSize := binary.Size(itemRecord{})
+	first := data[off.nItems+4 : off.nItems+4+recSize]
+	copy(data[off.nItems+4+recSize:], first)
+	_, err := LoadAnalyzer(bytes.NewReader(data))
+	if !errors.Is(err, ErrBadSnapshotRecord) {
+		t.Fatalf("duplicate record: got %v, want ErrBadSnapshotRecord", err)
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("record error %q lacks an offset", err)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"daccor/internal/blktrace"
+	"daccor/internal/checkpoint"
 	"daccor/internal/core"
 	"daccor/internal/monitor"
 	"daccor/internal/obs"
@@ -59,11 +60,15 @@ var (
 
 // settings collects what the functional options configure.
 type settings struct {
-	tmpl      pipeline.Config
-	queueSize int
-	policy    Backpressure
-	devices   []string
-	metrics   *obs.Registry
+	tmpl         pipeline.Config
+	queueSize    int
+	policy       Backpressure
+	devices      []string
+	metrics      *obs.Registry
+	super        SupervisorConfig
+	ckptStore    *checkpoint.Store
+	ckptInterval time.Duration
+	procHook     func(device string, ev blktrace.Event)
 }
 
 // Option configures an Engine under construction; see With*.
@@ -115,13 +120,48 @@ func WithMetrics(r *obs.Registry) Option {
 	return func(s *settings) { s.metrics = r }
 }
 
+// WithSupervisor tunes per-device panic recovery: restart backoff,
+// the consecutive-restart budget, and the probation that returns a
+// degraded device to health. The zero config (and the default when
+// this option is absent) selects the package defaults — supervision is
+// always on.
+func WithSupervisor(sc SupervisorConfig) Option {
+	return func(s *settings) { s.super = sc }
+}
+
+// WithCheckpoints attaches a checkpoint store to the engine: each
+// device restores the freshest valid generation when it is registered
+// (avoiding the cold-start transient) and after a supervised restart,
+// writes a new generation every interval, and flushes a final one on
+// Stop. The worst case a crash or panic can lose is therefore one
+// interval of counts.
+func WithCheckpoints(store *checkpoint.Store, interval time.Duration) Option {
+	return func(s *settings) {
+		s.ckptStore = store
+		s.ckptInterval = interval
+	}
+}
+
+// WithProcessHook installs fn on every device worker's event path,
+// invoked just before each event is analyzed. It exists for the
+// fault-injection test harness — a hook that panics deterministically
+// exercises the supervisor exactly where a real synopsis bug would —
+// and must be nil in production configurations.
+func WithProcessHook(fn func(device string, ev blktrace.Event)) Option {
+	return func(s *settings) { s.procHook = fn }
+}
+
 // Engine is the multi-device collection engine. All methods are safe
 // for concurrent use.
 type Engine struct {
-	tmpl      pipeline.Config
-	queueSize int
-	policy    Backpressure
-	metrics   *obs.Registry
+	tmpl         pipeline.Config
+	queueSize    int
+	policy       Backpressure
+	metrics      *obs.Registry
+	super        SupervisorConfig
+	ckptStore    *checkpoint.Store
+	ckptInterval time.Duration
+	procHook     func(device string, ev blktrace.Event)
 
 	mu           sync.Mutex
 	shards       map[string]*shard
@@ -156,15 +196,25 @@ func New(opts ...Option) (*Engine, error) {
 	if err := s.tmpl.Validate(); err != nil {
 		return nil, err
 	}
+	if err := s.super.Validate(); err != nil {
+		return nil, err
+	}
+	if s.ckptStore != nil && s.ckptInterval <= 0 {
+		return nil, fmt.Errorf("engine: checkpoint interval must be > 0 (got %v)", s.ckptInterval)
+	}
 	if s.metrics == nil {
 		s.metrics = obs.NewRegistry()
 	}
 	e := &Engine{
-		tmpl:      s.tmpl,
-		queueSize: s.queueSize,
-		policy:    s.policy,
-		metrics:   s.metrics,
-		shards:    make(map[string]*shard),
+		tmpl:         s.tmpl,
+		queueSize:    s.queueSize,
+		policy:       s.policy,
+		metrics:      s.metrics,
+		super:        s.super.withDefaults(),
+		ckptStore:    s.ckptStore,
+		ckptInterval: s.ckptInterval,
+		procHook:     s.procHook,
+		shards:       make(map[string]*shard),
 	}
 	// Monitor and analyzer counters are worker-owned; mirror them into
 	// the registry only when something actually scrapes.
@@ -179,8 +229,11 @@ func New(opts ...Option) (*Engine, error) {
 }
 
 // Register adds a device, building its pipeline from the engine's
-// template and starting its worker. Devices can be registered while
-// the engine is live; registering after Stop returns ErrStopped.
+// template and starting its supervised worker. When a checkpoint
+// store is attached, the device restores its freshest valid
+// checkpoint generation instead of starting cold. Devices can be
+// registered while the engine is live; registering after Stop returns
+// ErrStopped.
 func (e *Engine) Register(id string) error {
 	if id == "" {
 		return errors.New("engine: device id must be non-empty")
@@ -193,8 +246,7 @@ func (e *Engine) Register(id string) error {
 	if _, ok := e.shards[id]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateDevice, id)
 	}
-	cfg := e.tmpl
-	if cfg.Restored != nil {
+	if e.tmpl.Restored != nil {
 		// A restored analyzer is a single concrete instance; sharing it
 		// across shards would race. It may seed exactly one device.
 		if e.restoredUsed {
@@ -202,11 +254,24 @@ func (e *Engine) Register(id string) error {
 		}
 		e.restoredUsed = true
 	}
-	pipe, err := pipeline.New(cfg)
+	pipe, gen, err := e.buildPipeline(id, true)
 	if err != nil {
 		return err
 	}
 	sh := newShard(id, pipe, e.queueSize, e.policy)
+	sh.super = e.super
+	sh.ckpt = e.ckptStore
+	sh.hook = e.procHook
+	sh.rebuild = func() (*pipeline.Pipeline, checkpoint.Generation, error) {
+		// A restart never reuses the template's Restored instance (the
+		// dying worker may have corrupted it); it restores from the
+		// checkpoint store, or starts fresh from the analyzer config.
+		return e.buildPipeline(id, false)
+	}
+	if gen.Seq != 0 {
+		sh.ckptGen = gen.Seq
+		sh.ckptTime = gen.Time
+	}
 	sh.metrics = newShardMetrics(e.metrics, sh, e.queueSize)
 	e.shards[id] = sh
 	// Keep the listing order sorted by ID rather than by registration:
@@ -216,8 +281,38 @@ func (e *Engine) Register(id string) error {
 	e.order = append(e.order, "")
 	copy(e.order[at+1:], e.order[at:])
 	e.order[at] = id
-	go sh.run()
+	go sh.supervise()
+	if e.ckptStore != nil {
+		go sh.checkpointLoop(e.ckptInterval)
+	}
 	return nil
+}
+
+// buildPipeline constructs one device's pipeline from the engine
+// template, preferring (in order): the template's explicit Restored
+// analyzer (initial registration only), the freshest valid checkpoint
+// generation, a cold analyzer from the config. The returned generation
+// is zero unless a checkpoint was restored.
+func (e *Engine) buildPipeline(id string, useTemplateRestored bool) (*pipeline.Pipeline, checkpoint.Generation, error) {
+	cfg := e.tmpl
+	if !useTemplateRestored {
+		cfg.Restored = nil
+	}
+	var gen checkpoint.Generation
+	if cfg.Restored == nil && e.ckptStore != nil {
+		a, g, err := e.ckptStore.Restore(id)
+		switch {
+		case err == nil:
+			cfg.Restored = a
+			gen = g
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Cold start: nothing restorable, build from config.
+		default:
+			return nil, gen, err
+		}
+	}
+	p, err := pipeline.New(cfg)
+	return p, gen, err
 }
 
 // Metrics returns the registry holding the engine's instruments — the
@@ -341,13 +436,19 @@ func (e *Engine) WriteSnapshot(id string, w io.Writer) error {
 // (core.MergeSnapshots) into one fleet-wide view at minSupport. Each
 // per-device export is a consistent point-in-time view; the merge is
 // not a cross-device atomic snapshot — ingestion continues while later
-// devices are exported.
+// devices are exported. Failed devices are skipped rather than
+// poisoning the fleet view: their workers are gone, but the healthy
+// devices' correlations are still worth serving (the omission is
+// visible on /v1/healthz and in Stats).
 func (e *Engine) MergedSnapshot(minSupport uint32) (core.Snapshot, error) {
 	shards := e.orderedShards()
 	snaps := make([]core.Snapshot, 0, len(shards))
 	for _, s := range shards {
 		r, err := s.ask(query{kind: querySnapshot, minSupport: minSupport})
 		if err != nil {
+			if errors.Is(err, ErrDeviceUnavailable) {
+				continue
+			}
 			return core.Snapshot{}, err
 		}
 		snaps = append(snaps, r.snapshot)
@@ -381,6 +482,11 @@ type DeviceStats struct {
 	Dropped uint64
 	// Lag is the number of events queued but not yet processed.
 	Lag int
+	// Health is the device's supervision state (restarts, panics,
+	// checkpoint recency). For a Failed device the Monitor/Analyzer/
+	// Window fields are zero — the worker that owned them is gone —
+	// while Health, Dropped, and Lag remain accurate.
+	Health DeviceHealth
 }
 
 // Stats is the engine-wide view: one entry per device, sorted by
@@ -452,19 +558,52 @@ func (e *Engine) Stats() (Stats, error) {
 }
 
 func (e *Engine) statsOf(s *shard) (DeviceStats, error) {
+	ds := DeviceStats{Device: s.id, Health: s.health()}
+	ds.Dropped, ds.Lag = s.counters()
 	r, err := s.ask(query{kind: queryStats})
 	if err != nil {
+		if errors.Is(err, ErrDeviceUnavailable) {
+			// A failed device still reports its health and producer-side
+			// counters; the worker-owned stats died with the worker.
+			return ds, nil
+		}
 		return DeviceStats{}, err
 	}
-	dropped, lag := s.counters()
-	return DeviceStats{
-		Device:   s.id,
-		Monitor:  r.monStats,
-		Analyzer: r.anStats,
-		Window:   r.window,
-		Dropped:  dropped,
-		Lag:      lag,
-	}, nil
+	ds.Monitor, ds.Analyzer, ds.Window = r.monStats, r.anStats, r.window
+	return ds, nil
+}
+
+// DeviceHealthStatus pairs a device ID with its supervision state and
+// producer-side counters.
+type DeviceHealthStatus struct {
+	Device string
+	DeviceHealth
+	// Dropped and Lag mirror DeviceStats; they are readable without
+	// the worker, so health stays observable during restarts.
+	Dropped uint64
+	Lag     int
+}
+
+// Health reports every device's supervision state sorted by device
+// ID. Unlike Stats it never does a worker round trip, so it stays
+// fast and responsive while devices are restarting, failed, or
+// backlogged — the property a health endpoint needs.
+func (e *Engine) Health() []DeviceHealthStatus {
+	shards := e.orderedShards()
+	out := make([]DeviceHealthStatus, 0, len(shards))
+	for _, s := range shards {
+		st := DeviceHealthStatus{Device: s.id, DeviceHealth: s.health()}
+		st.Dropped, st.Lag = s.counters()
+		out = append(out, st)
+	}
+	return out
+}
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped
 }
 
 // Dropped reports the named device's drop counter. Unlike the query

@@ -23,6 +23,20 @@ const (
 	MetricBatchSize     = "daccor_engine_submit_batch_size"
 )
 
+// Supervision and checkpoint metric families, all labeled
+// {device="..."}. Counters are bumped by the supervisor/worker; the
+// state, timestamp, and age gauges read the shard's mutex-guarded
+// health fields at scrape time.
+const (
+	MetricPanics           = "daccor_engine_worker_panics_total"
+	MetricRestarts         = "daccor_engine_worker_restarts_total"
+	MetricHealthState      = "daccor_engine_device_health_state"
+	MetricLastRestart      = "daccor_engine_last_restart_timestamp_seconds"
+	MetricCheckpoints      = "daccor_engine_checkpoints_total"
+	MetricCheckpointErrors = "daccor_engine_checkpoint_errors_total"
+	MetricCheckpointAge    = "daccor_engine_checkpoint_age_seconds"
+)
+
 // latencySampleMask subsamples the submit→analyze latency histogram:
 // one in every 64 submitted events is timestamped at enqueue and
 // measured after the worker analyzes it. Sampling keeps time.Now off
@@ -32,12 +46,16 @@ const latencySampleMask = 63
 
 // shardMetrics is one device's producer-side instruments.
 type shardMetrics struct {
-	submitted *obs.Counter
-	dropped   *obs.Counter
-	blocked   *obs.Counter
-	batches   *obs.Counter
-	batchSize *obs.Histogram
-	latency   *obs.Histogram
+	submitted  *obs.Counter
+	dropped    *obs.Counter
+	blocked    *obs.Counter
+	batches    *obs.Counter
+	batchSize  *obs.Histogram
+	latency    *obs.Histogram
+	panics     *obs.Counter
+	restarts   *obs.Counter
+	ckpts      *obs.Counter
+	ckptErrors *obs.Counter
 }
 
 // newShardMetrics registers one device's instruments. The queue-depth
@@ -56,10 +74,32 @@ func newShardMetrics(r *obs.Registry, s *shard, queueSize int) *shardMetrics {
 		latency: r.Histogram(MetricSubmitLatency,
 			"Sampled wall-clock latency from Submit to completed analysis, in seconds.",
 			obs.LatencyBuckets(), lbl),
+		panics:     r.Counter(MetricPanics, "Worker panics recovered by the device supervisor.", lbl),
+		restarts:   r.Counter(MetricRestarts, "Worker restarts performed by the device supervisor.", lbl),
+		ckpts:      r.Counter(MetricCheckpoints, "Checkpoint generations committed, per device.", lbl),
+		ckptErrors: r.Counter(MetricCheckpointErrors, "Checkpoint saves that failed, per device.", lbl),
 	}
 	r.GaugeFunc(MetricQueueDepth, "Events queued but not yet processed (ingest lag).",
 		func() float64 { _, lag := s.counters(); return float64(lag) }, lbl)
 	r.Gauge(MetricQueueCapacity, "Per-device event queue capacity.", lbl).Set(float64(queueSize))
+	r.GaugeFunc(MetricHealthState, "Device health: 0 healthy, 1 degraded, 2 failed.",
+		func() float64 { return float64(s.health().State) }, lbl)
+	r.GaugeFunc(MetricLastRestart, "Unix time of the device's last supervised restart (0 if never).",
+		func() float64 {
+			t := s.health().LastRestart
+			if t.IsZero() {
+				return 0
+			}
+			return float64(t.UnixNano()) / 1e9
+		}, lbl)
+	r.GaugeFunc(MetricCheckpointAge, "Seconds since the device's last committed checkpoint (-1 if none).",
+		func() float64 {
+			t := s.health().LastCheckpoint
+			if t.IsZero() {
+				return -1
+			}
+			return time.Since(t).Seconds()
+		}, lbl)
 	return m
 }
 

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"time"
 
 	"daccor/internal/blktrace"
+	"daccor/internal/checkpoint"
 	"daccor/internal/core"
 	"daccor/internal/monitor"
 	"daccor/internal/pipeline"
@@ -18,6 +20,7 @@ const (
 	queryRules
 	queryStats
 	querySave
+	queryCheckpoint
 )
 
 type query struct {
@@ -35,6 +38,9 @@ type queryReply struct {
 	anStats  core.Stats
 	window   time.Duration
 	saveErr  error
+	// err is set when the query could not be served at all: the worker
+	// panicked while answering it, or the device failed permanently.
+	err error
 }
 
 // shard is one device's slice of the engine: a pipeline owned by a
@@ -43,11 +49,21 @@ type queryReply struct {
 // touched by the worker, producers and queriers communicate through the
 // mutex-guarded queues, and the worker drains whole batches per lock
 // acquisition so the hot path amortizes synchronization.
+//
+// The worker itself runs under a supervisor (see supervise): a panic
+// in the pipeline is recovered, the freshest checkpoint is restored,
+// and the worker restarts with backoff while producers keep enqueuing
+// into the ring.
 type shard struct {
 	id      string
 	pipe    *pipeline.Pipeline
 	policy  Backpressure
 	metrics *shardMetrics
+
+	super   SupervisorConfig
+	ckpt    *checkpoint.Store
+	rebuild func() (*pipeline.Pipeline, checkpoint.Generation, error)
+	hook    func(device string, ev blktrace.Event)
 
 	mu       sync.Mutex
 	notEmpty sync.Cond // signalled when work arrives
@@ -59,9 +75,23 @@ type shard struct {
 	seq      uint64  // submits seen, drives latency sampling
 	lats     []int64
 	queries  []query
+	inflight []query // queries claimed by the worker but not yet answered
 	stopping bool
 
-	done chan struct{} // closed when the worker exits
+	// Supervision state, guarded by mu. The pipe field is exempt: it is
+	// owned by the worker goroutine, and the supervisor only swaps it
+	// between worker runs (same goroutine).
+	state        HealthState
+	panics       uint64
+	restarts     uint64
+	consecutive  int
+	lastRestart  time.Time
+	sinceRestart uint64
+	ckptGen      uint64
+	ckptTime     time.Time
+
+	stopCh chan struct{} // closed by requestStop: interrupts backoff and the checkpoint loop
+	done   chan struct{} // closed when the supervisor goroutine exits
 }
 
 func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpressure) *shard {
@@ -71,6 +101,7 @@ func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpres
 		policy: policy,
 		buf:    make([]blktrace.Event, queueSize),
 		tsbuf:  make([]int64, queueSize),
+		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 	s.notEmpty.L = &s.mu
@@ -78,16 +109,25 @@ func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpres
 	return s
 }
 
-// run is the worker loop: sleep until work arrives, take everything
+// runOnce executes the worker loop until a clean stop (returns nil) or
+// a panic in the pipeline (returns the recovered value). The recover
+// is the supervision boundary: one device's bug must never tear down
+// the process or its sibling devices.
+func (s *shard) runOnce() (panicked any) {
+	defer func() { panicked = recover() }()
+	s.loop()
+	return nil
+}
+
+// loop is the worker body: sleep until work arrives, take everything
 // queued in one critical section, then process it outside the lock.
-// On stop it drains the final batch, flushes the open transaction, and
-// answers any pending queries against the flushed state.
-func (s *shard) run() {
-	defer close(s.done)
+// On stop it drains the final batch, flushes the open transaction,
+// writes a final checkpoint, and answers any pending queries against
+// the flushed state.
+func (s *shard) loop() {
 	var evs []blktrace.Event
 	var tss []int64
 	var lats []int64
-	var queries []query
 	for {
 		s.mu.Lock()
 		for s.count == 0 && len(s.lats) == 0 && len(s.queries) == 0 && !s.stopping {
@@ -106,7 +146,7 @@ func (s *shard) run() {
 		}
 		lats = append(lats[:0], s.lats...)
 		s.lats = s.lats[:0]
-		queries = append(queries[:0], s.queries...)
+		s.inflight = append(s.inflight[:0], s.queries...)
 		s.queries = s.queries[:0]
 		stopping := s.stopping
 		if s.policy == Block {
@@ -118,6 +158,9 @@ func (s *shard) run() {
 			s.pipe.Monitor().ObserveLatency(ns)
 		}
 		for i, ev := range evs {
+			if s.hook != nil {
+				s.hook(s.id, ev)
+			}
 			// Events were validated in Submit; the monitor re-validates
 			// and cannot fail here.
 			_ = s.pipe.HandleIssue(ev)
@@ -125,20 +168,42 @@ func (s *shard) run() {
 				s.metrics.observeSubmitLatency(tss[i])
 			}
 		}
+		s.noteProcessed(len(evs))
 		if stopping {
 			s.pipe.Flush()
-			for _, q := range queries {
-				s.answer(q)
-			}
+			// Final flush: persist the drained state so a restart does
+			// not pay the cold-start transient. An error is recorded in
+			// the checkpoint metrics; shutdown proceeds regardless.
+			_ = s.writeCheckpoint()
+			s.answerInflight()
 			return
 		}
-		for _, q := range queries {
-			s.answer(q)
-		}
+		s.answerInflight()
 	}
 }
 
+// answerInflight answers the queries the worker claimed this round,
+// consuming them one at a time so a panic mid-answer leaves only the
+// genuinely unanswered ones for the supervisor to requeue.
+func (s *shard) answerInflight() {
+	for len(s.inflight) > 0 {
+		q := s.inflight[0]
+		s.inflight = s.inflight[1:]
+		s.answer(q)
+	}
+}
+
+// answer computes one query reply. If the computation panics (corrupt
+// synopsis state), the asker still gets a reply — a typed
+// ErrDeviceUnavailable — before the panic propagates to the supervisor
+// to restart the worker; queries must fail fast, never hang.
 func (s *shard) answer(q query) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.reply <- queryReply{err: fmt.Errorf("%w: %q query panicked: %v", ErrDeviceUnavailable, s.id, r)}
+			panic(r)
+		}
+	}()
 	var r queryReply
 	switch q.kind {
 	case querySnapshot:
@@ -151,6 +216,8 @@ func (s *shard) answer(q query) {
 		r.window = s.pipe.WindowDuration()
 	case querySave:
 		_, r.saveErr = s.pipe.Analyzer().WriteTo(q.saveTo)
+	case queryCheckpoint:
+		r.saveErr = s.writeCheckpoint()
 	}
 	q.reply <- r
 }
@@ -161,21 +228,21 @@ func (s *shard) answer(q query) {
 // the worker to free space.
 func (s *shard) submit(ev blktrace.Event) error {
 	s.mu.Lock()
-	if s.stopping {
+	if err := s.acceptingLocked(); err != nil {
 		s.mu.Unlock()
-		return ErrStopped
+		return err
 	}
 	if s.count == len(s.buf) {
 		if s.policy == DropOldest {
 			s.dropOldestLocked()
 		} else {
 			s.metrics.blocked.Inc()
-			for s.count == len(s.buf) && !s.stopping {
+			for s.count == len(s.buf) && !s.stopping && s.state != Failed {
 				s.notFull.Wait()
 			}
-			if s.stopping {
+			if err := s.acceptingLocked(); err != nil {
 				s.mu.Unlock()
-				return ErrStopped
+				return err
 			}
 		}
 	}
@@ -186,23 +253,38 @@ func (s *shard) submit(ev blktrace.Event) error {
 	return nil
 }
 
+// acceptingLocked reports whether the shard can take new events:
+// ErrStopped after Stop, ErrDeviceUnavailable once the supervisor has
+// declared the device failed (its worker is gone, so accepting an
+// event would promise processing that can never happen — and a Block
+// submitter would hang forever).
+func (s *shard) acceptingLocked() error {
+	if s.stopping {
+		return ErrStopped
+	}
+	if s.state == Failed {
+		return fmt.Errorf("%w: %q", ErrDeviceUnavailable, s.id)
+	}
+	return nil
+}
+
 // submitBatch enqueues a batch of pre-validated events under a single
 // lock acquisition — the amortization that makes replayed and bulk
 // ingestion cheap. Backpressure applies per event exactly as in
 // submit: DropOldest discards the oldest queued events to admit the
 // batch without stalling, Block parks until the worker frees space
 // (waking the worker first, so a batch larger than the queue drains
-// through it rather than deadlocking). On ErrStopped mid-wait the
-// events enqueued so far remain queued and are drained by the stopping
-// worker.
+// through it rather than deadlocking). On ErrStopped or
+// ErrDeviceUnavailable mid-wait the events enqueued so far remain
+// queued and are drained by the stopping worker.
 func (s *shard) submitBatch(evs []blktrace.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
 	s.mu.Lock()
-	if s.stopping {
+	if err := s.acceptingLocked(); err != nil {
 		s.mu.Unlock()
-		return ErrStopped
+		return err
 	}
 	n := 0
 	for _, ev := range evs {
@@ -215,13 +297,13 @@ func (s *shard) submitBatch(evs []blktrace.Event) error {
 			// The queue is full, so the worker has a whole buffer to
 			// chew on; make sure it is awake before parking.
 			s.notEmpty.Signal()
-			for s.count == len(s.buf) && !s.stopping {
+			for s.count == len(s.buf) && !s.stopping && s.state != Failed {
 				s.notFull.Wait()
 			}
-			if s.stopping {
+			if err := s.acceptingLocked(); err != nil {
 				s.finishBatchLocked(n, len(evs))
 				s.mu.Unlock()
-				return ErrStopped
+				return err
 			}
 		}
 		s.enqueueLocked(ev)
@@ -277,31 +359,33 @@ func (s *shard) finishBatchLocked(n, size int) {
 
 // observeLatency enqueues one completion latency. Latencies are
 // droppable signal (they only steer the dynamic window), so when the
-// worker is far behind they are silently discarded rather than queued
-// without bound.
+// worker is far behind — or gone — they are silently discarded rather
+// than queued without bound.
 func (s *shard) observeLatency(ns int64) {
 	s.mu.Lock()
-	if !s.stopping && len(s.lats) < len(s.buf) {
+	if !s.stopping && s.state != Failed && len(s.lats) < len(s.buf) {
 		s.lats = append(s.lats, ns)
 		s.notEmpty.Signal()
 	}
 	s.mu.Unlock()
 }
 
-// ask posts a query to the worker and waits for the reply.
+// ask posts a query to the worker and waits for the reply. Failed
+// devices answer immediately with ErrDeviceUnavailable — the worker is
+// gone and waiting on it would hang forever.
 func (s *shard) ask(q query) (queryReply, error) {
 	q.reply = make(chan queryReply, 1)
 	s.mu.Lock()
-	if s.stopping {
+	if err := s.acceptingLocked(); err != nil {
 		s.mu.Unlock()
-		return queryReply{}, ErrStopped
+		return queryReply{}, err
 	}
 	s.queries = append(s.queries, q)
 	s.notEmpty.Signal()
 	s.mu.Unlock()
 	select {
 	case r := <-q.reply:
-		return r, nil
+		return r, r.err
 	case <-s.done:
 		return queryReply{}, ErrStopped
 	}
@@ -318,12 +402,13 @@ func (s *shard) counters() (dropped uint64, lag int) {
 	return s.metrics.dropped.Value(), s.count
 }
 
-// stop asks the worker to drain, flush, and exit. The caller waits on
-// s.done.
+// requestStop asks the worker to drain, flush, checkpoint, and exit.
+// The caller waits on s.done.
 func (s *shard) requestStop() {
 	s.mu.Lock()
 	if !s.stopping {
 		s.stopping = true
+		close(s.stopCh)
 		s.notEmpty.Broadcast()
 		s.notFull.Broadcast()
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -44,6 +45,11 @@ func TestEngineConcurrentStress(t *testing.T) {
 				case <-stopReaders:
 					return
 				default:
+					// Spinning readers can starve the feeder goroutines on
+					// GOMAXPROCS=1 (cond/chan wakeup chains keep re-filling
+					// the runnext slot), stretching the test from <1s to
+					// minutes; yield so registration always makes progress.
+					runtime.Gosched()
 				}
 				var err error
 				switch i % 4 {
@@ -131,6 +137,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 					}
 					return
 				}
+				runtime.Gosched() // same starvation hazard as the readers
 			}
 		}(ids[d])
 	}

@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"daccor/internal/checkpoint"
+	"daccor/internal/pipeline"
+)
+
+// HealthState is one device's position in the supervisor's state
+// machine:
+//
+//	Healthy ──panic──▶ Degraded ──restart budget exhausted──▶ Failed
+//	   ▲                  │
+//	   └──probation met───┘
+//
+// A panic in the device's worker moves it to Degraded; the supervisor
+// restarts the worker (restoring the freshest checkpoint) under
+// exponential backoff. Once the restarted worker has processed
+// SupervisorConfig.Probation events without panicking the device
+// returns to Healthy and its restart budget resets. If MaxRestarts
+// consecutive restarts are burned without regaining health, the device
+// becomes Failed: its worker exits, queued events are discarded, and
+// every ingest or query against it returns ErrDeviceUnavailable
+// immediately instead of hanging. Other devices are unaffected
+// throughout.
+type HealthState int
+
+const (
+	Healthy HealthState = iota
+	Degraded
+	Failed
+)
+
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(h))
+}
+
+// ErrDeviceUnavailable is returned for ingest and queries against a
+// device whose worker has failed permanently (restart budget
+// exhausted) or whose query died in a worker panic. The engine's other
+// devices keep serving.
+var ErrDeviceUnavailable = errors.New("engine: device unavailable")
+
+// Supervisor defaults; see SupervisorConfig.
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultBackoffCap  = 5 * time.Second
+	DefaultMaxRestarts = 8
+	DefaultProbation   = 512
+)
+
+// SupervisorConfig tunes per-device panic recovery. The zero value
+// selects the defaults.
+type SupervisorConfig struct {
+	// BackoffBase is the delay before the first restart; each
+	// consecutive restart doubles it (default DefaultBackoffBase).
+	BackoffBase time.Duration
+	// BackoffCap bounds the backoff delay (default DefaultBackoffCap).
+	BackoffCap time.Duration
+	// MaxRestarts is how many consecutive restarts may be attempted
+	// before the device is declared Failed (default
+	// DefaultMaxRestarts). The counter resets when the device regains
+	// health.
+	MaxRestarts int
+	// Probation is how many events a restarted worker must process
+	// without panicking before the device transitions Degraded →
+	// Healthy (default DefaultProbation).
+	Probation uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c SupervisorConfig) Validate() error {
+	if c.BackoffBase < 0 || c.BackoffCap < 0 {
+		return fmt.Errorf("engine: supervisor backoff must be >= 0 (base %v, cap %v)", c.BackoffBase, c.BackoffCap)
+	}
+	if c.MaxRestarts < 0 {
+		return fmt.Errorf("engine: supervisor MaxRestarts must be >= 0 (got %d)", c.MaxRestarts)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.BackoffBase == 0 {
+		c.BackoffBase = DefaultBackoffBase
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = DefaultBackoffCap
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = DefaultMaxRestarts
+	}
+	if c.Probation == 0 {
+		c.Probation = DefaultProbation
+	}
+	return c
+}
+
+// backoffDelay is the sleep before restart attempt n (1-based):
+// exponential growth from BackoffBase, capped at BackoffCap, with
+// ±50% jitter so a fleet of devices felled by one bad input does not
+// restart in lockstep.
+func (c SupervisorConfig) backoffDelay(attempt int) time.Duration {
+	d := c.BackoffBase
+	for i := 1; i < attempt && d < c.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > c.BackoffCap {
+		d = c.BackoffCap
+	}
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// DeviceHealth is one device's supervision state, readable without a
+// worker round trip (so it stays available while the device is
+// restarting or failed).
+type DeviceHealth struct {
+	State HealthState
+	// Panics counts worker panics over the device's lifetime.
+	Panics uint64
+	// Restarts counts supervisor restarts over the device's lifetime.
+	Restarts uint64
+	// ConsecutiveRestarts is the current run of restarts without a
+	// return to health; it resets on Healthy.
+	ConsecutiveRestarts int
+	// LastRestart is when the supervisor last restarted the worker
+	// (zero if never).
+	LastRestart time.Time
+	// CheckpointSeq is the generation of the device's newest written
+	// or restored checkpoint (0 if none).
+	CheckpointSeq uint64
+	// LastCheckpoint is when that checkpoint was committed (zero if
+	// none).
+	LastCheckpoint time.Time
+}
+
+// health snapshots the shard's supervision state.
+func (s *shard) health() DeviceHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return DeviceHealth{
+		State:               s.state,
+		Panics:              s.panics,
+		Restarts:            s.restarts,
+		ConsecutiveRestarts: s.consecutive,
+		LastRestart:         s.lastRestart,
+		CheckpointSeq:       s.ckptGen,
+		LastCheckpoint:      s.ckptTime,
+	}
+}
+
+// supervise is the shard's top-level goroutine: it runs the worker
+// loop, and when the loop dies in a panic it restores the freshest
+// checkpoint and restarts it under backoff — or, once the restart
+// budget is exhausted, parks the device as Failed until Stop. It is
+// the only closer of s.done.
+func (s *shard) supervise() {
+	defer close(s.done)
+	for {
+		v := s.runOnce()
+		if v == nil {
+			return // clean stop: queue drained, transaction flushed
+		}
+
+		s.metrics.panics.Inc()
+		s.mu.Lock()
+		s.panics++
+		s.state = Degraded
+		s.consecutive++
+		// Queries the dead worker had claimed but not answered go back
+		// to the head of the queue; the restarted worker answers them
+		// against the restored state rather than leaving askers hung.
+		if len(s.inflight) > 0 {
+			s.queries = append(s.inflight, s.queries...)
+			s.inflight = nil
+		}
+		attempt := s.consecutive
+		s.mu.Unlock()
+
+		for {
+			if attempt > s.super.MaxRestarts {
+				s.fail()
+				s.parkFailed()
+				return
+			}
+			select {
+			case <-time.After(s.super.backoffDelay(attempt)):
+			case <-s.stopCh:
+				// Stop is in progress: skip the remaining backoff so
+				// shutdown is prompt; the rebuilt worker still drains
+				// and flushes below.
+			}
+			pipe, gen, err := s.rebuild()
+			if err == nil {
+				s.installRestart(pipe, gen)
+				break
+			}
+			// Restore/rebuild failure burns a restart attempt too —
+			// a device whose checkpoints cannot be read must not spin
+			// forever.
+			s.mu.Lock()
+			s.consecutive++
+			attempt = s.consecutive
+			s.mu.Unlock()
+		}
+	}
+}
+
+// installRestart swaps the restored pipeline in and records the
+// restart. The old worker is dead and the new one has not started, so
+// the supervisor goroutine owns s.pipe here.
+func (s *shard) installRestart(pipe *pipeline.Pipeline, gen checkpoint.Generation) {
+	s.pipe = pipe
+	s.metrics.restarts.Inc()
+	s.mu.Lock()
+	s.restarts++
+	s.lastRestart = time.Now()
+	s.sinceRestart = 0
+	if gen.Seq != 0 {
+		s.ckptGen = gen.Seq
+		s.ckptTime = gen.Time
+	}
+	s.mu.Unlock()
+}
+
+// fail transitions the device to Failed and answers every pending
+// query with ErrDeviceUnavailable. After fail, submit/ask reject
+// immediately (same mutex orders the transition before any later
+// check), so nothing can hang on the dead worker.
+func (s *shard) fail() {
+	s.mu.Lock()
+	s.state = Failed
+	pend := append(s.inflight, s.queries...)
+	s.inflight, s.queries = nil, nil
+	// Wake Block-policy submitters so they observe Failed and return.
+	s.notFull.Broadcast()
+	s.mu.Unlock()
+	err := fmt.Errorf("%w: %q restart budget exhausted after %d panic(s)", ErrDeviceUnavailable, s.id, s.panics)
+	for _, q := range pend {
+		q.reply <- queryReply{err: err}
+	}
+}
+
+// parkFailed holds the supervisor goroutine of a failed device until
+// Stop, so Engine.Stop's wait on s.done still completes.
+func (s *shard) parkFailed() {
+	s.mu.Lock()
+	for !s.stopping {
+		s.notEmpty.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// checkpointLoop periodically asks the worker to write a checkpoint.
+// It runs as its own goroutine so the cadence is independent of
+// ingest; the write itself happens on the worker between batches, so
+// it serializes a consistent state. Errors are already counted by the
+// worker (checkpoint_errors metric); a failed or stopped device makes
+// ask return immediately, keeping the loop cheap until Stop ends it.
+func (s *shard) checkpointLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_, _ = s.ask(query{kind: queryCheckpoint})
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// writeCheckpoint saves the analyzer's state as a new generation and
+// records it in the health view. Runs on the worker goroutine, which
+// owns the pipeline.
+func (s *shard) writeCheckpoint() error {
+	if s.ckpt == nil {
+		return nil
+	}
+	gen, err := s.ckpt.Save(s.id, s.pipe.Analyzer())
+	if err != nil {
+		s.metrics.ckptErrors.Inc()
+		return err
+	}
+	s.metrics.ckpts.Inc()
+	s.mu.Lock()
+	s.ckptGen = gen.Seq
+	s.ckptTime = gen.Time
+	s.mu.Unlock()
+	return nil
+}
+
+// noteProcessed advances the post-restart probation: once a degraded
+// device has processed enough events without panicking it is healthy
+// again and its restart budget resets.
+func (s *shard) noteProcessed(n int) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.sinceRestart += uint64(n)
+	if s.state == Degraded && s.sinceRestart >= s.super.Probation {
+		s.state = Healthy
+		s.consecutive = 0
+	}
+	s.mu.Unlock()
+}

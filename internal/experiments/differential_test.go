@@ -19,6 +19,8 @@ package experiments
 //     the frequent pairs clears the golden threshold.
 
 import (
+	"bytes"
+	"fmt"
 	"testing"
 	"time"
 
@@ -108,6 +110,71 @@ func TestDifferentialOnlineVsFIMExact(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDifferentialCheckpointRestoreReplay is the crash-recovery
+// determinism check: an analyzer that is checkpointed mid-stream,
+// restored from the snapshot bytes, and fed the remainder must be
+// byte-for-byte indistinguishable — in its own WriteTo output — from
+// one that processed the whole stream uninterrupted. This is what
+// makes the engine's periodic checkpoints trustworthy: recovery does
+// not merely approximate the lost state, it reproduces the exact
+// recency order, tier placement, and counters. Both the ample and the
+// bounded (eviction-active) regimes are held to it, for every workload
+// shape and several split points including the degenerate edges.
+func TestDifferentialCheckpointRestoreReplay(t *testing.T) {
+	for _, kind := range []workload.Kind{workload.OneToOne, workload.OneToMany, workload.ManyToMany} {
+		for _, capacity := range []int{64, 1 << 16} {
+			t.Run(fmt.Sprintf("%s/C=%d", kind, capacity), func(t *testing.T) {
+				pipe, _ := diffRun(t, kind, 1<<16)
+				txs := pipeline.ExtentSets(pipe.Transactions())
+				if len(txs) < 4 {
+					t.Fatalf("only %d transactions, trace too small to split", len(txs))
+				}
+				cfg := core.Config{ItemCapacity: capacity, PairCapacity: capacity}
+				uninterrupted, err := core.NewAnalyzer(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tx := range txs {
+					uninterrupted.Process(tx)
+				}
+				var want bytes.Buffer
+				if _, err := uninterrupted.WriteTo(&want); err != nil {
+					t.Fatal(err)
+				}
+
+				for _, cut := range []int{0, 1, len(txs) / 2, len(txs) - 1, len(txs)} {
+					first, err := core.NewAnalyzer(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, tx := range txs[:cut] {
+						first.Process(tx)
+					}
+					var ckpt bytes.Buffer
+					if _, err := first.WriteTo(&ckpt); err != nil {
+						t.Fatalf("checkpoint at %d: %v", cut, err)
+					}
+					restored, err := core.LoadAnalyzer(&ckpt)
+					if err != nil {
+						t.Fatalf("restore at %d: %v", cut, err)
+					}
+					for _, tx := range txs[cut:] {
+						restored.Process(tx)
+					}
+					var got bytes.Buffer
+					if _, err := restored.WriteTo(&got); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got.Bytes(), want.Bytes()) {
+						t.Errorf("split at %d/%d: restored+replayed snapshot differs from uninterrupted (%d vs %d bytes)",
+							cut, len(txs), got.Len(), want.Len())
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -41,10 +41,11 @@ const (
 
 // Machine-readable error codes carried in the v1 envelope.
 const (
-	ErrCodeBadParam      = "bad_param"      // malformed or out-of-range query parameter (HTTP 400)
-	ErrCodeUnknownDevice = "unknown_device" // no such device id (HTTP 404)
-	ErrCodeStopped       = "stopped"        // engine stopped, no live state (HTTP 503)
-	ErrCodeInternal      = "internal"       // unexpected failure (HTTP 500)
+	ErrCodeBadParam          = "bad_param"          // malformed or out-of-range query parameter (HTTP 400)
+	ErrCodeUnknownDevice     = "unknown_device"     // no such device id (HTTP 404)
+	ErrCodeStopped           = "stopped"            // engine stopped, no live state (HTTP 503)
+	ErrCodeDeviceUnavailable = "device_unavailable" // device worker failed permanently (HTTP 503)
+	ErrCodeInternal          = "internal"           // unexpected failure (HTTP 500)
 )
 
 // apiError is the machine-readable error half of the v1 envelope.
@@ -54,7 +55,9 @@ type apiError struct {
 }
 
 // envelope is the uniform v1 response shape: exactly one of Data and
-// Error is non-null.
+// Error is non-null. The health routes are the one exception: they
+// answer 503 with Data still populated, because a failing probe's body
+// must explain which devices are down.
 type envelope struct {
 	Data  any       `json:"data"`
 	Error *apiError `json:"error"`
@@ -80,7 +83,21 @@ func NewHTTPHandler(c *Collector) http.Handler {
 //	GET /v1/snapshot                       fleet-wide merged correlations       ?support=&top=
 //	GET /v1/rules                          fleet-wide merged rules              ?support=&confidence=&top=
 //	GET /v1/metrics                        Prometheus text exposition of the engine's registry
+//	GET /v1/healthz                        per-device supervision health (see below)
+//	GET /v1/readyz                         readiness probe (see below)
 //	POST /v1/devices/{id}/events           batch event ingest (JSON body, see below)
+//
+// The health routes are the load-balancer/orchestrator surface.
+// /v1/healthz always carries per-device detail (state, panic/restart
+// counters, checkpoint recency, drops, lag) and answers 200 while
+// anything is servable — status "ok" when every device is healthy,
+// "degraded" when some device is degraded or failed — and 503 with
+// status "failed" only when every registered device has failed.
+// /v1/readyz answers 200 {"ready": true} while the engine is serving
+// and 503 once it is stopped (shutdown draining) or wholly failed, so
+// traffic is steered away before the process exits. Neither route
+// does a worker round trip: both stay fast while devices are
+// restarting, failed, or backlogged.
 //
 // The ingest route accepts {"events": [{"time", "pid", "op", "block",
 // "len"}, ...]} with op "read" or "write", at most MaxIngestBatch
@@ -213,6 +230,26 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 		w.Header().Set("Content-Type", obs.TextContentType)
 		// An encode error means the scraper went away mid-response.
 		_ = e.Metrics().WritePrometheus(w)
+	})
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		body, allFailed := healthBody(e)
+		status := http.StatusOK
+		if allFailed {
+			status = http.StatusServiceUnavailable
+		}
+		writeDataStatus(w, status, body)
+	})
+
+	mux.HandleFunc("GET /v1/readyz", func(w http.ResponseWriter, r *http.Request) {
+		body, allFailed := healthBody(e)
+		ready := !e.Stopped() && !allFailed
+		body["ready"] = ready
+		status := http.StatusOK
+		if !ready {
+			status = http.StatusServiceUnavailable
+		}
+		writeDataStatus(w, status, body)
 	})
 
 	// ---- Deprecated pre-v1 aliases (unenveloped legacy shapes). ----
@@ -369,6 +406,49 @@ func mergedOrSingleRules(e *engine.Engine, support uint32, conf float64) ([]core
 	return e.MergedRules(support, conf)
 }
 
+// healthBody builds the shared healthz/readyz payload from the
+// engine's supervision view (no worker round trips), and reports
+// whether every registered device has failed.
+func healthBody(e *engine.Engine) (map[string]any, bool) {
+	hs := e.Health()
+	devices := make([]map[string]any, 0, len(hs))
+	allFailed := len(hs) > 0
+	anyUnwell := false
+	for _, h := range hs {
+		if h.State != engine.Failed {
+			allFailed = false
+		}
+		if h.State != engine.Healthy {
+			anyUnwell = true
+		}
+		d := map[string]any{
+			"id":                  h.Device,
+			"state":               h.State.String(),
+			"panics":              h.Panics,
+			"restarts":            h.Restarts,
+			"consecutiveRestarts": h.ConsecutiveRestarts,
+			"checkpointSeq":       h.CheckpointSeq,
+			"dropped":             h.Dropped,
+			"lag":                 h.Lag,
+		}
+		if !h.LastRestart.IsZero() {
+			d["lastRestartUnixMs"] = h.LastRestart.UnixMilli()
+		}
+		if !h.LastCheckpoint.IsZero() {
+			d["checkpointAgeSeconds"] = time.Since(h.LastCheckpoint).Seconds()
+		}
+		devices = append(devices, d)
+	}
+	status := "ok"
+	switch {
+	case allFailed:
+		status = "failed"
+	case anyUnwell:
+		status = "degraded"
+	}
+	return map[string]any{"status": status, "devices": devices}, allFailed
+}
+
 func statsBody(st engine.Stats) map[string]any {
 	devices := make([]map[string]any, 0, len(st.Devices))
 	for _, d := range st.Devices {
@@ -473,6 +553,17 @@ func writeData(w http.ResponseWriter, v any) {
 	writeJSON(w, envelope{Data: v})
 }
 
+// writeDataStatus writes a data envelope under a non-200 status — the
+// health routes answer 503 while still carrying the per-device detail
+// a prober needs to say *why*.
+func writeDataStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(envelope{Data: v})
+}
+
 func writeError(w http.ResponseWriter, status int, code, message string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -489,6 +580,11 @@ func writeEngineError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusNotFound, ErrCodeUnknownDevice, err.Error())
 	case errors.Is(err, engine.ErrStopped), errors.Is(err, ErrStopped):
 		writeError(w, http.StatusServiceUnavailable, ErrCodeStopped, err.Error())
+	case errors.Is(err, engine.ErrDeviceUnavailable):
+		// The device's worker failed permanently; the caller should
+		// retry against a healthy device, not this one. Typed so clients
+		// can tell "device is dead" from "service is restarting".
+		writeError(w, http.StatusServiceUnavailable, ErrCodeDeviceUnavailable, err.Error())
 	default:
 		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
 	}
@@ -497,7 +593,8 @@ func writeEngineError(w http.ResponseWriter, err error) {
 // legacyError preserves the pre-v1 plain-text error behaviour for the
 // deprecated aliases.
 func legacyError(w http.ResponseWriter, err error) {
-	if errors.Is(err, engine.ErrStopped) || errors.Is(err, ErrStopped) {
+	if errors.Is(err, engine.ErrStopped) || errors.Is(err, ErrStopped) ||
+		errors.Is(err, engine.ErrDeviceUnavailable) {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}

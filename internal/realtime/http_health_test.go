@@ -1,0 +1,221 @@
+package realtime
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/engine"
+	"daccor/internal/monitor"
+)
+
+// healthResponse is the wire shape of /v1/healthz and /v1/readyz data.
+type healthResponse struct {
+	Status  string `json:"status"`
+	Ready   *bool  `json:"ready"` // readyz only
+	Devices []struct {
+		ID                  string `json:"id"`
+		State               string `json:"state"`
+		Panics              uint64 `json:"panics"`
+		Restarts            uint64 `json:"restarts"`
+		ConsecutiveRestarts int    `json:"consecutiveRestarts"`
+		CheckpointSeq       uint64 `json:"checkpointSeq"`
+		Dropped             uint64 `json:"dropped"`
+		Lag                 int    `json:"lag"`
+	} `json:"devices"`
+}
+
+// getHealth fetches a health route, which (unlike the other v1 routes)
+// carries a data envelope even on 503.
+func getHealth(t *testing.T, url string) (int, healthResponse) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Data  healthResponse `json:"data"`
+		Error *struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	if env.Error != nil {
+		t.Fatalf("%s: health route answered an error envelope: %+v", url, env.Error)
+	}
+	return resp.StatusCode, env.Data
+}
+
+func TestV1Healthz(t *testing.T) {
+	e, srv := servedEngine(t)
+	defer e.Stop()
+	code, h := getHealth(t, srv.URL+"/v1/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if len(h.Devices) != 2 {
+		t.Fatalf("healthz lists %d devices, want 2", len(h.Devices))
+	}
+	for _, d := range h.Devices {
+		if d.State != "healthy" || d.Panics != 0 || d.Restarts != 0 {
+			t.Errorf("device %s: %+v, want healthy with zero fault counters", d.ID, d)
+		}
+	}
+	if h.Devices[0].ID != "vol0" || h.Devices[1].ID != "vol1" {
+		t.Errorf("devices not sorted: %s, %s", h.Devices[0].ID, h.Devices[1].ID)
+	}
+}
+
+func TestV1ReadyzAcrossStop(t *testing.T) {
+	e, srv := servedEngine(t)
+	code, h := getHealth(t, srv.URL+"/v1/readyz")
+	if code != http.StatusOK || h.Ready == nil || !*h.Ready {
+		t.Fatalf("readyz before stop = %d %+v, want 200 ready", code, h)
+	}
+	e.Stop()
+	code, h = getHealth(t, srv.URL+"/v1/readyz")
+	if code != http.StatusServiceUnavailable || h.Ready == nil || *h.Ready {
+		t.Errorf("readyz after stop = %d %+v, want 503 not ready", code, h)
+	}
+	// healthz is liveness, not readiness: a cleanly stopped engine's
+	// devices were healthy when they exited, and the process is up.
+	if code, _ := getHealth(t, srv.URL+"/v1/healthz"); code != http.StatusOK {
+		t.Errorf("healthz after stop = %d, want 200", code)
+	}
+}
+
+// faultyEngine builds an engine whose dev0 worker panics on every
+// event and burns its restart budget almost immediately; "ok" devices
+// are unaffected.
+func faultyEngine(t *testing.T, devices ...string) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(
+		engine.WithMonitor(monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)}),
+		engine.WithAnalyzer(core.Config{ItemCapacity: 4096, PairCapacity: 4096}),
+		engine.WithDevices(devices...),
+		engine.WithSupervisor(engine.SupervisorConfig{
+			BackoffBase: time.Millisecond,
+			BackoffCap:  2 * time.Millisecond,
+			MaxRestarts: 1,
+			Probation:   1 << 20,
+		}),
+		engine.WithProcessHook(func(device string, ev blktrace.Event) {
+			if device == "dev0" {
+				panic("injected fault")
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Stop)
+	return e
+}
+
+// failDevice feeds dev0 until the supervisor declares it Failed.
+func failDevice(t *testing.T, e *engine.Engine) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_ = e.Submit("dev0", blktrace.Event{
+			Op: blktrace.OpRead, Extent: blktrace.Extent{Block: 1, Len: 1},
+		})
+		for _, h := range e.Health() {
+			if h.Device == "dev0" && h.State == engine.Failed {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dev0 never failed; health: %+v", e.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestV1HealthzWithFailedDevice(t *testing.T) {
+	e := faultyEngine(t, "dev0", "ok1")
+	srv := httptest.NewServer(NewEngineHandler(e))
+	t.Cleanup(srv.Close)
+	failDevice(t, e)
+
+	// One of two devices failed: degraded but still 200 — the healthy
+	// device is worth keeping in rotation.
+	code, h := getHealth(t, srv.URL+"/v1/healthz")
+	if code != http.StatusOK || h.Status != "degraded" {
+		t.Errorf("healthz = %d %q, want 200 degraded", code, h.Status)
+	}
+	for _, d := range h.Devices {
+		switch d.ID {
+		case "dev0":
+			if d.State != "failed" || d.Panics == 0 || d.Restarts == 0 {
+				t.Errorf("dev0 detail = %+v, want failed with fault counters", d)
+			}
+		case "ok1":
+			if d.State != "healthy" {
+				t.Errorf("ok1 state = %q, want healthy", d.State)
+			}
+		}
+	}
+	if code, h := getHealth(t, srv.URL+"/v1/readyz"); code != http.StatusOK || *h.Ready != true {
+		t.Errorf("readyz with one healthy device = %d, want 200", code)
+	}
+
+	// Queries against the failed device answer the typed code, fast.
+	status, apiErr := getEnvelope(t, srv.URL+"/v1/devices/dev0/snapshot", nil)
+	if status != http.StatusServiceUnavailable || apiErr == nil || apiErr.Code != ErrCodeDeviceUnavailable {
+		t.Errorf("failed-device snapshot = %d %+v, want 503 %s", status, apiErr, ErrCodeDeviceUnavailable)
+	}
+	// Ingest to the failed device rejects with the same code.
+	resp, err := http.Post(srv.URL+"/v1/devices/dev0/events", "application/json",
+		strings.NewReader(`{"events":[{"time":1,"op":"read","block":1,"len":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Error *struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error == nil || env.Error.Code != ErrCodeDeviceUnavailable {
+		t.Errorf("failed-device ingest = %d %+v, want 503 %s", resp.StatusCode, env.Error, ErrCodeDeviceUnavailable)
+	}
+
+	// The healthy device keeps serving, and the merged view skips the
+	// failed one instead of erroring.
+	if status, _ := getEnvelope(t, srv.URL+"/v1/devices/ok1/snapshot", nil); status != http.StatusOK {
+		t.Errorf("healthy-device snapshot = %d, want 200", status)
+	}
+	if status, _ := getEnvelope(t, srv.URL+"/v1/snapshot", nil); status != http.StatusOK {
+		t.Errorf("merged snapshot with failed device = %d, want 200", status)
+	}
+}
+
+func TestV1HealthzAllFailed(t *testing.T) {
+	e := faultyEngine(t, "dev0")
+	srv := httptest.NewServer(NewEngineHandler(e))
+	t.Cleanup(srv.Close)
+	failDevice(t, e)
+
+	code, h := getHealth(t, srv.URL+"/v1/healthz")
+	if code != http.StatusServiceUnavailable || h.Status != "failed" {
+		t.Errorf("healthz all-failed = %d %q, want 503 failed", code, h.Status)
+	}
+	if code, h := getHealth(t, srv.URL+"/v1/readyz"); code != http.StatusServiceUnavailable || *h.Ready {
+		t.Errorf("readyz all-failed = %d, want 503 not ready", code)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -313,6 +314,25 @@ func TestV1AfterStop(t *testing.T) {
 		if apiErr == nil || apiErr.Code != ErrCodeStopped {
 			t.Errorf("%s: error = %+v, want code %q", path, apiErr, ErrCodeStopped)
 		}
+	}
+	// Ingest rejects with the same typed code as the queries: a
+	// producer racing shutdown sees one consistent answer.
+	resp, err := http.Post(srv.URL+"/v1/devices/vol0/events", "application/json",
+		strings.NewReader(`{"events":[{"time":1,"op":"read","block":1,"len":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Error *struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error == nil || env.Error.Code != ErrCodeStopped {
+		t.Errorf("post-stop ingest = %d %+v, want 503 %q", resp.StatusCode, env.Error, ErrCodeStopped)
 	}
 }
 
