@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-engine bench-hot alloc-guard fault
+.PHONY: ci fmt vet test race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault
 
-ci: fmt vet race alloc-guard fault
+ci: fmt vet race alloc-guard alloc-check fault
 
 # Fail if any file is not gofmt-clean.
 fmt:
@@ -49,6 +49,26 @@ bench:
 	@$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out
 	@rm -f bench.out
 	@echo "wrote BENCH_baseline.json"
+
+# Record the current change's full benchmark run alongside the
+# committed baseline (BENCH_baseline.json stays untouched — it is the
+# comparison anchor). Commit the refreshed BENCH_pr5.json with a
+# change that intentionally moves the numbers.
+bench-pr:
+	@$(GO) test -bench . -benchmem -run '^$$' . ./internal/core ./internal/engine | tee bench.out
+	@$(GO) run ./cmd/benchjson -o BENCH_pr5.json < bench.out
+	@rm -f bench.out
+	@echo "wrote BENCH_pr5.json"
+
+# Human-readable delta table between the two committed runs.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json BENCH_pr5.json
+
+# Allocation gate: ns/op is machine- and load-sensitive, but allocs/op
+# is deterministic, so CI can hold the committed run to "no benchmark
+# allocates more than the baseline" without flaking.
+alloc-check:
+	$(GO) run ./cmd/benchjson -diff -fail-on-alloc-regress BENCH_baseline.json BENCH_pr5.json
 
 # Hot-path benchmarks only: the numbers the zero-allocation work
 # tracks (guarded separately by the AllocsPerRun tests).

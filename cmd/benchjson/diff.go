@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// benchKey identifies one benchmark across runs. Name alone is not
+// unique — the root package and internal packages both define Engine
+// benchmarks — so the package qualifies it.
+type benchKey struct {
+	Pkg  string
+	Name string
+}
+
+func loadDoc(path string) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc Doc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &doc, nil
+}
+
+func index(doc *Doc) map[benchKey]Result {
+	m := make(map[benchKey]Result, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		m[benchKey{Pkg: b.Pkg, Name: b.Name}] = b
+	}
+	return m
+}
+
+// runDiff prints per-benchmark deltas between two converted documents
+// and returns the process exit code. Benchmarks present in only one
+// document are listed but never fail the gate: the gate's contract is
+// "nothing that existed got worse", not "nothing changed shape".
+func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool) int {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	oldBy, newBy := index(oldDoc), index(newDoc)
+
+	keys := make([]benchKey, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, dup := oldBy[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Pkg != keys[j].Pkg {
+			return keys[i].Pkg < keys[j].Pkg
+		}
+		return keys[i].Name < keys[j].Name
+	})
+
+	fmt.Fprintf(w, "%-58s %12s %12s %8s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	regressed := 0
+	for _, k := range keys {
+		o, inOld := oldBy[k]
+		n, inNew := newBy[k]
+		name := k.Name
+		if k.Pkg != "" {
+			name = k.Pkg + " " + k.Name
+		}
+		switch {
+		case !inNew:
+			fmt.Fprintf(w, "%-58s %12.1f %12s %8s %14s\n", name, o.NsPerOp, "-", "gone", "-")
+		case !inOld:
+			fmt.Fprintf(w, "%-58s %12s %12.1f %8s %14s\n", name, "-", n.NsPerOp, "new", fmt.Sprintf("%d", n.AllocsPerOp))
+		default:
+			delta := "0.0%"
+			if o.NsPerOp != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (n.NsPerOp-o.NsPerOp)/o.NsPerOp*100)
+			}
+			allocs := fmt.Sprintf("%d → %d", o.AllocsPerOp, n.AllocsPerOp)
+			mark := ""
+			if n.AllocsPerOp > o.AllocsPerOp {
+				regressed++
+				mark = "  ALLOC REGRESSION"
+			}
+			fmt.Fprintf(w, "%-58s %12.1f %12.1f %8s %14s%s\n", name, o.NsPerOp, n.NsPerOp, delta, allocs, mark)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed allocs/op\n", regressed)
+		if failAlloc {
+			return 1
+		}
+	}
+	return 0
+}

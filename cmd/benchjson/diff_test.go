@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name string, doc Doc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Doc{Benchmarks: []Result{
+		{Name: "BenchmarkA", Pkg: "p", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkB", Pkg: "p", NsPerOp: 50, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", Pkg: "p", NsPerOp: 10},
+	}})
+	newPath := writeDoc(t, dir, "new.json", Doc{Benchmarks: []Result{
+		{Name: "BenchmarkA", Pkg: "p", NsPerOp: 80, AllocsPerOp: 2},
+		{Name: "BenchmarkB", Pkg: "p", NsPerOp: 55, AllocsPerOp: 1},
+		{Name: "BenchmarkNew", Pkg: "p", NsPerOp: 5, AllocsPerOp: 3},
+	}})
+
+	var out bytes.Buffer
+	// One alloc regression (B: 0 → 1): reported, exit 0 without the
+	// gate flag, exit 1 with it. Added and removed benchmarks never
+	// trip the gate.
+	if code := runDiff(&out, oldPath, newPath, false); code != 0 {
+		t.Fatalf("ungated diff exit %d, want 0\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"BenchmarkA", "-20.0%", // improvement computed against old
+		"BenchmarkB", "ALLOC REGRESSION", "0 → 1",
+		"BenchmarkGone", "gone",
+		"BenchmarkNew", "new",
+		"1 benchmark(s) regressed allocs/op",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diff output missing %q:\n%s", want, text)
+		}
+	}
+	if code := runDiff(&out, oldPath, newPath, true); code != 1 {
+		t.Fatalf("gated diff exit %d, want 1", code)
+	}
+	// Identical documents: clean diff, gate passes.
+	if code := runDiff(&out, oldPath, oldPath, true); code != 0 {
+		t.Fatalf("self-diff exit %d, want 0", code)
+	}
+}
+
+func TestDiffBadInput(t *testing.T) {
+	dir := t.TempDir()
+	good := writeDoc(t, dir, "good.json", Doc{Benchmarks: []Result{{Name: "BenchmarkA"}}})
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := runDiff(&out, good, bad, false); code != 2 {
+		t.Errorf("corrupt new doc: exit %d, want 2", code)
+	}
+	if code := runDiff(&out, filepath.Join(dir, "missing.json"), good, false); code != 2 {
+		t.Errorf("missing old doc: exit %d, want 2", code)
+	}
+}

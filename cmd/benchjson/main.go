@@ -12,6 +12,16 @@
 // the output as metadata. Lines that are not benchmark results (PASS,
 // ok, test logs) are ignored, so the whole `go test` stream can be
 // piped through unfiltered.
+//
+// Diff mode compares two converted documents:
+//
+//	benchjson -diff BENCH_baseline.json BENCH_pr5.json
+//
+// printing a per-benchmark delta table keyed by (pkg, name). With
+// -fail-on-alloc-regress the exit status is 1 if any benchmark present
+// in both documents reports more allocs/op in the new one — ns/op is
+// machine- and load-sensitive, but allocation counts are deterministic,
+// so they are the only dimension a CI gate can judge without flaking.
 package main
 
 import (
@@ -58,7 +68,17 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	diff := flag.Bool("diff", false, "compare two benchjson documents: benchjson -diff old.json new.json")
+	failAlloc := flag.Bool("fail-on-alloc-regress", false, "with -diff, exit 1 if any benchmark's allocs/op regressed")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *failAlloc))
+	}
 
 	doc, err := parse(os.Stdin)
 	if err != nil {

@@ -76,8 +76,12 @@ type Analyzer struct {
 	// rule "when an extent is evicted from the item table, we also
 	// demote it in the correlation table" is O(pairs containing that
 	// extent). pairLinks[slot] carries the list links for the pair
-	// entry living in arena slot `slot` of the pair table.
-	pairHeads map[blktrace.Extent]int32
+	// entry living in arena slot `slot` of the pair table. The anchors
+	// live in an open-addressing map (oaindex.go) for the same reason
+	// the tables do: the Θ(N²) pair loop consults it on every insert
+	// and eviction, and its size is bounded by twice the live pair
+	// count.
+	pairHeads *oaMap[blktrace.Extent]
 	pairLinks []pairLinks
 
 	// pendingDemote collects extents whose item-table entry was
@@ -88,6 +92,10 @@ type Analyzer struct {
 	// demoteScratch is the persistent sort buffer flushDemotions reuses
 	// across transactions, keeping the steady-state path allocation-free.
 	demoteScratch []blktrace.Pair
+	// memberSeen is checkMembershipInvariants's reusable per-slot
+	// thread-count scratch (indexed by pair arena slot), so the checker
+	// stays cheap enough to run inside fuzz loops.
+	memberSeen []uint8
 
 	stats Stats
 }
@@ -121,12 +129,14 @@ func NewAnalyzer(cfg Config) (*Analyzer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	a := &Analyzer{
-		pairHeads: make(map[blktrace.Extent]int32),
-	}
+	a := &Analyzer{}
 	a.cfg = cfg
 	i1, i2 := splitTiers(cfg.ItemCapacity, cfg.TierRatio)
 	p1, p2 := splitTiers(cfg.PairCapacity, cfg.TierRatio)
+	// Each live pair anchors at most two member lists, so the head map
+	// holds at most 2·(p1+p2) entries; pre-size for that (under the
+	// same cap as the entry arenas) so steady state never rehashes.
+	a.pairHeads = newOAMap[blktrace.Extent](min(2*(p1+p2), arenaMaxPrealloc))
 	var err error
 	a.items, err = NewTable[blktrace.Extent](TableConfig{
 		Capacity1:        i1,
@@ -198,16 +208,13 @@ func (a *Analyzer) setMemberPrev(s int32, e blktrace.Extent, v int32) {
 
 // linkMember pushes slot s onto the head of e's membership list.
 func (a *Analyzer) linkMember(s int32, e blktrace.Extent) {
-	h, ok := a.pairHeads[e]
-	if !ok {
-		h = nilSlot
-	}
+	h, _ := a.pairHeads.Get(e) // nilSlot when absent
 	a.setMemberNext(s, e, h)
 	a.setMemberPrev(s, e, nilSlot)
 	if h != nilSlot {
 		a.setMemberPrev(h, e, s)
 	}
-	a.pairHeads[e] = s
+	a.pairHeads.Set(e, s)
 }
 
 // unlinkMember removes slot s from e's membership list, dropping the
@@ -217,9 +224,9 @@ func (a *Analyzer) unlinkMember(s int32, e blktrace.Extent) {
 	if prev != nilSlot {
 		a.setMemberNext(prev, e, next)
 	} else if next != nilSlot {
-		a.pairHeads[e] = next
+		a.pairHeads.Set(e, next)
 	} else {
-		delete(a.pairHeads, e)
+		a.pairHeads.Delete(e)
 	}
 	if next != nilSlot {
 		a.setMemberPrev(next, e, prev)
@@ -284,10 +291,7 @@ func (a *Analyzer) Process(extents []blktrace.Extent) {
 func (a *Analyzer) flushDemotions() {
 	for _, e := range a.pendingDemote {
 		batch := a.demoteScratch[:0]
-		s, ok := a.pairHeads[e]
-		if !ok {
-			s = nilSlot
-		}
+		s, _ := a.pairHeads.Get(e) // nilSlot when absent
 		for ; s != nilSlot; s = a.memberNext(s, e) {
 			batch = append(batch, a.pairs.keyAt(s))
 		}
@@ -308,44 +312,71 @@ func (a *Analyzer) flushDemotions() {
 // are mutually consistent, and no list reaches a dead slot. O(pairs);
 // used by tests and fuzz targets via an export_test shim.
 func (a *Analyzer) checkMembershipInvariants() error {
-	seen := make(map[int32]int)
-	for e, h := range a.pairHeads {
+	if err := a.pairHeads.checkInvariants(); err != nil {
+		return err
+	}
+	// Per-slot thread counts in a reusable scratch slice (indexed by
+	// pair arena slot) instead of a map allocated per call.
+	if cap(a.memberSeen) < len(a.pairLinks) {
+		a.memberSeen = make([]uint8, len(a.pairLinks))
+	}
+	seen := a.memberSeen[:len(a.pairLinks)]
+	clear(seen)
+	var walkErr error
+	a.pairHeads.Range(func(e blktrace.Extent, h int32) bool {
 		if h == nilSlot {
-			return fmt.Errorf("extent %v anchors a nil head", e)
+			walkErr = fmt.Errorf("extent %v anchors a nil head", e)
+			return false
 		}
 		prev := nilSlot
 		for s := h; s != nilSlot; s = a.memberNext(s, e) {
 			if int(s) >= len(a.pairLinks) || s < 0 {
-				return fmt.Errorf("extent %v list reaches out-of-range slot %d", e, s)
+				walkErr = fmt.Errorf("extent %v list reaches out-of-range slot %d", e, s)
+				return false
 			}
 			p := a.pairs.keyAt(s)
 			if p.A != e && p.B != e {
-				return fmt.Errorf("slot %d (%v) threaded into list of non-member %v", s, p, e)
+				walkErr = fmt.Errorf("slot %d (%v) threaded into list of non-member %v", s, p, e)
+				return false
 			}
-			if got, ok := a.pairs.index[p]; !ok || got != s {
-				return fmt.Errorf("slot %d (%v) in membership list is not live in the pair table", s, p)
+			if a.pairs.lookup(p) != s {
+				walkErr = fmt.Errorf("slot %d (%v) in membership list is not live in the pair table", s, p)
+				return false
 			}
 			if a.memberPrev(s, e) != prev {
-				return fmt.Errorf("slot %d (%v): prev link broken in %v's list", s, p, e)
+				walkErr = fmt.Errorf("slot %d (%v): prev link broken in %v's list", s, p, e)
+				return false
 			}
 			seen[s]++
 			if seen[s] > 2 {
-				return fmt.Errorf("slot %d threaded more than twice (cycle?)", s)
+				walkErr = fmt.Errorf("slot %d threaded more than twice (cycle?)", s)
+				return false
 			}
 			prev = s
 		}
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
 	}
-	for p, s := range a.pairs.index {
-		want := 2
-		if p.A == p.B {
-			want = 1
-		}
-		if seen[s] != want {
-			return fmt.Errorf("pair %v (slot %d) threaded %d times, want %d", p, s, seen[s], want)
+	// Every live pair must be threaded exactly once per distinct member.
+	// Zeroing consumed counts as we go leaves any dead-slot threading
+	// behind as a nonzero residue.
+	for _, l := range [...]*lruList{&a.pairs.t2, &a.pairs.t1} {
+		for s := l.front; s != nilSlot; s = a.pairs.arena[s].next {
+			p := a.pairs.arena[s].key
+			want := uint8(2)
+			if p.A == p.B {
+				want = 1
+			}
+			if seen[s] != want {
+				return fmt.Errorf("pair %v (slot %d) threaded %d times, want %d", p, s, seen[s], want)
+			}
+			seen[s] = 0
 		}
 	}
 	for s, n := range seen {
-		if _, ok := a.pairs.index[a.pairs.keyAt(s)]; !ok {
+		if n != 0 {
 			return fmt.Errorf("dead slot %d threaded %d times", s, n)
 		}
 	}

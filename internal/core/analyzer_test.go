@@ -120,9 +120,9 @@ func TestPairEvictionCleansIndex(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		a.Process([]blktrace.Extent{ext(uint64(2*i), 1), ext(uint64(2*i+1), 1)})
 	}
-	if len(a.pairHeads) > 2*a.Pairs().Capacity() {
+	if a.pairHeads.Len() > 2*a.Pairs().Capacity() {
 		t.Errorf("pairHeads leaked: %d entries for capacity %d",
-			len(a.pairHeads), a.Pairs().Capacity())
+			a.pairHeads.Len(), a.Pairs().Capacity())
 	}
 	if err := a.checkMembershipInvariants(); err != nil {
 		t.Error(err)
@@ -159,11 +159,12 @@ func TestPairsByExtentConsistentQuick(t *testing.T) {
 			live[e.Key] = struct{}{}
 		}
 		indexed := map[blktrace.Pair]struct{}{}
-		for e, h := range a.pairHeads {
+		a.pairHeads.Range(func(e blktrace.Extent, h int32) bool {
 			for s := h; s != nilSlot; s = a.memberNext(s, e) {
 				indexed[a.pairs.keyAt(s)] = struct{}{}
 			}
-		}
+			return true
+		})
 		if len(live) != len(indexed) {
 			return false
 		}

@@ -154,6 +154,60 @@ func FuzzTableOps(f *testing.F) {
 	})
 }
 
+// FuzzOpenAddrIndex pins the backward-shift deletion discipline of
+// the open-addressing machinery against arbitrary operation streams,
+// run differentially against a builtin map. The load-bearing property
+// is tombstone-freedom: after any delete, no occupied slot's probe
+// path from its home slot may cross an empty slot (a gap would make
+// lookups lose reachable keys), and every live key must stay findable
+// at its recorded value. checkInvariants asserts exactly that after
+// every single operation.
+func FuzzOpenAddrIndex(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 2, 1, 0, 3, 2, 2, 1, 3})
+	f.Add(bytes.Repeat([]byte{0, 5, 2, 5}, 32)) // set/delete churn on one key
+	f.Add(bytes.Repeat([]byte{1, 7, 2, 8}, 48)) // interleaved insert/delete
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := newOAMap[uint64](0)
+		shadow := map[uint64]int32{}
+		for i := 0; i+1 < len(data); i += 2 {
+			// A 48-key space over a table that starts at minimum size
+			// keeps the load factor high and the collision runs long, so
+			// deletes constantly exercise the backward shift (and inserts
+			// the grow/rehash).
+			k := uint64(data[i+1]) % 48
+			switch data[i] % 4 {
+			case 0, 1: // set / overwrite
+				v := int32(data[i+1]%127) + 1
+				m.Set(k, v)
+				shadow[k] = v
+			case 2: // delete
+				_, want := shadow[k]
+				if got := m.Delete(k); got != want {
+					t.Fatalf("op %d: Delete(%d) = %v, shadow %v", i, k, got, want)
+				}
+				delete(shadow, k)
+			case 3: // lookup
+				got, ok := m.Get(k)
+				want, wok := shadow[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("op %d: Get(%d) = (%d,%v), shadow (%d,%v)", i, k, got, ok, want, wok)
+				}
+			}
+			if m.Len() != len(shadow) {
+				t.Fatalf("op %d: Len %d, shadow %d", i, m.Len(), len(shadow))
+			}
+			if err := m.checkInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+		for k, v := range shadow {
+			if got, ok := m.Get(k); !ok || got != v {
+				t.Fatalf("final: Get(%d) = (%d,%v), shadow %d", k, got, ok, v)
+			}
+		}
+	})
+}
+
 // FuzzAnalyzerMembership drives transaction streams through a small
 // analyzer and checks that the intrusive pair-membership lists stay an
 // exact mirror of the live correlation table.

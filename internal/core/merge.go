@@ -33,8 +33,23 @@ func satAdd(a, b uint32) uint32 {
 // what makes the single-device deployment the N=1 case of the engine.
 func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	var out Snapshot
-	pairAt := make(map[blktrace.Pair]int)
-	itemAt := make(map[blktrace.Extent]int)
+	// Size the dedup maps (and the output slices) by the summed input
+	// lengths: an upper bound on the union, so the merge path never
+	// rehashes or re-appends mid-merge. Overlapping fleets over-reserve
+	// by the overlap, which is bounded and transient.
+	var nPairs, nItems int
+	for _, s := range snaps {
+		nPairs += len(s.Pairs)
+		nItems += len(s.Items)
+	}
+	pairAt := make(map[blktrace.Pair]int, nPairs)
+	itemAt := make(map[blktrace.Extent]int, nItems)
+	if nPairs > 0 {
+		out.Pairs = make([]PairCount, 0, nPairs)
+	}
+	if nItems > 0 {
+		out.Items = make([]ItemCount, 0, nItems)
+	}
 	for _, s := range snaps {
 		for _, pc := range s.Pairs {
 			if i, ok := pairAt[pc.Pair]; ok {

@@ -60,8 +60,19 @@ func (cw *countingWriter) write(data any) error {
 }
 
 // WriteTo serialises the analyzer's full state. It implements
-// io.WriterTo.
+// io.WriterTo. The encoding runs over a fresh capture, so it is the
+// same bytes RawSnapshot.WriteTo yields from a capture at this moment.
 func (a *Analyzer) WriteTo(w io.Writer) (int64, error) {
+	var r RawSnapshot
+	a.CaptureSnapshot(&r)
+	return r.WriteTo(w)
+}
+
+// encodeSnapshot writes the synopsis snapshot format from captured
+// state: header (config + stats), then both tables' entries in
+// Entries(0) order (T2 first, MRU→LRU within each tier).
+func encodeSnapshot(w io.Writer, cfg Config, stats Stats,
+	items []Entry[blktrace.Extent], pairs []Entry[blktrace.Pair]) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
 	if _, err := cw.w.WriteString(synMagic); err != nil {
 		return cw.n, err
@@ -69,44 +80,62 @@ func (a *Analyzer) WriteTo(w io.Writer) (int64, error) {
 	cw.n += int64(len(synMagic))
 	hdr := []any{
 		uint16(synVersion),
-		uint64(a.cfg.ItemCapacity),
-		uint64(a.cfg.PairCapacity),
-		a.cfg.PromoteThreshold,
-		math.Float64bits(a.cfg.TierRatio),
-		a.stats,
+		uint64(cfg.ItemCapacity),
+		uint64(cfg.PairCapacity),
+		cfg.PromoteThreshold,
+		math.Float64bits(cfg.TierRatio),
+		stats,
 	}
 	for _, v := range hdr {
 		if err := cw.write(v); err != nil {
 			return cw.n, err
 		}
 	}
-	items := a.items.Entries(0) // T2 first, MRU→LRU within each tier
 	if err := cw.write(uint32(len(items))); err != nil {
 		return cw.n, err
 	}
+	// The record loops hand-roll the little-endian layout instead of
+	// going through binary.Write: its reflection path allocates per
+	// record, which turns a checkpoint of a full synopsis (tens of
+	// thousands of records) into megabytes of garbage and the bulk of
+	// the encode's CPU. Layouts must match itemRecord/pairRecord field
+	// order exactly — the decoder still reads those structs, and
+	// TestDifferentialCheckpointRestoreReplay pins the bytes.
+	var rec [pairRecordSize]byte
 	for _, e := range items {
-		if err := cw.write(itemRecord{
-			Tier: uint8(e.Tier), Count: e.Count,
-			Block: e.Key.Block, Len: e.Key.Len,
-		}); err != nil {
+		rec[0] = uint8(e.Tier)
+		binary.LittleEndian.PutUint32(rec[1:], e.Count)
+		binary.LittleEndian.PutUint64(rec[5:], e.Key.Block)
+		binary.LittleEndian.PutUint32(rec[13:], e.Key.Len)
+		if _, err := cw.w.Write(rec[:itemRecordSize]); err != nil {
 			return cw.n, err
 		}
+		cw.n += itemRecordSize
 	}
-	pairs := a.pairs.Entries(0)
 	if err := cw.write(uint32(len(pairs))); err != nil {
 		return cw.n, err
 	}
 	for _, e := range pairs {
-		if err := cw.write(pairRecord{
-			Tier: uint8(e.Tier), Count: e.Count,
-			ABlock: e.Key.A.Block, ALen: e.Key.A.Len,
-			BBlock: e.Key.B.Block, BLen: e.Key.B.Len,
-		}); err != nil {
+		rec[0] = uint8(e.Tier)
+		binary.LittleEndian.PutUint32(rec[1:], e.Count)
+		binary.LittleEndian.PutUint64(rec[5:], e.Key.A.Block)
+		binary.LittleEndian.PutUint64(rec[13:], e.Key.B.Block)
+		binary.LittleEndian.PutUint32(rec[21:], e.Key.A.Len)
+		binary.LittleEndian.PutUint32(rec[25:], e.Key.B.Len)
+		if _, err := cw.w.Write(rec[:pairRecordSize]); err != nil {
 			return cw.n, err
 		}
+		cw.n += pairRecordSize
 	}
 	return cw.n, cw.w.Flush()
 }
+
+// Wire sizes of the two record layouts (binary.Size of the structs:
+// fields packed in declaration order, no padding).
+const (
+	itemRecordSize = 1 + 4 + 8 + 4
+	pairRecordSize = 1 + 4 + 8 + 8 + 4 + 4
+)
 
 type itemRecord struct {
 	Tier  uint8
@@ -273,7 +302,7 @@ func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
 			return nil, fmt.Errorf("%w: pair %d at offset %d: %v",
 				ErrBadSnapshotRecord, i, recOff, err)
 		}
-		a.registerPair(a.pairs.index[p], p)
+		a.registerPair(a.pairs.lookup(p), p)
 	}
 	return a, nil
 }
@@ -283,7 +312,8 @@ func LoadAnalyzer(r io.Reader) (*Analyzer, error) {
 // the exact recency order. It rejects duplicates, invalid tiers, and
 // capacity overflows.
 func (t *Table[K]) restore(k K, count uint32, tier Tier) error {
-	if _, dup := t.index[k]; dup {
+	h := hashOf(t.idx.seed, k)
+	if t.indexLookup(h, k) != nilSlot {
 		return fmt.Errorf("core: snapshot entry %v duplicated", k)
 	}
 	if count == 0 {
@@ -310,6 +340,6 @@ func (t *Table[K]) restore(k K, count uint32, tier Tier) error {
 	} else {
 		t.listPushBack(&t.t2, s)
 	}
-	t.index[k] = s
+	t.indexInsert(h, s)
 	return nil
 }

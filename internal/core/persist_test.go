@@ -66,6 +66,58 @@ func TestPersistRoundTrip(t *testing.T) {
 	}
 }
 
+// TestEncodeRecordLayout pins the hand-rolled record encoding in
+// encodeSnapshot to the reflective layout the decoder reads
+// (binary.Write of itemRecord/pairRecord in declaration order). If
+// either side drifts, on-disk snapshots stop round-tripping.
+func TestEncodeRecordLayout(t *testing.T) {
+	item := Entry[blktrace.Extent]{
+		Key: ext(0x1122334455667788, 0x99aabbcc), Count: 0xdeadbeef, Tier: Tier2,
+	}
+	pair := Entry[blktrace.Pair]{
+		Key: blktrace.Pair{
+			A: ext(0x0102030405060708, 0x0a0b0c0d),
+			B: ext(0x1112131415161718, 0x1a1b1c1d),
+		},
+		Count: 0xcafef00d, Tier: Tier1,
+	}
+	var got bytes.Buffer
+	if _, err := encodeSnapshot(&got, Config{ItemCapacity: 16, PairCapacity: 16}, Stats{},
+		[]Entry[blktrace.Extent]{item}, []Entry[blktrace.Pair]{pair}); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, v := range []any{
+		itemRecord{Tier: uint8(item.Tier), Count: item.Count, Block: item.Key.Block, Len: item.Key.Len},
+		pairRecord{
+			Tier: uint8(pair.Tier), Count: pair.Count,
+			ABlock: pair.Key.A.Block, ALen: pair.Key.A.Len,
+			BBlock: pair.Key.B.Block, BLen: pair.Key.B.Len,
+		},
+	} {
+		if err := binary.Write(&want, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if int64(binary.Size(itemRecord{})) != itemRecordSize ||
+		int64(binary.Size(pairRecord{})) != pairRecordSize {
+		t.Fatalf("record size constants drifted: item %d want %d, pair %d want %d",
+			itemRecordSize, binary.Size(itemRecord{}), pairRecordSize, binary.Size(pairRecord{}))
+	}
+	// The stream is header | u32 count | item record | u32 count | pair
+	// record; check both records byte-for-byte where they sit.
+	stream := got.Bytes()
+	itemOff := len(stream) - int(pairRecordSize) - 4 - int(itemRecordSize)
+	wantItem := want.Bytes()[:itemRecordSize]
+	if !bytes.Equal(stream[itemOff:itemOff+int(itemRecordSize)], wantItem) {
+		t.Errorf("item record bytes drifted from binary.Write layout")
+	}
+	pairOff := len(stream) - int(pairRecordSize)
+	if !bytes.Equal(stream[pairOff:], want.Bytes()[itemRecordSize:]) {
+		t.Errorf("pair record bytes drifted from binary.Write layout")
+	}
+}
+
 // The strong property: a restored analyzer behaves identically to the
 // original on any subsequent stream — recency order, eviction choices,
 // promotions, everything.

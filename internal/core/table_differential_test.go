@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -171,6 +172,16 @@ func TestTableDifferential(t *testing.T) {
 						t.Fatalf("op %d: eviction %d = %+v, ref %+v", op, i, evicts[i], ref.evicts[i])
 					}
 				}
+				// Every op routes its key through the open-addressing
+				// index (touch looks up, miss-evict deletes, insert
+				// re-probes); presence must agree with the reference
+				// after each one. The full structural sweep — including
+				// checkIndexInvariants' probe-path and hash checks —
+				// runs periodically, it is O(slots · probe length).
+				_, inRef := ref.tier[k]
+				if got := tbl.lookup(k) != nilSlot; got != inRef {
+					t.Fatalf("op %d: index presence of %d = %v, ref %v", op, k, got, inRef)
+				}
 				if op%4096 == 0 {
 					if err := tbl.checkInvariants(); err != nil {
 						t.Fatalf("op %d: %v", op, err)
@@ -191,6 +202,69 @@ func TestTableDifferential(t *testing.T) {
 			}
 			if uint64(len(evicts)) != tbl.Evictions() {
 				t.Fatalf("eviction counter %d, callback saw %d", tbl.Evictions(), len(evicts))
+			}
+		})
+	}
+}
+
+// TestOAMapDifferential drives ~100k randomized set/delete/get
+// operations through the open-addressing side map and a builtin map in
+// lockstep. It sweeps keyspace sizes so the map runs at every load
+// factor — from half-empty through repeated grow/rehash cycles — while
+// the periodic invariant sweep proves backward-shift deletion never
+// leaves a gap on a live probe path.
+func TestOAMapDifferential(t *testing.T) {
+	const opsPerSeed = 25_000
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := newOAMap[uint64](rng.Intn(64))
+			shadow := map[uint64]int32{}
+			keyspace := uint64(16 + rng.Intn(240))
+			for op := 0; op < opsPerSeed; op++ {
+				k := rng.Uint64() % keyspace
+				switch rng.Intn(10) {
+				case 0, 1, 2: // delete
+					_, want := shadow[k]
+					if got := m.Delete(k); got != want {
+						t.Fatalf("op %d: Delete(%d) = %v, shadow %v", op, k, got, want)
+					}
+					delete(shadow, k)
+				case 3: // get
+					got, ok := m.Get(k)
+					want, wok := shadow[k]
+					if ok != wok || (ok && got != want) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v), shadow (%d,%v)", op, k, got, ok, want, wok)
+					}
+				default: // set
+					v := int32(rng.Intn(1 << 20))
+					m.Set(k, v)
+					shadow[k] = v
+				}
+				if m.Len() != len(shadow) {
+					t.Fatalf("op %d: Len %d, shadow %d", op, m.Len(), len(shadow))
+				}
+				if op%1024 == 0 {
+					if err := m.checkInvariants(); err != nil {
+						t.Fatalf("op %d: %v", op, err)
+					}
+				}
+			}
+			if err := m.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Range must visit exactly the shadow's entries.
+			got := map[uint64]int32{}
+			m.Range(func(k uint64, v int32) bool {
+				if _, dup := got[k]; dup {
+					t.Fatalf("Range visited %d twice", k)
+				}
+				got[k] = v
+				return true
+			})
+			if !reflect.DeepEqual(got, shadow) {
+				t.Fatalf("Range saw %d entries, shadow has %d", len(got), len(shadow))
 			}
 		})
 	}

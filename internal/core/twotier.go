@@ -199,7 +199,11 @@ type Table[K comparable] struct {
 	free    int32      // head of the free-slot list, chained via entry.next
 	freeLen int
 	t1, t2  lruList
-	index   map[K]int32
+	// idx maps keys to arena slots via flat open addressing (see
+	// oaindex.go) instead of a Go map: probe sequences stay within one
+	// or two cache lines and the steady-state Touch path pays no
+	// map-bucket indirection.
+	idx     tableIndex
 	onEvict func(K, uint32) // key and its count at eviction time
 	// onEvictSlot, when set, additionally reports the evicted entry's
 	// arena slot — the analyzer threads its intrusive pair-membership
@@ -227,15 +231,16 @@ func NewTable[K comparable](cfg TableConfig, onEvict func(K, uint32)) (*Table[K]
 	if hint > arenaMaxPrealloc {
 		hint = arenaMaxPrealloc
 	}
-	return &Table[K]{
+	t := &Table[K]{
 		cfg:     cfg,
 		arena:   make([]entry[K], 0, hint),
 		free:    nilSlot,
 		t1:      newLRUList(),
 		t2:      newLRUList(),
-		index:   make(map[K]int32, hint),
 		onEvict: onEvict,
-	}, nil
+	}
+	t.idx.indexInit(hint)
+	return t, nil
 }
 
 // alloc takes a slot from the free list, or extends the arena while it
@@ -267,7 +272,7 @@ func (t *Table[K]) keyAt(s int32) K { return t.arena[s].key }
 func (t *Table[K]) evict(l *lruList, s int32) {
 	k, c := t.arena[s].key, t.arena[s].count
 	t.listRemove(l, s)
-	delete(t.index, k)
+	t.indexDelete(hashOf(t.idx.seed, k), k)
 	t.evictions++
 	if t.onEvictSlot != nil {
 		t.onEvictSlot(s, k, c)
@@ -291,7 +296,8 @@ func (t *Table[K]) Touch(k K) TouchResult {
 // touch is Touch plus the arena slot now holding k, which the analyzer
 // uses to maintain its intrusive pair-membership lists.
 func (t *Table[K]) touch(k K) (TouchResult, int32) {
-	if s, ok := t.index[k]; ok {
+	h := hashOf(t.idx.seed, k)
+	if s := t.indexLookup(h, k); s != nilSlot {
 		e := &t.arena[s]
 		e.count++
 		switch e.tier {
@@ -314,11 +320,14 @@ func (t *Table[K]) touch(k K) (TouchResult, int32) {
 		}
 	}
 	if t.t1.size >= t.cfg.Capacity1 {
+		// Eviction backward-shifts the index, so the insert below must
+		// re-probe from k's home slot rather than reuse a position
+		// found before the shift; indexInsert does exactly that.
 		t.evict(&t.t1, t.t1.back)
 	}
 	s := t.alloc(k, 1, Tier1)
 	t.listPushFront(&t.t1, s)
-	t.index[k] = s
+	t.indexInsert(h, s)
 	return Inserted, s
 }
 
@@ -327,8 +336,8 @@ func (t *Table[K]) touch(k K) (TouchResult, int32) {
 // "reduce the relevancy of an entry without immediate eviction". It
 // reports whether the key was present.
 func (t *Table[K]) Demote(k K) bool {
-	s, ok := t.index[k]
-	if !ok {
+	s := t.lookup(k)
+	if s == nilSlot {
 		return false
 	}
 	switch t.arena[s].tier {
@@ -343,8 +352,9 @@ func (t *Table[K]) Demote(k K) bool {
 // Remove deletes the entry for k without invoking the eviction
 // callback, reporting whether it was present.
 func (t *Table[K]) Remove(k K) bool {
-	s, ok := t.index[k]
-	if !ok {
+	h := hashOf(t.idx.seed, k)
+	s := t.indexLookup(h, k)
+	if s == nilSlot {
 		return false
 	}
 	switch t.arena[s].tier {
@@ -353,24 +363,29 @@ func (t *Table[K]) Remove(k K) bool {
 	default:
 		t.listRemove(&t.t2, s)
 	}
-	delete(t.index, k)
+	t.indexDelete(h, k)
 	t.freeSlot(s)
 	return true
 }
 
 // Count returns the sighting counter for k and whether it is present.
 func (t *Table[K]) Count(k K) (uint32, bool) {
-	s, ok := t.index[k]
-	if !ok {
+	s := t.lookup(k)
+	if s == nilSlot {
 		return 0, false
 	}
 	return t.arena[s].count, true
 }
 
+// lookup returns the arena slot holding k, or nilSlot if absent.
+func (t *Table[K]) lookup(k K) int32 {
+	return t.indexLookup(hashOf(t.idx.seed, k), k)
+}
+
 // TierOf returns which tier holds k (TierNone if absent).
 func (t *Table[K]) TierOf(k K) Tier {
-	s, ok := t.index[k]
-	if !ok {
+	s := t.lookup(k)
+	if s == nilSlot {
 		return TierNone
 	}
 	return t.arena[s].tier
@@ -468,7 +483,7 @@ func (t *Table[K]) checkInvariants() error {
 			if e.prev != prev {
 				return fmt.Errorf("broken prev link at %v", e.key)
 			}
-			if idx, ok := t.index[e.key]; !ok || idx != s {
+			if t.lookup(e.key) != s {
 				return fmt.Errorf("index mismatch for %v", e.key)
 			}
 			if tierNo == Tier2 && e.count < t.cfg.PromoteThreshold {
@@ -485,8 +500,8 @@ func (t *Table[K]) checkInvariants() error {
 		}
 		seen += n
 	}
-	if seen != len(t.index) {
-		return fmt.Errorf("index has %d entries, lists have %d", len(t.index), seen)
+	if seen != t.idx.used {
+		return fmt.Errorf("index has %d entries, lists have %d", t.idx.used, seen)
 	}
 	nf := 0
 	for s := t.free; s != nilSlot; s = t.arena[s].next {
@@ -511,5 +526,5 @@ func (t *Table[K]) checkInvariants() error {
 	if seen+nf != len(t.arena) {
 		return fmt.Errorf("lost slots: %d live + %d free != %d arena slots", seen, nf, len(t.arena))
 	}
-	return nil
+	return t.checkIndexInvariants()
 }

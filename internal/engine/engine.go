@@ -168,6 +168,18 @@ type Engine struct {
 	order        []string // sorted by device ID, for deterministic listings
 	stopped      bool
 	restoredUsed bool
+
+	// Epoch-gated merged-snapshot cache. The key is the sum of all
+	// device epochs plus the device count (epochs only advance, so an
+	// unchanged sum at an unchanged count means no device changed). As
+	// with the per-shard cache the key is read before the exports, so
+	// the cache can only under-claim freshness.
+	mergeMu      sync.Mutex
+	mergeCached  core.Snapshot
+	mergeEpoch   uint64
+	mergeDevices int
+	mergeSupport uint32
+	mergeValid   bool
 }
 
 // New builds an engine from functional options — the one constructor
@@ -397,39 +409,75 @@ func (e *Engine) ObserveLatency(id string, ns int64) {
 	}
 }
 
-// Snapshot exports the named device's synopsis at minSupport.
+// Snapshot exports the named device's synopsis at minSupport. The
+// worker only contributes an O(live entries) capture; sorting happens
+// on the calling goroutine, and repeated queries while the device's
+// synopsis is unchanged are served from an epoch-gated cache without
+// touching the worker at all. Callers must treat the returned snapshot
+// as read-only — concurrent queries at the same epoch share it.
 func (e *Engine) Snapshot(id string, minSupport uint32) (core.Snapshot, error) {
 	s, err := e.shard(id)
 	if err != nil {
 		return core.Snapshot{}, err
 	}
-	r, err := s.ask(query{kind: querySnapshot, minSupport: minSupport})
-	return r.snapshot, err
+	return s.snapshot(minSupport)
+}
+
+// Epoch returns the named device's synopsis epoch: a counter that
+// advances whenever the device's synopsis changes (a processed batch,
+// a stop flush, a supervised restart). Two queries at the same epoch
+// observe identical synopsis state, which is what lets HTTP handlers
+// answer If-None-Match revalidations without recomputing — or even
+// re-asking — anything.
+func (e *Engine) Epoch(id string) (uint64, error) {
+	s, err := e.shard(id)
+	if err != nil {
+		return 0, err
+	}
+	return s.epoch.Load(), nil
+}
+
+// MergedEpoch returns the sum of every device's epoch and the device
+// count. Epochs are monotone, so an unchanged (sum, devices) pair
+// means no device's synopsis changed — the fleet-level analogue of
+// Epoch for cache validation.
+func (e *Engine) MergedEpoch() (sum uint64, devices int) {
+	shards := e.orderedShards()
+	for _, s := range shards {
+		sum += s.epoch.Load()
+	}
+	return sum, len(shards)
 }
 
 // Rules extracts the named device's directional association rules from
-// its live tables.
+// its live tables. The rule extraction runs on the calling goroutine
+// against a capture; the worker only pays for the copy.
 func (e *Engine) Rules(id string, minSupport uint32, minConfidence float64) ([]core.Rule, error) {
 	s, err := e.shard(id)
 	if err != nil {
 		return nil, err
 	}
-	r, err := s.ask(query{kind: queryRules, minSupport: minSupport, minConf: minConfidence})
-	return r.rules, err
+	var rules []core.Rule
+	err = s.capture(func(raw *core.RawSnapshot) error {
+		rules = raw.Rules(minSupport, minConfidence)
+		return nil
+	})
+	return rules, err
 }
 
-// WriteSnapshot serialises the named device's live synopsis (see
-// core.Analyzer.WriteTo) without stopping ingestion.
+// WriteSnapshot serialises the named device's live synopsis (the
+// core.Analyzer.WriteTo format) without stopping ingestion: the binary
+// encoding and the writes to w run on the calling goroutine against a
+// capture, not on the device worker.
 func (e *Engine) WriteSnapshot(id string, w io.Writer) error {
 	s, err := e.shard(id)
 	if err != nil {
 		return err
 	}
-	r, err := s.ask(query{kind: querySave, saveTo: w})
-	if err != nil {
+	return s.capture(func(raw *core.RawSnapshot) error {
+		_, err := raw.WriteTo(w)
 		return err
-	}
-	return r.saveErr
+	})
 }
 
 // MergedSnapshot exports every device's synopsis and merges them
@@ -440,20 +488,32 @@ func (e *Engine) WriteSnapshot(id string, w io.Writer) error {
 // poisoning the fleet view: their workers are gone, but the healthy
 // devices' correlations are still worth serving (the omission is
 // visible on /v1/healthz and in Stats).
+// Repeated fleet queries while no device changed are served from an
+// epoch-sum-gated cache; as with Snapshot, callers must treat the
+// result as read-only.
 func (e *Engine) MergedSnapshot(minSupport uint32) (core.Snapshot, error) {
+	e.mergeMu.Lock()
+	defer e.mergeMu.Unlock()
+	sum, n := e.MergedEpoch() // before the exports: under-claims, never over-claims
+	if e.mergeValid && e.mergeSupport == minSupport && e.mergeEpoch == sum && e.mergeDevices == n {
+		return e.mergeCached, nil
+	}
 	shards := e.orderedShards()
 	snaps := make([]core.Snapshot, 0, len(shards))
 	for _, s := range shards {
-		r, err := s.ask(query{kind: querySnapshot, minSupport: minSupport})
+		snap, err := s.snapshot(minSupport)
 		if err != nil {
 			if errors.Is(err, ErrDeviceUnavailable) {
 				continue
 			}
 			return core.Snapshot{}, err
 		}
-		snaps = append(snaps, r.snapshot)
+		snaps = append(snaps, snap)
 	}
-	return core.MergeSnapshots(snaps...), nil
+	merged := core.MergeSnapshots(snaps...)
+	e.mergeCached, e.mergeEpoch, e.mergeDevices = merged, sum, n
+	e.mergeSupport, e.mergeValid = minSupport, true
+	return merged, nil
 }
 
 // MergedRules derives fleet-wide directional rules from the merged
@@ -478,6 +538,12 @@ type DeviceStats struct {
 	Analyzer core.Stats
 	// Window is the monitor's current rolling transaction window.
 	Window time.Duration
+	// ItemIndex and PairIndex report the synopsis tables'
+	// open-addressing index shape and probe behaviour (mean probe
+	// length = Probes/Lookups) — the signal that the hash index, not
+	// the tiers, is degrading.
+	ItemIndex core.IndexStats
+	PairIndex core.IndexStats
 	// Dropped counts events discarded by the drop-oldest policy.
 	Dropped uint64
 	// Lag is the number of events queued but not yet processed.
@@ -570,6 +636,7 @@ func (e *Engine) statsOf(s *shard) (DeviceStats, error) {
 		return DeviceStats{}, err
 	}
 	ds.Monitor, ds.Analyzer, ds.Window = r.monStats, r.anStats, r.window
+	ds.ItemIndex, ds.PairIndex = r.itemIdx, r.pairIdx
 	return ds, nil
 }
 

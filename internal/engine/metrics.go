@@ -3,6 +3,7 @@ package engine
 import (
 	"time"
 
+	"daccor/internal/core"
 	"daccor/internal/obs"
 )
 
@@ -28,6 +29,14 @@ const (
 // state, timestamp, and age gauges read the shard's mutex-guarded
 // health fields at scrape time.
 const (
+	// Read-path instruments: how long the worker is held up copying
+	// state for a reader (the residual in-worker cost of a snapshot,
+	// rules, save, or checkpoint query) and how often the epoch-gated
+	// snapshot cache spares the worker that copy entirely.
+	MetricCaptureSeconds      = "daccor_engine_capture_seconds"
+	MetricSnapshotCacheHits   = "daccor_engine_snapshot_cache_hits_total"
+	MetricSnapshotCacheMisses = "daccor_engine_snapshot_cache_misses_total"
+
 	MetricPanics           = "daccor_engine_worker_panics_total"
 	MetricRestarts         = "daccor_engine_worker_restarts_total"
 	MetricHealthState      = "daccor_engine_device_health_state"
@@ -46,16 +55,19 @@ const latencySampleMask = 63
 
 // shardMetrics is one device's producer-side instruments.
 type shardMetrics struct {
-	submitted  *obs.Counter
-	dropped    *obs.Counter
-	blocked    *obs.Counter
-	batches    *obs.Counter
-	batchSize  *obs.Histogram
-	latency    *obs.Histogram
-	panics     *obs.Counter
-	restarts   *obs.Counter
-	ckpts      *obs.Counter
-	ckptErrors *obs.Counter
+	submitted      *obs.Counter
+	dropped        *obs.Counter
+	blocked        *obs.Counter
+	batches        *obs.Counter
+	batchSize      *obs.Histogram
+	latency        *obs.Histogram
+	captureSeconds *obs.Histogram
+	snapHits       *obs.Counter
+	snapMisses     *obs.Counter
+	panics         *obs.Counter
+	restarts       *obs.Counter
+	ckpts          *obs.Counter
+	ckptErrors     *obs.Counter
 }
 
 // newShardMetrics registers one device's instruments. The queue-depth
@@ -74,6 +86,11 @@ func newShardMetrics(r *obs.Registry, s *shard, queueSize int) *shardMetrics {
 		latency: r.Histogram(MetricSubmitLatency,
 			"Sampled wall-clock latency from Submit to completed analysis, in seconds.",
 			obs.LatencyBuckets(), lbl),
+		captureSeconds: r.Histogram(MetricCaptureSeconds,
+			"Worker time spent copying synopsis state for a reader (the ingest stall a query or checkpoint causes), in seconds.",
+			obs.LatencyBuckets(), lbl),
+		snapHits:   r.Counter(MetricSnapshotCacheHits, "Snapshot queries served from the epoch-gated cache without a worker round trip.", lbl),
+		snapMisses: r.Counter(MetricSnapshotCacheMisses, "Snapshot queries that required a fresh capture.", lbl),
 		panics:     r.Counter(MetricPanics, "Worker panics recovered by the device supervisor.", lbl),
 		restarts:   r.Counter(MetricRestarts, "Worker restarts performed by the device supervisor.", lbl),
 		ckpts:      r.Counter(MetricCheckpoints, "Checkpoint generations committed, per device.", lbl),
@@ -122,6 +139,15 @@ const (
 	MetricAnalyzerItemEvictions  = "daccor_analyzer_item_evictions_total"
 	MetricAnalyzerPairEvictions  = "daccor_analyzer_pair_evictions_total"
 	MetricAnalyzerPairDemotions  = "daccor_analyzer_pair_demotions_total"
+
+	// Open-addressing index mirrors, labeled {device, table} with table
+	// in {"items", "pairs"}. Probes/Lookups is the mean probe length —
+	// the health signal for hash quality and load factor.
+	MetricIndexLookups  = "daccor_core_index_lookups_total"
+	MetricIndexProbes   = "daccor_core_index_probes_total"
+	MetricIndexMaxProbe = "daccor_core_index_max_probe_length"
+	MetricIndexSlots    = "daccor_core_index_slots"
+	MetricIndexUsed     = "daccor_core_index_used"
 )
 
 // collect mirrors the worker-owned monitor and analyzer stats into the
@@ -153,6 +179,18 @@ func (e *Engine) collect() {
 		r.Counter(MetricAnalyzerItemEvictions, "Item-table evictions.", lbl).Store(d.Analyzer.ItemEvictions)
 		r.Counter(MetricAnalyzerPairEvictions, "Correlation-table evictions.", lbl).Store(d.Analyzer.PairEvictions)
 		r.Counter(MetricAnalyzerPairDemotions, "Pair demotions cascaded from item evictions.", lbl).Store(d.Analyzer.PairDemotions)
+
+		for _, ix := range [...]struct {
+			table string
+			st    core.IndexStats
+		}{{"items", d.ItemIndex}, {"pairs", d.PairIndex}} {
+			tl := []obs.Label{obs.L("device", d.Device), obs.L("table", ix.table)}
+			r.Counter(MetricIndexLookups, "Open-addressing index lookups (hits and misses).", tl...).Store(ix.st.Lookups)
+			r.Counter(MetricIndexProbes, "Probe steps beyond the home slot, summed over lookups.", tl...).Store(ix.st.Probes)
+			r.Gauge(MetricIndexMaxProbe, "Longest probe sequence any lookup has walked.", tl...).Set(float64(ix.st.MaxProbe))
+			r.Gauge(MetricIndexSlots, "Open-addressing slot-array size.", tl...).Set(float64(ix.st.Slots))
+			r.Gauge(MetricIndexUsed, "Open-addressing slots occupied by live entries.", tl...).Set(float64(ix.st.Used))
+		}
 	}
 }
 

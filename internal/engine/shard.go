@@ -2,8 +2,8 @@ package engine
 
 import (
 	"fmt"
-	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"daccor/internal/blktrace"
@@ -15,33 +15,40 @@ import (
 
 type queryKind int
 
+// The worker answers only two query kinds. queryCapture is the whole
+// read path: it copies the synopsis into the asker's RawSnapshot in
+// O(live entries) and returns; sorting, rule extraction, JSON, and
+// checkpoint encoding all happen on the asking goroutine against the
+// immutable copy, so readers no longer stall ingest for the duration
+// of a serialization (see core.RawSnapshot).
 const (
-	querySnapshot queryKind = iota
-	queryRules
+	queryCapture queryKind = iota
 	queryStats
-	querySave
-	queryCheckpoint
 )
 
 type query struct {
-	kind       queryKind
-	minSupport uint32
-	minConf    float64
-	saveTo     io.Writer
-	reply      chan queryReply
+	kind queryKind
+	// raw receives the capture for queryCapture; owned by the asker,
+	// written by the worker before the reply is sent.
+	raw   *core.RawSnapshot
+	reply chan queryReply
 }
 
 type queryReply struct {
-	snapshot core.Snapshot
-	rules    []core.Rule
 	monStats monitor.Stats
 	anStats  core.Stats
 	window   time.Duration
-	saveErr  error
+	itemIdx  core.IndexStats
+	pairIdx  core.IndexStats
 	// err is set when the query could not be served at all: the worker
 	// panicked while answering it, or the device failed permanently.
 	err error
 }
+
+// rawPool recycles capture buffers across one-shot reads (rules,
+// saves, checkpoints), so a steady stream of them settles into zero
+// steady-state allocation for the capture itself.
+var rawPool = sync.Pool{New: func() any { return new(core.RawSnapshot) }}
 
 // shard is one device's slice of the engine: a pipeline owned by a
 // single worker goroutine, fed through a bounded ring of events. State
@@ -92,6 +99,27 @@ type shard struct {
 
 	stopCh chan struct{} // closed by requestStop: interrupts backoff and the checkpoint loop
 	done   chan struct{} // closed when the supervisor goroutine exits
+
+	// epoch counts synopsis state changes: it advances whenever the
+	// worker processes a batch of events, flushes on stop, or is
+	// restarted onto restored state. Two reads at the same epoch see
+	// identical synopsis state, which is what lets the snapshot cache
+	// below (and the HTTP layer's ETags) skip recomputation — and even
+	// the worker round trip — when nothing changed.
+	epoch atomic.Uint64
+
+	// Epoch-gated snapshot cache. snapMu serializes the capture+convert
+	// path so a query storm at one epoch does one capture; followers
+	// wait and take the cached product. The epoch is loaded before the
+	// capture is requested, so a cache entry can under-claim freshness
+	// (worker advanced mid-ask → next read recaptures) but never serve
+	// stale data.
+	snapMu      sync.Mutex
+	snapRaw     *core.RawSnapshot // capture scratch, reused under snapMu
+	snapCached  core.Snapshot
+	snapEpoch   uint64
+	snapSupport uint32
+	snapValid   bool
 }
 
 func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpressure) *shard {
@@ -168,9 +196,13 @@ func (s *shard) loop() {
 				s.metrics.observeSubmitLatency(tss[i])
 			}
 		}
+		if len(evs) > 0 {
+			s.epoch.Add(1)
+		}
 		s.noteProcessed(len(evs))
 		if stopping {
 			s.pipe.Flush()
+			s.epoch.Add(1)
 			// Final flush: persist the drained state so a restart does
 			// not pay the cold-start transient. An error is recorded in
 			// the checkpoint metrics; shutdown proceeds regardless.
@@ -206,18 +238,20 @@ func (s *shard) answer(q query) {
 	}()
 	var r queryReply
 	switch q.kind {
-	case querySnapshot:
-		r.snapshot = s.pipe.Snapshot(q.minSupport)
-	case queryRules:
-		r.rules = s.pipe.Analyzer().Rules(q.minSupport, q.minConf)
+	case queryCapture:
+		// The capture is the only read-side work charged to the worker;
+		// its duration is the ingest stall a reader causes, so it is
+		// what the capture-seconds histogram measures.
+		start := time.Now()
+		s.pipe.Analyzer().CaptureSnapshot(q.raw)
+		s.metrics.captureSeconds.Observe(time.Since(start).Seconds())
 	case queryStats:
+		a := s.pipe.Analyzer()
 		r.monStats = s.pipe.Monitor().Stats()
-		r.anStats = s.pipe.Analyzer().Stats()
+		r.anStats = a.Stats()
 		r.window = s.pipe.WindowDuration()
-	case querySave:
-		_, r.saveErr = s.pipe.Analyzer().WriteTo(q.saveTo)
-	case queryCheckpoint:
-		r.saveErr = s.writeCheckpoint()
+		r.itemIdx = a.Items().IndexStats()
+		r.pairIdx = a.Pairs().IndexStats()
 	}
 	q.reply <- r
 }
@@ -389,6 +423,44 @@ func (s *shard) ask(q query) (queryReply, error) {
 	case <-s.done:
 		return queryReply{}, ErrStopped
 	}
+}
+
+// snapshot serves the device's sorted export, recomputing only when
+// the synopsis changed since the cached copy was derived (same epoch +
+// same support ⇒ identical result, so the cache is exact, not
+// approximate). snapMu collapses a concurrent query storm into one
+// worker capture; the sort and slice building run here, off the
+// worker.
+func (s *shard) snapshot(minSupport uint32) (core.Snapshot, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	epoch := s.epoch.Load() // before the ask: may under-claim, never over-claims
+	if s.snapValid && s.snapSupport == minSupport && s.snapEpoch == epoch {
+		s.metrics.snapHits.Inc()
+		return s.snapCached, nil
+	}
+	s.metrics.snapMisses.Inc()
+	if s.snapRaw == nil {
+		s.snapRaw = new(core.RawSnapshot)
+	}
+	if _, err := s.ask(query{kind: queryCapture, raw: s.snapRaw}); err != nil {
+		return core.Snapshot{}, err
+	}
+	snap := s.snapRaw.Snapshot(minSupport)
+	s.snapCached, s.snapEpoch, s.snapSupport, s.snapValid = snap, epoch, minSupport, true
+	return snap, nil
+}
+
+// capture runs fn against a fresh pooled capture of the device's
+// synopsis. The worker only does the O(live entries) copy; fn (rule
+// extraction, snapshot encoding) runs on the calling goroutine.
+func (s *shard) capture(fn func(*core.RawSnapshot) error) error {
+	raw := rawPool.Get().(*core.RawSnapshot)
+	defer rawPool.Put(raw)
+	if _, err := s.ask(query{kind: queryCapture, raw: raw}); err != nil {
+		return err
+	}
+	return fn(raw)
 }
 
 // counters reads the producer-side counters: total events discarded by

@@ -3,10 +3,12 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
 	"daccor/internal/checkpoint"
+	"daccor/internal/core"
 	"daccor/internal/pipeline"
 )
 
@@ -226,6 +228,8 @@ func (s *shard) supervise() {
 // the supervisor goroutine owns s.pipe here.
 func (s *shard) installRestart(pipe *pipeline.Pipeline, gen checkpoint.Generation) {
 	s.pipe = pipe
+	// Restored state is different state: invalidate epoch-gated caches.
+	s.epoch.Add(1)
 	s.metrics.restarts.Inc()
 	s.mu.Lock()
 	s.restarts++
@@ -266,33 +270,46 @@ func (s *shard) parkFailed() {
 	s.mu.Unlock()
 }
 
-// checkpointLoop periodically asks the worker to write a checkpoint.
-// It runs as its own goroutine so the cadence is independent of
-// ingest; the write itself happens on the worker between batches, so
-// it serializes a consistent state. Errors are already counted by the
-// worker (checkpoint_errors metric); a failed or stopped device makes
-// ask return immediately, keeping the loop cheap until Stop ends it.
+// checkpointLoop periodically checkpoints the device. The worker only
+// contributes the O(live entries) capture between batches (a
+// consistent state with a bounded ingest stall); the binary encoding
+// and the fsync-heavy store commit run on this goroutine, so a slow
+// disk no longer holds up ingest for the duration of a write. Errors
+// are counted (checkpoint_errors metric); a failed or stopped device
+// makes the capture fail immediately, keeping the loop cheap until
+// Stop ends it.
 func (s *shard) checkpointLoop(interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			_, _ = s.ask(query{kind: queryCheckpoint})
+			_ = s.capture(func(raw *core.RawSnapshot) error {
+				return s.commitCheckpoint(raw)
+			})
 		case <-s.stopCh:
 			return
 		}
 	}
 }
 
-// writeCheckpoint saves the analyzer's state as a new generation and
-// records it in the health view. Runs on the worker goroutine, which
-// owns the pipeline.
+// writeCheckpoint saves the analyzer's state as a new generation. It
+// runs on the worker goroutine (which owns the pipeline) and is only
+// used on the stop path, where the worker is done ingesting and
+// encoding inline cannot stall anything.
 func (s *shard) writeCheckpoint() error {
+	return s.commitCheckpoint(s.pipe.Analyzer())
+}
+
+// commitCheckpoint persists one serializable state as a new checkpoint
+// generation and records it in the health view and metrics. src is
+// either a live analyzer (worker stop path) or an off-worker capture
+// (periodic path).
+func (s *shard) commitCheckpoint(src io.WriterTo) error {
 	if s.ckpt == nil {
 		return nil
 	}
-	gen, err := s.ckpt.Save(s.id, s.pipe.Analyzer())
+	gen, err := s.ckpt.Save(s.id, src)
 	if err != nil {
 		s.metrics.ckptErrors.Inc()
 		return err

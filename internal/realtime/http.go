@@ -161,6 +161,14 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 			return
 		}
 		id := r.PathValue("id")
+		epoch, err := e.Epoch(id)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		if revalidated(w, r, fmt.Sprintf("%s-%d-s%d-t%d", id, epoch, support, top)) {
+			return
+		}
 		snap, err := e.Snapshot(id, support)
 		if err != nil {
 			writeEngineError(w, err)
@@ -176,6 +184,14 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 			return
 		}
 		id := r.PathValue("id")
+		epoch, err := e.Epoch(id)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		if revalidated(w, r, fmt.Sprintf("%s-%d-s%d-t%d-c%g", id, epoch, support, top, conf)) {
+			return
+		}
 		rules, err := e.Rules(id, support, conf)
 		if err != nil {
 			writeEngineError(w, err)
@@ -190,6 +206,10 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
 			return
 		}
+		sum, n := e.MergedEpoch()
+		if revalidated(w, r, fmt.Sprintf("fleet-%d-%d-s%d-t%d", sum, n, support, top)) {
+			return
+		}
 		snap, err := e.MergedSnapshot(support)
 		if err != nil {
 			writeEngineError(w, err)
@@ -202,6 +222,10 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 		support, top, conf, err := ruleParams(r)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
+			return
+		}
+		sum, n := e.MergedEpoch()
+		if revalidated(w, r, fmt.Sprintf("fleet-%d-%d-s%d-t%d-c%g", sum, n, support, top, conf)) {
 			return
 		}
 		rules, err := mergedOrSingleRules(e, support, conf)
@@ -395,6 +419,24 @@ func decodeIngestBody(r *http.Request) ([]blktrace.Event, error) {
 		}
 	}
 	return evs, nil
+}
+
+// revalidated implements epoch-gated conditional GET on the query
+// routes. The tag encodes the device epoch (or fleet epoch sum) plus
+// every parameter that shapes the body; the synopsis is deterministic,
+// so an equal tag guarantees a byte-equal response and the handler can
+// answer 304 without recomputing — or even re-asking — anything. The
+// epoch is read before the body is computed, so a tag can only
+// under-claim freshness: a matching If-None-Match never hides newer
+// state, it only spares work when nothing changed.
+func revalidated(w http.ResponseWriter, r *http.Request, tag string) bool {
+	etag := `"` + tag + `"`
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
 }
 
 // mergedOrSingleRules serves fleet-wide rules: the exact live-table
