@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault
+.PHONY: ci fmt vet test race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault scenario scenario-check
 
 ci: fmt vet race alloc-guard alloc-check fault
 
@@ -80,3 +80,17 @@ bench-hot:
 # count (compare devices-1 vs devices-4 ns/op on a multi-core host).
 bench-engine:
 	$(GO) test -bench Engine -benchmem -run '^$$' .
+
+# Closed-loop scenario (replay → HTTP ingest → /v1/watch push → live
+# prefetcher + stream assigner). `scenario` refreshes the committed
+# quick-run record; `scenario-check` re-runs it and diffs against the
+# committed file — the command itself exits non-zero unless the online
+# rules strictly beat the no-rules baseline.
+scenario:
+	$(GO) run ./cmd/scenario -quick -o SCENARIO_quick.json
+	@echo "wrote SCENARIO_quick.json"
+
+scenario-check:
+	@$(GO) run ./cmd/scenario -quick -o scenario_run.json
+	$(GO) run ./cmd/benchjson -diff -fail-on-alloc-regress SCENARIO_quick.json scenario_run.json
+	@rm -f scenario_run.json

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// TestScenarioClosedLoop runs the quick configuration end to end —
+// replay → HTTP ingest → /v1/watch push → live prefetcher/assigner —
+// and holds the PR's acceptance bar: online rules must strictly
+// improve the cache hit rate over the no-rules baseline.
+func TestScenarioClosedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full closed-loop replay")
+	}
+	online, baseline, err := run(defaultConfig(true, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hit rate: online %.2f%% vs baseline %.2f%%", online.hitRate()*100, baseline.hitRate()*100)
+	t.Logf("WAF: online %.3f vs baseline %.3f", online.ssd.WAF, baseline.ssd.WAF)
+	if online.hitRate() <= baseline.hitRate() {
+		t.Errorf("online hit rate %.4f not strictly better than baseline %.4f",
+			online.hitRate(), baseline.hitRate())
+	}
+	if online.cache.PrefetchHits == 0 {
+		t.Error("online run recorded no prefetch hits — the watch feed never reached the prefetcher")
+	}
+	if online.ruleUpdates == 0 || online.streamUpdates == 0 {
+		t.Errorf("live adapters not updated (rule updates %d, stream updates %d)",
+			online.ruleUpdates, online.streamUpdates)
+	}
+	if online.ssd.HostPages == 0 || baseline.ssd.HostPages == 0 {
+		t.Error("no write traffic reached the simulated SSD")
+	}
+}

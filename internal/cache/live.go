@@ -1,0 +1,76 @@
+package cache
+
+import (
+	"sync"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+)
+
+// RulePrefetcher is the push-fed variant of Correlated: instead of
+// embedding its own analyzer, it is driven by rules learned elsewhere
+// — typically the engine's live rule state arriving over a /v1/watch
+// stream. SetRules swaps the partner index atomically; readers on the
+// cache hot path never block behind an update.
+//
+// This is the consuming half of the paper's closed loop: the
+// characterizer detects correlations online, and the prefetcher acts
+// on the freshest rule set the moment an epoch advances, rather than
+// polling or re-learning.
+type RulePrefetcher struct {
+	maxPartners int
+
+	mu       sync.RWMutex
+	partners map[blktrace.Extent][]blktrace.Extent
+	updates  uint64
+}
+
+// NewRulePrefetcher returns a prefetcher with no rules yet (it
+// suggests nothing until SetRules is called). maxPartners caps
+// suggestions per access; 0 means 4.
+func NewRulePrefetcher(maxPartners int) *RulePrefetcher {
+	if maxPartners <= 0 {
+		maxPartners = 4
+	}
+	return &RulePrefetcher{
+		maxPartners: maxPartners,
+		partners:    make(map[blktrace.Extent][]blktrace.Extent),
+	}
+}
+
+// SetRules replaces the partner index from a fresh rule set. Rules
+// arrive sorted by descending confidence (the API's order), so the
+// per-extent partner cap keeps the strongest predictions.
+func (p *RulePrefetcher) SetRules(rules []core.Rule) {
+	idx := make(map[blktrace.Extent][]blktrace.Extent)
+	for _, r := range rules {
+		if r.From == r.To {
+			continue
+		}
+		if len(idx[r.From]) < p.maxPartners {
+			idx[r.From] = append(idx[r.From], r.To)
+		}
+	}
+	p.mu.Lock()
+	p.partners = idx
+	p.updates++
+	p.mu.Unlock()
+}
+
+// Observe implements Prefetcher (no-op: learning happens in the
+// characterizer this prefetcher subscribes to).
+func (p *RulePrefetcher) Observe([]blktrace.Extent) {}
+
+// SuggestFor implements Prefetcher.
+func (p *RulePrefetcher) SuggestFor(e blktrace.Extent) []blktrace.Extent {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.partners[e]
+}
+
+// Updates reports how many rule sets have been installed.
+func (p *RulePrefetcher) Updates() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.updates
+}

@@ -169,6 +169,10 @@ type Engine struct {
 	stopped      bool
 	restoredUsed bool
 
+	// fleet wakes merged-epoch waiters on any device advance (and on
+	// register/unregister, which change the device count); see watch.go.
+	fleet *epochNotifier
+
 	// Epoch-gated merged-snapshot cache. The key is the sum of all
 	// device epochs plus the device count (epochs only advance, so an
 	// unchanged sum at an unchanged count means no device changed). As
@@ -227,6 +231,7 @@ func New(opts ...Option) (*Engine, error) {
 		ckptInterval: s.ckptInterval,
 		procHook:     s.procHook,
 		shards:       make(map[string]*shard),
+		fleet:        newEpochNotifier(),
 	}
 	// Monitor and analyzer counters are worker-owned; mirror them into
 	// the registry only when something actually scrapes.
@@ -284,6 +289,7 @@ func (e *Engine) Register(id string) error {
 		sh.ckptGen = gen.Seq
 		sh.ckptTime = gen.Time
 	}
+	sh.onEpoch = e.fleetWake
 	sh.metrics = newShardMetrics(e.metrics, sh, e.queueSize)
 	e.shards[id] = sh
 	// Keep the listing order sorted by ID rather than by registration:
@@ -297,6 +303,9 @@ func (e *Engine) Register(id string) error {
 	if e.ckptStore != nil {
 		go sh.checkpointLoop(e.ckptInterval)
 	}
+	// A new device changes the merged epoch's device count; wake fleet
+	// watchers so they pick it up.
+	e.fleetWake()
 	return nil
 }
 
@@ -702,6 +711,9 @@ func (e *Engine) Stop() {
 	for _, s := range shards {
 		<-s.done
 	}
+	// Every shard has flushed and ended its own waiters; end the
+	// fleet-level ones too so merged watchers see a terminal event.
+	e.fleet.wake(ErrStopped)
 }
 
 // Device is a registered device's ingest handle: hot loops resolve it

@@ -100,6 +100,12 @@ type shard struct {
 	stopCh chan struct{} // closed by requestStop: interrupts backoff and the checkpoint loop
 	done   chan struct{} // closed when the supervisor goroutine exits
 
+	// notify wakes epoch waiters (see watch.go); onEpoch forwards each
+	// advance to the engine's fleet-level notifier. onEpoch is set
+	// before the supervisor starts and never mutated after.
+	notify  *epochNotifier
+	onEpoch func()
+
 	// epoch counts synopsis state changes: it advances whenever the
 	// worker processes a batch of events, flushes on stop, or is
 	// restarted onto restored state. Two reads at the same epoch see
@@ -131,6 +137,7 @@ func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpres
 		tsbuf:  make([]int64, queueSize),
 		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
+		notify: newEpochNotifier(),
 	}
 	s.notEmpty.L = &s.mu
 	s.notFull.L = &s.mu
@@ -197,12 +204,12 @@ func (s *shard) loop() {
 			}
 		}
 		if len(evs) > 0 {
-			s.epoch.Add(1)
+			s.bumpEpoch()
 		}
 		s.noteProcessed(len(evs))
 		if stopping {
 			s.pipe.Flush()
-			s.epoch.Add(1)
+			s.bumpEpoch()
 			// Final flush: persist the drained state so a restart does
 			// not pay the cold-start transient. An error is recorded in
 			// the checkpoint metrics; shutdown proceeds regardless.

@@ -173,6 +173,11 @@ func (s *shard) health() DeviceHealth {
 // the only closer of s.done.
 func (s *shard) supervise() {
 	defer close(s.done)
+	// Whatever path ends the supervisor — clean stop, unregister, or a
+	// failed device finally stopping — the shard's synopsis can never
+	// advance again; epoch waiters must get a terminal error, never
+	// hang (no-op if fail() already ended them with a sharper one).
+	defer s.endEpochWaiters(ErrStopped)
 	for {
 		v := s.runOnce()
 		if v == nil {
@@ -228,8 +233,9 @@ func (s *shard) supervise() {
 // the supervisor goroutine owns s.pipe here.
 func (s *shard) installRestart(pipe *pipeline.Pipeline, gen checkpoint.Generation) {
 	s.pipe = pipe
-	// Restored state is different state: invalidate epoch-gated caches.
-	s.epoch.Add(1)
+	// Restored state is different state: invalidate epoch-gated caches
+	// and wake watchers so they re-read the restored synopsis.
+	s.bumpEpoch()
 	s.metrics.restarts.Inc()
 	s.mu.Lock()
 	s.restarts++
@@ -258,6 +264,9 @@ func (s *shard) fail() {
 	for _, q := range pend {
 		q.reply <- queryReply{err: err}
 	}
+	// Epoch waiters on a failed device get the same terminal answer as
+	// queries: the worker is gone, the synopsis will never advance.
+	s.endEpochWaiters(err)
 }
 
 // parkFailed holds the supervisor goroutine of a failed device until

@@ -135,6 +135,16 @@ func (c *CorrelationStreams) Analyzer() *core.Analyzer { return c.analyzer }
 // to one of the non-reserved streams.
 func (c *CorrelationStreams) rebuild() {
 	snap := c.analyzer.Snapshot(c.minSupport)
+	c.groupStream, c.repStream = assignStreams(snap.Pairs, c.streams, c.repStream)
+}
+
+// assignStreams is the grouping shared by CorrelationStreams (embedded
+// analyzer) and RuleStreams (live-fed): union-find over correlated
+// pairs, each group pinned to a non-reserved stream. prevRep carries
+// the previous group→stream pinning so placements stay sticky across
+// rebuilds; the returned maps are the new extent→stream index and
+// pinning.
+func assignStreams(pairs []core.PairCount, streams int, prevRep map[blktrace.Extent]int) (map[blktrace.Extent]int, map[blktrace.Extent]int) {
 	parent := make(map[blktrace.Extent]blktrace.Extent)
 	var find func(x blktrace.Extent) blktrace.Extent
 	find = func(x blktrace.Extent) blktrace.Extent {
@@ -156,7 +166,7 @@ func (c *CorrelationStreams) rebuild() {
 			parent[ra] = rb
 		}
 	}
-	for _, pc := range snap.Pairs {
+	for _, pc := range pairs {
 		union(pc.Pair.A, pc.Pair.B)
 	}
 	// Map each group to a stream via a hash of its canonical
@@ -170,9 +180,9 @@ func (c *CorrelationStreams) rebuild() {
 	// groups never share erase units with unknown-lifetime data. GC
 	// relocation is per-stream inside the device, so no stream needs
 	// to be reserved for it.
-	span := c.streams - 1
+	span := streams - 1
 	members := make(map[blktrace.Extent][]blktrace.Extent)
-	for _, pc := range snap.Pairs {
+	for _, pc := range pairs {
 		for _, e := range [...]blktrace.Extent{pc.Pair.A, pc.Pair.B} {
 			root := find(e)
 			members[root] = append(members[root], e)
@@ -203,7 +213,7 @@ func (c *CorrelationStreams) rebuild() {
 	assign := make(map[blktrace.Extent]int)
 	repStream := make(map[blktrace.Extent]int, len(groups))
 	for _, g := range groups {
-		if stream, ok := c.repStream[g.rep]; ok {
+		if stream, ok := prevRep[g.rep]; ok {
 			load[stream-1]++
 			repStream[g.rep] = stream
 			for _, e := range g.ms {
@@ -228,6 +238,5 @@ func (c *CorrelationStreams) rebuild() {
 			assign[e] = stream
 		}
 	}
-	c.groupStream = assign
-	c.repStream = repStream
+	return assign, repStream
 }

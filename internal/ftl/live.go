@@ -1,0 +1,78 @@
+package ftl
+
+import (
+	"fmt"
+	"sync"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+)
+
+// RuleStreams is the push-fed variant of CorrelationStreams: instead
+// of embedding its own analyzer, it is driven by the correlation pairs
+// learned elsewhere — typically the engine's live snapshot arriving
+// over a /v1/watch stream. SetPairs regroups (the same union-find and
+// sticky stream pinning as CorrelationStreams) and swaps the index
+// atomically; Assign on the write hot path never blocks behind an
+// update.
+type RuleStreams struct {
+	streams int
+
+	mu          sync.RWMutex
+	groupStream map[blktrace.Extent]int
+	repStream   map[blktrace.Extent]int
+	updates     uint64
+}
+
+// NewRuleStreams returns an assigner with no groups yet (everything
+// maps to stream 0 until SetPairs is called). Stream 0 stays reserved
+// for unclassified writes, so streams must be >= 2.
+func NewRuleStreams(streams int) (*RuleStreams, error) {
+	if streams < 2 {
+		return nil, fmt.Errorf("ftl: rule streams need >= 2 streams (got %d)", streams)
+	}
+	return &RuleStreams{
+		streams:     streams,
+		groupStream: make(map[blktrace.Extent]int),
+		repStream:   make(map[blktrace.Extent]int),
+	}, nil
+}
+
+// SetPairs replaces the extent→stream grouping from a fresh set of
+// correlated pairs (e.g. a watch delivery's snapshot). Groups that
+// survive from the previous set keep their streams.
+func (r *RuleStreams) SetPairs(pairs []core.PairCount) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groupStream, r.repStream = assignStreams(pairs, r.streams, r.repStream)
+	r.updates++
+}
+
+// Observe implements StreamAssigner (no-op: learning happens in the
+// characterizer this assigner subscribes to).
+func (r *RuleStreams) Observe([]blktrace.Extent) {}
+
+// Assign implements StreamAssigner: grouped extents get their group's
+// stream (1..streams-1); everything else goes to stream 0.
+func (r *RuleStreams) Assign(e blktrace.Extent) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if s, ok := r.groupStream[e]; ok {
+		return s
+	}
+	return 0
+}
+
+// Groups returns the number of extents currently pinned to a stream.
+func (r *RuleStreams) Groups() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.groupStream)
+}
+
+// Updates reports how many pair sets have been installed.
+func (r *RuleStreams) Updates() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.updates
+}

@@ -19,10 +19,12 @@ import (
 //	support     minimum pair counter; unsigned 32-bit; default DefaultSupport
 //	top         maximum entries returned; default DefaultTop, clamped to MaxTop
 //	confidence  rule confidence threshold in [0,1]; default DefaultConfidence
+//	wait        long-poll hold time on the watch routes; a Go duration
+//	            string > 0, clamped to MaxWatchWait
 //
 // Out-of-range values (negative, overflowing 32 bits, confidence
-// outside [0,1]) are rejected with a bad_param error rather than
-// silently truncated.
+// outside [0,1], an unparsable wait) are rejected with a bad_request
+// error rather than silently truncated.
 const (
 	DefaultSupport    = 5
 	DefaultTop        = 100
@@ -41,17 +43,69 @@ const (
 
 // Machine-readable error codes carried in the v1 envelope.
 const (
-	ErrCodeBadParam          = "bad_param"          // malformed or out-of-range query parameter (HTTP 400)
+	ErrCodeBadRequest        = "bad_request"        // malformed or out-of-range parameter or body (HTTP 400)
 	ErrCodeUnknownDevice     = "unknown_device"     // no such device id (HTTP 404)
 	ErrCodeStopped           = "stopped"            // engine stopped, no live state (HTTP 503)
 	ErrCodeDeviceUnavailable = "device_unavailable" // device worker failed permanently (HTTP 503)
 	ErrCodeInternal          = "internal"           // unexpected failure (HTTP 500)
 )
 
-// apiError is the machine-readable error half of the v1 envelope.
+// apiError is the one typed error every v1 route produces: the
+// machine-readable error half of the envelope plus the HTTP status it
+// travels under. Handlers return it instead of writing error responses
+// inline, so the envelope shape and status mapping live in exactly one
+// place (handle).
 type apiError struct {
+	status  int    // HTTP status; not serialized
 	Code    string `json:"code"`
 	Message string `json:"message"`
+}
+
+// Error implements error so an apiError can flow through error-shaped
+// plumbing without losing its status and code.
+func (e *apiError) Error() string { return e.Message }
+
+// apiErrorf builds a typed route error.
+func apiErrorf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// badRequest wraps a validation failure as the uniform bad_request
+// error every route answers for malformed parameters or bodies.
+func badRequest(err error) *apiError {
+	return apiErrorf(http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
+}
+
+// engineError maps engine sentinel errors onto the envelope's
+// machine-readable codes.
+func engineError(err error) *apiError {
+	switch {
+	case errors.Is(err, engine.ErrUnknownDevice):
+		return apiErrorf(http.StatusNotFound, ErrCodeUnknownDevice, "%v", err)
+	case errors.Is(err, engine.ErrStopped), errors.Is(err, ErrStopped):
+		return apiErrorf(http.StatusServiceUnavailable, ErrCodeStopped, "%v", err)
+	case errors.Is(err, engine.ErrDeviceUnavailable):
+		// The device's worker failed permanently; the caller should
+		// retry against a healthy device, not this one. Typed so clients
+		// can tell "device is dead" from "service is restarting".
+		return apiErrorf(http.StatusServiceUnavailable, ErrCodeDeviceUnavailable, "%v", err)
+	default:
+		return apiErrorf(http.StatusInternalServerError, ErrCodeInternal, "%v", err)
+	}
+}
+
+// apiHandler is a route body: it either writes a success response and
+// returns nil, or returns the typed error for handle to envelope.
+type apiHandler func(w http.ResponseWriter, r *http.Request) *apiError
+
+// handle adapts an apiHandler to net/http, writing the error envelope
+// for every failed route through one code path.
+func handle(h apiHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := h(w, r); err != nil {
+			writeAPIError(w, err)
+		}
+	}
 }
 
 // envelope is the uniform v1 response shape: exactly one of Data and
@@ -64,14 +118,13 @@ type envelope struct {
 }
 
 // NewHTTPHandler exposes a single-device collector's live state over
-// HTTP. It serves the versioned v1 API plus the deprecated unversioned
-// aliases; see NewEngineHandler.
+// HTTP. It serves the versioned v1 API; see NewEngineHandler.
 func NewHTTPHandler(c *Collector) http.Handler {
 	return NewEngineHandler(c.Engine())
 }
 
 // NewEngineHandler exposes a multi-device engine's live state over
-// HTTP — the ops surface a self-optimizing storage service polls.
+// HTTP — the ops surface a self-optimizing storage service consumes.
 //
 // Versioned API (uniform {data, error} envelope, machine-readable
 // error codes; parameter defaults documented above):
@@ -80,12 +133,37 @@ func NewHTTPHandler(c *Collector) http.Handler {
 //	GET /v1/devices                        registered device IDs with health counters
 //	GET /v1/devices/{id}/snapshot          one device's frequent correlations   ?support=&top=
 //	GET /v1/devices/{id}/rules             one device's directional rules       ?support=&confidence=&top=
+//	GET /v1/devices/{id}/watch             push stream of one device's rule state (see below)
 //	GET /v1/snapshot                       fleet-wide merged correlations       ?support=&top=
 //	GET /v1/rules                          fleet-wide merged rules              ?support=&confidence=&top=
+//	GET /v1/watch                          push stream of the fleet's rule state (see below)
 //	GET /v1/metrics                        Prometheus text exposition of the engine's registry
 //	GET /v1/healthz                        per-device supervision health (see below)
 //	GET /v1/readyz                         readiness probe (see below)
 //	POST /v1/devices/{id}/events           batch event ingest (JSON body, see below)
+//	DELETE /v1/devices/{id}                unregister a device (drains, flushes, checkpoints)
+//
+// The watch routes close the loop between detection and consumption:
+// instead of polling the query routes with If-None-Match, a consumer
+// holds one request open and is *pushed* the new rules/snapshot state
+// whenever the synopsis epoch advances (a processed batch, a restart,
+// a stop flush — the same epoch that keys the ETags). By default a
+// watch is a Server-Sent Events stream: each event carries `id:` = the
+// epoch cursor, `event: rules`, and a JSON body {"epoch", "device" or
+// "devices", "totalPairs", "pairs", "rules"} shaped by the usual
+// support/confidence/top parameters. Rapid ingest coalesces — a slow
+// watcher skips intermediate epochs and always receives the newest
+// state. Reconnecting with Last-Event-ID resumes: a stale cursor gets
+// the current state immediately, the current cursor blocks until the
+// next advance, so nothing is delivered twice. When the engine stops
+// (or the device fails or is unregistered) watchers receive a terminal
+// `event: end` whose body carries the reason, then the stream closes.
+//
+// With ?wait= the watch degrades to a long poll for clients without
+// SSE: the state is returned immediately unless If-None-Match matches
+// the current ETag, in which case the request blocks until the epoch
+// advances (200 with the new state) or the wait elapses (304). Both
+// forms are notification-driven; neither polls internally.
 //
 // The health routes are the load-balancer/orchestrator surface.
 // /v1/healthz always carries per-device detail (state, panic/restart
@@ -103,44 +181,39 @@ func NewHTTPHandler(c *Collector) http.Handler {
 // "len"}, ...]} with op "read" or "write", at most MaxIngestBatch
 // events per request, and submits the whole batch to the device under
 // one queue lock acquisition (Engine.SubmitBatch). A malformed or
-// invalid event rejects the entire batch with bad_param, identifying
+// invalid event rejects the entire batch with bad_request, identifying
 // the offending index; nothing is partially ingested. On success the
 // response reports {"device", "accepted"}.
 //
-// Errors are 400 (bad_param), 404 (unknown_device), 503 (stopped), or
-// 500 (internal).
+// Every route flows through one typed error path: errors are 400
+// (bad_request), 404 (unknown_device), 503 (stopped,
+// device_unavailable), or 500 (internal), always as {"data": null,
+// "error": {"code", "message"}}.
 //
-// Every route (v1 and legacy) passes through metrics middleware that
-// records per-route request counts by status code and request latency
-// into the engine's registry, so the metrics endpoint also observes
-// the API serving it.
+// Every route passes through metrics middleware that records per-route
+// request counts by status code and request latency into the engine's
+// registry, so the metrics endpoint also observes the API serving it.
 //
-// Deprecated aliases, kept for one release of compatibility with the
-// pre-v1 surface (same response shapes as before, no envelope; they
-// answer with a "Deprecation: true" header and a Link to the successor
-// route). With more than one device registered they serve the merged
-// fleet-wide view:
-//
-//	GET /stats      → /v1/stats
-//	GET /snapshot   → /v1/snapshot
-//	GET /rules      → /v1/rules
+// The deprecated pre-v1 unversioned aliases (/stats, /snapshot,
+// /rules) have been removed; they now answer 404 like any unknown
+// path. Use the /v1 successors.
 func NewEngineHandler(e *engine.Engine) http.Handler {
 	mux := http.NewServeMux()
+	wm := newWatchMetrics(e.Metrics())
 
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/stats", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
 		st, err := e.Stats()
 		if err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		writeData(w, statsBody(st))
-	})
+		return nil
+	}))
 
-	mux.HandleFunc("GET /v1/devices", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/devices", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
 		st, err := e.Stats()
 		if err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		devices := make([]map[string]any, 0, len(st.Devices))
 		for _, d := range st.Devices {
@@ -152,103 +225,114 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 			})
 		}
 		writeData(w, devices)
-	})
+		return nil
+	}))
 
-	mux.HandleFunc("GET /v1/devices/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/devices/{id}/snapshot", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
 		support, top, err := snapshotParams(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
-			return
+			return badRequest(err)
 		}
 		id := r.PathValue("id")
 		epoch, err := e.Epoch(id)
 		if err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		if revalidated(w, r, fmt.Sprintf("%s-%d-s%d-t%d", id, epoch, support, top)) {
-			return
+			return nil
 		}
 		snap, err := e.Snapshot(id, support)
 		if err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		writeData(w, snapshotBody(snap, top, map[string]any{"device": id}))
-	})
+		return nil
+	}))
 
-	mux.HandleFunc("GET /v1/devices/{id}/rules", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/devices/{id}/rules", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
 		support, top, conf, err := ruleParams(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
-			return
+			return badRequest(err)
 		}
 		id := r.PathValue("id")
 		epoch, err := e.Epoch(id)
 		if err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		if revalidated(w, r, fmt.Sprintf("%s-%d-s%d-t%d-c%g", id, epoch, support, top, conf)) {
-			return
+			return nil
 		}
 		rules, err := e.Rules(id, support, conf)
 		if err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		writeData(w, map[string]any{"device": id, "rules": topRules(rules, top)})
-	})
+		return nil
+	}))
 
-	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/devices/{id}/watch", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
+		return serveWatch(e, wm, r.PathValue("id"), w, r)
+	}))
+
+	mux.HandleFunc("GET /v1/snapshot", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
 		support, top, err := snapshotParams(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
-			return
+			return badRequest(err)
 		}
 		sum, n := e.MergedEpoch()
 		if revalidated(w, r, fmt.Sprintf("fleet-%d-%d-s%d-t%d", sum, n, support, top)) {
-			return
+			return nil
 		}
 		snap, err := e.MergedSnapshot(support)
 		if err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		writeData(w, snapshotBody(snap, top, map[string]any{"devices": e.Devices()}))
-	})
+		return nil
+	}))
 
-	mux.HandleFunc("GET /v1/rules", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/rules", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
 		support, top, conf, err := ruleParams(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
-			return
+			return badRequest(err)
 		}
 		sum, n := e.MergedEpoch()
 		if revalidated(w, r, fmt.Sprintf("fleet-%d-%d-s%d-t%d-c%g", sum, n, support, top, conf)) {
-			return
+			return nil
 		}
 		rules, err := mergedOrSingleRules(e, support, conf)
 		if err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		writeData(w, map[string]any{"devices": e.Devices(), "rules": topRules(rules, top)})
-	})
+		return nil
+	}))
 
-	mux.HandleFunc("POST /v1/devices/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/watch", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
+		return serveWatch(e, wm, "", w, r)
+	}))
+
+	mux.HandleFunc("POST /v1/devices/{id}/events", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
 		evs, err := decodeIngestBody(r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, ErrCodeBadParam, err.Error())
-			return
+			return badRequest(err)
 		}
 		id := r.PathValue("id")
 		if err := e.SubmitBatch(id, evs); err != nil {
-			writeEngineError(w, err)
-			return
+			return engineError(err)
 		}
 		writeData(w, map[string]any{"device": id, "accepted": len(evs)})
-	})
+		return nil
+	}))
+
+	mux.HandleFunc("DELETE /v1/devices/{id}", handle(func(w http.ResponseWriter, r *http.Request) *apiError {
+		id := r.PathValue("id")
+		if err := e.Unregister(id); err != nil {
+			return engineError(err)
+		}
+		writeData(w, map[string]any{"device": id, "unregistered": true})
+		return nil
+	}))
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", obs.TextContentType)
@@ -274,55 +358,6 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 			status = http.StatusServiceUnavailable
 		}
 		writeDataStatus(w, status, body)
-	})
-
-	// ---- Deprecated pre-v1 aliases (unenveloped legacy shapes). ----
-
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		deprecate(w, "/v1/stats")
-		st, err := e.Stats()
-		if err != nil {
-			legacyError(w, err)
-			return
-		}
-		writeJSON(w, map[string]any{
-			"monitor":  st.TotalMonitor(),
-			"analyzer": st.TotalAnalyzer(),
-			"dropped":  st.TotalDropped(),
-		})
-	})
-
-	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
-		deprecate(w, "/v1/snapshot")
-		support, top, err := snapshotParams(r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		snap, err := e.MergedSnapshot(support)
-		if err != nil {
-			legacyError(w, err)
-			return
-		}
-		writeJSON(w, map[string]any{
-			"totalPairs": len(snap.Pairs),
-			"pairs":      snap.TopPairs(top),
-		})
-	})
-
-	mux.HandleFunc("GET /rules", func(w http.ResponseWriter, r *http.Request) {
-		deprecate(w, "/v1/rules")
-		support, top, conf, err := ruleParams(r)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		rules, err := mergedOrSingleRules(e, support, conf)
-		if err != nil {
-			legacyError(w, err)
-			return
-		}
-		writeJSON(w, map[string]any{"rules": topRules(rules, top)})
 	})
 
 	return withHTTPMetrics(e.Metrics(), mux)
@@ -366,6 +401,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// the watch routes can flush SSE events through the metrics middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // ingestEvent is the wire shape of one event on the ingest route.
 type ingestEvent struct {
@@ -606,48 +645,14 @@ func writeDataStatus(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(envelope{Data: v})
 }
 
-func writeError(w http.ResponseWriter, status int, code, message string) {
+// writeAPIError writes the error half of the envelope under the
+// error's HTTP status — the single exit for every failed v1 route.
+func writeAPIError(w http.ResponseWriter, e *apiError) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
+	w.WriteHeader(e.status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(envelope{Error: &apiError{Code: code, Message: message}})
-}
-
-// writeEngineError maps engine sentinel errors onto the envelope's
-// machine-readable codes.
-func writeEngineError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, engine.ErrUnknownDevice):
-		writeError(w, http.StatusNotFound, ErrCodeUnknownDevice, err.Error())
-	case errors.Is(err, engine.ErrStopped), errors.Is(err, ErrStopped):
-		writeError(w, http.StatusServiceUnavailable, ErrCodeStopped, err.Error())
-	case errors.Is(err, engine.ErrDeviceUnavailable):
-		// The device's worker failed permanently; the caller should
-		// retry against a healthy device, not this one. Typed so clients
-		// can tell "device is dead" from "service is restarting".
-		writeError(w, http.StatusServiceUnavailable, ErrCodeDeviceUnavailable, err.Error())
-	default:
-		writeError(w, http.StatusInternalServerError, ErrCodeInternal, err.Error())
-	}
-}
-
-// legacyError preserves the pre-v1 plain-text error behaviour for the
-// deprecated aliases.
-func legacyError(w http.ResponseWriter, err error) {
-	if errors.Is(err, engine.ErrStopped) || errors.Is(err, ErrStopped) ||
-		errors.Is(err, engine.ErrDeviceUnavailable) {
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	}
-	http.Error(w, err.Error(), http.StatusInternalServerError)
-}
-
-// deprecate marks a legacy route per the HTTP deprecation-header
-// convention, pointing at its v1 successor.
-func deprecate(w http.ResponseWriter, successor string) {
-	w.Header().Set("Deprecation", "true")
-	w.Header().Set("Link", "<"+successor+">; rel=\"successor-version\"")
+	_ = enc.Encode(envelope{Error: e})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

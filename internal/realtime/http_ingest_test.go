@@ -106,15 +106,15 @@ func TestV1IngestErrors(t *testing.T) {
 		wantStatus           int
 		wantMsg              string
 	}{
-		{"malformed JSON", `{"events":`, ErrCodeBadParam, http.StatusBadRequest, "invalid JSON"},
-		{"unknown field", `{"evnts":[]}`, ErrCodeBadParam, http.StatusBadRequest, "invalid JSON"},
-		{"empty batch", `{"events":[]}`, ErrCodeBadParam, http.StatusBadRequest, "non-empty"},
+		{"malformed JSON", `{"events":`, ErrCodeBadRequest, http.StatusBadRequest, "invalid JSON"},
+		{"unknown field", `{"evnts":[]}`, ErrCodeBadRequest, http.StatusBadRequest, "invalid JSON"},
+		{"empty batch", `{"events":[]}`, ErrCodeBadRequest, http.StatusBadRequest, "non-empty"},
 		{"bad op", ingestBodyJSON(`{"time":1,"op":"trim","block":1,"len":1}`),
-			ErrCodeBadParam, http.StatusBadRequest, "event 0"},
+			ErrCodeBadRequest, http.StatusBadRequest, "event 0"},
 		{"invalid event", ingestBodyJSON(
 			`{"time":1,"op":"read","block":1,"len":1}`,
 			`{"time":2,"op":"read","block":1,"len":0}`),
-			ErrCodeBadParam, http.StatusBadRequest, "event 1"},
+			ErrCodeBadRequest, http.StatusBadRequest, "event 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

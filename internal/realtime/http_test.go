@@ -1,16 +1,21 @@
 package realtime
 
 import (
-	"encoding/json"
-	"net/http"
+	"context"
+	"errors"
 	"net/http/httptest"
 	"testing"
 	"time"
 
 	"daccor/internal/blktrace"
+	"daccor/pkg/client"
 )
 
-func servedCollector(t *testing.T) (*Collector, *httptest.Server) {
+// servedCollector starts a one-device collector with a learned pair
+// and serves the v1 API over httptest. These tests consume it through
+// the typed pkg/client, so the client's envelope handling, error
+// mapping, and ETag cache are exercised against the real handler.
+func servedCollector(t *testing.T) (*Collector, *client.Client) {
 	t.Helper()
 	c, err := Start(testConfig())
 	if err != nil {
@@ -38,124 +43,182 @@ func servedCollector(t *testing.T) (*Collector, *httptest.Server) {
 	}
 	srv := httptest.NewServer(NewHTTPHandler(c))
 	t.Cleanup(srv.Close)
-	return c, srv
+	return c, client.New(srv.URL)
 }
 
-func getJSON(t *testing.T, url string, out any) int {
-	t.Helper()
-	resp, err := http.Get(url)
+func TestClientStats(t *testing.T) {
+	c, cli := servedCollector(t)
+	defer c.Stop()
+	st, err := cli.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatalf("decode %s: %v", url, err)
-		}
+	if len(st.Devices) != 1 || st.Devices[0].Monitor.Events != 16 {
+		t.Fatalf("stats = %+v, want one device with 16 events", st)
 	}
-	return resp.StatusCode
-}
-
-func TestHTTPStats(t *testing.T) {
-	c, srv := servedCollector(t)
-	defer c.Stop()
-	var body struct {
-		Monitor struct {
-			Events       uint64
-			Transactions uint64
-		}
-		Dropped uint64
-	}
-	if code := getJSON(t, srv.URL+"/stats", &body); code != http.StatusOK {
-		t.Fatalf("status = %d", code)
-	}
-	if body.Monitor.Events != 16 {
-		t.Errorf("events = %d, want 16", body.Monitor.Events)
+	if st.Totals.Monitor.Events != 16 {
+		t.Errorf("total events = %d, want 16", st.Totals.Monitor.Events)
 	}
 }
 
-func TestHTTPSnapshot(t *testing.T) {
-	c, srv := servedCollector(t)
+func TestClientSnapshot(t *testing.T) {
+	c, cli := servedCollector(t)
 	defer c.Stop()
-	var body struct {
-		TotalPairs int `json:"totalPairs"`
-		Pairs      []struct {
-			Pair struct {
-				A, B struct {
-					Block uint64
-					Len   uint32
-				}
-			}
-			Count uint32
-		}
+	snap, err := cli.FleetSnapshot(context.Background(), client.Query{Support: 3, Top: 10})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if code := getJSON(t, srv.URL+"/snapshot?support=3&top=10", &body); code != http.StatusOK {
-		t.Fatalf("status = %d", code)
+	if snap.TotalPairs != 1 || len(snap.Pairs) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
 	}
-	if body.TotalPairs != 1 || len(body.Pairs) != 1 {
-		t.Fatalf("body = %+v", body)
+	p := snap.Pairs[0]
+	if p.Pair.A.Block != 10 || p.Pair.B.Block != 20 {
+		t.Errorf("pair = %+v", p)
 	}
-	if body.Pairs[0].Pair.A.Block != 10 || body.Pairs[0].Pair.B.Block != 20 {
-		t.Errorf("pair = %+v", body.Pairs[0])
-	}
-	if body.Pairs[0].Count < 7 {
-		t.Errorf("count = %d", body.Pairs[0].Count)
+	if p.Count < 7 {
+		t.Errorf("count = %d, want >= 7", p.Count)
 	}
 }
 
-func TestHTTPRules(t *testing.T) {
-	c, srv := servedCollector(t)
+func TestClientRules(t *testing.T) {
+	c, cli := servedCollector(t)
 	defer c.Stop()
-	var body struct {
-		Rules []struct {
-			From, To struct {
-				Block uint64
-			}
-			Confidence float64
-		}
+	rs, err := cli.FleetRules(context.Background(), client.Query{Support: 3, Confidence: 0.9, Top: 5})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if code := getJSON(t, srv.URL+"/rules?support=3&confidence=0.9&top=5", &body); code != http.StatusOK {
-		t.Fatalf("status = %d", code)
+	if len(rs.Rules) != 2 {
+		t.Fatalf("rules = %+v", rs.Rules)
 	}
-	if len(body.Rules) != 2 {
-		t.Fatalf("rules = %+v", body.Rules)
-	}
-	for _, r := range body.Rules {
+	for _, r := range rs.Rules {
 		if r.Confidence < 0.9 {
 			t.Errorf("rule below confidence filter: %+v", r)
 		}
 	}
 }
 
-func TestHTTPBadParams(t *testing.T) {
-	c, srv := servedCollector(t)
+// TestClientETagRevalidation checks the client's conditional-GET
+// cache: a repeated identical query is answered 304 by the server and
+// served from the client's cache, and still decodes correctly.
+func TestClientETagRevalidation(t *testing.T) {
+	c, cli := servedCollector(t)
 	defer c.Stop()
-	for _, path := range []string{
-		"/snapshot?support=x",
-		"/snapshot?top=-1",
-		"/rules?confidence=2",
-		"/rules?support=99999999999999999999",
-	} {
-		resp, err := http.Get(srv.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s: status = %d, want 400", path, resp.StatusCode)
-		}
-	}
-}
-
-func TestHTTPAfterStop(t *testing.T) {
-	c, srv := servedCollector(t)
-	c.Stop()
-	resp, err := http.Get(srv.URL + "/stats")
+	q := client.Query{Support: 3, Top: 10}
+	first, err := cli.FleetSnapshot(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("status = %d, want 503", resp.StatusCode)
+	again, err := cli.FleetSnapshot(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.Revalidations() != 1 {
+		t.Errorf("revalidations = %d, want 1", cli.Revalidations())
+	}
+	if len(again.Pairs) != len(first.Pairs) || again.TotalPairs != first.TotalPairs {
+		t.Errorf("cached decode mismatch: %+v vs %+v", again, first)
+	}
+}
+
+// TestClientTypedErrors checks the client surfaces the API's
+// machine-readable codes as *APIError values.
+func TestClientTypedErrors(t *testing.T) {
+	c, cli := servedCollector(t)
+	defer c.Stop()
+	_, err := cli.DeviceSnapshot(context.Background(), "nope", client.Query{})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 || apiErr.Code != ErrCodeUnknownDevice {
+		t.Errorf("unknown device error = %v, want 404 %s", err, ErrCodeUnknownDevice)
+	}
+	// Out-of-range confidence travels to the server and comes back as
+	// a typed bad_request.
+	_, err = cli.FleetRules(context.Background(), client.Query{Confidence: 2})
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 || apiErr.Code != ErrCodeBadRequest {
+		t.Errorf("bad param error = %v, want 400 %s", err, ErrCodeBadRequest)
+	}
+}
+
+func TestClientSubmitEvents(t *testing.T) {
+	c, cli := servedCollector(t)
+	defer c.Stop()
+	n, err := cli.SubmitEvents(context.Background(), "device0", []blktrace.Event{
+		{Time: 100 * int64(time.Second), Op: blktrace.OpRead, Extent: blktrace.Extent{Block: 30, Len: 1}},
+		{Time: 100*int64(time.Second) + 500, Op: blktrace.OpWrite, Extent: blktrace.Extent{Block: 40, Len: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("accepted = %d, want 2", n)
+	}
+}
+
+func TestClientHealthReady(t *testing.T) {
+	c, cli := servedCollector(t)
+	defer c.Stop()
+	h, err := cli.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Devices) != 1 {
+		t.Errorf("health = %+v", h)
+	}
+	ready, err := cli.Ready(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ready {
+		t.Error("ready = false, want true")
+	}
+}
+
+// TestClientWatch drives the typed client's SSE watcher against the
+// live server: the initial state arrives as a push, and a subsequent
+// ingest round-trips through the engine into another push.
+func TestClientWatch(t *testing.T) {
+	c, cli := servedCollector(t)
+	defer c.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w, err := cli.Watch(ctx, "device0", client.Query{Support: 3, Top: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var first client.WatchState
+	select {
+	case first = <-w.Events():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no initial watch state")
+	}
+	if first.Device != "device0" || first.TotalPairs != 1 {
+		t.Fatalf("initial state = %+v", first)
+	}
+	if w.LastEventID() != first.Epoch {
+		t.Errorf("LastEventID = %q, want %q", w.LastEventID(), first.Epoch)
+	}
+	if _, err := cli.SubmitEvents(ctx, "device0", []blktrace.Event{
+		{Time: 200 * int64(time.Second), Op: blktrace.OpRead, Extent: blktrace.Extent{Block: 10, Len: 1}},
+		{Time: 200*int64(time.Second) + 1000, Op: blktrace.OpRead, Extent: blktrace.Extent{Block: 20, Len: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case st := <-w.Events():
+		if st.Epoch == first.Epoch {
+			t.Errorf("epoch did not advance past %s", first.Epoch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no push after ingest")
+	}
+}
+
+func TestClientAfterStop(t *testing.T) {
+	c, cli := servedCollector(t)
+	c.Stop()
+	_, err := cli.Stats(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 || apiErr.Code != ErrCodeStopped {
+		t.Errorf("post-stop error = %v, want 503 %s", err, ErrCodeStopped)
 	}
 }

@@ -280,8 +280,8 @@ func TestV1BadParams(t *testing.T) {
 		if code != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", path, code)
 		}
-		if apiErr == nil || apiErr.Code != ErrCodeBadParam {
-			t.Errorf("%s: error = %+v, want code %q", path, apiErr, ErrCodeBadParam)
+		if apiErr == nil || apiErr.Code != ErrCodeBadRequest {
+			t.Errorf("%s: error = %+v, want code %q", path, apiErr, ErrCodeBadRequest)
 		}
 	}
 }
@@ -336,64 +336,19 @@ func TestV1AfterStop(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAliases pins the compatibility contract: the pre-v1
-// routes keep answering with their original shapes, marked with a
-// Deprecation header pointing at the successor route.
-func TestDeprecatedAliases(t *testing.T) {
+// TestAliasesRemoved pins the v1 surface cleanup: the pre-v1
+// unversioned routes are gone and answer 404 like any unknown path.
+func TestAliasesRemoved(t *testing.T) {
 	e, srv := servedEngine(t)
 	defer e.Stop()
-	for path, successor := range map[string]string{
-		"/stats":    "/v1/stats",
-		"/snapshot": "/v1/snapshot",
-		"/rules":    "/v1/rules",
-	} {
+	for _, path := range []string{"/stats", "/snapshot", "/rules"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if resp.StatusCode != http.StatusOK {
-			t.Errorf("%s: status = %d", path, resp.StatusCode)
-		}
-		if got := resp.Header.Get("Deprecation"); got != "true" {
-			t.Errorf("%s: Deprecation header = %q, want \"true\"", path, got)
-		}
-		if got := resp.Header.Get("Link"); got != "<"+successor+">; rel=\"successor-version\"" {
-			t.Errorf("%s: Link header = %q", path, got)
-		}
-		// Legacy bodies are unenveloped: no data/error wrapper.
-		var body map[string]json.RawMessage
-		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-			t.Fatalf("decode %s: %v", path, err)
-		}
 		resp.Body.Close()
-		if _, ok := body["data"]; ok {
-			t.Errorf("%s: legacy body unexpectedly enveloped: %v", path, body)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status = %d, want 404 (alias removed)", path, resp.StatusCode)
 		}
-	}
-}
-
-// TestAliasesServeMergedView checks the multi-device behaviour of the
-// legacy aliases: with two devices they answer with fleet-wide sums.
-func TestAliasesServeMergedView(t *testing.T) {
-	e, srv := servedEngine(t)
-	defer e.Stop()
-	var stats struct {
-		Monitor struct{ Events uint64 }
-		Dropped uint64
-	}
-	if code := getJSON(t, srv.URL+"/stats", &stats); code != http.StatusOK {
-		t.Fatalf("status = %d", code)
-	}
-	if stats.Monitor.Events != 32 {
-		t.Errorf("alias /stats events = %d, want 32 (both devices)", stats.Monitor.Events)
-	}
-	var snap struct {
-		Pairs []struct{ Count uint32 }
-	}
-	if code := getJSON(t, srv.URL+"/snapshot?support=3", &snap); code != http.StatusOK {
-		t.Fatalf("status = %d", code)
-	}
-	if len(snap.Pairs) != 1 || snap.Pairs[0].Count < 14 {
-		t.Errorf("alias /snapshot = %+v, want merged count >= 14", snap)
 	}
 }

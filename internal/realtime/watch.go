@@ -1,0 +1,401 @@
+package realtime
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"daccor/internal/engine"
+	"daccor/internal/obs"
+)
+
+// The watch routes are the push half of the v1 API. The query routes
+// let a consumer *validate* cheaply (epoch-keyed ETags, 304s); watch
+// lets it *subscribe*: one open request, and every synopsis epoch
+// advance is delivered as it happens, coalescing naturally under rapid
+// ingest because the handler always reads the freshest state after a
+// wakeup. Two wire forms share the same cursor:
+//
+//   - SSE (default): `id:` carries the cursor, `event: rules` carries
+//     the state, `event: end` terminates the stream when the watched
+//     state can never advance again. Reconnecting with Last-Event-ID
+//     set to the last seen cursor resumes without duplicates.
+//   - Long poll (?wait=): a conditional GET that blocks while
+//     If-None-Match still matches, answering 304 only when the wait
+//     elapses with no advance.
+//
+// The cursor is the device's epoch ("17"), or for the fleet the
+// epoch-sum and device count ("103.2") — the same quantities that key
+// the query routes' ETags.
+
+// MaxWatchWait bounds the ?wait= long-poll hold; watchKeepalive paces
+// SSE comment lines so idle streams keep intermediaries from timing
+// the connection out.
+const (
+	MaxWatchWait   = 60 * time.Second
+	watchKeepalive = 25 * time.Second
+)
+
+// Watch metric families recorded in the engine's registry.
+const (
+	MetricWatchWatchers  = "daccor_watch_watchers"
+	MetricWatchEvents    = "daccor_watch_events_total"
+	MetricWatchFanout    = "daccor_watch_fanout_seconds"
+	MetricWatchCoalesced = "daccor_watch_coalesced_epochs_total"
+	MetricWatchTimeouts  = "daccor_watch_longpoll_timeouts_total"
+)
+
+// watchMetrics holds the watch instruments, resolved once per handler
+// so the event loops never touch the registry's lookup path.
+type watchMetrics struct {
+	watchers   *obs.Gauge
+	sseEvents  *obs.Counter
+	pollEvents *obs.Counter
+	fanout     *obs.Histogram
+	coalesced  *obs.Counter
+	timeouts   *obs.Counter
+}
+
+func newWatchMetrics(reg *obs.Registry) *watchMetrics {
+	return &watchMetrics{
+		watchers: reg.Gauge(MetricWatchWatchers,
+			"Currently connected SSE watch streams."),
+		sseEvents: reg.Counter(MetricWatchEvents,
+			"Watch state deliveries, by transport mode.", obs.L("mode", "sse")),
+		pollEvents: reg.Counter(MetricWatchEvents,
+			"Watch state deliveries, by transport mode.", obs.L("mode", "poll")),
+		fanout: reg.Histogram(MetricWatchFanout,
+			"Latency from epoch advance to watcher wakeup, in seconds.", obs.LatencyBuckets()),
+		coalesced: reg.Counter(MetricWatchCoalesced,
+			"Epoch advances skipped because a watcher coalesced them into one delivery."),
+		timeouts: reg.Counter(MetricWatchTimeouts,
+			"Long-poll watch requests that timed out with 304 (no advance)."),
+	}
+}
+
+// watchCursor is a watch position: a device epoch, or the fleet's
+// (epoch-sum, device-count) pair.
+type watchCursor struct {
+	epoch   uint64
+	devices int
+}
+
+// watchTarget is what one watch request observes: a single device, or
+// the merged fleet when device is empty.
+type watchTarget struct {
+	e      *engine.Engine
+	device string
+}
+
+func (t watchTarget) name() string {
+	if t.device != "" {
+		return t.device
+	}
+	return "fleet"
+}
+
+// format renders a cursor as the wire token used for SSE event IDs and
+// inside long-poll ETags.
+func (t watchTarget) format(c watchCursor) string {
+	if t.device != "" {
+		return strconv.FormatUint(c.epoch, 10)
+	}
+	return fmt.Sprintf("%d.%d", c.epoch, c.devices)
+}
+
+// parse decodes a wire token (e.g. a Last-Event-ID header). Unparsable
+// tokens report false and are treated as no cursor at all — a client
+// with a garbled cursor just gets the current state delivered.
+func (t watchTarget) parse(s string) (watchCursor, bool) {
+	if s == "" {
+		return watchCursor{}, false
+	}
+	if t.device != "" {
+		ep, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return watchCursor{}, false
+		}
+		return watchCursor{epoch: ep}, true
+	}
+	i := strings.IndexByte(s, '.')
+	if i < 0 {
+		return watchCursor{}, false
+	}
+	sum, err1 := strconv.ParseUint(s[:i], 10, 64)
+	n, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || n < 0 {
+		return watchCursor{}, false
+	}
+	return watchCursor{epoch: sum, devices: n}, true
+}
+
+// state reads the target's current cursor and delta body. The cursor
+// is read before the snapshot/rules, so it can only under-claim
+// freshness — a watcher acting on the body never misses a newer epoch,
+// it is just woken once more for it.
+func (t watchTarget) state(support uint32, top int, conf float64) (watchCursor, map[string]any, error) {
+	if t.device != "" {
+		epoch, err := t.e.Epoch(t.device)
+		if err != nil {
+			return watchCursor{}, nil, err
+		}
+		snap, err := t.e.Snapshot(t.device, support)
+		if err != nil {
+			return watchCursor{}, nil, err
+		}
+		rules, err := t.e.Rules(t.device, support, conf)
+		if err != nil {
+			return watchCursor{}, nil, err
+		}
+		cur := watchCursor{epoch: epoch}
+		return cur, map[string]any{
+			"epoch":      t.format(cur),
+			"device":     t.device,
+			"totalPairs": len(snap.Pairs),
+			"pairs":      snap.TopPairs(top),
+			"rules":      topRules(rules, top),
+		}, nil
+	}
+	sum, n := t.e.MergedEpoch()
+	snap, err := t.e.MergedSnapshot(support)
+	if err != nil {
+		return watchCursor{}, nil, err
+	}
+	rules, err := mergedOrSingleRules(t.e, support, conf)
+	if err != nil {
+		return watchCursor{}, nil, err
+	}
+	cur := watchCursor{epoch: sum, devices: n}
+	return cur, map[string]any{
+		"epoch":      t.format(cur),
+		"devices":    t.e.Devices(),
+		"totalPairs": len(snap.Pairs),
+		"pairs":      snap.TopPairs(top),
+		"rules":      topRules(rules, top),
+	}, nil
+}
+
+// wait blocks until the target's cursor differs from since; see
+// Engine.WaitEpoch / Engine.WaitMergedEpoch for the terminal and
+// context semantics.
+func (t watchTarget) wait(ctx context.Context, since watchCursor) (watchCursor, error) {
+	if t.device != "" {
+		ep, err := t.e.WaitEpoch(ctx, t.device, since.epoch)
+		return watchCursor{epoch: ep}, err
+	}
+	sum, n, err := t.e.WaitMergedEpoch(ctx, since.epoch, since.devices)
+	return watchCursor{epoch: sum, devices: n}, err
+}
+
+// observeFanout records how long after the epoch advance this watcher
+// actually woke — the push path's delivery latency.
+func (t watchTarget) observeFanout(wm *watchMetrics) {
+	var at time.Time
+	if t.device != "" {
+		at, _ = t.e.EpochAdvanceTime(t.device)
+	} else {
+		at = t.e.MergedEpochAdvanceTime()
+	}
+	if at.IsZero() {
+		return
+	}
+	if d := time.Since(at); d >= 0 {
+		wm.fanout.Observe(d.Seconds())
+	}
+}
+
+// skipped estimates the epoch advances coalesced between two delivered
+// cursors: a watcher that wakes to epoch 9 after delivering epoch 5
+// skipped three intermediate states.
+func skipped(prev, next watchCursor) uint64 {
+	if next.epoch > prev.epoch+1 {
+		return next.epoch - prev.epoch - 1
+	}
+	return 0
+}
+
+// waitParam parses ?wait= (absent means SSE mode): a positive Go
+// duration string, clamped to MaxWatchWait.
+func waitParam(r *http.Request) (time.Duration, bool, error) {
+	v := r.URL.Query().Get("wait")
+	if v == "" {
+		return 0, false, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, false, fmt.Errorf("wait must be a positive Go duration (e.g. %q), got %q", "30s", v)
+	}
+	if d > MaxWatchWait {
+		d = MaxWatchWait
+	}
+	return d, true, nil
+}
+
+// serveWatch is the shared body of GET /v1/watch and
+// GET /v1/devices/{id}/watch.
+func serveWatch(e *engine.Engine, wm *watchMetrics, device string, w http.ResponseWriter, r *http.Request) *apiError {
+	support, top, conf, err := ruleParams(r)
+	if err != nil {
+		return badRequest(err)
+	}
+	wait, hasWait, err := waitParam(r)
+	if err != nil {
+		return badRequest(err)
+	}
+	t := watchTarget{e: e, device: device}
+	if hasWait {
+		return t.longPoll(wm, w, r, support, top, conf, wait)
+	}
+	return t.stream(wm, w, r, support, top, conf)
+}
+
+// longPoll is the no-SSE fallback: semantically a conditional GET on
+// the watch state whose 304 is deferred until the wait elapses. A
+// request without If-None-Match (or with a stale tag) answers
+// immediately; a request holding the current tag blocks on the epoch
+// notification — never an internal poll loop — until something
+// changes.
+func (t watchTarget) longPoll(wm *watchMetrics, w http.ResponseWriter, r *http.Request,
+	support uint32, top int, conf float64, wait time.Duration) *apiError {
+	tag := func(c watchCursor) string {
+		return fmt.Sprintf(`"w-%s-%s-s%d-t%d-c%g"`, t.name(), t.format(c), support, top, conf)
+	}
+	cur, body, err := t.state(support, top, conf)
+	if err != nil {
+		return engineError(err)
+	}
+	if r.Header.Get("If-None-Match") == tag(cur) {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		next, werr := t.wait(ctx, cur)
+		cancel()
+		switch {
+		case werr == nil:
+			t.observeFanout(wm)
+			wm.coalesced.Add(skipped(cur, next))
+			cur, body, err = t.state(support, top, conf)
+			if err != nil {
+				return engineError(err)
+			}
+		case errors.Is(werr, context.DeadlineExceeded):
+			wm.timeouts.Inc()
+			w.Header().Set("ETag", tag(cur))
+			w.WriteHeader(http.StatusNotModified)
+			return nil
+		case r.Context().Err() != nil:
+			return nil // client went away mid-wait
+		default:
+			return engineError(werr)
+		}
+	}
+	w.Header().Set("ETag", tag(cur))
+	writeData(w, body)
+	wm.pollEvents.Inc()
+	return nil
+}
+
+// stream serves one SSE watch until the client disconnects or the
+// watched state becomes terminal.
+func (t watchTarget) stream(wm *watchMetrics, w http.ResponseWriter, r *http.Request,
+	support uint32, top int, conf float64) *apiError {
+	// Resolve the initial state before committing to the stream, so an
+	// unknown device or stopped engine still gets a proper enveloped
+	// error instead of a broken event stream.
+	cur, body, err := t.state(support, top, conf)
+	if err != nil {
+		return engineError(err)
+	}
+	rc := http.NewResponseController(w)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	// Flush the headers now: when a resuming client's first delivery is
+	// suppressed, nothing else would push them out until the first
+	// keepalive, leaving the client blocked on connection setup.
+	_ = rc.Flush()
+	wm.watchers.Add(1)
+	defer wm.watchers.Add(-1)
+
+	prev := cur
+	deliver := true
+	if last, ok := t.parse(r.Header.Get("Last-Event-ID")); ok && last == cur {
+		// The reconnecting client already holds the current state; the
+		// first delivery is the next advance. A stale or garbled cursor
+		// falls through and gets the current state immediately.
+		deliver = false
+	}
+	for {
+		if deliver {
+			if writeSSEEvent(w, t.format(cur), "rules", body) != nil {
+				return nil // client went away
+			}
+			_ = rc.Flush()
+			wm.sseEvents.Inc()
+			wm.coalesced.Add(skipped(prev, cur))
+			prev = cur
+		}
+		kctx, cancel := context.WithTimeout(r.Context(), watchKeepalive)
+		_, werr := t.wait(kctx, prev)
+		cancel()
+		switch {
+		case werr == nil:
+			t.observeFanout(wm)
+			cur, body, err = t.state(support, top, conf)
+			if err != nil {
+				t.endStream(w, rc, err)
+				return nil
+			}
+			deliver = cur != prev
+		case errors.Is(werr, context.DeadlineExceeded):
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return nil
+			}
+			_ = rc.Flush()
+			deliver = false
+		case r.Context().Err() != nil:
+			return nil // client disconnected
+		default:
+			// Terminal: the engine stopped, or the device failed or was
+			// unregistered. The watcher has already received the final
+			// flushed state (the stop path bumps the epoch before the
+			// terminal wake), so all that is left is to say why.
+			t.endStream(w, rc, werr)
+			return nil
+		}
+	}
+}
+
+// endStream emits the terminal SSE event. The reason mirrors the error
+// codes of the query routes.
+func (t watchTarget) endStream(w http.ResponseWriter, rc *http.ResponseController, err error) {
+	reason := ErrCodeStopped
+	if errors.Is(err, engine.ErrDeviceUnavailable) {
+		reason = ErrCodeDeviceUnavailable
+	}
+	_ = writeSSEEvent(w, "", "end", map[string]any{"reason": reason})
+	_ = rc.Flush()
+}
+
+// writeSSEEvent writes one Server-Sent Event frame. The data is JSON,
+// which never contains raw newlines, so a single data: line suffices.
+func writeSSEEvent(w io.Writer, id, event string, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if id != "" {
+		fmt.Fprintf(&buf, "id: %s\n", id)
+	}
+	fmt.Fprintf(&buf, "event: %s\ndata: %s\n\n", event, b)
+	_, err = w.Write(buf.Bytes())
+	return err
+}

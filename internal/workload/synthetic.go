@@ -56,10 +56,13 @@ const (
 
 // Correlation is one planted inter-request correlation: its extents are
 // always requested together (one I/O request per extent, same
-// transaction window), with popularity Prob.
+// transaction window), with popularity Prob. Op is the direction every
+// occurrence issues — read groups model correlated fetches, write
+// groups model data that dies together (the §V.1 multi-stream case).
 type Correlation struct {
 	Extents []blktrace.Extent
 	Prob    float64
+	Op      blktrace.Op
 }
 
 // Pairs returns the ground-truth inter-request extent pairs this
@@ -89,6 +92,16 @@ type SyntheticConfig struct {
 	NoiseMeanGap       time.Duration
 	// NumberSpace is the block number space; 0 means 1<<26 (32 GB).
 	NumberSpace uint64
+	// WriteGroups is how many of the planted correlations issue writes
+	// instead of reads (0 = a pure read trace, the previous behavior).
+	// Write groups are taken from alternating popularity ranks (1, 3,
+	// 5, …, then 0, 2, 4, …) so reads and writes both span the Zipf
+	// distribution rather than writes claiming only the hottest or
+	// coldest groups.
+	WriteGroups int
+	// NoiseWriteFrac is the fraction of noise requests issued as writes,
+	// in [0,1] (0 = all-read noise, the previous behavior).
+	NoiseWriteFrac float64
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -117,6 +130,12 @@ func (c *SyntheticConfig) validate() error {
 	}
 	if c.Kind != OneToOne && c.Kind != OneToMany && c.Kind != ManyToMany {
 		return fmt.Errorf("workload: unknown kind %d", int(c.Kind))
+	}
+	if c.WriteGroups < 0 || c.WriteGroups > c.Correlations {
+		return fmt.Errorf("workload: WriteGroups must be in [0,%d] (got %d)", c.Correlations, c.WriteGroups)
+	}
+	if c.NoiseWriteFrac < 0 || c.NoiseWriteFrac > 1 {
+		return fmt.Errorf("workload: NoiseWriteFrac must be in [0,1] (got %g)", c.NoiseWriteFrac)
 	}
 	return nil
 }
@@ -174,7 +193,7 @@ func Generate(cfg SyntheticConfig) (*Synthetic, error) {
 			trace.Append(blktrace.Event{
 				Time:   at + int64(j)*int64(intraGap),
 				PID:    1,
-				Op:     blktrace.OpRead,
+				Op:     c.Op,
 				Extent: e,
 			})
 		}
@@ -192,10 +211,14 @@ func Generate(cfg SyntheticConfig) (*Synthetic, error) {
 		if at > lastTime {
 			break
 		}
+		op := blktrace.OpRead
+		if cfg.NoiseWriteFrac > 0 && rng.Float64() < cfg.NoiseWriteFrac {
+			op = blktrace.OpWrite
+		}
 		trace.Append(blktrace.Event{
 			Time: at,
 			PID:  2,
-			Op:   blktrace.OpRead,
+			Op:   op,
 			Extent: blktrace.Extent{
 				Block: uint64(rng.Int63n(int64(cfg.NumberSpace))),
 				Len:   uint32(1 + rng.Intn(MaxNoiseBlocks)),
@@ -242,5 +265,23 @@ func plantCorrelations(cfg SyntheticConfig, rng *rand.Rand, zipf *ZipfRanks) ([]
 		}
 		out[i] = Correlation{Extents: []blktrace.Extent{a, b}, Prob: zipf.Prob(i)}
 	}
+	for _, rank := range writeRanks(cfg.Correlations, cfg.WriteGroups) {
+		out[rank].Op = blktrace.OpWrite
+	}
 	return out, nil
+}
+
+// writeRanks picks which popularity ranks become write groups:
+// odd ranks first (1, 3, 5, …), then even (0, 2, 4, …), so a partial
+// selection interleaves writes through the Zipf distribution instead
+// of converting only its head or tail.
+func writeRanks(correlations, writeGroups int) []int {
+	order := make([]int, 0, correlations)
+	for r := 1; r < correlations; r += 2 {
+		order = append(order, r)
+	}
+	for r := 0; r < correlations; r += 2 {
+		order = append(order, r)
+	}
+	return order[:writeGroups]
 }
