@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault scenario scenario-check
+.PHONY: ci fmt vet test race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault scenario scenario-check soak soak-smoke
 
-ci: fmt vet race alloc-guard alloc-check fault
+ci: fmt vet race alloc-guard alloc-check fault soak-smoke
 
 # Fail if any file is not gofmt-clean.
 fmt:
@@ -94,3 +94,23 @@ scenario-check:
 	@$(GO) run ./cmd/scenario -quick -o scenario_run.json
 	$(GO) run ./cmd/benchjson -diff -fail-on-alloc-regress SCENARIO_quick.json scenario_run.json
 	@rm -f scenario_run.json
+
+# Million-event multi-tenant soak (cmd/loadgen): sustained engine +
+# HTTP ingest across 256 devices with tenant churn, injected worker
+# crashes, checkpoint cycles, and concurrent query/watch traffic,
+# under the race detector. The run itself asserts its SLOs (exit 1 on
+# any violation) and records its metrics in the benchjson schema.
+# `soak` refreshes the committed SOAK_quick.json; `soak-smoke` re-runs
+# the same profile and diffs against the committed file, gating on the
+# SLO-violation counter so a soak regression fails CI. The run is
+# reproducible per (profile, seed); the throughput and latency entries
+# are host-sensitive, which is why only SoakSLOViolations is gated and
+# the rest are tracked for drift review.
+soak:
+	$(GO) run -race ./cmd/loadgen -profile quick -o SOAK_quick.json
+	@echo "wrote SOAK_quick.json"
+
+soak-smoke:
+	$(GO) run -race ./cmd/loadgen -profile quick -o soak_run.json
+	$(GO) run ./cmd/benchjson -diff -fail-on-increase 'SoakSLOViolations' SOAK_quick.json soak_run.json
+	@rm -f soak_run.json

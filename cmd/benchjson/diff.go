@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -39,9 +40,14 @@ func index(doc *Doc) map[benchKey]Result {
 
 // runDiff prints per-benchmark deltas between two converted documents
 // and returns the process exit code. Benchmarks present in only one
-// document are listed but never fail the gate: the gate's contract is
+// document are listed but never fail the alloc gate: its contract is
 // "nothing that existed got worse", not "nothing changed shape".
-func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool) int {
+// failIncrease (nil = off) is stricter: a benchmark whose name matches
+// must not report a larger value than the baseline, and must not
+// disappear — it names deliberately gated counters (SLO violations,
+// error totals) whose value lives in ns_per_op, where silently losing
+// the metric would silently lose the gate.
+func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool, failIncrease *regexp.Regexp) int {
 	oldDoc, err := loadDoc(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -71,7 +77,7 @@ func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool) int {
 	})
 
 	fmt.Fprintf(w, "%-58s %12s %12s %8s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
-	regressed := 0
+	regressed, increased := 0, 0
 	for _, k := range keys {
 		o, inOld := oldBy[k]
 		n, inNew := newBy[k]
@@ -79,9 +85,15 @@ func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool) int {
 		if k.Pkg != "" {
 			name = k.Pkg + " " + k.Name
 		}
+		gated := failIncrease != nil && failIncrease.MatchString(k.Name)
 		switch {
 		case !inNew:
-			fmt.Fprintf(w, "%-58s %12.1f %12s %8s %14s\n", name, o.NsPerOp, "-", "gone", "-")
+			mark := ""
+			if gated {
+				increased++
+				mark = "  GATED METRIC MISSING"
+			}
+			fmt.Fprintf(w, "%-58s %12.1f %12s %8s %14s%s\n", name, o.NsPerOp, "-", "gone", "-", mark)
 		case !inOld:
 			fmt.Fprintf(w, "%-58s %12s %12.1f %8s %14s\n", name, "-", n.NsPerOp, "new", fmt.Sprintf("%d", n.AllocsPerOp))
 		default:
@@ -95,14 +107,23 @@ func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool) int {
 				regressed++
 				mark = "  ALLOC REGRESSION"
 			}
+			if gated && n.NsPerOp > o.NsPerOp {
+				increased++
+				mark += "  INCREASE"
+			}
 			fmt.Fprintf(w, "%-58s %12.1f %12.1f %8s %14s%s\n", name, o.NsPerOp, n.NsPerOp, delta, allocs, mark)
 		}
 	}
+	code := 0
 	if regressed > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed allocs/op\n", regressed)
 		if failAlloc {
-			return 1
+			code = 1
 		}
 	}
-	return 0
+	if increased > 0 {
+		fmt.Fprintf(w, "\n%d gated metric(s) increased or went missing (-fail-on-increase %q)\n", increased, failIncrease)
+		code = 1
+	}
+	return code
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -39,7 +40,7 @@ func TestDiff(t *testing.T) {
 	// One alloc regression (B: 0 → 1): reported, exit 0 without the
 	// gate flag, exit 1 with it. Added and removed benchmarks never
 	// trip the gate.
-	if code := runDiff(&out, oldPath, newPath, false); code != 0 {
+	if code := runDiff(&out, oldPath, newPath, false, nil); code != 0 {
 		t.Fatalf("ungated diff exit %d, want 0\n%s", code, out.String())
 	}
 	text := out.String()
@@ -54,12 +55,64 @@ func TestDiff(t *testing.T) {
 			t.Errorf("diff output missing %q:\n%s", want, text)
 		}
 	}
-	if code := runDiff(&out, oldPath, newPath, true); code != 1 {
+	if code := runDiff(&out, oldPath, newPath, true, nil); code != 1 {
 		t.Fatalf("gated diff exit %d, want 1", code)
 	}
 	// Identical documents: clean diff, gate passes.
-	if code := runDiff(&out, oldPath, oldPath, true); code != 0 {
+	if code := runDiff(&out, oldPath, oldPath, true, nil); code != 0 {
 		t.Fatalf("self-diff exit %d, want 0", code)
+	}
+}
+
+// TestDiffFailOnIncrease covers the value gate: a matching benchmark
+// may improve but not increase, and may not disappear; non-matching
+// benchmarks can do anything.
+func TestDiffFailOnIncrease(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Doc{Benchmarks: []Result{
+		{Name: "SoakSLOViolations", Pkg: "p", NsPerOp: 0},
+		{Name: "SoakEventsPerSec", Pkg: "p", NsPerOp: 5000},
+		{Name: "BenchmarkOther", Pkg: "p", NsPerOp: 100},
+	}})
+
+	run := func(newDoc Doc, pattern string) (int, string) {
+		t.Helper()
+		newPath := writeDoc(t, dir, "new.json", newDoc)
+		var out bytes.Buffer
+		code := runDiff(&out, oldPath, newPath, false, regexp.MustCompile(pattern))
+		return code, out.String()
+	}
+
+	// Gated counter rose 0 → 1: fail, with the increase called out.
+	code, text := run(Doc{Benchmarks: []Result{
+		{Name: "SoakSLOViolations", Pkg: "p", NsPerOp: 1},
+		{Name: "SoakEventsPerSec", Pkg: "p", NsPerOp: 5000},
+		{Name: "BenchmarkOther", Pkg: "p", NsPerOp: 100},
+	}}, "SoakSLOViolations")
+	if code != 1 {
+		t.Errorf("increase exit %d, want 1\n%s", code, text)
+	}
+	if !strings.Contains(text, "INCREASE") {
+		t.Errorf("output does not mark the increase:\n%s", text)
+	}
+
+	// Gated metric missing from the new run: fail — losing the metric
+	// must not silently lose the gate.
+	code, text = run(Doc{Benchmarks: []Result{
+		{Name: "BenchmarkOther", Pkg: "p", NsPerOp: 100},
+	}}, "SoakSLOViolations")
+	if code != 1 || !strings.Contains(text, "GATED METRIC MISSING") {
+		t.Errorf("missing gated metric: exit %d\n%s", code, text)
+	}
+
+	// Equal or improved values pass; unrelated increases don't trip it.
+	code, text = run(Doc{Benchmarks: []Result{
+		{Name: "SoakSLOViolations", Pkg: "p", NsPerOp: 0},
+		{Name: "SoakEventsPerSec", Pkg: "p", NsPerOp: 4000},
+		{Name: "BenchmarkOther", Pkg: "p", NsPerOp: 900},
+	}}, "SoakSLOViolations")
+	if code != 0 {
+		t.Errorf("clean gated diff exit %d, want 0\n%s", code, text)
 	}
 }
 
@@ -71,10 +124,10 @@ func TestDiffBadInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if code := runDiff(&out, good, bad, false); code != 2 {
+	if code := runDiff(&out, good, bad, false, nil); code != 2 {
 		t.Errorf("corrupt new doc: exit %d, want 2", code)
 	}
-	if code := runDiff(&out, filepath.Join(dir, "missing.json"), good, false); code != 2 {
+	if code := runDiff(&out, filepath.Join(dir, "missing.json"), good, false, nil); code != 2 {
 		t.Errorf("missing old doc: exit %d, want 2", code)
 	}
 }

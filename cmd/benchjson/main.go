@@ -22,6 +22,12 @@
 // in both documents reports more allocs/op in the new one — ns/op is
 // machine- and load-sensitive, but allocation counts are deterministic,
 // so they are the only dimension a CI gate can judge without flaking.
+// With -fail-on-increase REGEXP the exit status is 1 if any benchmark
+// whose name matches reports a larger ns/op value than the baseline,
+// or is missing from the new document. This gates entries whose ns/op
+// field carries a counter rather than a timing (the soak harness emits
+// its SLO-violation count this way), where any increase is a
+// regression by definition.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -70,6 +77,7 @@ func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	diff := flag.Bool("diff", false, "compare two benchjson documents: benchjson -diff old.json new.json")
 	failAlloc := flag.Bool("fail-on-alloc-regress", false, "with -diff, exit 1 if any benchmark's allocs/op regressed")
+	failIncrease := flag.String("fail-on-increase", "", "with -diff, exit 1 if a benchmark matching this regexp reports a larger ns/op value (or is missing)")
 	flag.Parse()
 
 	if *diff {
@@ -77,7 +85,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *failAlloc))
+		var gate *regexp.Regexp
+		if *failIncrease != "" {
+			var err error
+			if gate, err = regexp.Compile(*failIncrease); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -fail-on-increase:", err)
+				os.Exit(2)
+			}
+		}
+		os.Exit(runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *failAlloc, gate))
 	}
 
 	doc, err := parse(os.Stdin)

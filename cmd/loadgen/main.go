@@ -1,0 +1,76 @@
+// Command loadgen soaks the full service under sustained multi-tenant
+// load: many devices fed concurrently over the engine and HTTP ingest
+// paths, tenants churned out of and back into the fleet mid-stream,
+// worker crashes injected under the supervisor, and live query + SSE
+// watch traffic held open throughout. After the run it asserts the
+// SLOs (tail submit latency, drop rate, heap growth, goroutine leaks,
+// watcher liveness) and writes the measured metrics as a cmd/benchjson
+// document, so a committed baseline gates soak regressions with
+// `benchjson -diff`.
+//
+// The command exits non-zero when any SLO is violated.
+//
+//	loadgen [-profile quick|tiny] [-seed N] [-o out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"daccor/internal/soak"
+)
+
+func main() {
+	profile := flag.String("profile", "quick", "soak profile: quick or tiny")
+	seed := flag.Int64("seed", 0, "override the profile's workload seed")
+	out := flag.String("o", "", "write benchjson metrics to this file instead of stdout")
+	flag.Parse()
+
+	var cfg soak.Config
+	switch *profile {
+	case "quick":
+		cfg = soak.Quick()
+	case "tiny":
+		cfg = soak.Tiny()
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown profile %q (want quick or tiny)\n", *profile)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	logger := log.New(os.Stderr, "", log.Ltime)
+	res, err := soak.Run(cfg, logger.Printf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := soak.WriteBenchJSON(w, res); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	if len(res.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d SLO violation(s):\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: all SLOs held: %d events, %d devices, %d churns, %d panics, p99 %v\n",
+		res.EventsSubmitted, res.Devices, res.ChurnCycles, res.PanicsInjected, res.SubmitP99)
+}

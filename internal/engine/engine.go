@@ -756,3 +756,18 @@ func (d *Device) SubmitBatch(evs []blktrace.Event) error {
 // ObserveLatency feeds one completion latency (ns), as
 // Engine.ObserveLatency.
 func (d *Device) ObserveLatency(ns int64) { d.s.observeLatency(ns) }
+
+// Lag returns the device's current queue depth — events enqueued but
+// not yet analyzed. Feeders that want throughput without drops pace on
+// this instead of guessing.
+func (d *Device) Lag() int {
+	_, lag := d.s.counters()
+	return lag
+}
+
+// Dropped returns how many events the device has shed under the
+// DropOldest policy since registration.
+func (d *Device) Dropped() uint64 {
+	n, _ := d.s.counters()
+	return n
+}

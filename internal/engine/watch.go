@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"daccor/internal/obs"
 )
 
 // This file is the push half of the epoch design from the read path:
@@ -186,10 +188,13 @@ func (e *Engine) MergedEpochAdvanceTime() time.Time {
 // queued events, flushes the open transaction, writes a final
 // checkpoint, and exits; pending queries are answered first. Epoch
 // waiters on the device are woken with a terminal error, and fleet
-// waiters are woken because the merged view changed. The device ID is
-// free for re-registration afterwards. Returns ErrUnknownDevice if the
-// device is not registered and ErrStopped after Stop (which already
-// stops every device).
+// waiters are woken because the merged view changed. The device's
+// metric series (including the GaugeFunc closures that would otherwise
+// pin the dead shard) are dropped from the registry, so cycling tenant
+// IDs through Register/Unregister leaves registry cardinality and heap
+// flat. The device ID is free for re-registration afterwards. Returns
+// ErrUnknownDevice if the device is not registered and ErrStopped
+// after Stop (which already stops every device).
 func (e *Engine) Unregister(id string) error {
 	e.mu.Lock()
 	if e.stopped {
@@ -205,6 +210,14 @@ func (e *Engine) Unregister(id string) error {
 	at := sort.SearchStrings(e.order, id)
 	e.order = append(e.order[:at], e.order[at+1:]...)
 	e.mu.Unlock()
+	// Drop the device's series before the drain, not after: the id is
+	// already invisible to lookups (and to the scrape-time collect
+	// hook, which iterates registered devices only), so nothing
+	// recreates them — while a concurrent re-registration of the same
+	// id after the drain would mint fresh series a late drop here must
+	// not clobber. The draining worker keeps updating its detached
+	// instruments harmlessly.
+	e.metrics.DropSeries(obs.L("device", id))
 	s.requestStop()
 	<-s.done
 	e.fleetWake()

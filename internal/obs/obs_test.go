@@ -222,3 +222,49 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("total hits = %d, want %d", total, 8*500)
 	}
 }
+
+// Dropping a label's series removes them from cardinality and
+// exposition across every family, leaves other series alone, keeps the
+// families registered, and lets the same labels be re-created fresh —
+// the lifecycle a device churning through Register/Unregister needs.
+func TestDropSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total", "", L("device", "a")).Inc()
+	r.Counter("events_total", "", L("device", "b")).Inc()
+	r.Gauge("lag", "", L("device", "a"), L("table", "hot")).Set(3)
+	r.GaugeFunc("up", "", func() float64 { return 1 }, L("device", "a"))
+	r.Histogram("lat", "", []float64{1, 2}, L("device", "b")).Observe(1)
+
+	if got := r.NumSeries(); got != 5 {
+		t.Fatalf("NumSeries = %d, want 5", got)
+	}
+	if got := r.DropSeries(L("device", "a")); got != 3 {
+		t.Fatalf("DropSeries removed %d series, want 3", got)
+	}
+	if got := r.NumSeries(); got != 2 {
+		t.Fatalf("NumSeries after drop = %d, want 2", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `device="a"`) {
+		t.Errorf("dropped device still exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `events_total{device="b"} 1`) {
+		t.Errorf("surviving series lost:\n%s", out)
+	}
+
+	// Re-creating the same identity starts from zero: the family
+	// survived the drop, the series did not.
+	if got := r.Counter("events_total", "", L("device", "a")).Value(); got != 0 {
+		t.Errorf("re-created counter = %d, want 0", got)
+	}
+	if got := r.NumSeries(); got != 3 {
+		t.Errorf("NumSeries after re-create = %d, want 3", got)
+	}
+	if got := r.DropSeries(L("device", "zzz")); got != 0 {
+		t.Errorf("dropping an absent label removed %d series", got)
+	}
+}

@@ -175,6 +175,45 @@ func (r *Registry) seriesFor(name, help string, k kind, bounds []float64, labels
 	return s
 }
 
+// NumSeries reports the total number of series across all families —
+// the registry's cardinality, which leak detectors compare across
+// device churn.
+func (r *Registry) NumSeries() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, f := range r.families {
+		n += len(f.series)
+	}
+	return n
+}
+
+// DropSeries removes every series (in any family) carrying the given
+// label pair and returns how many were removed. Families stay
+// registered — their name, type, and help survive for future series —
+// but the dropped instruments are detached: holders can still update
+// them, they just no longer appear in expositions. This is the churn
+// half of the get-or-create contract: when a labeled entity (a device)
+// leaves, its series must leave too, or cardinality grows without
+// bound as fresh labels cycle through.
+func (r *Registry) DropSeries(match Label) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, f := range r.families {
+		for key, s := range f.series {
+			for _, l := range s.labels {
+				if l == match {
+					delete(f.series, key)
+					n++
+					break
+				}
+			}
+		}
+	}
+	return n
+}
+
 func equalBounds(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false

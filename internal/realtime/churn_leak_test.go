@@ -1,0 +1,169 @@
+package realtime
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/engine"
+	"daccor/internal/monitor"
+	"daccor/internal/obs"
+)
+
+// TestChurnUnderLoadLeaksNothing is the tenant-churn leak property:
+// Unregister racing a feeder's SubmitBatch, a blocked WaitEpoch caller,
+// and a live /v1/watch stream must release everything the tenant owned.
+// After many cycles with fresh device IDs the goroutine count and the
+// metric-series cardinality are back at their post-warmup baselines,
+// every watcher saw the terminal end event, and every epoch waiter was
+// woken with an error instead of leaking.
+func TestChurnUnderLoadLeaksNothing(t *testing.T) {
+	reg := obs.NewRegistry()
+	e, err := engine.New(
+		engine.WithMonitor(monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)}),
+		engine.WithAnalyzer(core.Config{ItemCapacity: 256, PairCapacity: 256}),
+		engine.WithMetrics(reg),
+		engine.WithQueueSize(256),
+		engine.WithBackpressure(engine.DropOldest),
+		engine.WithDevices("stable"),
+	)
+	must(t, err)
+	defer e.Stop()
+	srv := httptest.NewServer(NewEngineHandler(e))
+	defer srv.Close()
+
+	// One full cycle materializes every lazily created resource (HTTP
+	// route series, transport connections, shard scaffolding) before
+	// the baselines are taken, so the assertion measures churn, not
+	// first-use allocation.
+	churnCycle(t, e, srv, "warm-0")
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	gorBase := settledGoroutines(runtime.NumGoroutine() + 1)
+	seriesBase := reg.NumSeries()
+
+	const cycles = 25
+	for i := 0; i < cycles; i++ {
+		churnCycle(t, e, srv, fmt.Sprintf("churn-%03d", i))
+	}
+
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	const slack = 4
+	if got := settledGoroutines(gorBase + slack); got > gorBase+slack {
+		t.Errorf("goroutines grew from %d to %d after %d churn cycles", gorBase, got, cycles)
+	}
+	if got := reg.NumSeries(); got > seriesBase {
+		t.Errorf("metric series grew from %d to %d after %d churn cycles", seriesBase, got, cycles)
+	}
+	var buf strings.Builder
+	must(t, reg.WritePrometheus(&buf))
+	if strings.Contains(buf.String(), `device="churn-`) {
+		t.Error("exposition still names a churned device after Unregister")
+	}
+	if got := e.Devices(); len(got) != 1 || got[0] != "stable" {
+		t.Errorf("Devices() = %v, want only the stable device", got)
+	}
+}
+
+// churnCycle registers id, races a feeder, a blocked epoch waiter, and
+// an SSE watcher against its Unregister, and verifies each observer was
+// released the way the protocol promises.
+func churnCycle(t *testing.T, e *engine.Engine, srv *httptest.Server, id string) {
+	t.Helper()
+	must(t, e.Register(id))
+
+	// Feeder: correlated pairs at advancing times until the device
+	// disappears underneath it.
+	feedDone := make(chan error, 1)
+	go func() {
+		a := blktrace.Extent{Block: 10, Len: 1}
+		b := blktrace.Extent{Block: 20, Len: 1}
+		for i := 0; ; i++ {
+			base := int64(i) * int64(time.Second)
+			err := e.SubmitBatch(id, []blktrace.Event{
+				{Time: base, Op: blktrace.OpRead, Extent: a},
+				{Time: base + 1000, Op: blktrace.OpRead, Extent: b},
+			})
+			if err != nil {
+				feedDone <- err
+				return
+			}
+		}
+	}()
+
+	// Epoch waiter following every advance; the loop can only end
+	// because Unregister wakes it with a terminal error.
+	waitDone := make(chan error, 1)
+	go func() {
+		var since uint64
+		for {
+			cur, err := e.WaitEpoch(context.Background(), id, since)
+			if err != nil {
+				waitDone <- err
+				return
+			}
+			since = cur
+		}
+	}()
+
+	s := openSSE(t, srv.URL+"/v1/devices/"+id+"/watch?support=1", "")
+	if ev := s.next(t, 5*time.Second); ev.event != "rules" {
+		t.Fatalf("first watch frame = %q, want rules", ev.event)
+	}
+
+	must(t, e.Unregister(id))
+
+	// The stream must end with the terminal frame, then close.
+	sawEnd := false
+	for ev := range s.events {
+		if ev.event != "end" {
+			continue
+		}
+		sawEnd = true
+		var body struct {
+			Reason string `json:"reason"`
+		}
+		must(t, json.Unmarshal([]byte(ev.data), &body))
+		if body.Reason != ErrCodeStopped {
+			t.Errorf("end reason = %q, want %q", body.Reason, ErrCodeStopped)
+		}
+	}
+	if !sawEnd {
+		t.Error("watch stream closed without a terminal end event")
+	}
+
+	// The feeder's SubmitBatch fails with ErrUnknownDevice once the id
+	// is gone; the waiter is woken with ErrStopped (or ErrUnknownDevice
+	// if its re-wait lost the race with the map removal).
+	for name, ch := range map[string]chan error{"feeder": feedDone, "epoch waiter": waitDone} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, engine.ErrUnknownDevice) && !errors.Is(err, engine.ErrStopped) {
+				t.Errorf("%s returned %v, want ErrUnknownDevice or ErrStopped", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s still blocked 5s after Unregister", name)
+		}
+	}
+}
+
+// settledGoroutines polls the goroutine count until it drops to target
+// or a deadline passes, returning the last observation; exiting
+// goroutines and connection teardown need a moment to unwind.
+func settledGoroutines(target int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > target && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}

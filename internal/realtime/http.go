@@ -21,10 +21,12 @@ import (
 //	confidence  rule confidence threshold in [0,1]; default DefaultConfidence
 //	wait        long-poll hold time on the watch routes; a Go duration
 //	            string > 0, clamped to MaxWatchWait
+//	interval    minimum spacing between SSE watch deliveries; a Go
+//	            duration string >= 0, clamped to MaxWatchInterval
 //
 // Out-of-range values (negative, overflowing 32 bits, confidence
-// outside [0,1], an unparsable wait) are rejected with a bad_request
-// error rather than silently truncated.
+// outside [0,1], an unparsable wait or interval) are rejected with a
+// bad_request error rather than silently truncated.
 const (
 	DefaultSupport    = 5
 	DefaultTop        = 100

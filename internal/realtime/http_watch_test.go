@@ -503,3 +503,35 @@ func TestWatchConcurrentChurn(t *testing.T) {
 		t.Fatal("watchers did not drain after Stop")
 	}
 }
+
+// A paced stream (?interval=) still delivers every distinct state —
+// advances landing inside the pacing window coalesce into the next
+// delivery rather than being lost — and bad intervals are rejected.
+func TestWatchDeliveryInterval(t *testing.T) {
+	e, srv := servedEngine(t)
+	url := srv.URL + "/v1/devices/vol0/watch?support=1&interval=100ms"
+	s := openSSE(t, url, "")
+	first := decodeWatchBody(t, s.next(t, 5*time.Second))
+
+	// Two advances in quick succession inside the pacing window: the
+	// stream must deliver a newer state (possibly coalescing the two
+	// into one frame), not drop it.
+	base := int64(100 * time.Second)
+	advanceEpoch(t, e, "vol0", base)
+	advanceEpoch(t, e, "vol0", base+int64(time.Second))
+	got := decodeWatchBody(t, s.next(t, 5*time.Second))
+	if epochNum(t, got.Epoch) <= epochNum(t, first.Epoch) {
+		t.Fatalf("paced stream did not advance: %q -> %q", first.Epoch, got.Epoch)
+	}
+
+	for _, bad := range []string{"interval=-1s", "interval=soon"} {
+		resp, err := http.Get(srv.URL + "/v1/devices/vol0/watch?" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

@@ -37,10 +37,12 @@ import (
 
 // MaxWatchWait bounds the ?wait= long-poll hold; watchKeepalive paces
 // SSE comment lines so idle streams keep intermediaries from timing
-// the connection out.
+// the connection out. MaxWatchInterval bounds ?interval=, the
+// SSE delivery pacing knob.
 const (
-	MaxWatchWait   = 60 * time.Second
-	watchKeepalive = 25 * time.Second
+	MaxWatchWait     = 60 * time.Second
+	watchKeepalive   = 25 * time.Second
+	MaxWatchInterval = 10 * time.Second
 )
 
 // Watch metric families recorded in the engine's registry.
@@ -238,6 +240,30 @@ func waitParam(r *http.Request) (time.Duration, bool, error) {
 	return d, true, nil
 }
 
+// intervalParam parses ?interval=, the SSE delivery pacing knob: the
+// minimum spacing between deliveries on one stream, clamped to
+// MaxWatchInterval. Epoch advances inside the spacing coalesce into
+// the next delivery — the stream's contract (freshest state, no
+// missed terminal events) is unchanged, only its cadence. Without it
+// a fleet watcher makes the server recompute the merged state on
+// every advance of any device, which at fleet scale is a tight
+// recompute loop; with it the server does that work at most once per
+// interval per stream.
+func intervalParam(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("interval")
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("interval must be a non-negative Go duration (e.g. %q), got %q", "250ms", v)
+	}
+	if d > MaxWatchInterval {
+		d = MaxWatchInterval
+	}
+	return d, nil
+}
+
 // serveWatch is the shared body of GET /v1/watch and
 // GET /v1/devices/{id}/watch.
 func serveWatch(e *engine.Engine, wm *watchMetrics, device string, w http.ResponseWriter, r *http.Request) *apiError {
@@ -249,11 +275,15 @@ func serveWatch(e *engine.Engine, wm *watchMetrics, device string, w http.Respon
 	if err != nil {
 		return badRequest(err)
 	}
+	interval, err := intervalParam(r)
+	if err != nil {
+		return badRequest(err)
+	}
 	t := watchTarget{e: e, device: device}
 	if hasWait {
 		return t.longPoll(wm, w, r, support, top, conf, wait)
 	}
-	return t.stream(wm, w, r, support, top, conf)
+	return t.stream(wm, w, r, support, top, conf, interval)
 }
 
 // longPoll is the no-SSE fallback: semantically a conditional GET on
@@ -303,7 +333,7 @@ func (t watchTarget) longPoll(wm *watchMetrics, w http.ResponseWriter, r *http.R
 // stream serves one SSE watch until the client disconnects or the
 // watched state becomes terminal.
 func (t watchTarget) stream(wm *watchMetrics, w http.ResponseWriter, r *http.Request,
-	support uint32, top int, conf float64) *apiError {
+	support uint32, top int, conf float64, interval time.Duration) *apiError {
 	// Resolve the initial state before committing to the stream, so an
 	// unknown device or stopped engine still gets a proper enveloped
 	// error instead of a broken event stream.
@@ -341,6 +371,17 @@ func (t watchTarget) stream(wm *watchMetrics, w http.ResponseWriter, r *http.Req
 			wm.sseEvents.Inc()
 			wm.coalesced.Add(skipped(prev, cur))
 			prev = cur
+			if interval > 0 {
+				// Pace the stream: advances landing in this window
+				// coalesce into the next delivery. Terminal wakes are
+				// not lost — the wait below returns them as soon as
+				// the window closes.
+				select {
+				case <-r.Context().Done():
+					return nil
+				case <-time.After(interval):
+				}
+			}
 		}
 		kctx, cancel := context.WithTimeout(r.Context(), watchKeepalive)
 		_, werr := t.wait(kctx, prev)

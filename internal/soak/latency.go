@@ -1,0 +1,74 @@
+package soak
+
+import "math/bits"
+
+// latBuckets covers 1 ns .. ~9 s in power-of-two buckets; everything
+// slower lands in the last bucket.
+const latBuckets = 34
+
+// latRecorder is a fixed-size power-of-two latency histogram. It is
+// not synchronized: each producer owns one and the driver merges them
+// after the producers stop, so the hot path is a single increment with
+// no contention and no allocation.
+type latRecorder struct {
+	buckets [latBuckets]uint64
+	count   uint64
+	max     int64
+}
+
+// record files one latency sample in nanoseconds.
+func (r *latRecorder) record(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns)) // bucket i holds [2^(i-1), 2^i)
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	r.buckets[b]++
+	r.count++
+	if ns > r.max {
+		r.max = ns
+	}
+}
+
+// merge folds other into r.
+func (r *latRecorder) merge(other *latRecorder) {
+	for i, n := range other.buckets {
+		r.buckets[i] += n
+	}
+	r.count += other.count
+	if other.max > r.max {
+		r.max = other.max
+	}
+}
+
+// quantile returns an upper bound (the bucket's upper edge, in ns) for
+// the q-th latency quantile, clamped by the true maximum. Zero samples
+// report zero.
+func (r *latRecorder) quantile(q float64) int64 {
+	if r.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(r.count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, n := range r.buckets {
+		seen += n
+		if seen >= rank {
+			edge := int64(1) << uint(i) // upper edge of bucket i
+			if edge > r.max || i == latBuckets-1 {
+				return r.max
+			}
+			return edge
+		}
+	}
+	return r.max
+}

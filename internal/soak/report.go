@@ -1,0 +1,60 @@
+package soak
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// benchResult and benchDoc mirror cmd/benchjson's schema so a soak
+// run's metrics can be committed as a baseline and gated with
+// `benchjson -diff`. Each metric is one benchmark entry: the value
+// rides in ns_per_op, the sample count in n.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	N           int64   `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchDoc struct {
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// WriteBenchJSON serializes the run's metrics as a benchjson document.
+// SoakSLOViolations is the gate entry: its committed baseline is zero,
+// and `benchjson -diff -fail-on-increase SoakSLOViolations` fails the
+// build when a run violates any SLO.
+func WriteBenchJSON(w io.Writer, r *Result) error {
+	entry := func(name string, n uint64, value float64) benchResult {
+		return benchResult{Name: name, Pkg: "daccor/cmd/loadgen", N: int64(n), NsPerOp: value}
+	}
+	perSec := float64(0)
+	if s := r.Elapsed.Seconds(); s > 0 {
+		perSec = float64(r.EventsSubmitted) / s
+	}
+	doc := benchDoc{
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		Benchmarks: []benchResult{
+			entry("SoakEventsSubmitted", r.EventsSubmitted, float64(r.EventsSubmitted)),
+			entry("SoakEventsPerSec", r.EventsSubmitted, perSec),
+			entry("SoakSubmitP99Ns/engine", r.SubmitSamples, float64(r.SubmitP99.Nanoseconds())),
+			entry("SoakSubmitP99Ns/http", r.HTTPSamples, float64(r.HTTPSubmitP99.Nanoseconds())),
+			entry("SoakDropPct", r.EventsDropped, r.DropPct()),
+			entry("SoakHeapGrowthBytes", 1, float64(r.HeapGrowth())),
+			entry("SoakGoroutineGrowth", 1, float64(r.GoroutineFinal-r.GoroutineBaseline)),
+			entry("SoakChurnCycles", uint64(r.ChurnCycles), float64(r.ChurnCycles)),
+			entry("SoakPanicsInjected", uint64(r.PanicsInjected), float64(r.PanicsInjected)),
+			entry("SoakWatchDeliveries", r.WatchDeliveries, float64(r.WatchDeliveries)),
+			entry("SoakSLOViolations", 1, float64(len(r.Violations))),
+		},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

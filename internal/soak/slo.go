@@ -1,0 +1,73 @@
+package soak
+
+import "fmt"
+
+// evaluate checks the run against cfg's objectives and fills
+// r.Violations. Beyond the numeric SLOs it asserts the run's
+// structural obligations: the load target was reached, every churn
+// cycle and crash injection actually happened, watchers terminated the
+// way the protocol promises, and read traffic flowed.
+func (r *Result) evaluate(cfg Config) {
+	add := func(format string, args ...any) {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+	slo := cfg.SLO
+
+	if r.TimedOut {
+		add("run timed out after %v with %d/%d events submitted", cfg.MaxDuration, r.EventsSubmitted, cfg.Events)
+	}
+	if r.EventsSubmitted < cfg.Events {
+		add("submitted %d of %d events", r.EventsSubmitted, cfg.Events)
+	}
+	if r.HTTPEvents == 0 {
+		add("HTTP ingest path carried no events")
+	}
+	if slo.SubmitP99 > 0 && r.SubmitP99 > slo.SubmitP99 {
+		add("engine submit p99 %v exceeds SLO %v", r.SubmitP99, slo.SubmitP99)
+	}
+	if slo.HTTPSubmitP99 > 0 && r.HTTPSubmitP99 > slo.HTTPSubmitP99 {
+		add("HTTP submit p99 %v exceeds SLO %v", r.HTTPSubmitP99, slo.HTTPSubmitP99)
+	}
+	if slo.MaxDropPct > 0 && r.DropPct() > slo.MaxDropPct {
+		add("drop rate %.2f%% exceeds SLO %.2f%%", r.DropPct(), slo.MaxDropPct)
+	}
+	if slo.MaxHeapGrowth > 0 && r.HeapGrowth() > slo.MaxHeapGrowth {
+		add("heap grew %d MiB (baseline %d MiB, final %d MiB), SLO %d MiB",
+			r.HeapGrowth()>>20, r.HeapBaseline>>20, r.HeapFinal>>20, slo.MaxHeapGrowth>>20)
+	}
+	if r.GoroutineFinal > r.GoroutineBaseline+slo.MaxGoroutineGrowth {
+		add("goroutines grew from %d to %d (SLO allows +%d)",
+			r.GoroutineBaseline, r.GoroutineFinal, slo.MaxGoroutineGrowth)
+	}
+	if r.SeriesFinal > r.SeriesBaseline+seriesSlack {
+		add("metric series grew from %d to %d under churn (slack %d)",
+			r.SeriesBaseline, r.SeriesFinal, seriesSlack)
+	}
+	if want := cfg.churnCycles(); r.ChurnCycles < want {
+		add("completed %d of %d churn cycles", r.ChurnCycles, want)
+	}
+	if r.ChurnErrors > 0 {
+		add("%d churn cycles errored (last: %s)", r.ChurnErrors, r.ChurnLastError)
+	}
+	if r.BadWatchEnds > 0 {
+		add("%d churned watchers ended without a terminal end event", r.BadWatchEnds)
+	}
+	if r.PanicsInjected < cfg.Panics {
+		add("injected %d of %d worker panics", r.PanicsInjected, cfg.Panics)
+	}
+	if r.WatchDeliveries == 0 {
+		add("watchers received no deliveries")
+	}
+	if r.StalledWatchers > 0 {
+		add("%d watchers never delivered", r.StalledWatchers)
+	}
+	if slo.MaxWatchGap > 0 && r.MaxWatchGap > slo.MaxWatchGap {
+		add("max device watch delivery gap %v exceeds SLO %v", r.MaxWatchGap, slo.MaxWatchGap)
+	}
+	if r.FleetDeliveries == 0 {
+		add("fleet watcher received no deliveries")
+	}
+	if r.Queries == 0 {
+		add("query traffic never succeeded")
+	}
+}

@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"daccor/internal/blktrace"
+)
+
+// Stream is the pull-based form of Generate: the same two merged
+// processes — Zipf-ranked correlated-group arrivals and Poisson noise —
+// but produced one event at a time, open-ended, in O(1) memory.
+// Generate materializes the whole trace up front (Occurrences arrivals,
+// then a sort), which is fine for test fixtures and fatal for a soak
+// harness that wants billions of events; a Stream never allocates past
+// its construction.
+//
+// The planted correlations are identical to Generate's for the same
+// config and seed (the placement draws come first from the same seeded
+// source), so ground truth carries over; the arrival interleaving does
+// not match Generate byte-for-byte — each process gets its own derived
+// rng so the merge needs no global sort — but it is deterministic per
+// (config, seed) and preserves the same statistics: group members
+// microseconds apart, groups hundreds of milliseconds apart, noise at
+// its own exponential cadence.
+//
+// A Stream is not safe for concurrent use; give each producer its own.
+type Stream struct {
+	correlations []Correlation
+	zipf         *ZipfRanks
+	groupRng     *rand.Rand
+	noiseRng     *rand.Rand
+	groupArrive  *ExpArrivals
+	noiseArrive  *ExpArrivals
+
+	noiseWriteFrac float64
+	numberSpace    uint64
+
+	// group holds the not-yet-emitted events of the current correlated
+	// group; nextNoise is the precomputed head of the noise process.
+	// Next is a two-way merge of the two time-ordered sequences.
+	group     []blktrace.Event
+	groupAt   int
+	lastGroup int64 // end time of the latest scheduled group, for monotonicity
+	nextNoise blktrace.Event
+
+	groups uint64
+	noise  uint64
+}
+
+// intraGroupGap is the spacing between requests of one correlated
+// group — the same near-simultaneity Generate plants.
+const intraGroupGap = 5 * time.Microsecond
+
+// Derived-rng tweaks: each process draws from its own source so pulling
+// one event never perturbs the other process's sequence (the property
+// that makes the merge streamable without a sort).
+const (
+	groupSeedMix = int64(-0x61c8864680b583eb) // 0x9e3779b97f4a7c15 as int64
+	noiseSeedMix = int64(0x6a09e667f3bcc909)
+)
+
+// NewStream validates cfg (Occurrences is ignored — a stream has no
+// end) and returns a generator positioned before the first event.
+func NewStream(cfg SyntheticConfig) (*Stream, error) {
+	cfg.applyDefaults()
+	if err := cfg.validateShape(); err != nil {
+		return nil, err
+	}
+	// Placement uses the seed directly, exactly as Generate does, so a
+	// Stream and a Generate at the same (config, seed) plant the same
+	// correlations.
+	placeRng := rand.New(rand.NewSource(cfg.Seed))
+	zipf, err := NewZipfRanks(cfg.Correlations, 1)
+	if err != nil {
+		return nil, err
+	}
+	correlations, err := plantCorrelations(cfg, placeRng, zipf)
+	if err != nil {
+		return nil, err
+	}
+	groupRng := rand.New(rand.NewSource(cfg.Seed ^ groupSeedMix))
+	noiseRng := rand.New(rand.NewSource(cfg.Seed ^ noiseSeedMix))
+	groupArrive, err := NewExpArrivals(groupRng, float64(cfg.CorrelationMeanGap))
+	if err != nil {
+		return nil, err
+	}
+	noiseArrive, err := NewExpArrivals(noiseRng, float64(cfg.NoiseMeanGap))
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		correlations:   correlations,
+		zipf:           zipf,
+		groupRng:       groupRng,
+		noiseRng:       noiseRng,
+		groupArrive:    groupArrive,
+		noiseArrive:    noiseArrive,
+		noiseWriteFrac: cfg.NoiseWriteFrac,
+		numberSpace:    cfg.NumberSpace,
+		group:          make([]blktrace.Event, 0, 4),
+	}
+	s.refillGroup()
+	s.advanceNoise()
+	return s, nil
+}
+
+// Correlations returns the planted ground truth (identical to what
+// Generate plants for the same config and seed). Callers must treat the
+// slice as read-only.
+func (s *Stream) Correlations() []Correlation { return s.correlations }
+
+// PlantedPairs returns all ground-truth inter-request pairs across the
+// planted correlations.
+func (s *Stream) PlantedPairs() []blktrace.Pair {
+	var out []blktrace.Pair
+	for _, c := range s.correlations {
+		out = append(out, c.Pairs()...)
+	}
+	return out
+}
+
+// Counts reports how many correlated-group and noise events have been
+// emitted so far.
+func (s *Stream) Counts() (group, noise uint64) { return s.groups, s.noise }
+
+// Next returns the next event. Timestamps are nondecreasing; the stream
+// never ends.
+func (s *Stream) Next() blktrace.Event {
+	if s.groupAt == len(s.group) {
+		s.refillGroup()
+	}
+	if g := s.group[s.groupAt]; g.Time <= s.nextNoise.Time {
+		s.groupAt++
+		s.groups++
+		return g
+	}
+	ev := s.nextNoise
+	s.advanceNoise()
+	s.noise++
+	return ev
+}
+
+// NextBatch fills dst to its capacity and returns it — the batch-ingest
+// form of Next, allocating nothing.
+func (s *Stream) NextBatch(dst []blktrace.Event) []blktrace.Event {
+	dst = dst[:cap(dst)]
+	for i := range dst {
+		dst[i] = s.Next()
+	}
+	return dst
+}
+
+// refillGroup schedules the next correlated-group arrival: a rank drawn
+// from the Zipf distribution, its extents issued back-to-back.
+func (s *Stream) refillGroup() {
+	at := s.groupArrive.Next()
+	// Exponential interarrivals can (rarely) undercut the previous
+	// group's intra-group tail; clamp so the merged output stays
+	// time-ordered without a sort.
+	if at < s.lastGroup {
+		at = s.lastGroup
+	}
+	c := s.correlations[s.zipf.Sample(s.groupRng)]
+	s.group = s.group[:0]
+	for j, e := range c.Extents {
+		s.group = append(s.group, blktrace.Event{
+			Time:   at + int64(j)*int64(intraGroupGap),
+			PID:    1,
+			Op:     c.Op,
+			Extent: e,
+		})
+	}
+	s.groupAt = 0
+	s.lastGroup = s.group[len(s.group)-1].Time
+}
+
+// advanceNoise draws the next background request: a single random
+// extent, 512 B – 8 KB, uniform position, read or write per
+// NoiseWriteFrac.
+func (s *Stream) advanceNoise() {
+	op := blktrace.OpRead
+	if s.noiseWriteFrac > 0 && s.noiseRng.Float64() < s.noiseWriteFrac {
+		op = blktrace.OpWrite
+	}
+	s.nextNoise = blktrace.Event{
+		Time: s.noiseArrive.Next(),
+		PID:  2,
+		Op:   op,
+		Extent: blktrace.Extent{
+			Block: uint64(s.noiseRng.Int63n(int64(s.numberSpace))),
+			Len:   uint32(1 + s.noiseRng.Intn(MaxNoiseBlocks)),
+		},
+	}
+}
+
+// TenantSeed derives a per-tenant generation seed from a base seed: the
+// multi-tenant form of SyntheticConfig.Seed. Two tenants get
+// uncorrelated streams; the same (base, tenant) always gets the same
+// one.
+func TenantSeed(base int64, tenant string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	return base ^ int64(h.Sum64())
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+	"daccor/internal/monitor"
+	"daccor/internal/pipeline"
+)
+
+func pull(t *testing.T, s *Stream, n int) []blktrace.Event {
+	t.Helper()
+	out := make([]blktrace.Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Next())
+	}
+	return out
+}
+
+// Determinism per (tenant, seed): the same tenant replays the same
+// stream, different tenants get uncorrelated ones.
+func TestStreamDeterministicPerTenantSeed(t *testing.T) {
+	const base = 42
+	cfgFor := func(tenant string) SyntheticConfig {
+		return SyntheticConfig{Kind: OneToOne, Seed: TenantSeed(base, tenant)}
+	}
+	if TenantSeed(base, "vol0") != TenantSeed(base, "vol0") {
+		t.Fatal("TenantSeed not deterministic")
+	}
+	if TenantSeed(base, "vol0") == TenantSeed(base, "vol1") {
+		t.Fatal("distinct tenants share a seed")
+	}
+
+	a, err := NewStream(cfgFor("vol0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(cfgFor("vol0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	evA, evB := pull(t, a, n), pull(t, b, n)
+	for i := range evA {
+		if evA[i] != evB[i] {
+			t.Fatalf("same (tenant, seed), event %d differs: %+v vs %+v", i, evA[i], evB[i])
+		}
+	}
+
+	c, err := NewStream(cfgFor("vol1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evC := pull(t, c, n)
+	same := 0
+	for i := range evA {
+		if evA[i] == evC[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different tenants produced identical streams")
+	}
+}
+
+// The stream plants exactly what Generate plants for the same config
+// and seed: ground truth carries across the two APIs.
+func TestStreamPlantsGenerateGroundTruth(t *testing.T) {
+	cfg := SyntheticConfig{Kind: ManyToMany, Occurrences: 10, WriteGroups: 2, Seed: 9}
+	syn, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Correlations()) != len(syn.Correlations) {
+		t.Fatalf("stream planted %d correlations, Generate %d", len(st.Correlations()), len(syn.Correlations))
+	}
+	for i, c := range st.Correlations() {
+		g := syn.Correlations[i]
+		if c.Prob != g.Prob || c.Op != g.Op || len(c.Extents) != len(g.Extents) {
+			t.Fatalf("correlation %d differs: %+v vs %+v", i, c, g)
+		}
+		for j := range c.Extents {
+			if c.Extents[j] != g.Extents[j] {
+				t.Fatalf("correlation %d extent %d differs: %v vs %v", i, j, c.Extents[j], g.Extents[j])
+			}
+		}
+	}
+	if len(st.PlantedPairs()) != len(syn.PlantedPairs()) {
+		t.Fatal("planted pair ground truth differs")
+	}
+}
+
+// Events come out valid and time-ordered, both processes contribute,
+// and NextBatch is just Next in bulk.
+func TestStreamMonotoneValidEvents(t *testing.T) {
+	s, err := NewStream(SyntheticConfig{Kind: OneToMany, NoiseWriteFrac: 0.25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last int64
+	for i := 0; i < 10_000; i++ {
+		ev := s.Next()
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		if ev.Time < last {
+			t.Fatalf("event %d out of order: %d after %d", i, ev.Time, last)
+		}
+		last = ev.Time
+	}
+	group, noise := s.Counts()
+	if group == 0 || noise == 0 {
+		t.Fatalf("one process never fired: group %d, noise %d", group, noise)
+	}
+	// Mean gaps 200 ms (groups of 2) vs 100 ms noise ⇒ roughly equal
+	// event counts; a badly broken merge starves one side entirely.
+	ratio := float64(group) / float64(noise)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("group/noise ratio = %v, want ≈1", ratio)
+	}
+
+	batch := s.NextBatch(make([]blktrace.Event, 0, 256))
+	if len(batch) != 256 {
+		t.Fatalf("NextBatch filled %d of 256", len(batch))
+	}
+	if batch[0].Time < last {
+		t.Error("NextBatch went back in time")
+	}
+}
+
+// analyzeRecall feeds events through a monitor+synopsis pipeline and
+// reports what fraction of the planted pairs the synopsis recovered at
+// the given support.
+func analyzeRecall(t *testing.T, events []blktrace.Event, planted []blktrace.Pair, support uint32) float64 {
+	t.Helper()
+	p, err := pipeline.New(pipeline.Config{
+		Monitor:  monitor.Config{Window: monitor.StaticWindow(time.Millisecond)},
+		Analyzer: core.Config{ItemCapacity: 4096, PairCapacity: 4096},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := p.HandleIssue(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	found := make(map[blktrace.Pair]bool)
+	for _, pc := range p.Snapshot(support).Pairs {
+		found[pc.Pair] = true
+	}
+	hit := 0
+	for _, pr := range planted {
+		if found[pr] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(planted))
+}
+
+// Planted-pair recall through the analysis pipeline is preserved when
+// the trace comes from the pull iterator instead of the batch Generate
+// path: the streaming rewrite must not cost detection quality.
+func TestStreamRecallMatchesGenerate(t *testing.T) {
+	cfg := SyntheticConfig{Kind: OneToOne, Occurrences: 400, Seed: 11}
+	syn, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genRecall := analyzeRecall(t, syn.Trace.Events, syn.PlantedPairs(), 3)
+
+	st, err := NewStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull until the stream has emitted as many correlated events as
+	// the batch trace holds, so both runs plant comparable evidence.
+	target := uint64(syn.Trace.Len() - syn.NoiseEvents)
+	var events []blktrace.Event
+	for {
+		events = append(events, st.Next())
+		if g, _ := st.Counts(); g >= target {
+			break
+		}
+	}
+	streamRecall := analyzeRecall(t, events, st.PlantedPairs(), 3)
+
+	if genRecall != 1 {
+		t.Fatalf("Generate recall = %v, want 1 (fixture seed should be fully recoverable)", genRecall)
+	}
+	if streamRecall < genRecall {
+		t.Fatalf("stream recall %v < Generate recall %v", streamRecall, genRecall)
+	}
+}
+
+// Table-driven config validation across both generation APIs. The
+// stream ignores Occurrences (it has no end); everything else is
+// enforced identically.
+func TestStreamConfigValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       SyntheticConfig
+		wantErr   bool
+		streamErr bool // NewStream's verdict, when different from Generate's
+	}{
+		{name: "valid", cfg: SyntheticConfig{Kind: OneToOne, Occurrences: 10}},
+		{name: "zero occurrences rejected by Generate only",
+			cfg: SyntheticConfig{Kind: OneToOne}, wantErr: true, streamErr: false},
+		{name: "unknown kind",
+			cfg: SyntheticConfig{Kind: Kind(9), Occurrences: 10}, wantErr: true, streamErr: true},
+		{name: "negative correlations",
+			cfg: SyntheticConfig{Kind: OneToOne, Occurrences: 10, Correlations: -1}, wantErr: true, streamErr: true},
+		{name: "number space too small",
+			cfg: SyntheticConfig{Kind: ManyToMany, Occurrences: 10, NumberSpace: 1024}, wantErr: true, streamErr: true},
+		{name: "write groups out of range",
+			cfg: SyntheticConfig{Kind: OneToOne, Occurrences: 10, WriteGroups: 5}, wantErr: true, streamErr: true},
+		{name: "noise write fraction out of range",
+			cfg: SyntheticConfig{Kind: OneToOne, Occurrences: 10, NoiseWriteFrac: 1.5}, wantErr: true, streamErr: true},
+		{name: "write groups within custom correlations",
+			cfg: SyntheticConfig{Kind: OneToOne, Occurrences: 10, Correlations: 6, WriteGroups: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Generate(tc.cfg)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Generate err = %v, want error %v", err, tc.wantErr)
+			}
+			_, err = NewStream(tc.cfg)
+			if (err != nil) != tc.streamErr {
+				t.Errorf("NewStream err = %v, want error %v", err, tc.streamErr)
+			}
+		})
+	}
+}

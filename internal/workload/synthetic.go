@@ -121,10 +121,18 @@ func (c *SyntheticConfig) applyDefaults() {
 	}
 }
 
+// validate checks the full config for batch generation; Generate needs
+// a trace length, so Occurrences is required on top of the shape.
 func (c *SyntheticConfig) validate() error {
 	if c.Occurrences < 1 {
 		return fmt.Errorf("workload: Occurrences must be >= 1 (got %d)", c.Occurrences)
 	}
+	return c.validateShape()
+}
+
+// validateShape checks everything except Occurrences — the subset a
+// Stream needs, since open-ended generation has no trace length.
+func (c *SyntheticConfig) validateShape() error {
 	if c.Correlations < 1 {
 		return fmt.Errorf("workload: Correlations must be >= 1 (got %d)", c.Correlations)
 	}
@@ -184,14 +192,13 @@ func Generate(cfg SyntheticConfig) (*Synthetic, error) {
 	if err != nil {
 		return nil, err
 	}
-	const intraGap = 5 * time.Microsecond // requests of one group are near-simultaneous
 	var lastTime int64
 	for i := 0; i < cfg.Occurrences; i++ {
 		at := arrivals.Next()
 		c := correlations[zipf.Sample(rng)]
 		for j, e := range c.Extents {
 			trace.Append(blktrace.Event{
-				Time:   at + int64(j)*int64(intraGap),
+				Time:   at + int64(j)*int64(intraGroupGap),
 				PID:    1,
 				Op:     c.Op,
 				Extent: e,

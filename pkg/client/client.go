@@ -59,6 +59,12 @@ type Query struct {
 	Support    uint32
 	Top        int
 	Confidence float64
+	// Interval paces SSE watch deliveries: the server spaces
+	// deliveries at least this far apart, coalescing intermediate
+	// epoch advances. Only the watch routes honor it; it trades
+	// delivery latency for server work, which matters when watching a
+	// large fleet.
+	Interval time.Duration
 }
 
 func (q Query) values() url.Values {
@@ -71,6 +77,9 @@ func (q Query) values() url.Values {
 	}
 	if q.Confidence != 0 {
 		v.Set("confidence", strconv.FormatFloat(q.Confidence, 'g', -1, 64))
+	}
+	if q.Interval != 0 {
+		v.Set("interval", q.Interval.String())
 	}
 	return v
 }
