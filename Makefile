@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault scenario scenario-check soak soak-smoke
+.PHONY: ci fmt vet test test-matrix race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault scenario scenario-check soak soak-smoke soak-smoke-p4
 
-ci: fmt vet race alloc-guard alloc-check fault soak-smoke
+ci: fmt vet race test-matrix alloc-guard alloc-check fault soak-smoke soak-smoke-p4
 
 # Fail if any file is not gofmt-clean.
 fmt:
@@ -21,6 +21,16 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Scheduler-width matrix for the partitioned engine: the same engine
+# suite under one scheduler thread (every worker interleaves on one
+# core — exposes livelocks and missed wakeups) and four (real
+# parallelism between producers, the router, and partition workers —
+# exposes ordering races). Differential identity P>1 ≡ P=1 must hold
+# under both.
+test-matrix:
+	GOMAXPROCS=1 $(GO) test -count=1 ./internal/engine
+	GOMAXPROCS=4 $(GO) test -count=1 ./internal/engine
 
 race:
 	$(GO) test -race ./...
@@ -52,23 +62,23 @@ bench:
 
 # Record the current change's full benchmark run alongside the
 # committed baseline (BENCH_baseline.json stays untouched — it is the
-# comparison anchor). Commit the refreshed BENCH_pr5.json with a
+# comparison anchor). Commit the refreshed BENCH_pr8.json with a
 # change that intentionally moves the numbers.
 bench-pr:
 	@$(GO) test -bench . -benchmem -run '^$$' . ./internal/core ./internal/engine | tee bench.out
-	@$(GO) run ./cmd/benchjson -o BENCH_pr5.json < bench.out
+	@$(GO) run ./cmd/benchjson -o BENCH_pr8.json < bench.out
 	@rm -f bench.out
-	@echo "wrote BENCH_pr5.json"
+	@echo "wrote BENCH_pr8.json"
 
 # Human-readable delta table between the two committed runs.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json BENCH_pr5.json
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json BENCH_pr8.json
 
 # Allocation gate: ns/op is machine- and load-sensitive, but allocs/op
 # is deterministic, so CI can hold the committed run to "no benchmark
 # allocates more than the baseline" without flaking.
 alloc-check:
-	$(GO) run ./cmd/benchjson -diff -fail-on-alloc-regress BENCH_baseline.json BENCH_pr5.json
+	$(GO) run ./cmd/benchjson -diff -fail-on-alloc-regress BENCH_baseline.json BENCH_pr8.json
 
 # Hot-path benchmarks only: the numbers the zero-allocation work
 # tracks (guarded separately by the AllocsPerRun tests).
@@ -114,3 +124,12 @@ soak-smoke:
 	$(GO) run -race ./cmd/loadgen -profile quick -o soak_run.json
 	$(GO) run ./cmd/benchjson -diff -fail-on-increase 'SoakSLOViolations' SOAK_quick.json soak_run.json
 	@rm -f soak_run.json
+
+# P>1 soak smoke: the tiny profile with each device's analyzer split
+# across four partition workers — partitioned ingest, merged queries,
+# churn, crash recovery, and the reorder-late SLO under the race
+# detector. loadgen itself exits non-zero on any SLO violation, so no
+# committed baseline is needed.
+soak-smoke-p4:
+	$(GO) run -race ./cmd/loadgen -profile tiny -partitions 4 -o soak_p4_run.json
+	@rm -f soak_p4_run.json

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -203,6 +204,83 @@ func BenchmarkEngineIngest(b *testing.B) {
 			st, _ := eng.Dropped(ids[0])
 			if st != 0 {
 				b.Fatalf("dropped %d events under Block policy", st)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineIngestParallel measures intra-device scale-up: ONE
+// hot device fed by concurrent RunParallel producers, with the
+// partitions axis splitting its analyzer across P sub-shard workers.
+// The total event count is fixed per iteration, so ns/op dropping as P
+// rises is single-device throughput scaling with partition count
+// (visible on multi-core hosts; GOMAXPROCS=1 serializes the workers).
+// Producers race on the lock-free MPSC ring, so per-producer event
+// order interleaves; the engine's reordering stage repairs it before
+// analysis.
+//
+//	go test -bench EngineIngestParallel -benchmem
+func BenchmarkEngineIngestParallel(b *testing.B) {
+	p, err := msr.ProfileByName("wdev")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := p.Generate(30_000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := gen.Trace.Events
+	for _, parts := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("partitions-%d", parts), func(b *testing.B) {
+			eng, err := engine.New(
+				engine.WithMonitor(monitor.Config{Window: monitor.StaticWindow(100 * time.Microsecond)}),
+				engine.WithAnalyzer(core.Config{ItemCapacity: 16 * 1024, PairCapacity: 16 * 1024}),
+				engine.WithQueueSize(8192),
+				engine.WithPartitions(parts),
+				// Block: every submitted event is processed, so the
+				// measurement is honest end-to-end work, not drops.
+				engine.WithBackpressure(engine.Block),
+				engine.WithDevices("hot"),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dev, err := eng.Device("hot")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				const chunk = 256 // events per SubmitBatch
+				batch := make([]blktrace.Event, 0, chunk)
+				flush := func() bool {
+					if len(batch) == 0 {
+						return true
+					}
+					if err := dev.SubmitBatch(batch); err != nil {
+						b.Error(err)
+						return false
+					}
+					batch = batch[:0]
+					return true
+				}
+				for pb.Next() {
+					i := seq.Add(1)
+					ev := events[int(i)%len(events)]
+					ev.Time = i * 10_000 // near-monotone across producers
+					batch = append(batch, ev)
+					if len(batch) == chunk && !flush() {
+						return
+					}
+				}
+				flush()
+			})
+			eng.Stop() // drain: all queued events processed before the clock stops
+			b.StopTimer()
+			if n, _ := eng.Dropped("hot"); n != 0 {
+				b.Fatalf("dropped %d events under Block policy", n)
 			}
 		})
 	}

@@ -5,9 +5,14 @@
 // and statistics — the shape of a deployment feeding a self-optimizing
 // storage system across a fleet of volumes.
 //
+// With -partitions P each device's analyzer is split into P sub-shards
+// processed by parallel partition workers — intra-device scale-up for
+// a single hot volume — while every query and checkpoint still serves
+// the merged per-device view.
+//
 // Usage:
 //
-//	charactld -workload wdev -devices 4 -listen 127.0.0.1:7233
+//	charactld -workload wdev -devices 4 -partitions 4 -listen 127.0.0.1:7233
 //	curl localhost:7233/v1/stats
 //	curl localhost:7233/v1/devices
 //	curl localhost:7233/v1/devices/dev0/snapshot?support=5
@@ -35,9 +40,6 @@
 //
 //	charactld -workload wdev -pprof
 //	go tool pprof http://localhost:7233/debug/pprof/profile?seconds=10
-//
-// The pre-v1 routes (/stats, /snapshot, /rules) remain as deprecated
-// aliases for one release.
 package main
 
 import (
@@ -73,6 +75,7 @@ func main() {
 	n := flag.Int("n", 0, "requests per loop iteration per device (0 = workload default)")
 	capacity := flag.Int("c", 32*1024, "synopsis table size C (entries per tier, per device)")
 	devices := flag.Int("devices", 1, "number of devices to register and stream concurrently")
+	partitions := flag.Int("partitions", 1, "per-device analyzer partitions: sub-shard workers processing each device's stream in parallel")
 	queue := flag.Int("queue", engine.DefaultQueueSize, "per-device event queue capacity")
 	listen := flag.String("listen", "127.0.0.1:7233", "HTTP listen address")
 	seed := flag.Int64("seed", 1, "random seed (device i streams with seed+i)")
@@ -93,6 +96,7 @@ func main() {
 	opts := []engine.Option{
 		engine.WithAnalyzer(core.Config{ItemCapacity: *capacity, PairCapacity: *capacity}),
 		engine.WithQueueSize(*queue),
+		engine.WithPartitions(*partitions),
 		// A monitor must never stall its workload: drop-oldest, counted.
 		engine.WithBackpressure(engine.DropOldest),
 	}
@@ -156,7 +160,6 @@ func main() {
 	log.Printf("charactld: streaming %q to %d device(s) (%d events per loop), serving on http://%s",
 		*wl, *devices, total, *listen)
 	log.Printf("v1 endpoints: /v1/stats  /v1/devices  /v1/devices/{id}/snapshot  /v1/devices/{id}/rules  /v1/snapshot  /v1/rules  /v1/metrics  /v1/healthz  /v1/readyz")
-	log.Printf("deprecated aliases: /stats  /snapshot  /rules")
 	if *pprofOn {
 		log.Printf("pprof: /debug/pprof/")
 	}

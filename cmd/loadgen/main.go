@@ -10,7 +10,7 @@
 //
 // The command exits non-zero when any SLO is violated.
 //
-//	loadgen [-profile quick|tiny] [-seed N] [-o out.json]
+//	loadgen [-profile quick|tiny] [-partitions P] [-seed N] [-o out.json]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 
 func main() {
 	profile := flag.String("profile", "quick", "soak profile: quick or tiny")
+	partitions := flag.Int("partitions", 0, "override the profile's per-device analyzer partition count (0 = profile default)")
 	seed := flag.Int64("seed", 0, "override the profile's workload seed")
 	out := flag.String("o", "", "write benchjson metrics to this file instead of stdout")
 	flag.Parse()
@@ -37,6 +38,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "loadgen: unknown profile %q (want quick or tiny)\n", *profile)
 		os.Exit(2)
+	}
+	if *partitions != 0 {
+		cfg.Partitions = *partitions
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed

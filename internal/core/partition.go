@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"daccor/internal/blktrace"
+)
+
+// Intra-device scale-up support: one device's synopsis can be split
+// into P partition-local analyzers, each owned by its own worker, with
+// an exact combine step for every read-side product. The scheme follows
+// the mergeable-summary shape of the correlated heavy hitters
+// literature — partition-local sketches, combined on read:
+//
+//   - an extent belongs to PartitionOf(extent, P);
+//   - a canonical pair {A ≤ B} belongs to A's partition (the min-extent
+//     partition), so the correlation table's intrusive membership lists
+//     never span partitions;
+//   - each partition runs an ordinary Analyzer at 1/P of the device
+//     capacity (Config.Split), so the device's memory bound is
+//     preserved;
+//   - merged views concatenate the P captures (RawGroup), which are
+//     disjoint by ownership, through MergeSnapshots.
+//
+// The split is exact while no partition evicts: every partition sees
+// the same transactions (restricted to its owned extents and pairs), so
+// entry sets, counters, and tiers equal the P=1 analyzer's. Under
+// eviction pressure the approximation is partition-local — a hot
+// partition sheds earlier than the device-wide table would — and
+// item-eviction pair demotions apply only to partition-local pairs,
+// which is exactly the ownership invariant (a pair lives where its min
+// extent lives, but its max extent's item entry may live elsewhere).
+
+// PartitionOf maps an extent to a partition in [0, parts). The hash is
+// seed-free and therefore stable across processes and restarts: a
+// checkpoint written by a P-partitioned device must re-split onto the
+// same partition layout after a restore (SplitAnalyzer), and a fleet of
+// replicas must agree on ownership.
+func PartitionOf(e blktrace.Extent, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	// splitmix64-style finalizer over the extent's 96 significant bits,
+	// then a fixed-point multiply on the top 32 bits: idx = ⌊x·parts/2³²⌋
+	// is uniform over [0, parts) without a modulo.
+	h := e.Block ^ (uint64(e.Len) << 37) ^ uint64(e.Len)
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return int(((h >> 32) * uint64(parts)) >> 32)
+}
+
+// Split derives the per-partition analyzer configuration: capacities
+// divided by parts (floored, so the P partitions together never exceed
+// the device-level bound — a combined checkpoint of P partitions must
+// re-load under the device capacities). Threshold and tier ratio pass
+// through unchanged.
+func (c Config) Split(parts int) (Config, error) {
+	if parts < 1 {
+		return Config{}, fmt.Errorf("core: partitions must be >= 1 (got %d)", parts)
+	}
+	if parts == 1 {
+		return c, nil
+	}
+	out := c
+	out.ItemCapacity = c.ItemCapacity / parts
+	out.PairCapacity = c.PairCapacity / parts
+	if out.ItemCapacity < 1 || out.PairCapacity < 1 {
+		return Config{}, fmt.Errorf("core: capacities (items %d, pairs %d) too small to split %d ways",
+			c.ItemCapacity, c.PairCapacity, parts)
+	}
+	return out, nil
+}
+
+// ProcessPartitionSorted performs the partition-owned slice of one
+// transaction's synopsis update: item touches for owned extents, pair
+// touches for pairs whose min extent is owned. extents must be sorted
+// ascending (blktrace.Extent.Compare) and deduplicated — the router
+// sorts once so that for an owned extents[i], every Pair{A: extents[i],
+// B: extents[j]} with j > i is already canonical and owned, and no
+// per-pair ownership hash is needed in the Θ(N²) inner loop.
+//
+// Stats.Transactions is NOT advanced: the transaction is shared across
+// partitions and counted once by the caller (the engine's router).
+// Every partition of a device must be fed every transaction, each with
+// its own (part, parts); partitions that own none of the extents may be
+// skipped — they would touch nothing.
+func (a *Analyzer) ProcessPartitionSorted(extents []blktrace.Extent, part, parts int) {
+	for i, e := range extents {
+		if PartitionOf(e, parts) != part {
+			continue
+		}
+		a.stats.Extents++
+		if a.items.Touch(e) == Promoted {
+			a.stats.ItemPromotions++
+		}
+		for j := i + 1; j < len(extents); j++ {
+			p := blktrace.Pair{A: e, B: extents[j]}
+			a.stats.PairTouches++
+			r, s := a.pairs.touch(p)
+			switch r {
+			case Inserted:
+				a.registerPair(s, p)
+			case Promoted:
+				a.stats.PairPromotions++
+			}
+		}
+	}
+	a.flushDemotions()
+}
+
+// RawGroup is the captures of one device's P partition analyzers, in
+// partition order. Ownership makes the captures disjoint, so merged
+// products are exact combines, not approximations.
+type RawGroup []*RawSnapshot
+
+// Snapshot derives the device-level sorted export from the group,
+// merging the disjoint partition captures (MergeSnapshots). For a
+// single capture it equals that capture's Snapshot.
+func (g RawGroup) Snapshot(minSupport uint32) Snapshot {
+	if len(g) == 1 {
+		return g[0].Snapshot(minSupport)
+	}
+	snaps := make([]Snapshot, 0, len(g))
+	for _, r := range g {
+		if r != nil {
+			snaps = append(snaps, r.Snapshot(minSupport))
+		}
+	}
+	return MergeSnapshots(snaps...)
+}
+
+// Rules derives device-level directional rules from the group. The
+// antecedent lookup must see every item the device holds regardless of
+// support, so the group is first merged at support 0 — on a single
+// capture this reproduces RawSnapshot.Rules exactly.
+func (g RawGroup) Rules(minSupport uint32, minConfidence float64) []Rule {
+	if len(g) == 1 {
+		return g[0].Rules(minSupport, minConfidence)
+	}
+	return g.Snapshot(0).Rules(minSupport, minConfidence)
+}
+
+// Stats sums the captured per-partition processing counters. The
+// caller owns the Transactions semantics: partitions never count
+// transactions (see ProcessPartitionSorted), so the sum carries only
+// whatever a restored partition 0 inherited; the engine adds its
+// router-side transaction count on top.
+func (g RawGroup) Stats() Stats {
+	var t Stats
+	for _, r := range g {
+		if r == nil {
+			continue
+		}
+		t.Transactions += r.stats.Transactions
+		t.Extents += r.stats.Extents
+		t.PairTouches += r.stats.PairTouches
+		t.ItemEvictions += r.stats.ItemEvictions
+		t.PairEvictions += r.stats.PairEvictions
+		t.ItemPromotions += r.stats.ItemPromotions
+		t.PairPromotions += r.stats.PairPromotions
+		t.PairDemotions += r.stats.PairDemotions
+	}
+	return t
+}
+
+// EncodeMerged serialises the group as ONE device-level snapshot in the
+// standard synopsis format, loadable by LoadAnalyzer under cfg's
+// capacities — the combined-checkpoint path for partitioned devices
+// (one file per device regardless of P, re-splittable on restore by
+// SplitAnalyzer at any partition count). cfg is the device-level
+// analyzer configuration; stats the device-level counters to record.
+//
+// Partition captures are concatenated per tier in partition order
+// (each partition's run is MRU→LRU, so per-partition recency survives a
+// re-split). Tier-ratio flooring can make the partitions' per-tier
+// capacities sum to slightly more than the device-level tier capacity;
+// entries beyond a tier's device-level bound are shed (they are the
+// most-LRU survivors of their partition) and counted in the returned
+// shed. With TierRatio 0 (equal tiers) nothing is ever shed.
+func (g RawGroup) EncodeMerged(w io.Writer, cfg Config, stats Stats) (n int64, shed int, err error) {
+	i1cap, i2cap := splitTiers(cfg.ItemCapacity, cfg.TierRatio)
+	p1cap, p2cap := splitTiers(cfg.PairCapacity, cfg.TierRatio)
+	var nItems, nPairs int
+	for _, r := range g {
+		if r == nil {
+			continue
+		}
+		nItems += len(r.items)
+		nPairs += len(r.pairs)
+	}
+	items := make([]Entry[blktrace.Extent], 0, nItems)
+	pairs := make([]Entry[blktrace.Pair], 0, nPairs)
+	var i1, i2, p1, p2 int
+	for _, r := range g {
+		if r == nil {
+			continue
+		}
+		for _, e := range r.items {
+			if e.Tier == Tier2 {
+				if i2 >= i2cap {
+					shed++
+					continue
+				}
+				i2++
+			} else {
+				if i1 >= i1cap {
+					shed++
+					continue
+				}
+				i1++
+			}
+			items = append(items, e)
+		}
+		for _, e := range r.pairs {
+			if e.Tier == Tier2 {
+				if p2 >= p2cap {
+					shed++
+					continue
+				}
+				p2++
+			} else {
+				if p1 >= p1cap {
+					shed++
+					continue
+				}
+				p1++
+			}
+			pairs = append(pairs, e)
+		}
+	}
+	n, err = encodeSnapshot(w, cfg, stats, items, pairs)
+	return n, shed, err
+}
+
+// tierFull reports whether the given tier is at capacity, the guard
+// SplitAnalyzer uses to shed instead of erroring on restore.
+func (t *Table[K]) tierFull(tier Tier) bool {
+	if tier == Tier2 {
+		return t.t2.size >= t.cfg.Capacity2
+	}
+	return t.t1.size >= t.cfg.Capacity1
+}
+
+// SplitAnalyzer distributes one device-level analyzer's state onto
+// parts partition-local analyzers (each at Config.Split capacity) by
+// ownership hash — the restore path for a partitioned device loading a
+// combined checkpoint (or adopting a template analyzer). Entries are
+// re-inserted in capture order (T2 first, MRU→LRU per tier), so each
+// partition preserves the source's relative recency; entries that
+// overflow a partition's tier (hash skew) are shed, LRU-most first,
+// and counted in shed. Device-lifetime stats move to partition 0 so
+// summed partition stats reproduce the device totals.
+//
+// parts == 1 returns the source analyzer itself, untouched.
+func SplitAnalyzer(a *Analyzer, parts int) ([]*Analyzer, int, error) {
+	if parts == 1 {
+		return []*Analyzer{a}, 0, nil
+	}
+	pcfg, err := a.Config().Split(parts)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]*Analyzer, parts)
+	for k := range out {
+		if out[k], err = NewAnalyzer(pcfg); err != nil {
+			return nil, 0, err
+		}
+	}
+	var raw RawSnapshot
+	a.CaptureSnapshot(&raw)
+	var shedItems, shedPairs int
+	for _, e := range raw.items {
+		t := out[PartitionOf(e.Key, parts)]
+		if t.items.tierFull(e.Tier) {
+			shedItems++
+			continue
+		}
+		if err := t.items.restore(e.Key, e.Count, e.Tier); err != nil {
+			return nil, 0, fmt.Errorf("core: split item %v: %w", e.Key, err)
+		}
+	}
+	for _, e := range raw.pairs {
+		t := out[PartitionOf(e.Key.A, parts)]
+		if t.pairs.tierFull(e.Tier) {
+			shedPairs++
+			continue
+		}
+		if err := t.pairs.restore(e.Key, e.Count, e.Tier); err != nil {
+			return nil, 0, fmt.Errorf("core: split pair %v: %w", e.Key, err)
+		}
+		t.registerPair(t.pairs.lookup(e.Key), e.Key)
+	}
+	st := a.stats
+	st.ItemEvictions += uint64(shedItems)
+	st.PairEvictions += uint64(shedPairs)
+	out[0].stats = st
+	return out, shedItems + shedPairs, nil
+}

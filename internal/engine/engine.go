@@ -33,8 +33,20 @@ import (
 )
 
 // DefaultQueueSize is the per-device event queue capacity used when no
-// WithQueueSize option is given.
+// WithQueueSize option is given. It is rounded up to a power of two by
+// the lock-free ring.
 const DefaultQueueSize = 4096
+
+// DefaultReorderBuffer is the per-device timestamp-reordering buffer
+// capacity used when no WithReorderBuffer option is given. With
+// multiple producers racing on the ingest ring, events can interleave
+// slightly out of timestamp order; the buffer repairs any inversion
+// narrower than its capacity before the monitor sees it.
+const DefaultReorderBuffer = 256
+
+// MaxPartitions bounds WithPartitions; the transaction router tracks
+// partition membership in a 64-bit mask.
+const MaxPartitions = 64
 
 // Backpressure selects what Submit does when a device's queue is full.
 type Backpressure int
@@ -63,6 +75,8 @@ type settings struct {
 	tmpl         pipeline.Config
 	queueSize    int
 	policy       Backpressure
+	parts        int
+	reorder      int
 	devices      []string
 	metrics      *obs.Registry
 	super        SupervisorConfig
@@ -103,6 +117,28 @@ func WithQueueSize(n int) Option {
 // WithBackpressure selects the full-queue policy (default DropOldest).
 func WithBackpressure(p Backpressure) Option {
 	return func(s *settings) { s.policy = p }
+}
+
+// WithPartitions splits every device's analyzer into n sub-shards for
+// intra-device scale-up: events hash by extent to a partition
+// (core.PartitionOf) and each partition's synopsis slice is owned by
+// its own worker goroutine, so one hot device can use n cores. Pair
+// ownership goes to the canonical minimum extent of the pair, keeping
+// membership lists partition-local; device-level snapshots, rules,
+// stats, and checkpoints are merged views over the n slices. The
+// default (and n = 1) is the classic single-worker pipeline.
+// Partitioning is incompatible with pipeline KeepTransactions.
+func WithPartitions(n int) Option {
+	return func(s *settings) { s.parts = n }
+}
+
+// WithReorderBuffer sets the capacity of the per-device
+// timestamp-reordering buffer between the ingest ring and the monitor
+// (default DefaultReorderBuffer; 0 disables reordering). Inversions
+// wider than the buffer are released anyway and counted in the
+// reorder_late metric.
+func WithReorderBuffer(n int) Option {
+	return func(s *settings) { s.reorder = n }
 }
 
 // WithDevices registers the given device IDs at construction time;
@@ -157,6 +193,8 @@ type Engine struct {
 	tmpl         pipeline.Config
 	queueSize    int
 	policy       Backpressure
+	parts        int
+	reorder      int
 	metrics      *obs.Registry
 	super        SupervisorConfig
 	ckptStore    *checkpoint.Store
@@ -199,7 +237,7 @@ type Engine struct {
 // The pipeline template is validated up front (pipeline.Config.Validate)
 // so misconfiguration fails at construction, not at first Register.
 func New(opts ...Option) (*Engine, error) {
-	s := settings{queueSize: DefaultQueueSize, policy: DropOldest}
+	s := settings{queueSize: DefaultQueueSize, policy: DropOldest, parts: 1, reorder: DefaultReorderBuffer}
 	for _, o := range opts {
 		o(&s)
 	}
@@ -209,8 +247,25 @@ func New(opts ...Option) (*Engine, error) {
 	if s.policy != DropOldest && s.policy != Block {
 		return nil, fmt.Errorf("engine: unknown backpressure policy %d", s.policy)
 	}
+	if s.parts < 1 || s.parts > MaxPartitions {
+		return nil, fmt.Errorf("engine: partitions must be in [1, %d] (got %d)", MaxPartitions, s.parts)
+	}
+	if s.reorder < 0 {
+		return nil, fmt.Errorf("engine: reorder buffer must be >= 0 (got %d)", s.reorder)
+	}
 	if err := s.tmpl.Validate(); err != nil {
 		return nil, err
+	}
+	if s.parts > 1 {
+		if s.tmpl.KeepTransactions {
+			return nil, fmt.Errorf("engine: KeepTransactions is not supported with %d partitions", s.parts)
+		}
+		// Fail partition sizing at construction, not at first Register.
+		if s.tmpl.Restored == nil {
+			if _, err := s.tmpl.Analyzer.Split(s.parts); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if err := s.super.Validate(); err != nil {
 		return nil, err
@@ -225,6 +280,8 @@ func New(opts ...Option) (*Engine, error) {
 		tmpl:         s.tmpl,
 		queueSize:    s.queueSize,
 		policy:       s.policy,
+		parts:        s.parts,
+		reorder:      s.reorder,
 		metrics:      s.metrics,
 		super:        s.super.withDefaults(),
 		ckptStore:    s.ckptStore,
@@ -271,26 +328,28 @@ func (e *Engine) Register(id string) error {
 		}
 		e.restoredUsed = true
 	}
-	pipe, gen, err := e.buildPipeline(id, true)
-	if err != nil {
-		return err
-	}
-	sh := newShard(id, pipe, e.queueSize, e.policy)
+	sh := newShard(id, e.queueSize, e.parts, e.policy)
 	sh.super = e.super
 	sh.ckpt = e.ckptStore
 	sh.hook = e.procHook
-	sh.rebuild = func() (*pipeline.Pipeline, checkpoint.Generation, error) {
+	sh.rebuild = func() (*deviceState, checkpoint.Generation, error) {
 		// A restart never reuses the template's Restored instance (the
 		// dying worker may have corrupted it); it restores from the
 		// checkpoint store, or starts fresh from the analyzer config.
-		return e.buildPipeline(id, false)
+		return e.buildState(sh, false)
 	}
+	st, gen, err := e.buildState(sh, true)
+	if err != nil {
+		return err
+	}
+	sh.st = st
+	sh.devCfg = st.devCfg
 	if gen.Seq != 0 {
 		sh.ckptGen = gen.Seq
 		sh.ckptTime = gen.Time
 	}
 	sh.onEpoch = e.fleetWake
-	sh.metrics = newShardMetrics(e.metrics, sh, e.queueSize)
+	sh.metrics = newShardMetrics(e.metrics, sh, sh.ring.capacity())
 	e.shards[id] = sh
 	// Keep the listing order sorted by ID rather than by registration:
 	// devices registered concurrently would otherwise make /v1/devices
@@ -309,19 +368,22 @@ func (e *Engine) Register(id string) error {
 	return nil
 }
 
-// buildPipeline constructs one device's pipeline from the engine
-// template, preferring (in order): the template's explicit Restored
-// analyzer (initial registration only), the freshest valid checkpoint
-// generation, a cold analyzer from the config. The returned generation
-// is zero unless a checkpoint was restored.
-func (e *Engine) buildPipeline(id string, useTemplateRestored bool) (*pipeline.Pipeline, checkpoint.Generation, error) {
+// buildState constructs one device's worker-side state from the
+// engine template, preferring (in order): the template's explicit
+// Restored analyzer (initial registration only), the freshest valid
+// checkpoint generation, a cold analyzer from the config. Checkpoints
+// of partitioned devices are single merged files (see
+// core.RawGroup.EncodeMerged): they restore as one analyzer and are
+// re-split across the current partition count here. The returned
+// generation is zero unless a checkpoint was restored.
+func (e *Engine) buildState(sh *shard, useTemplateRestored bool) (*deviceState, checkpoint.Generation, error) {
 	cfg := e.tmpl
 	if !useTemplateRestored {
 		cfg.Restored = nil
 	}
 	var gen checkpoint.Generation
 	if cfg.Restored == nil && e.ckptStore != nil {
-		a, g, err := e.ckptStore.Restore(id)
+		a, g, err := e.ckptStore.Restore(sh.id)
 		switch {
 		case err == nil:
 			cfg.Restored = a
@@ -332,8 +394,36 @@ func (e *Engine) buildPipeline(id string, useTemplateRestored bool) (*pipeline.P
 			return nil, gen, err
 		}
 	}
-	p, err := pipeline.New(cfg)
-	return p, gen, err
+	st := &deviceState{parts: e.parts, rb: newReorderBuffer(e.reorder)}
+	if e.parts == 1 {
+		p, err := pipeline.New(cfg)
+		if err != nil {
+			return nil, gen, err
+		}
+		st.pipe = p
+		st.devCfg = p.Analyzer().Config()
+		return st, gen, nil
+	}
+	st.devCfg = cfg.Analyzer
+	if cfg.Restored != nil {
+		st.devCfg = cfg.Restored.Config()
+	}
+	mon, analyzers, _, err := pipeline.NewPartitioned(cfg, e.parts, sh.routeTx)
+	if err != nil {
+		return nil, gen, err
+	}
+	st.mon = mon
+	st.analyzers = analyzers
+	maxReq := cfg.Monitor.MaxRequests
+	if maxReq <= 0 {
+		maxReq = monitor.DefaultMaxRequests
+	}
+	st.sortBuf = make([]blktrace.Extent, 0, maxReq)
+	st.txRings = make([]*txRing, e.parts)
+	for k := range st.txRings {
+		st.txRings[k] = newTxRing(maxReq)
+	}
+	return st, gen, nil
 }
 
 // Metrics returns the registry holding the engine's instruments — the
@@ -467,8 +557,8 @@ func (e *Engine) Rules(id string, minSupport uint32, minConfidence float64) ([]c
 		return nil, err
 	}
 	var rules []core.Rule
-	err = s.capture(func(raw *core.RawSnapshot) error {
-		rules = raw.Rules(minSupport, minConfidence)
+	err = s.capture(func(g core.RawGroup) error {
+		rules = g.Rules(minSupport, minConfidence)
 		return nil
 	})
 	return rules, err
@@ -483,9 +573,8 @@ func (e *Engine) WriteSnapshot(id string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return s.capture(func(raw *core.RawSnapshot) error {
-		_, err := raw.WriteTo(w)
-		return err
+	return s.capture(func(g core.RawGroup) error {
+		return s.writeTo(w, g)
 	})
 }
 
@@ -555,8 +644,13 @@ type DeviceStats struct {
 	PairIndex core.IndexStats
 	// Dropped counts events discarded by the drop-oldest policy.
 	Dropped uint64
-	// Lag is the number of events queued but not yet processed.
+	// Lag is the number of events queued (ring + reorder buffer) but
+	// not yet processed.
 	Lag int
+	// Partitions is the device's sub-shard count (1 = unpartitioned).
+	// At P > 1 the Analyzer and index stats are merged views over the
+	// P partition slices (counters summed, MaxProbe the worst slice).
+	Partitions int
 	// Health is the device's supervision state (restarts, panics,
 	// checkpoint recency). For a Failed device the Monitor/Analyzer/
 	// Window fields are zero — the worker that owned them is gone —
@@ -633,7 +727,7 @@ func (e *Engine) Stats() (Stats, error) {
 }
 
 func (e *Engine) statsOf(s *shard) (DeviceStats, error) {
-	ds := DeviceStats{Device: s.id, Health: s.health()}
+	ds := DeviceStats{Device: s.id, Health: s.health(), Partitions: s.parts}
 	ds.Dropped, ds.Lag = s.counters()
 	r, err := s.ask(query{kind: queryStats})
 	if err != nil {

@@ -22,6 +22,15 @@ const (
 	MetricSubmitLatency = "daccor_engine_submit_latency_seconds"
 	MetricBatches       = "daccor_engine_batches_submitted_total"
 	MetricBatchSize     = "daccor_engine_submit_batch_size"
+
+	// Reordering-stage instruments: events released with a timestamp
+	// below an already-released one (an inversion wider than the
+	// buffer), events evicted unanalyzed by the drop-oldest policy
+	// (every drop loses a queued event), and the device's partition
+	// count (a constant per engine configuration).
+	MetricReorderLate = "daccor_engine_reorder_late_total"
+	MetricReorderLost = "daccor_engine_reorder_lost_total"
+	MetricPartitions  = "daccor_engine_partitions"
 )
 
 // Supervision and checkpoint metric families, all labeled
@@ -68,6 +77,8 @@ type shardMetrics struct {
 	restarts       *obs.Counter
 	ckpts          *obs.Counter
 	ckptErrors     *obs.Counter
+	reorderLate    *obs.Counter
+	reorderLost    *obs.Counter
 }
 
 // newShardMetrics registers one device's instruments. The queue-depth
@@ -89,16 +100,19 @@ func newShardMetrics(r *obs.Registry, s *shard, queueSize int) *shardMetrics {
 		captureSeconds: r.Histogram(MetricCaptureSeconds,
 			"Worker time spent copying synopsis state for a reader (the ingest stall a query or checkpoint causes), in seconds.",
 			obs.LatencyBuckets(), lbl),
-		snapHits:   r.Counter(MetricSnapshotCacheHits, "Snapshot queries served from the epoch-gated cache without a worker round trip.", lbl),
-		snapMisses: r.Counter(MetricSnapshotCacheMisses, "Snapshot queries that required a fresh capture.", lbl),
-		panics:     r.Counter(MetricPanics, "Worker panics recovered by the device supervisor.", lbl),
-		restarts:   r.Counter(MetricRestarts, "Worker restarts performed by the device supervisor.", lbl),
-		ckpts:      r.Counter(MetricCheckpoints, "Checkpoint generations committed, per device.", lbl),
-		ckptErrors: r.Counter(MetricCheckpointErrors, "Checkpoint saves that failed, per device.", lbl),
+		snapHits:    r.Counter(MetricSnapshotCacheHits, "Snapshot queries served from the epoch-gated cache without a worker round trip.", lbl),
+		snapMisses:  r.Counter(MetricSnapshotCacheMisses, "Snapshot queries that required a fresh capture.", lbl),
+		panics:      r.Counter(MetricPanics, "Worker panics recovered by the device supervisor.", lbl),
+		restarts:    r.Counter(MetricRestarts, "Worker restarts performed by the device supervisor.", lbl),
+		ckpts:       r.Counter(MetricCheckpoints, "Checkpoint generations committed, per device.", lbl),
+		ckptErrors:  r.Counter(MetricCheckpointErrors, "Checkpoint saves that failed, per device.", lbl),
+		reorderLate: r.Counter(MetricReorderLate, "Events released out of timestamp order (inversion wider than the reorder buffer).", lbl),
+		reorderLost: r.Counter(MetricReorderLost, "Queued events evicted unanalyzed by the drop-oldest policy.", lbl),
 	}
 	r.GaugeFunc(MetricQueueDepth, "Events queued but not yet processed (ingest lag).",
 		func() float64 { _, lag := s.counters(); return float64(lag) }, lbl)
 	r.Gauge(MetricQueueCapacity, "Per-device event queue capacity.", lbl).Set(float64(queueSize))
+	r.Gauge(MetricPartitions, "Analyzer sub-shards serving this device (1 = unpartitioned).", lbl).Set(float64(s.parts))
 	r.GaugeFunc(MetricHealthState, "Device health: 0 healthy, 1 degraded, 2 failed.",
 		func() float64 { return float64(s.health().State) }, lbl)
 	r.GaugeFunc(MetricLastRestart, "Unix time of the device's last supervised restart (0 if never).",

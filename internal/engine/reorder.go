@@ -1,0 +1,115 @@
+package engine
+
+import "daccor/internal/blktrace"
+
+// reorderBuffer is the bounded timestamp-reordering stage between the
+// ingest ring and the analyzer. With multiple producers racing on the
+// ring, events can interleave slightly out of timestamp order; the
+// monitor would clamp every inversion (inflating OutOfOrder and
+// distorting window decisions). The buffer holds up to cap events in
+// a min-heap keyed by (Time, arrival), releasing the oldest once the
+// bound is exceeded — so any inversion within a window of cap events
+// is repaired, and anything beyond it is counted as late and left to
+// the monitor's clamp. The router flushes the buffer whenever it
+// catches up with the ring, before answering queries (read-your-writes
+// for snapshots), and on stop.
+//
+// Single-goroutine (router-owned); no locking. The heap array is
+// preallocated and entries are plain values, so steady-state push and
+// release do not allocate.
+type reorderItem struct {
+	ev  blktrace.Event
+	ts  int64  // sampled submit timestamp, 0 = unsampled
+	arr uint64 // arrival sequence: tie-break keeps equal times FIFO
+}
+
+type reorderBuffer struct {
+	cap  int
+	heap []reorderItem
+	arr  uint64
+
+	lastReleased int64
+	released     bool
+
+	// late counts events released with a timestamp below an
+	// already-released one — inversions wider than the buffer. The
+	// router mirrors it into the reorder_late metric.
+	late uint64
+}
+
+func newReorderBuffer(capacity int) *reorderBuffer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &reorderBuffer{
+		cap:  capacity,
+		heap: make([]reorderItem, 0, capacity+1),
+	}
+}
+
+func (b *reorderBuffer) len() int { return len(b.heap) }
+
+func (b *reorderBuffer) less(i, j int) bool {
+	if b.heap[i].ev.Time != b.heap[j].ev.Time {
+		return b.heap[i].ev.Time < b.heap[j].ev.Time
+	}
+	return b.heap[i].arr < b.heap[j].arr
+}
+
+// push adds one event. If the buffer exceeds its bound the minimum is
+// released to emit; emit may be invoked zero or one times per push.
+func (b *reorderBuffer) push(ev blktrace.Event, ts int64, emit func(blktrace.Event, int64)) {
+	b.heap = append(b.heap, reorderItem{ev: ev, ts: ts, arr: b.arr})
+	b.arr++
+	// sift up
+	i := len(b.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !b.less(i, parent) {
+			break
+		}
+		b.heap[i], b.heap[parent] = b.heap[parent], b.heap[i]
+		i = parent
+	}
+	if len(b.heap) > b.cap {
+		b.releaseMin(emit)
+	}
+}
+
+// flush releases every buffered event in timestamp order.
+func (b *reorderBuffer) flush(emit func(blktrace.Event, int64)) {
+	for len(b.heap) > 0 {
+		b.releaseMin(emit)
+	}
+}
+
+func (b *reorderBuffer) releaseMin(emit func(blktrace.Event, int64)) {
+	item := b.heap[0]
+	last := len(b.heap) - 1
+	b.heap[0] = b.heap[last]
+	b.heap = b.heap[:last]
+	// sift down
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(b.heap) && b.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(b.heap) && b.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		b.heap[i], b.heap[smallest] = b.heap[smallest], b.heap[i]
+		i = smallest
+	}
+	if b.released && item.ev.Time < b.lastReleased {
+		b.late++
+	} else {
+		b.lastReleased = item.ev.Time
+		b.released = true
+	}
+	emit(item.ev, item.ts)
+}

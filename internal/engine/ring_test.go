@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+func mkEv(t int64, block uint64) blktrace.Event {
+	return blktrace.Event{Time: t, Op: blktrace.OpRead, Extent: blktrace.Extent{Block: block, Len: 8}}
+}
+
+func TestEvRingFIFO(t *testing.T) {
+	r := newEvRing(8)
+	if r.capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", r.capacity())
+	}
+	for i := 0; i < 8; i++ {
+		if !r.tryPush(mkEv(int64(i), uint64(i))) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if r.tryPush(mkEv(99, 99)) {
+		t.Fatal("push succeeded on full ring")
+	}
+	if r.size() != 8 {
+		t.Fatalf("size = %d, want 8", r.size())
+	}
+	var ev blktrace.Event
+	var ts int64
+	for i := 0; i < 8; i++ {
+		if !r.pop(&ev, &ts) {
+			t.Fatalf("pop %d failed", i)
+		}
+		if ev.Time != int64(i) || ev.Extent.Block != uint64(i) {
+			t.Fatalf("pop %d = %+v, want time/block %d", i, ev, i)
+		}
+	}
+	if r.pop(&ev, &ts) {
+		t.Fatal("pop succeeded on empty ring")
+	}
+	// wraparound: interleave pushes and pops past capacity
+	for i := 0; i < 100; i++ {
+		if !r.tryPush(mkEv(int64(i), uint64(i))) {
+			t.Fatalf("wrap push %d failed", i)
+		}
+		if !r.pop(&ev, &ts) || ev.Time != int64(i) {
+			t.Fatalf("wrap pop %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestEvRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 2}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {100, 128}} {
+		if got := newEvRing(tc.in).capacity(); got != tc.want {
+			t.Errorf("newEvRing(%d).capacity() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEvRingDropOldest(t *testing.T) {
+	r := newEvRing(4)
+	for i := 0; i < 4; i++ {
+		r.tryPush(mkEv(int64(i), uint64(i)))
+	}
+	if !r.dropOldest() {
+		t.Fatal("dropOldest failed on full ring")
+	}
+	if !r.tryPush(mkEv(4, 4)) {
+		t.Fatal("push failed after dropOldest")
+	}
+	var ev blktrace.Event
+	var ts int64
+	want := []int64{1, 2, 3, 4}
+	for _, w := range want {
+		if !r.pop(&ev, &ts) || ev.Time != w {
+			t.Fatalf("pop = %+v, want time %d", ev, w)
+		}
+	}
+	if r.dropOldest() {
+		t.Fatal("dropOldest succeeded on empty ring")
+	}
+}
+
+func TestEvRingLatencySampling(t *testing.T) {
+	r := newEvRing(256)
+	var ev blktrace.Event
+	var ts int64
+	for i := 0; i < 200; i++ {
+		r.tryPush(mkEv(int64(i), uint64(i)))
+	}
+	sampled := 0
+	for r.pop(&ev, &ts) {
+		if ts != 0 {
+			sampled++
+		}
+	}
+	// tickets 0, 64, 128, 192 are sampled
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 200, want 4", sampled)
+	}
+}
+
+// TestEvRingConcurrent hammers the ring with racing producers (and
+// droppers) against a single consumer; with -race this is the memory
+// ordering check for the slot-sequence protocol. Every pushed ticket
+// must be accounted exactly once, by pop or by dropOldest.
+func TestEvRingConcurrent(t *testing.T) {
+	const producers = 4
+	const perProducer = 5000
+	r := newEvRing(64)
+	var dropped atomic.Int64
+	var producersDone atomic.Bool
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				ev := mkEv(int64(i), uint64(p)<<32|uint64(i))
+				for !r.tryPush(ev) {
+					if r.dropOldest() {
+						dropped.Add(1)
+					}
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	var consumed int
+	go func() {
+		defer close(done)
+		var ev blktrace.Event
+		var ts int64
+		for {
+			if r.pop(&ev, &ts) {
+				consumed++
+				continue
+			}
+			if producersDone.Load() && r.empty() {
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+	producersDone.Store(true)
+	<-done
+	total := consumed + int(dropped.Load())
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d + dropped %d = %d, want %d", consumed, dropped.Load(), total, producers*perProducer)
+	}
+}
+
+func TestWakeFlagNoLostWakeup(t *testing.T) {
+	var f wakeFlag
+	f.init()
+	stop := make(chan struct{})
+	var work, seen atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			for work.Load() > seen.Load() {
+				seen.Add(1)
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.prepare()
+			if work.Load() > seen.Load() {
+				f.cancel()
+				continue
+			}
+			f.sleep(stop, nil)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		work.Add(1)
+		f.wake()
+	}
+	// consumer must observe all work without a deadlock
+	for work.Load() > seen.Load() {
+		f.wake()
+		runtime.Gosched()
+	}
+	close(stop)
+	<-done
+	if got := seen.Load(); got != 2000 {
+		t.Fatalf("consumer saw %d of 2000", got)
+	}
+}
+
+func TestGateOpenReleasesWaiters(t *testing.T) {
+	var g gate
+	g.init()
+	const n = 8
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch := g.arm()
+			ready <- struct{}{}
+			<-ch
+			g.disarm()
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	g.open()
+	wg.Wait()
+	// open with no waiters is a no-op and must not panic
+	g.open()
+}
+
+func TestReorderBufferRepairsInversions(t *testing.T) {
+	b := newReorderBuffer(4)
+	var out []int64
+	emit := func(ev blktrace.Event, _ int64) { out = append(out, ev.Time) }
+	// inversions within the window of 4 are repaired
+	for _, tm := range []int64{5, 3, 4, 1, 2, 8, 7, 6} {
+		b.push(mkEv(tm, uint64(tm)), 0, emit)
+	}
+	b.flush(emit)
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("out of order release: %v", out)
+		}
+	}
+	if len(out) != 8 {
+		t.Fatalf("released %d, want 8", len(out))
+	}
+	if b.late != 0 {
+		t.Fatalf("late = %d, want 0 (all inversions within window)", b.late)
+	}
+}
+
+func TestReorderBufferLateCounter(t *testing.T) {
+	b := newReorderBuffer(2)
+	emit := func(blktrace.Event, int64) {}
+	// 10, 11, 12 fill and start releasing; then 1 arrives — an
+	// inversion wider than the 2-slot window.
+	for _, tm := range []int64{10, 11, 12, 13} {
+		b.push(mkEv(tm, uint64(tm)), 0, emit)
+	}
+	b.push(mkEv(1, 1), 0, emit)
+	b.flush(emit)
+	if b.late == 0 {
+		t.Fatal("expected a late release for an inversion wider than the window")
+	}
+}
+
+func TestReorderBufferFIFOTieBreak(t *testing.T) {
+	b := newReorderBuffer(8)
+	var out []uint64
+	emit := func(ev blktrace.Event, _ int64) { out = append(out, ev.Extent.Block) }
+	for i := 0; i < 6; i++ {
+		b.push(mkEv(7, uint64(i)), 0, emit) // identical timestamps
+	}
+	b.flush(emit)
+	for i, blk := range out {
+		if blk != uint64(i) {
+			t.Fatalf("equal-time events reordered: %v", out)
+		}
+	}
+}
+
+func TestReorderBufferZeroCapPassesThrough(t *testing.T) {
+	b := newReorderBuffer(0)
+	var out []int64
+	emit := func(ev blktrace.Event, _ int64) { out = append(out, ev.Time) }
+	for _, tm := range []int64{3, 1, 2} {
+		b.push(mkEv(tm, 0), 0, emit)
+	}
+	if len(out) != 3 {
+		t.Fatalf("cap-0 buffer held events: released %d of 3", len(out))
+	}
+	if out[0] != 3 || out[1] != 1 || out[2] != 2 {
+		t.Fatalf("cap-0 buffer reordered: %v", out)
+	}
+	if b.late != 2 {
+		t.Fatalf("late = %d, want 2", b.late)
+	}
+}
+
+func TestReorderBufferRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		capN := rng.Intn(16) + 1
+		b := newReorderBuffer(capN)
+		var out []int64
+		emit := func(ev blktrace.Event, _ int64) { out = append(out, ev.Time) }
+		n := rng.Intn(200) + 1
+		base := int64(0)
+		for i := 0; i < n; i++ {
+			base += int64(rng.Intn(10))
+			jitter := int64(rng.Intn(capN)) // inversions bounded by window
+			tm := base - jitter
+			if tm < 0 {
+				tm = 0
+			}
+			b.push(mkEv(tm, uint64(i)), 0, emit)
+		}
+		b.flush(emit)
+		if len(out) != n {
+			t.Fatalf("trial %d: released %d of %d", trial, len(out), n)
+		}
+	}
+}

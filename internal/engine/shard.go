@@ -1,7 +1,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,11 +20,11 @@ import (
 type queryKind int
 
 // The worker answers only two query kinds. queryCapture is the whole
-// read path: it copies the synopsis into the asker's RawSnapshot in
-// O(live entries) and returns; sorting, rule extraction, JSON, and
-// checkpoint encoding all happen on the asking goroutine against the
-// immutable copy, so readers no longer stall ingest for the duration
-// of a serialization (see core.RawSnapshot).
+// read path: it copies the synopsis into the asker's RawGroup (one
+// RawSnapshot per partition) in O(live entries) and returns; sorting,
+// rule extraction, JSON, merging, and checkpoint encoding all happen
+// on the asking goroutine against the immutable copies, so readers
+// never stall ingest for the duration of a serialization.
 const (
 	queryCapture queryKind = iota
 	queryStats
@@ -28,9 +32,10 @@ const (
 
 type query struct {
 	kind queryKind
-	// raw receives the capture for queryCapture; owned by the asker,
-	// written by the worker before the reply is sent.
-	raw   *core.RawSnapshot
+	// raws receives the capture for queryCapture: one RawSnapshot per
+	// partition (length 1 at P=1). Owned by the asker, written by the
+	// partition workers before the reply is sent.
+	raws  core.RawGroup
 	reply chan queryReply
 }
 
@@ -45,49 +50,219 @@ type queryReply struct {
 	err error
 }
 
-// rawPool recycles capture buffers across one-shot reads (rules,
-// saves, checkpoints), so a steady stream of them settles into zero
-// steady-state allocation for the capture itself.
-var rawPool = sync.Pool{New: func() any { return new(core.RawSnapshot) }}
+// errRunBroken is the router's internal signal that a partition worker
+// died mid-run: the query being answered goes back to the inflight
+// queue (the restarted run re-answers it) and the router returns to
+// the supervisor.
+var errRunBroken = errors.New("engine: partition worker died")
 
-// shard is one device's slice of the engine: a pipeline owned by a
-// single worker goroutine, fed through a bounded ring of events. State
-// confinement is the concurrency design — the pipeline is only ever
-// touched by the worker, producers and queriers communicate through the
-// mutex-guarded queues, and the worker drains whole batches per lock
-// acquisition so the hot path amortizes synchronization.
+// deviceState is the worker-side state of one run of a device: the
+// analyzer(s), the monitor, the reorder buffer, and (at P>1) the
+// per-partition transaction rings. The supervisor rebuilds it from the
+// freshest checkpoint on every restart, so a dying run can never leak
+// corrupt state — or stale ring tokens — into the next one.
+type deviceState struct {
+	parts int
+
+	// parts == 1: the classic single-worker pipeline.
+	pipe *pipeline.Pipeline
+
+	// parts > 1: the router owns the monitor (transaction assembly is
+	// inherently sequential — it is a stateful scan of the timestamp
+	// order) and fans completed transactions out to P partition-local
+	// analyzers, each owned by its own worker goroutine.
+	mon       *monitor.Monitor
+	analyzers []*core.Analyzer
+	txRings   []*txRing
+	sortBuf   []blktrace.Extent
+	run       *partRun
+
+	// devCfg is the device-level analyzer config — what a combined
+	// checkpoint of the P partitions is encoded (and re-split) under.
+	devCfg core.Config
+
+	rb        *reorderBuffer
+	lastLate  uint64 // rb.late already mirrored into metrics
+	processed uint64 // events released into analysis this run
+}
+
+func (st *deviceState) monitor() *monitor.Monitor {
+	if st.parts == 1 {
+		return st.pipe.Monitor()
+	}
+	return st.mon
+}
+
+// txKind discriminates the tokens the router pushes down a partition's
+// transaction ring. Queries and stop travel in-band so every worker
+// observes them strictly after the transactions routed before them.
+type txKind uint8
+
+const (
+	txProcess txKind = iota
+	txCapture
+	txStats
+	txStop
+)
+
+type txSlot struct {
+	kind    txKind
+	extents []blktrace.Extent // preallocated, len set per transaction
+	req     *partReq
+}
+
+// txRing is a bounded SPSC ring from the router to one partition
+// worker. The router is the only writer of enq, the worker the only
+// writer of deq; slot contents are published by the enq store and
+// released by the deq store.
+type txRing struct {
+	slots   []txSlot
+	mask    uint64
+	enq     atomic.Uint64
+	deq     atomic.Uint64
+	wake    wakeFlag // worker sleeps here
+	notFull gate     // router parks here when the ring is full
+}
+
+// txRingSize bounds how far the router can run ahead of one partition
+// worker, in transactions.
+const txRingSize = 256
+
+func newTxRing(maxTx int) *txRing {
+	r := &txRing{
+		slots: make([]txSlot, txRingSize),
+		mask:  txRingSize - 1,
+	}
+	for i := range r.slots {
+		r.slots[i].extents = make([]blktrace.Extent, 0, maxTx)
+	}
+	r.wake.init()
+	r.notFull.init()
+	return r
+}
+
+// partReq is an in-band barrier query: the router pushes one token per
+// partition ring, each worker fills its slice and decrements pending,
+// and the last one releases the router.
+type partReq struct {
+	kind    queryKind
+	raws    core.RawGroup
+	stats   []partStats
+	pending atomic.Int32
+	done    chan struct{}
+}
+
+func (r *partReq) finish() {
+	if r.pending.Add(-1) == 0 {
+		close(r.done)
+	}
+}
+
+type partStats struct {
+	an    core.Stats
+	items core.IndexStats
+	pairs core.IndexStats
+}
+
+// partRun is the lifecycle of one partitioned run: P workers plus the
+// router. The first panic anywhere breaks the run (closing broken
+// releases everyone mid-wait); the supervisor then rebuilds state and
+// starts a fresh run.
+type partRun struct {
+	wg     sync.WaitGroup
+	death  chan any
+	broken chan struct{}
+	once   sync.Once
+}
+
+func newPartRun() *partRun {
+	return &partRun{death: make(chan any, 1), broken: make(chan struct{})}
+}
+
+func (r *partRun) fail(v any) {
+	select {
+	case r.death <- v:
+	default:
+	}
+	r.abort()
+}
+
+func (r *partRun) abort() { r.once.Do(func() { close(r.broken) }) }
+
+func (r *partRun) isBroken() bool {
+	select {
+	case <-r.broken:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *partRun) cause() any {
+	select {
+	case v := <-r.death:
+		return v
+	default:
+		return errRunBroken
+	}
+}
+
+// shard is one device's slice of the engine: a lock-free MPSC ingest
+// ring drained by a router goroutine that owns the monitor and — at
+// P>1 — fans completed transactions out to P partition workers, each
+// owning 1/P of the synopsis (see core.PartitionOf). Producers never
+// take a lock on the event path: submit is a CAS into the ring plus an
+// eventcount wake, and the drop/lag counters are atomics, so metrics
+// scrapes never serialize against ingest either.
 //
-// The worker itself runs under a supervisor (see supervise): a panic
-// in the pipeline is recovered, the freshest checkpoint is restored,
-// and the worker restarts with backoff while producers keep enqueuing
-// into the ring.
+// The router and workers run under a supervisor (see supervise): a
+// panic anywhere in the run is recovered, the freshest checkpoint is
+// restored, and a fresh run starts with backoff while producers keep
+// enqueuing into the ring.
 type shard struct {
 	id      string
-	pipe    *pipeline.Pipeline
+	parts   int
 	policy  Backpressure
 	metrics *shardMetrics
 
 	super   SupervisorConfig
 	ckpt    *checkpoint.Store
-	rebuild func() (*pipeline.Pipeline, checkpoint.Generation, error)
+	rebuild func() (*deviceState, checkpoint.Generation, error)
 	hook    func(device string, ev blktrace.Event)
 
-	mu       sync.Mutex
-	notEmpty sync.Cond // signalled when work arrives
-	notFull  sync.Cond // signalled when the worker frees queue space (Block policy)
-	buf      []blktrace.Event
-	tsbuf    []int64 // parallel ring: sampled enqueue times (UnixNano), 0 = unsampled
-	head     int     // index of the oldest queued event
-	count    int     // queued events
-	seq      uint64  // submits seen, drives latency sampling
-	lats     []int64
-	queries  []query
-	inflight []query // queries claimed by the worker but not yet answered
-	stopping bool
+	// Lock-free ingest: the event ring, the router's eventcount, and
+	// the gate Block-policy producers park on.
+	ring    *evRing
+	wake    wakeFlag
+	notFull gate
 
-	// Supervision state, guarded by mu. The pipe field is exempt: it is
-	// owned by the worker goroutine, and the supervisor only swaps it
-	// between worker runs (same goroutine).
+	stopping atomic.Bool
+	failed   atomic.Bool
+
+	// st is owned by the router goroutine; the supervisor swaps it only
+	// between runs (same goroutine ordering as the old pipe field).
+	st *deviceState
+
+	// txCount counts transactions the router formed since the current
+	// state was installed. Partition analyzers never count transactions
+	// (the transaction is shared across them); device-level stats and
+	// checkpoints add this on top of the summed partition stats. Reset
+	// on restore — the restored state already carries its own total.
+	txCount atomic.Uint64
+
+	// rbDepth mirrors the reorder buffer's depth for the lock-free lag
+	// counter (the buffer itself is router-owned).
+	rbDepth atomic.Int64
+
+	// Cold-path queues: queries and sampled completion latencies. Low
+	// rate, never on the event path.
+	qMu      sync.Mutex
+	queries  []query
+	lats     []int64
+	inflight []query // claimed by the router; supervisor requeues on panic
+
+	// Supervision state, guarded by mu.
+	mu           sync.Mutex
 	state        HealthState
 	panics       uint64
 	restarts     uint64
@@ -96,147 +271,420 @@ type shard struct {
 	sinceRestart uint64
 	ckptGen      uint64
 	ckptTime     time.Time
+	devCfg       core.Config
 
-	stopCh chan struct{} // closed by requestStop: interrupts backoff and the checkpoint loop
+	stopCh chan struct{} // closed by requestStop: interrupts backoff, parked producers, the checkpoint loop
 	done   chan struct{} // closed when the supervisor goroutine exits
 
 	// notify wakes epoch waiters (see watch.go); onEpoch forwards each
-	// advance to the engine's fleet-level notifier. onEpoch is set
-	// before the supervisor starts and never mutated after.
+	// advance to the engine's fleet-level notifier.
 	notify  *epochNotifier
 	onEpoch func()
 
-	// epoch counts synopsis state changes: it advances whenever the
-	// worker processes a batch of events, flushes on stop, or is
-	// restarted onto restored state. Two reads at the same epoch see
-	// identical synopsis state, which is what lets the snapshot cache
-	// below (and the HTTP layer's ETags) skip recomputation — and even
-	// the worker round trip — when nothing changed.
+	// epoch counts synopsis state changes. At P>1 every partition
+	// worker bumps it as its slice advances, so the device epoch is the
+	// sum of sub-shard advances — monotone, and unchanged iff no
+	// partition changed, which is all the epoch-gated caches and
+	// watchers need.
 	epoch atomic.Uint64
 
-	// Epoch-gated snapshot cache. snapMu serializes the capture+convert
-	// path so a query storm at one epoch does one capture; followers
-	// wait and take the cached product. The epoch is loaded before the
-	// capture is requested, so a cache entry can under-claim freshness
-	// (worker advanced mid-ask → next read recaptures) but never serve
-	// stale data.
+	groupPool sync.Pool
+
+	// Epoch-gated snapshot cache; see snapshot.
 	snapMu      sync.Mutex
-	snapRaw     *core.RawSnapshot // capture scratch, reused under snapMu
+	snapGroup   core.RawGroup
 	snapCached  core.Snapshot
 	snapEpoch   uint64
 	snapSupport uint32
 	snapValid   bool
 }
 
-func newShard(id string, pipe *pipeline.Pipeline, queueSize int, policy Backpressure) *shard {
+func newShard(id string, queueSize, parts int, policy Backpressure) *shard {
 	s := &shard{
 		id:     id,
-		pipe:   pipe,
+		parts:  parts,
 		policy: policy,
-		buf:    make([]blktrace.Event, queueSize),
-		tsbuf:  make([]int64, queueSize),
+		ring:   newEvRing(queueSize),
 		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
 		notify: newEpochNotifier(),
 	}
-	s.notEmpty.L = &s.mu
-	s.notFull.L = &s.mu
+	s.wake.init()
+	s.notFull.init()
 	return s
 }
 
-// runOnce executes the worker loop until a clean stop (returns nil) or
-// a panic in the pipeline (returns the recovered value). The recover
-// is the supervision boundary: one device's bug must never tear down
-// the process or its sibling devices.
+// newGroup allocates a capture group with one RawSnapshot per
+// partition.
+func (s *shard) newGroup() core.RawGroup {
+	g := make(core.RawGroup, s.parts)
+	for i := range g {
+		g[i] = new(core.RawSnapshot)
+	}
+	return g
+}
+
+func (s *shard) getGroup() core.RawGroup {
+	if v := s.groupPool.Get(); v != nil {
+		return v.(core.RawGroup)
+	}
+	return s.newGroup()
+}
+
+func (s *shard) putGroup(g core.RawGroup) { s.groupPool.Put(g) }
+
+// runOnce executes one run of the device until a clean stop (returns
+// nil) or a panic anywhere in the run (returns the recovered value).
+// The recover is the supervision boundary: one device's bug must never
+// tear down the process or its sibling devices.
 func (s *shard) runOnce() (panicked any) {
-	defer func() { panicked = recover() }()
-	s.loop()
+	st := s.st
+	if st.parts == 1 {
+		defer func() { panicked = recover() }()
+		s.routerLoop(st, nil)
+		return nil
+	}
+	run := newPartRun()
+	st.run = run
+	for k := 0; k < st.parts; k++ {
+		run.wg.Add(1)
+		go s.partWorker(k, st, run)
+	}
+	v := func() (v any) {
+		defer func() {
+			if r := recover(); r != nil {
+				v = r
+			}
+		}()
+		s.routerLoop(st, run)
+		return nil
+	}()
+	run.abort()
+	run.wg.Wait()
+	if v == nil || v == errRunBroken {
+		if c := run.cause(); c != errRunBroken || v == errRunBroken {
+			v = c
+		}
+	}
+	return v
+}
+
+// routerLoop is the device's sequential spine: drain the ingest ring
+// through the reorder buffer into the monitor, fan transactions out to
+// partition workers (P>1) or the pipeline (P=1), and answer queries
+// in-band. It returns on clean stop or when the run breaks (worker
+// death); its own panics propagate to runOnce's recover.
+func (s *shard) routerLoop(st *deviceState, run *partRun) {
+	var ev blktrace.Event
+	var ts int64
+	var lats []int64
+	emit := func(ev blktrace.Event, ts int64) { s.processEvent(st, ev, ts) }
+	for {
+		if run != nil && run.isBroken() {
+			return
+		}
+		stopping := s.stopping.Load()
+		s.claimWork(&lats)
+		for _, ns := range lats {
+			st.monitor().ObserveLatency(ns)
+		}
+		before := st.processed
+		drained := 0
+		for s.ring.pop(&ev, &ts) {
+			drained++
+			st.rb.push(ev, ts, emit)
+		}
+		if drained > 0 && s.policy == Block {
+			s.notFull.open()
+		}
+		// Flush the reorder buffer whenever the router has caught up
+		// with the ring (it is about to go idle — holding events would
+		// only add latency), before answering queries (read-your-writes
+		// for snapshots), and on stop.
+		if stopping || len(s.inflight) > 0 || s.ring.empty() {
+			st.rb.flush(emit)
+		}
+		s.mirrorReorder(st)
+		if released := int(st.processed - before); released > 0 {
+			if st.parts == 1 {
+				s.bumpEpoch()
+			}
+			s.noteProcessed(released)
+		}
+		if run != nil && run.isBroken() {
+			return
+		}
+		if len(s.inflight) > 0 {
+			if err := s.answerInflight(st, run); err != nil {
+				return
+			}
+		}
+		if stopping {
+			_ = s.finishStop(st, run, emit)
+			return
+		}
+		if s.ring.empty() && !s.havePending() {
+			s.wake.prepare()
+			if !s.ring.empty() || s.havePending() || s.stopping.Load() || (run != nil && run.isBroken()) {
+				s.wake.cancel()
+				continue
+			}
+			if run != nil {
+				s.wake.sleep(s.stopCh, run.broken)
+			} else {
+				s.wake.sleep(s.stopCh, nil)
+			}
+		}
+	}
+}
+
+// processEvent releases one reordered event into analysis: the process
+// hook, then the monitor (whose sink routes the resulting transactions
+// at P>1), then the sampled submit→analyze latency observation.
+func (s *shard) processEvent(st *deviceState, ev blktrace.Event, ts int64) {
+	if s.hook != nil {
+		s.hook(s.id, ev)
+	}
+	// Events were validated in Submit; the monitor re-validates and
+	// cannot fail here.
+	if st.parts == 1 {
+		_ = st.pipe.HandleIssue(ev)
+	} else {
+		_ = st.mon.HandleEvent(ev)
+	}
+	if ts != 0 {
+		s.metrics.observeSubmitLatency(ts)
+	}
+	st.processed++
+}
+
+// routeTx is the monitor sink at P>1: count the transaction, sort its
+// extents once (so every pair a partition forms is pre-canonical — no
+// per-pair ownership hash in the Θ(N²) loop), and push the sorted list
+// to every partition that owns at least one extent.
+func (s *shard) routeTx(tx monitor.Transaction) {
+	st := s.st
+	run := st.run
+	if run.isBroken() {
+		return
+	}
+	s.txCount.Add(1)
+	st.sortBuf = append(st.sortBuf[:0], tx.Extents...)
+	slices.SortFunc(st.sortBuf, blktrace.Extent.Compare)
+	var mask uint64
+	for _, e := range st.sortBuf {
+		mask |= 1 << uint(core.PartitionOf(e, st.parts))
+	}
+	for k := 0; k < st.parts; k++ {
+		if mask&(1<<uint(k)) == 0 {
+			continue
+		}
+		if !s.txPush(st.txRings[k], run, txProcess, st.sortBuf, nil) {
+			return
+		}
+	}
+}
+
+// txPush publishes one token into a partition's SPSC ring, parking on
+// the ring's gate when it is full. Returns false when the run broke
+// while waiting — the caller abandons the fan-out.
+func (s *shard) txPush(r *txRing, run *partRun, kind txKind, extents []blktrace.Extent, req *partReq) bool {
+	for {
+		pos := r.enq.Load()
+		if pos-r.deq.Load() < uint64(len(r.slots)) {
+			slot := &r.slots[pos&r.mask]
+			slot.kind = kind
+			slot.extents = append(slot.extents[:0], extents...)
+			slot.req = req
+			r.enq.Store(pos + 1)
+			r.wake.wake()
+			return true
+		}
+		ch := r.notFull.arm()
+		if pos-r.deq.Load() < uint64(len(r.slots)) {
+			r.notFull.disarm()
+			continue
+		}
+		if run.isBroken() {
+			r.notFull.disarm()
+			return false
+		}
+		select {
+		case <-ch:
+		case <-run.broken:
+		}
+		r.notFull.disarm()
+		if run.isBroken() {
+			return false
+		}
+	}
+}
+
+// partWorker owns partition k's analyzer: it drains the partition's
+// transaction ring, applying the partition-owned slice of each
+// transaction, answers in-band barrier queries, and bumps the device
+// epoch whenever its slice advanced and it goes idle.
+func (s *shard) partWorker(k int, st *deviceState, run *partRun) {
+	defer run.wg.Done()
+	defer func() {
+		if v := recover(); v != nil {
+			run.fail(v)
+		}
+	}()
+	r := st.txRings[k]
+	a := st.analyzers[k]
+	dirty := false
+	for {
+		if run.isBroken() {
+			return
+		}
+		pos := r.deq.Load()
+		if pos != r.enq.Load() {
+			slot := &r.slots[pos&r.mask]
+			switch slot.kind {
+			case txProcess:
+				a.ProcessPartitionSorted(slot.extents, k, st.parts)
+				dirty = true
+			case txCapture:
+				start := time.Now()
+				a.CaptureSnapshot(slot.req.raws[k])
+				s.metrics.captureSeconds.Observe(time.Since(start).Seconds())
+				slot.req.finish()
+			case txStats:
+				slot.req.stats[k] = partStats{
+					an:    a.Stats(),
+					items: a.Items().IndexStats(),
+					pairs: a.Pairs().IndexStats(),
+				}
+				slot.req.finish()
+			case txStop:
+				if dirty {
+					s.bumpEpoch()
+				}
+				slot.req = nil
+				r.deq.Store(pos + 1)
+				return
+			}
+			slot.req = nil
+			r.deq.Store(pos + 1)
+			r.notFull.open()
+			continue
+		}
+		if dirty {
+			s.bumpEpoch()
+			dirty = false
+		}
+		r.wake.prepare()
+		if r.deq.Load() != r.enq.Load() || run.isBroken() {
+			r.wake.cancel()
+			continue
+		}
+		r.wake.sleep(run.broken, nil)
+	}
+}
+
+// claimWork moves pending queries and latencies from the producer-side
+// queues to the router under the cold-path mutex.
+func (s *shard) claimWork(lats *[]int64) {
+	s.qMu.Lock()
+	if len(s.queries) > 0 {
+		s.inflight = append(s.inflight, s.queries...)
+		s.queries = s.queries[:0]
+	}
+	*lats = append((*lats)[:0], s.lats...)
+	s.lats = s.lats[:0]
+	s.qMu.Unlock()
+}
+
+func (s *shard) havePending() bool {
+	s.qMu.Lock()
+	defer s.qMu.Unlock()
+	return len(s.queries) > 0 || len(s.lats) > 0
+}
+
+// mirrorReorder publishes the router-owned reorder counters: late
+// releases into the metrics counter, buffer depth into the lag atomic.
+func (s *shard) mirrorReorder(st *deviceState) {
+	if st.rb.late != st.lastLate {
+		s.metrics.reorderLate.Add(st.rb.late - st.lastLate)
+		st.lastLate = st.rb.late
+	}
+	s.rbDepth.Store(int64(st.rb.len()))
+}
+
+// finishStop drains the last claimed-but-unpublished events, flushes
+// the open transaction, stops the partition workers, writes the final
+// checkpoint, and answers the remaining queries against the flushed
+// state.
+func (s *shard) finishStop(st *deviceState, run *partRun, emit func(blktrace.Event, int64)) error {
+	var ev blktrace.Event
+	var ts int64
+	for !s.ring.empty() {
+		if s.ring.pop(&ev, &ts) {
+			st.rb.push(ev, ts, emit)
+		} else {
+			runtime.Gosched() // a producer claimed the slot; it will publish
+		}
+	}
+	st.rb.flush(emit)
+	s.mirrorReorder(st)
+	if st.parts == 1 {
+		st.pipe.Flush()
+	} else {
+		st.mon.Flush()
+		if err := s.stopWorkers(st, run); err != nil {
+			return err
+		}
+	}
+	s.bumpEpoch()
+	// Final flush: persist the drained state so a restart does not pay
+	// the cold-start transient. An error is recorded in the checkpoint
+	// metrics; shutdown proceeds regardless.
+	_ = s.commitCheckpointState(st)
+	var none []int64
+	s.claimWork(&none)
+	return s.answerInflight(st, nil)
+}
+
+// stopWorkers pushes a stop token down every partition ring and waits
+// for the workers to drain up to it and exit.
+func (s *shard) stopWorkers(st *deviceState, run *partRun) error {
+	for k := range st.txRings {
+		if !s.txPush(st.txRings[k], run, txStop, nil, nil) {
+			return errRunBroken
+		}
+	}
+	run.wg.Wait()
+	if run.isBroken() {
+		return errRunBroken
+	}
 	return nil
 }
 
-// loop is the worker body: sleep until work arrives, take everything
-// queued in one critical section, then process it outside the lock.
-// On stop it drains the final batch, flushes the open transaction,
-// writes a final checkpoint, and answers any pending queries against
-// the flushed state.
-func (s *shard) loop() {
-	var evs []blktrace.Event
-	var tss []int64
-	var lats []int64
-	for {
-		s.mu.Lock()
-		for s.count == 0 && len(s.lats) == 0 && len(s.queries) == 0 && !s.stopping {
-			s.notEmpty.Wait()
-		}
-		evs = evs[:0]
-		tss = tss[:0]
-		for s.count > 0 {
-			evs = append(evs, s.buf[s.head])
-			tss = append(tss, s.tsbuf[s.head])
-			s.head++
-			if s.head == len(s.buf) {
-				s.head = 0
-			}
-			s.count--
-		}
-		lats = append(lats[:0], s.lats...)
-		s.lats = s.lats[:0]
-		s.inflight = append(s.inflight[:0], s.queries...)
-		s.queries = s.queries[:0]
-		stopping := s.stopping
-		if s.policy == Block {
-			s.notFull.Broadcast()
-		}
-		s.mu.Unlock()
-
-		for _, ns := range lats {
-			s.pipe.Monitor().ObserveLatency(ns)
-		}
-		for i, ev := range evs {
-			if s.hook != nil {
-				s.hook(s.id, ev)
-			}
-			// Events were validated in Submit; the monitor re-validates
-			// and cannot fail here.
-			_ = s.pipe.HandleIssue(ev)
-			if tss[i] != 0 {
-				s.metrics.observeSubmitLatency(tss[i])
-			}
-		}
-		if len(evs) > 0 {
-			s.bumpEpoch()
-		}
-		s.noteProcessed(len(evs))
-		if stopping {
-			s.pipe.Flush()
-			s.bumpEpoch()
-			// Final flush: persist the drained state so a restart does
-			// not pay the cold-start transient. An error is recorded in
-			// the checkpoint metrics; shutdown proceeds regardless.
-			_ = s.writeCheckpoint()
-			s.answerInflight()
-			return
-		}
-		s.answerInflight()
-	}
-}
-
-// answerInflight answers the queries the worker claimed this round,
-// consuming them one at a time so a panic mid-answer leaves only the
-// genuinely unanswered ones for the supervisor to requeue.
-func (s *shard) answerInflight() {
+// answerInflight answers the queries the router claimed, consuming
+// them one at a time so a panic mid-answer leaves only the genuinely
+// unanswered ones for the supervisor to requeue. A broken run puts the
+// un-replied query back and returns errRunBroken.
+func (s *shard) answerInflight(st *deviceState, run *partRun) error {
 	for len(s.inflight) > 0 {
 		q := s.inflight[0]
 		s.inflight = s.inflight[1:]
-		s.answer(q)
+		if err := s.answer(st, run, q); err != nil {
+			s.inflight = append([]query{q}, s.inflight...)
+			return err
+		}
 	}
+	return nil
 }
 
-// answer computes one query reply. If the computation panics (corrupt
-// synopsis state), the asker still gets a reply — a typed
-// ErrDeviceUnavailable — before the panic propagates to the supervisor
-// to restart the worker; queries must fail fast, never hang.
-func (s *shard) answer(q query) {
+// answer computes one query reply. With run == nil the router touches
+// the analyzers directly (P=1 always; P>1 only after the workers
+// exited on the stop path); otherwise partition state is reached via
+// in-band barrier tokens. If the computation panics (corrupt synopsis
+// state), the asker still gets a reply — a typed ErrDeviceUnavailable
+// — before the panic propagates to the supervisor; queries must fail
+// fast, never hang.
+func (s *shard) answer(st *deviceState, run *partRun, q query) error {
 	defer func() {
 		if r := recover(); r != nil {
 			q.reply <- queryReply{err: fmt.Errorf("%w: %q query panicked: %v", ErrDeviceUnavailable, s.id, r)}
@@ -246,184 +694,248 @@ func (s *shard) answer(q query) {
 	var r queryReply
 	switch q.kind {
 	case queryCapture:
-		// The capture is the only read-side work charged to the worker;
-		// its duration is the ingest stall a reader causes, so it is
-		// what the capture-seconds histogram measures.
-		start := time.Now()
-		s.pipe.Analyzer().CaptureSnapshot(q.raw)
-		s.metrics.captureSeconds.Observe(time.Since(start).Seconds())
-	case queryStats:
-		a := s.pipe.Analyzer()
-		r.monStats = s.pipe.Monitor().Stats()
-		r.anStats = a.Stats()
-		r.window = s.pipe.WindowDuration()
-		r.itemIdx = a.Items().IndexStats()
-		r.pairIdx = a.Pairs().IndexStats()
-	}
-	q.reply <- r
-}
-
-// submit enqueues one pre-validated event. When the queue is full the
-// configured backpressure policy decides: DropOldest evicts the oldest
-// queued event (counted) so the producer never stalls, Block waits for
-// the worker to free space.
-func (s *shard) submit(ev blktrace.Event) error {
-	s.mu.Lock()
-	if err := s.acceptingLocked(); err != nil {
-		s.mu.Unlock()
-		return err
-	}
-	if s.count == len(s.buf) {
-		if s.policy == DropOldest {
-			s.dropOldestLocked()
-		} else {
-			s.metrics.blocked.Inc()
-			for s.count == len(s.buf) && !s.stopping && s.state != Failed {
-				s.notFull.Wait()
-			}
-			if err := s.acceptingLocked(); err != nil {
-				s.mu.Unlock()
+		if st.parts == 1 {
+			// The capture is the only read-side work charged to the
+			// worker; its duration is the ingest stall a reader causes,
+			// so it is what the capture-seconds histogram measures.
+			start := time.Now()
+			st.pipe.Analyzer().CaptureSnapshot(q.raws[0])
+			s.metrics.captureSeconds.Observe(time.Since(start).Seconds())
+		} else if run != nil {
+			req := &partReq{kind: queryCapture, raws: q.raws, done: make(chan struct{})}
+			if err := s.fanout(st, run, req); err != nil {
 				return err
 			}
+		} else {
+			for k, a := range st.analyzers {
+				a.CaptureSnapshot(q.raws[k])
+			}
+		}
+	case queryStats:
+		if st.parts == 1 {
+			a := st.pipe.Analyzer()
+			r.monStats = st.pipe.Monitor().Stats()
+			r.anStats = a.Stats()
+			r.window = st.pipe.WindowDuration()
+			r.itemIdx = a.Items().IndexStats()
+			r.pairIdx = a.Pairs().IndexStats()
+		} else {
+			ps := make([]partStats, st.parts)
+			if run != nil {
+				req := &partReq{kind: queryStats, stats: ps, done: make(chan struct{})}
+				if err := s.fanout(st, run, req); err != nil {
+					return err
+				}
+			} else {
+				for k, a := range st.analyzers {
+					ps[k] = partStats{an: a.Stats(), items: a.Items().IndexStats(), pairs: a.Pairs().IndexStats()}
+				}
+			}
+			for _, p := range ps {
+				r.anStats = sumCoreStats(r.anStats, p.an)
+				r.itemIdx = sumIndexStats(r.itemIdx, p.items)
+				r.pairIdx = sumIndexStats(r.pairIdx, p.pairs)
+			}
+			r.anStats.Transactions += s.txCount.Load()
+			r.monStats = st.mon.Stats()
+			r.window = st.mon.WindowDuration()
 		}
 	}
-	s.enqueueLocked(ev)
-	s.metrics.submitted.Inc()
-	s.notEmpty.Signal()
-	s.mu.Unlock()
+	q.reply <- r
 	return nil
 }
 
-// acceptingLocked reports whether the shard can take new events:
-// ErrStopped after Stop, ErrDeviceUnavailable once the supervisor has
-// declared the device failed (its worker is gone, so accepting an
-// event would promise processing that can never happen — and a Block
-// submitter would hang forever).
-func (s *shard) acceptingLocked() error {
-	if s.stopping {
+// fanout pushes one barrier token per partition ring and waits for all
+// workers to fill their slice. In-band delivery means every worker
+// answers strictly after the transactions routed before the token.
+func (s *shard) fanout(st *deviceState, run *partRun, req *partReq) error {
+	req.pending.Store(int32(st.parts))
+	for k := range st.txRings {
+		if !s.txPush(st.txRings[k], run, kindToken(req.kind), nil, req) {
+			return errRunBroken
+		}
+	}
+	select {
+	case <-req.done:
+		return nil
+	case <-run.broken:
+		return errRunBroken
+	}
+}
+
+func kindToken(k queryKind) txKind {
+	if k == queryCapture {
+		return txCapture
+	}
+	return txStats
+}
+
+func sumCoreStats(a, b core.Stats) core.Stats {
+	a.Transactions += b.Transactions
+	a.Extents += b.Extents
+	a.PairTouches += b.PairTouches
+	a.ItemEvictions += b.ItemEvictions
+	a.PairEvictions += b.PairEvictions
+	a.ItemPromotions += b.ItemPromotions
+	a.PairPromotions += b.PairPromotions
+	a.PairDemotions += b.PairDemotions
+	return a
+}
+
+// sumIndexStats combines per-partition index telemetry: counters sum,
+// occupancy sums, and MaxProbe takes the worst partition (the signal
+// it exists to surface).
+func sumIndexStats(a, b core.IndexStats) core.IndexStats {
+	a.Lookups += b.Lookups
+	a.Probes += b.Probes
+	a.Grows += b.Grows
+	a.Slots += b.Slots
+	a.Used += b.Used
+	if b.MaxProbe > a.MaxProbe {
+		a.MaxProbe = b.MaxProbe
+	}
+	return a
+}
+
+// accepting reports whether the shard can take new events: ErrStopped
+// after Stop, ErrDeviceUnavailable once the supervisor has declared
+// the device failed (its workers are gone, so accepting an event would
+// promise processing that can never happen — and a Block submitter
+// would hang forever). Two atomic loads; no lock.
+func (s *shard) accepting() error {
+	if s.stopping.Load() {
 		return ErrStopped
 	}
-	if s.state == Failed {
+	if s.failed.Load() {
 		return fmt.Errorf("%w: %q", ErrDeviceUnavailable, s.id)
 	}
 	return nil
 }
 
-// submitBatch enqueues a batch of pre-validated events under a single
-// lock acquisition — the amortization that makes replayed and bulk
-// ingestion cheap. Backpressure applies per event exactly as in
-// submit: DropOldest discards the oldest queued events to admit the
-// batch without stalling, Block parks until the worker frees space
-// (waking the worker first, so a batch larger than the queue drains
-// through it rather than deadlocking). On ErrStopped or
-// ErrDeviceUnavailable mid-wait the events enqueued so far remain
-// queued and are drained by the stopping worker.
+// submit enqueues one pre-validated event: a CAS into the ring plus an
+// eventcount wake on the fast path. When the ring is full the
+// configured backpressure policy decides: DropOldest evicts the oldest
+// queued event (counted) so the producer never stalls, Block waits for
+// the router to free space.
+func (s *shard) submit(ev blktrace.Event) error {
+	if err := s.accepting(); err != nil {
+		return err
+	}
+	if !s.ring.tryPush(ev) {
+		if err := s.waitPush(ev); err != nil {
+			return err
+		}
+	}
+	s.metrics.submitted.Inc()
+	s.wake.wake()
+	return nil
+}
+
+// waitPush admits one event into a full ring per the backpressure
+// policy. It does not account the submit — callers do, so batches can
+// amortize the accounting.
+func (s *shard) waitPush(ev blktrace.Event) error {
+	if s.policy == DropOldest {
+		for {
+			if s.ring.dropOldest() {
+				s.metrics.dropped.Inc()
+				s.metrics.reorderLost.Inc()
+			}
+			if s.ring.tryPush(ev) {
+				return nil
+			}
+			if err := s.accepting(); err != nil {
+				return err
+			}
+			// Transient: the oldest slot is mid-publish by a slow
+			// producer; let it finish.
+			s.wake.wake()
+			runtime.Gosched()
+		}
+	}
+	s.metrics.blocked.Inc()
+	for {
+		ch := s.notFull.arm()
+		if s.ring.tryPush(ev) {
+			s.notFull.disarm()
+			return nil
+		}
+		// The ring is full, so the router has a whole buffer to chew
+		// on; make sure it is awake before parking.
+		s.wake.wake()
+		select {
+		case <-ch:
+		case <-s.stopCh:
+		}
+		s.notFull.disarm()
+		if err := s.accepting(); err != nil {
+			return err
+		}
+	}
+}
+
+// submitBatch enqueues a batch of pre-validated events. Backpressure
+// applies per event exactly as in submit; on ErrStopped or
+// ErrDeviceUnavailable mid-batch the events enqueued so far remain
+// queued and are drained by the stopping router.
 func (s *shard) submitBatch(evs []blktrace.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
-	s.mu.Lock()
-	if err := s.acceptingLocked(); err != nil {
-		s.mu.Unlock()
+	if err := s.accepting(); err != nil {
 		return err
 	}
 	n := 0
+	var err error
 	for _, ev := range evs {
-		for s.count == len(s.buf) {
-			if s.policy == DropOldest {
-				s.dropOldestLocked()
-				continue
-			}
-			s.metrics.blocked.Inc()
-			// The queue is full, so the worker has a whole buffer to
-			// chew on; make sure it is awake before parking.
-			s.notEmpty.Signal()
-			for s.count == len(s.buf) && !s.stopping && s.state != Failed {
-				s.notFull.Wait()
-			}
-			if err := s.acceptingLocked(); err != nil {
-				s.finishBatchLocked(n, len(evs))
-				s.mu.Unlock()
-				return err
+		if !s.ring.tryPush(ev) {
+			if err = s.waitPush(ev); err != nil {
+				break
 			}
 		}
-		s.enqueueLocked(ev)
 		n++
 	}
-	s.finishBatchLocked(n, len(evs))
-	s.notEmpty.Signal()
-	s.mu.Unlock()
-	return nil
-}
-
-// enqueueLocked appends one event at the ring tail, stamping the
-// 1-in-64 latency sample. Callers hold s.mu and have ensured space.
-func (s *shard) enqueueLocked(ev blktrace.Event) {
-	s.seq++
-	var ts int64
-	if s.seq&latencySampleMask == 0 {
-		ts = time.Now().UnixNano()
-	}
-	tail := s.head + s.count
-	if tail >= len(s.buf) {
-		tail -= len(s.buf)
-	}
-	s.buf[tail] = ev
-	s.tsbuf[tail] = ts
-	s.count++
-}
-
-// dropOldestLocked discards the oldest queued event (counted) and
-// clears the recycled slot's sampled enqueue timestamp, so a slot that
-// held a sampled event cannot report a stale latency if anything other
-// than an immediate overwrite recycles it.
-func (s *shard) dropOldestLocked() {
-	s.buf[s.head] = blktrace.Event{}
-	s.tsbuf[s.head] = 0
-	s.head++
-	if s.head == len(s.buf) {
-		s.head = 0
-	}
-	s.count--
-	s.metrics.dropped.Inc()
-}
-
-// finishBatchLocked records batch accounting: n events actually
-// enqueued (n < size only when stopping interrupted a blocked batch).
-func (s *shard) finishBatchLocked(n, size int) {
 	if n > 0 {
 		s.metrics.submitted.Add(uint64(n))
+		s.wake.wake()
 	}
 	s.metrics.batches.Inc()
-	s.metrics.batchSize.Observe(float64(size))
+	s.metrics.batchSize.Observe(float64(len(evs)))
+	return err
 }
 
 // observeLatency enqueues one completion latency. Latencies are
 // droppable signal (they only steer the dynamic window), so when the
-// worker is far behind — or gone — they are silently discarded rather
+// router is far behind — or gone — they are silently discarded rather
 // than queued without bound.
 func (s *shard) observeLatency(ns int64) {
-	s.mu.Lock()
-	if !s.stopping && s.state != Failed && len(s.lats) < len(s.buf) {
-		s.lats = append(s.lats, ns)
-		s.notEmpty.Signal()
+	if s.accepting() != nil {
+		return
 	}
-	s.mu.Unlock()
+	s.qMu.Lock()
+	if len(s.lats) < s.ring.capacity() {
+		s.lats = append(s.lats, ns)
+	}
+	s.qMu.Unlock()
+	s.wake.wake()
 }
 
-// ask posts a query to the worker and waits for the reply. Failed
-// devices answer immediately with ErrDeviceUnavailable — the worker is
-// gone and waiting on it would hang forever.
+// ask posts a query to the router and waits for the reply. Failed
+// devices answer immediately with ErrDeviceUnavailable — the workers
+// are gone and waiting on them would hang forever. The accepting
+// re-check under qMu serializes against fail(): either the query is in
+// the queue before fail drains it (fail answers it), or the flag is
+// visible here (rejected) — it can never land unanswered.
 func (s *shard) ask(q query) (queryReply, error) {
 	q.reply = make(chan queryReply, 1)
-	s.mu.Lock()
-	if err := s.acceptingLocked(); err != nil {
-		s.mu.Unlock()
+	s.qMu.Lock()
+	if err := s.accepting(); err != nil {
+		s.qMu.Unlock()
 		return queryReply{}, err
 	}
 	s.queries = append(s.queries, q)
-	s.notEmpty.Signal()
-	s.mu.Unlock()
+	s.qMu.Unlock()
+	s.wake.wake()
 	select {
 	case r := <-q.reply:
 		return r, r.err
@@ -435,9 +947,10 @@ func (s *shard) ask(q query) (queryReply, error) {
 // snapshot serves the device's sorted export, recomputing only when
 // the synopsis changed since the cached copy was derived (same epoch +
 // same support ⇒ identical result, so the cache is exact, not
-// approximate). snapMu collapses a concurrent query storm into one
-// worker capture; the sort and slice building run here, off the
-// worker.
+// approximate). At P>1 the capture is a RawGroup — one disjoint
+// capture per partition — merged on this goroutine via
+// core.MergeSnapshots; the epoch gate is the device epoch, which sums
+// sub-shard advances.
 func (s *shard) snapshot(minSupport uint32) (core.Snapshot, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
@@ -447,49 +960,72 @@ func (s *shard) snapshot(minSupport uint32) (core.Snapshot, error) {
 		return s.snapCached, nil
 	}
 	s.metrics.snapMisses.Inc()
-	if s.snapRaw == nil {
-		s.snapRaw = new(core.RawSnapshot)
+	if s.snapGroup == nil {
+		s.snapGroup = s.newGroup()
 	}
-	if _, err := s.ask(query{kind: queryCapture, raw: s.snapRaw}); err != nil {
+	if _, err := s.ask(query{kind: queryCapture, raws: s.snapGroup}); err != nil {
 		return core.Snapshot{}, err
 	}
-	snap := s.snapRaw.Snapshot(minSupport)
+	snap := s.snapGroup.Snapshot(minSupport)
 	s.snapCached, s.snapEpoch, s.snapSupport, s.snapValid = snap, epoch, minSupport, true
 	return snap, nil
 }
 
-// capture runs fn against a fresh pooled capture of the device's
-// synopsis. The worker only does the O(live entries) copy; fn (rule
-// extraction, snapshot encoding) runs on the calling goroutine.
-func (s *shard) capture(fn func(*core.RawSnapshot) error) error {
-	raw := rawPool.Get().(*core.RawSnapshot)
-	defer rawPool.Put(raw)
-	if _, err := s.ask(query{kind: queryCapture, raw: raw}); err != nil {
+// capture runs fn against a fresh pooled capture group of the device's
+// synopsis. The workers only do the O(live entries) copies; fn (rule
+// extraction, snapshot encoding, checkpoint encoding) runs on the
+// calling goroutine.
+func (s *shard) capture(fn func(core.RawGroup) error) error {
+	g := s.getGroup()
+	defer s.putGroup(g)
+	if _, err := s.ask(query{kind: queryCapture, raws: g}); err != nil {
 		return err
 	}
-	return fn(raw)
+	return fn(g)
+}
+
+// writeTo serialises a capture group as the device's single synopsis
+// file: the plain RawSnapshot encoding at P=1, the combined
+// (EncodeMerged) encoding under the device-level config at P>1 — one
+// loadable file per device regardless of P.
+func (s *shard) writeTo(w io.Writer, g core.RawGroup) error {
+	if len(g) == 1 {
+		_, err := g[0].WriteTo(w)
+		return err
+	}
+	st := g.Stats()
+	st.Transactions += s.txCount.Load()
+	_, _, err := g.EncodeMerged(w, s.deviceConfig(), st)
+	return err
+}
+
+func (s *shard) deviceConfig() core.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.devCfg
+}
+
+func (s *shard) setDeviceConfig(cfg core.Config) {
+	s.mu.Lock()
+	s.devCfg = cfg
+	s.mu.Unlock()
 }
 
 // counters reads the producer-side counters: total events discarded by
 // drop-oldest backpressure and the current ingest lag (events queued
-// but not yet processed). Unlike queries these never touch the worker,
-// so they stay readable after Stop. The drop count lives in the
-// metrics layer (single source of truth for accounting and /v1/metrics).
+// in the ring plus events held in the reorder buffer). Pure atomics —
+// a metrics scrape never serializes against ingest — and they stay
+// readable after Stop.
 func (s *shard) counters() (dropped uint64, lag int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.metrics.dropped.Value(), s.count
+	return s.metrics.dropped.Value(), s.ring.size() + int(s.rbDepth.Load())
 }
 
-// requestStop asks the worker to drain, flush, checkpoint, and exit.
+// requestStop asks the device to drain, flush, checkpoint, and exit.
 // The caller waits on s.done.
 func (s *shard) requestStop() {
-	s.mu.Lock()
-	if !s.stopping {
-		s.stopping = true
+	if s.stopping.CompareAndSwap(false, true) {
 		close(s.stopCh)
-		s.notEmpty.Broadcast()
-		s.notFull.Broadcast()
+		s.wake.wake()
+		s.notFull.open()
 	}
-	s.mu.Unlock()
 }

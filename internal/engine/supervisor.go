@@ -9,7 +9,6 @@ import (
 
 	"daccor/internal/checkpoint"
 	"daccor/internal/core"
-	"daccor/internal/pipeline"
 )
 
 // HealthState is one device's position in the supervisor's state
@@ -189,15 +188,17 @@ func (s *shard) supervise() {
 		s.panics++
 		s.state = Degraded
 		s.consecutive++
+		attempt := s.consecutive
+		s.mu.Unlock()
 		// Queries the dead worker had claimed but not answered go back
 		// to the head of the queue; the restarted worker answers them
 		// against the restored state rather than leaving askers hung.
+		s.qMu.Lock()
 		if len(s.inflight) > 0 {
 			s.queries = append(s.inflight, s.queries...)
 			s.inflight = nil
 		}
-		attempt := s.consecutive
-		s.mu.Unlock()
+		s.qMu.Unlock()
 
 		for {
 			if attempt > s.super.MaxRestarts {
@@ -212,9 +213,9 @@ func (s *shard) supervise() {
 				// shutdown is prompt; the rebuilt worker still drains
 				// and flushes below.
 			}
-			pipe, gen, err := s.rebuild()
+			st, gen, err := s.rebuild()
 			if err == nil {
-				s.installRestart(pipe, gen)
+				s.installRestart(st, gen)
 				break
 			}
 			// Restore/rebuild failure burns a restart attempt too —
@@ -228,16 +229,21 @@ func (s *shard) supervise() {
 	}
 }
 
-// installRestart swaps the restored pipeline in and records the
-// restart. The old worker is dead and the new one has not started, so
-// the supervisor goroutine owns s.pipe here.
-func (s *shard) installRestart(pipe *pipeline.Pipeline, gen checkpoint.Generation) {
-	s.pipe = pipe
+// installRestart swaps the rebuilt device state in and records the
+// restart. The old run is dead (router and workers have exited) and
+// the new one has not started, so the supervisor goroutine owns s.st
+// here.
+func (s *shard) installRestart(st *deviceState, gen checkpoint.Generation) {
+	s.st = st
+	// The restored state carries its own transaction total; the
+	// router-side count restarts from zero alongside it.
+	s.txCount.Store(0)
 	// Restored state is different state: invalidate epoch-gated caches
 	// and wake watchers so they re-read the restored synopsis.
 	s.bumpEpoch()
 	s.metrics.restarts.Inc()
 	s.mu.Lock()
+	s.devCfg = st.devCfg
 	s.restarts++
 	s.lastRestart = time.Now()
 	s.sinceRestart = 0
@@ -249,18 +255,24 @@ func (s *shard) installRestart(pipe *pipeline.Pipeline, gen checkpoint.Generatio
 }
 
 // fail transitions the device to Failed and answers every pending
-// query with ErrDeviceUnavailable. After fail, submit/ask reject
-// immediately (same mutex orders the transition before any later
-// check), so nothing can hang on the dead worker.
+// query with ErrDeviceUnavailable. The failed flag is published before
+// the pending queries are drained, and ask re-checks it under qMu
+// after enqueuing — so every query either lands before the drain (and
+// is answered here) or observes the flag and is rejected; none can
+// hang on the dead workers.
 func (s *shard) fail() {
+	s.failed.Store(true)
 	s.mu.Lock()
 	s.state = Failed
+	panics := s.panics
+	s.mu.Unlock()
+	s.qMu.Lock()
 	pend := append(s.inflight, s.queries...)
 	s.inflight, s.queries = nil, nil
+	s.qMu.Unlock()
 	// Wake Block-policy submitters so they observe Failed and return.
-	s.notFull.Broadcast()
-	s.mu.Unlock()
-	err := fmt.Errorf("%w: %q restart budget exhausted after %d panic(s)", ErrDeviceUnavailable, s.id, s.panics)
+	s.notFull.open()
+	err := fmt.Errorf("%w: %q restart budget exhausted after %d panic(s)", ErrDeviceUnavailable, s.id, panics)
 	for _, q := range pend {
 		q.reply <- queryReply{err: err}
 	}
@@ -272,11 +284,7 @@ func (s *shard) fail() {
 // parkFailed holds the supervisor goroutine of a failed device until
 // Stop, so Engine.Stop's wait on s.done still completes.
 func (s *shard) parkFailed() {
-	s.mu.Lock()
-	for !s.stopping {
-		s.notEmpty.Wait()
-	}
-	s.mu.Unlock()
+	<-s.stopCh
 }
 
 // checkpointLoop periodically checkpoints the device. The worker only
@@ -293,8 +301,8 @@ func (s *shard) checkpointLoop(interval time.Duration) {
 	for {
 		select {
 		case <-t.C:
-			_ = s.capture(func(raw *core.RawSnapshot) error {
-				return s.commitCheckpoint(raw)
+			_ = s.capture(func(g core.RawGroup) error {
+				return s.commitCheckpointGroup(g)
 			})
 		case <-s.stopCh:
 			return
@@ -302,12 +310,47 @@ func (s *shard) checkpointLoop(interval time.Duration) {
 	}
 }
 
-// writeCheckpoint saves the analyzer's state as a new generation. It
-// runs on the worker goroutine (which owns the pipeline) and is only
-// used on the stop path, where the worker is done ingesting and
+// commitCheckpointState saves the device's final state on the stop
+// path, where the router is done ingesting (and at P>1 the partition
+// workers have exited) so touching the analyzers directly is safe and
 // encoding inline cannot stall anything.
-func (s *shard) writeCheckpoint() error {
-	return s.commitCheckpoint(s.pipe.Analyzer())
+func (s *shard) commitCheckpointState(st *deviceState) error {
+	if st.parts == 1 {
+		return s.commitCheckpoint(st.pipe.Analyzer())
+	}
+	g := s.newGroup()
+	for k, a := range st.analyzers {
+		a.CaptureSnapshot(g[k])
+	}
+	return s.commitCheckpointGroup(g)
+}
+
+// commitCheckpointGroup persists a capture group as one checkpoint
+// generation: the plain single-snapshot encoding at P=1 (byte-for-byte
+// the legacy format), the combined encoding under the device-level
+// config at P>1 — so a device's checkpoint is loadable, and
+// re-splittable across a different P, regardless of how it was
+// captured.
+func (s *shard) commitCheckpointGroup(g core.RawGroup) error {
+	if len(g) == 1 {
+		return s.commitCheckpoint(g[0])
+	}
+	st := g.Stats()
+	st.Transactions += s.txCount.Load()
+	return s.commitCheckpoint(mergedCheckpoint{g: g, cfg: s.deviceConfig(), stats: st})
+}
+
+// mergedCheckpoint adapts a multi-partition capture group to the
+// io.WriterTo shape the checkpoint store consumes.
+type mergedCheckpoint struct {
+	g     core.RawGroup
+	cfg   core.Config
+	stats core.Stats
+}
+
+func (m mergedCheckpoint) WriteTo(w io.Writer) (int64, error) {
+	n, _, err := m.g.EncodeMerged(w, m.cfg, m.stats)
+	return n, err
 }
 
 // commitCheckpoint persists one serializable state as a new checkpoint

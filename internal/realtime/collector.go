@@ -32,6 +32,11 @@ type Config struct {
 	Pipeline pipeline.Config
 	// Buffer is the event queue capacity; 0 means DefaultBuffer.
 	Buffer int
+	// Partitions splits the analyzer into this many sub-shards
+	// processed by parallel partition workers (engine.WithPartitions);
+	// 0 or 1 keeps the single-partition pipeline. Incompatible with
+	// Pipeline.KeepTransactions.
+	Partitions int
 	// DropOnBackpressure makes Submit drop the oldest queued event
 	// (counted) instead of blocking when the collector falls behind —
 	// a live monitor must never stall the I/O path it observes.
@@ -42,6 +47,9 @@ type Config struct {
 func (cfg Config) Validate() error {
 	if cfg.Buffer < 0 {
 		return fmt.Errorf("realtime: Buffer must be >= 1 (got %d)", cfg.Buffer)
+	}
+	if cfg.Partitions < 0 {
+		return fmt.Errorf("realtime: Partitions must be >= 0 (got %d)", cfg.Partitions)
 	}
 	return cfg.Pipeline.Validate()
 }
@@ -71,16 +79,23 @@ func Start(cfg Config) (*Collector, error) {
 	if cfg.Buffer < 1 {
 		return nil, fmt.Errorf("realtime: Buffer must be >= 1 (got %d)", cfg.Buffer)
 	}
+	if cfg.Partitions < 0 {
+		return nil, fmt.Errorf("realtime: Partitions must be >= 0 (got %d)", cfg.Partitions)
+	}
 	policy := engine.Block
 	if cfg.DropOnBackpressure {
 		policy = engine.DropOldest
 	}
-	eng, err := engine.New(
+	opts := []engine.Option{
 		engine.WithPipeline(cfg.Pipeline),
 		engine.WithQueueSize(cfg.Buffer),
 		engine.WithBackpressure(policy),
-		engine.WithDevices(deviceID),
-	)
+	}
+	if cfg.Partitions > 0 {
+		opts = append(opts, engine.WithPartitions(cfg.Partitions))
+	}
+	opts = append(opts, engine.WithDevices(deviceID))
+	eng, err := engine.New(opts...)
 	if err != nil {
 		return nil, err
 	}

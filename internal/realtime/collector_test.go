@@ -345,3 +345,63 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// TestCollectorPartitioned runs the single-device collector with its
+// analyzer split across four partition workers: the same correlated
+// workload must surface the same rules the single-partition collector
+// finds, through the merged per-device view.
+func TestCollectorPartitioned(t *testing.T) {
+	if _, err := Start(Config{Pipeline: testConfig().Pipeline, Partitions: -1}); err == nil {
+		t.Error("want error for negative partitions")
+	}
+	syn, err := workload.Generate(workload.SyntheticConfig{
+		Kind:        workload.OneToMany,
+		Occurrences: 600,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Partitions = 4
+	c, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if err := c.SubmitBatch(syn.Trace.Events); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ms, _, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms.Events >= uint64(syn.Trace.Len()) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partitioned collector not drained: %d of %d events", ms.Events, syn.Trace.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rules, err := c.Rules(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("partitioned collector found no rules in a correlated workload")
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := core.LoadAnalyzer(&buf)
+	if err != nil {
+		t.Fatalf("merged snapshot not loadable: %v", err)
+	}
+	if got := restored.Rules(2, 0.5); len(got) != len(rules) {
+		t.Errorf("restored snapshot has %d rules, live view %d", len(got), len(rules))
+	}
+}

@@ -12,6 +12,8 @@ package soak
 import (
 	"fmt"
 	"time"
+
+	"daccor/internal/engine"
 )
 
 // SLO is the set of objectives a run must meet. Zero thresholds mean
@@ -42,6 +44,13 @@ type SLO struct {
 	// workload guarantees on a clock; it is asserted live (at least
 	// one delivery) and its gap is reported, not gated.
 	MaxWatchGap time.Duration
+	// MaxReorderLatePct bounds late reordering-buffer releases (events
+	// emitted to analysis behind an already-released timestamp) as a
+	// percentage of submitted events. Every producer's per-tenant
+	// stream is monotone, so late releases should be rare even when
+	// partition workers interleave; a high rate means the reordering
+	// window is mis-sized or the ingest path scrambles order.
+	MaxReorderLatePct float64
 }
 
 // Config describes one soak run.
@@ -59,6 +68,11 @@ type Config struct {
 	Batch int
 	// QueueSize is the per-device ring capacity.
 	QueueSize int
+	// Partitions splits each device's analyzer into this many
+	// sub-shards processed by parallel partition workers
+	// (engine.WithPartitions); 0 or 1 keeps the single-partition
+	// pipeline.
+	Partitions int
 	// ChurnFrac is the fraction of the fleet cycled through
 	// Unregister/re-Register while load is flowing.
 	ChurnFrac float64
@@ -124,6 +138,7 @@ func Quick() Config {
 			MaxHeapGrowth:      160 << 20,
 			MaxGoroutineGrowth: 8,
 			MaxWatchGap:        30 * time.Second,
+			MaxReorderLatePct:  1,
 		},
 	}
 }
@@ -153,6 +168,7 @@ func Tiny() Config {
 			MaxHeapGrowth:      64 << 20,
 			MaxGoroutineGrowth: 8,
 			MaxWatchGap:        10 * time.Second,
+			MaxReorderLatePct:  5,
 		},
 	}
 }
@@ -178,6 +194,9 @@ func (c Config) validate() error {
 	}
 	if c.QueueSize < c.Batch {
 		return fmt.Errorf("soak: QueueSize %d must hold at least one batch of %d", c.QueueSize, c.Batch)
+	}
+	if c.Partitions < 0 || c.Partitions > engine.MaxPartitions {
+		return fmt.Errorf("soak: Partitions %d out of [0, %d]", c.Partitions, engine.MaxPartitions)
 	}
 	if c.ChurnFrac < 0 || c.ChurnFrac > 1 {
 		return fmt.Errorf("soak: ChurnFrac %v out of [0, 1]", c.ChurnFrac)

@@ -46,6 +46,9 @@ func WriteBenchJSON(w io.Writer, r *Result) error {
 			entry("SoakSubmitP99Ns/engine", r.SubmitSamples, float64(r.SubmitP99.Nanoseconds())),
 			entry("SoakSubmitP99Ns/http", r.HTTPSamples, float64(r.HTTPSubmitP99.Nanoseconds())),
 			entry("SoakDropPct", r.EventsDropped, r.DropPct()),
+			entry("SoakPartitions", uint64(r.Partitions), float64(r.Partitions)),
+			entry("SoakReorderLate", r.ReorderLate, float64(r.ReorderLate)),
+			entry("SoakReorderLost", r.ReorderLost, float64(r.ReorderLost)),
 			entry("SoakHeapGrowthBytes", 1, float64(r.HeapGrowth())),
 			entry("SoakGoroutineGrowth", 1, float64(r.GoroutineFinal-r.GoroutineBaseline)),
 			entry("SoakChurnCycles", uint64(r.ChurnCycles), float64(r.ChurnCycles)),

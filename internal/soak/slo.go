@@ -31,6 +31,15 @@ func (r *Result) evaluate(cfg Config) {
 	if slo.MaxDropPct > 0 && r.DropPct() > slo.MaxDropPct {
 		add("drop rate %.2f%% exceeds SLO %.2f%%", r.DropPct(), slo.MaxDropPct)
 	}
+	if slo.MaxReorderLatePct > 0 && r.ReorderLatePct() > slo.MaxReorderLatePct {
+		add("reorder late rate %.3f%% (%d events) exceeds SLO %.3f%%",
+			r.ReorderLatePct(), r.ReorderLate, slo.MaxReorderLatePct)
+	}
+	// ReorderLost counts DropOldest sheds at the ring, a subset of all
+	// accounted drops; exceeding them means the counter wiring broke.
+	if r.ReorderLost > r.EventsDropped {
+		add("reorder lost %d exceeds total dropped %d", r.ReorderLost, r.EventsDropped)
+	}
 	if slo.MaxHeapGrowth > 0 && r.HeapGrowth() > slo.MaxHeapGrowth {
 		add("heap grew %d MiB (baseline %d MiB, final %d MiB), SLO %d MiB",
 			r.HeapGrowth()>>20, r.HeapBaseline>>20, r.HeapFinal>>20, slo.MaxHeapGrowth>>20)

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,10 +29,19 @@ import (
 // SLO held.
 type Result struct {
 	Devices         int
+	Partitions      int
 	EventsSubmitted uint64
 	EventsDropped   uint64
 	HTTPEvents      uint64
 	Elapsed         time.Duration
+
+	// ReorderLate and ReorderLost sum the reordering-buffer counters
+	// (daccor_engine_reorder_{late,lost}_total) across every device
+	// still registered at run end — late releases behind an
+	// already-released timestamp, and events shed before the buffer
+	// under DropOldest.
+	ReorderLate uint64
+	ReorderLost uint64
 
 	SubmitP99     time.Duration
 	SubmitMax     time.Duration
@@ -79,6 +90,15 @@ func (r *Result) DropPct() float64 {
 	return 100 * float64(r.EventsDropped) / float64(r.EventsSubmitted)
 }
 
+// ReorderLatePct is late reordering-buffer releases as a percentage of
+// submitted events.
+func (r *Result) ReorderLatePct() float64 {
+	if r.EventsSubmitted == 0 {
+		return 0
+	}
+	return 100 * float64(r.ReorderLate) / float64(r.EventsSubmitted)
+}
+
 // deviceID names the i-th tenant.
 func deviceID(i int) string { return fmt.Sprintf("vol-%04d", i) }
 
@@ -102,7 +122,11 @@ func Run(cfg Config, logf func(format string, args ...any)) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{Devices: cfg.Devices, GoroutineBaseline: runtime.NumGoroutine()}
+	parts := cfg.Partitions
+	if parts == 0 {
+		parts = 1
+	}
+	res := &Result{Devices: cfg.Devices, Partitions: parts, GoroutineBaseline: runtime.NumGoroutine()}
 
 	ckptDir, err := os.MkdirTemp("", "daccor-soak-")
 	if err != nil {
@@ -142,6 +166,7 @@ func Run(cfg Config, logf func(format string, args ...any)) (*Result, error) {
 		// paths keep exercising them throughout the run.
 		engine.WithAnalyzer(core.Config{ItemCapacity: 256, PairCapacity: 256}),
 		engine.WithQueueSize(cfg.QueueSize),
+		engine.WithPartitions(parts),
 		engine.WithBackpressure(engine.DropOldest),
 		engine.WithMetrics(reg),
 		engine.WithSupervisor(engine.SupervisorConfig{
@@ -271,6 +296,8 @@ func Run(cfg Config, logf func(format string, args ...any)) (*Result, error) {
 		res.EventsDropped = st.TotalDropped() + ch.droppedChurned
 	}
 	res.SeriesFinal = reg.NumSeries()
+	res.ReorderLate = sumCounter(reg, engine.MetricReorderLate)
+	res.ReorderLost = sumCounter(reg, engine.MetricReorderLost)
 	res.ChurnCycles = ch.completed
 	res.ChurnErrors = ch.errors
 	if ch.lastErr != nil {
@@ -563,6 +590,29 @@ func queryLoop(ctx context.Context, cl *client.Client, dev string, ok, errs *ato
 		case <-time.After(2 * time.Second):
 		}
 	}
+}
+
+// sumCounter sums one metric's value across every label combination in
+// the registry's Prometheus exposition (devices churned away mid-run
+// took their series with them, so the sum covers the surviving fleet).
+func sumCounter(reg *obs.Registry, name string) uint64 {
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		return 0
+	}
+	var total float64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok || (!strings.HasPrefix(rest, "{") && !strings.HasPrefix(rest, " ")) {
+			continue // comment line or a longer metric sharing the prefix
+		}
+		if i := strings.LastIndexByte(rest, ' '); i >= 0 {
+			if v, err := strconv.ParseFloat(rest[i+1:], 64); err == nil {
+				total += v
+			}
+		}
+	}
+	return uint64(total)
 }
 
 // measureHeap forces a collection and returns live heap bytes.

@@ -1,6 +1,7 @@
 package soak
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -55,6 +56,8 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Feeders = 0 },
 		func(c *Config) { c.Batch = 0 },
 		func(c *Config) { c.QueueSize = c.Batch - 1 },
+		func(c *Config) { c.Partitions = -1 },
+		func(c *Config) { c.Partitions = 65 },
 		func(c *Config) { c.ChurnFrac = 1.5 },
 		func(c *Config) { c.Panics = -1 },
 		func(c *Config) { c.Watchers = 0 },
@@ -106,6 +109,8 @@ func TestEvaluateFlagsViolations(t *testing.T) {
 		{"no http", func(r *Result) { r.HTTPEvents = 0 }, "HTTP ingest"},
 		{"p99", func(r *Result) { r.SubmitP99 = cfg.SLO.SubmitP99 + 1 }, "p99"},
 		{"drops", func(r *Result) { r.EventsDropped = r.EventsSubmitted }, "drop rate"},
+		{"reorder late", func(r *Result) { r.ReorderLate = r.EventsSubmitted }, "reorder late"},
+		{"reorder lost", func(r *Result) { r.ReorderLost = r.EventsDropped + 1 }, "reorder lost"},
 		{"heap", func(r *Result) { r.HeapFinal = r.HeapBaseline + cfg.SLO.MaxHeapGrowth + 1 }, "heap"},
 		{"goroutines", func(r *Result) { r.GoroutineFinal = cfg.SLO.MaxGoroutineGrowth + 1 }, "goroutines"},
 		{"series", func(r *Result) { r.SeriesFinal = r.SeriesBaseline + seriesSlack + 1 }, "series"},
@@ -140,64 +145,80 @@ func TestEvaluateFlagsViolations(t *testing.T) {
 
 // TestRunMicro drives the whole harness end to end at unit-test scale:
 // real engine, real HTTP server, churn, an injected panic, watchers,
-// and queries, with every SLO expected to hold.
+// and queries, with every SLO expected to hold — once on the
+// single-partition pipeline, once with each device's analyzer split
+// across four partition workers.
 func TestRunMicro(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak run in -short mode")
 	}
-	cfg := Config{
-		Devices:         6,
-		Events:          8_000,
-		Feeders:         2,
-		Batch:           64,
-		QueueSize:       256,
-		ChurnFrac:       0.34, // 2 cycles
-		Panics:          1,
-		Watchers:        2,
-		Window:          5 * time.Millisecond,
-		CheckpointEvery: 25 * time.Millisecond,
-		Seed:            7,
-		MinDuration:     1500 * time.Millisecond,
-		MaxDuration:     90 * time.Second,
-		SLO: SLO{
-			SubmitP99:          5 * time.Second,
-			HTTPSubmitP99:      10 * time.Second,
-			MaxDropPct:         50,
-			MaxHeapGrowth:      256 << 20,
-			MaxGoroutineGrowth: 16,
-			MaxWatchGap:        time.Minute,
-		},
-	}
-	res, err := Run(cfg, t.Logf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res.Violations) != 0 {
-		t.Fatalf("SLO violations: %v", res.Violations)
-	}
-	if res.EventsSubmitted < cfg.Events {
-		t.Errorf("submitted %d < %d", res.EventsSubmitted, cfg.Events)
-	}
-	if res.HTTPEvents == 0 {
-		t.Error("HTTP path idle")
-	}
-	if res.ChurnCycles != cfg.churnCycles() {
-		t.Errorf("churn cycles %d, want %d", res.ChurnCycles, cfg.churnCycles())
-	}
-	if res.PanicsInjected != cfg.Panics {
-		t.Errorf("panics %d, want %d", res.PanicsInjected, cfg.Panics)
-	}
-	if res.SubmitSamples == 0 || res.HTTPSamples == 0 {
-		t.Error("latency recorders empty")
-	}
+	for _, parts := range []int{1, 4} {
+		t.Run(fmt.Sprintf("partitions-%d", parts), func(t *testing.T) {
+			cfg := Config{
+				Devices:         6,
+				Events:          8_000,
+				Feeders:         2,
+				Batch:           64,
+				QueueSize:       256,
+				Partitions:      parts,
+				ChurnFrac:       0.34, // 2 cycles
+				Panics:          1,
+				Watchers:        2,
+				Window:          5 * time.Millisecond,
+				CheckpointEvery: 25 * time.Millisecond,
+				Seed:            7,
+				MinDuration:     1500 * time.Millisecond,
+				MaxDuration:     90 * time.Second,
+				SLO: SLO{
+					SubmitP99:          5 * time.Second,
+					HTTPSubmitP99:      10 * time.Second,
+					MaxDropPct:         50,
+					MaxHeapGrowth:      256 << 20,
+					MaxGoroutineGrowth: 16,
+					MaxWatchGap:        time.Minute,
+					MaxReorderLatePct:  5,
+				},
+			}
+			res, err := Run(cfg, t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("SLO violations: %v", res.Violations)
+			}
+			if res.Partitions != parts {
+				t.Errorf("partitions %d, want %d", res.Partitions, parts)
+			}
+			if res.EventsSubmitted < cfg.Events {
+				t.Errorf("submitted %d < %d", res.EventsSubmitted, cfg.Events)
+			}
+			if res.HTTPEvents == 0 {
+				t.Error("HTTP path idle")
+			}
+			if res.ChurnCycles != cfg.churnCycles() {
+				t.Errorf("churn cycles %d, want %d", res.ChurnCycles, cfg.churnCycles())
+			}
+			if res.PanicsInjected != cfg.Panics {
+				t.Errorf("panics %d, want %d", res.PanicsInjected, cfg.Panics)
+			}
+			if res.SubmitSamples == 0 || res.HTTPSamples == 0 {
+				t.Error("latency recorders empty")
+			}
+			// DropOldest sheds pass through the reorder-lost counter, so
+			// the two accounts must agree for surviving devices.
+			if res.ReorderLost > res.EventsDropped {
+				t.Errorf("reorder lost %d > dropped %d", res.ReorderLost, res.EventsDropped)
+			}
 
-	var sb strings.Builder
-	if err := WriteBenchJSON(&sb, res); err != nil {
-		t.Fatal(err)
-	}
-	for _, name := range []string{"SoakEventsSubmitted", "SoakSLOViolations", "SoakSubmitP99Ns/engine"} {
-		if !strings.Contains(sb.String(), name) {
-			t.Errorf("benchjson output missing %s:\n%s", name, sb.String())
-		}
+			var sb strings.Builder
+			if err := WriteBenchJSON(&sb, res); err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{"SoakEventsSubmitted", "SoakSLOViolations", "SoakSubmitP99Ns/engine", "SoakReorderLate", "SoakPartitions"} {
+				if !strings.Contains(sb.String(), name) {
+					t.Errorf("benchjson output missing %s:\n%s", name, sb.String())
+				}
+			}
+		})
 	}
 }
