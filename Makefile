@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet test test-matrix race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault scenario scenario-check soak soak-smoke soak-smoke-p4
+.PHONY: ci fmt vet test test-matrix race bench bench-pr bench-diff bench-engine bench-hot alloc-guard alloc-check fault fleet-smoke scenario scenario-check soak soak-smoke soak-smoke-p4
 
-ci: fmt vet race test-matrix alloc-guard alloc-check fault soak-smoke soak-smoke-p4
+ci: fmt vet race test-matrix alloc-guard alloc-check fault fleet-smoke soak-smoke soak-smoke-p4
 
 # Fail if any file is not gofmt-clean.
 fmt:
@@ -48,6 +48,13 @@ alloc-guard:
 fault:
 	$(GO) test -race -count=2 -run 'Fault|Supervisor|Checkpoint|Stopped|Health|Readyz' \
 		./internal/engine ./internal/checkpoint ./internal/realtime
+
+# Fleet end-to-end smoke: two engine-backed collectors delta-syncing
+# into an aggregator over real HTTP, one collector killed (degraded
+# serving asserted) and restarted from its checkpoints, with the
+# merged view required to reconverge on the single-process merge.
+fleet-smoke:
+	$(GO) test -race -count=1 -run 'TestFleetSmoke' ./internal/fleet
 
 # Full benchmark harness: the hot-path microbenchmarks (synopsis
 # table, analyzer, batched engine ingest) plus one benchmark per

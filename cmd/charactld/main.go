@@ -59,6 +59,7 @@ import (
 	"daccor/internal/checkpoint"
 	"daccor/internal/core"
 	"daccor/internal/engine"
+	"daccor/internal/fleet"
 	"daccor/internal/msr"
 	"daccor/internal/realtime"
 	"daccor/internal/workload"
@@ -84,6 +85,10 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "directory for crash-safe per-device synopsis checkpoints (empty = checkpointing off)")
 	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "how often each device persists its synopsis (with -checkpoint-dir)")
 	ckptKeep := flag.Int("checkpoint-keep", checkpoint.DefaultKeep, "checkpoint generations retained per device (with -checkpoint-dir)")
+	aggregator := flag.String("aggregator", "", "aggregatord base URL to push delta syncs to (empty = fleet sync off)")
+	collectorID := flag.String("collector-id", defaultCollectorID(), "fleet-wide collector identity (with -aggregator)")
+	syncInterval := flag.Duration("sync-interval", fleet.DefaultSyncInterval, "how often to sync with the aggregator (with -aggregator)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "shutdown drain deadline: past it, queued events are discarded but the final checkpoint is still written (0 = drain fully)")
 	flag.Parse()
 
 	if *devices < 1 {
@@ -142,6 +147,21 @@ func main() {
 		go feedForever(dev, trace, *pace)
 	}
 
+	var sync *fleet.SyncClient
+	if *aggregator != "" {
+		var err error
+		sync, err = fleet.NewSyncClient(fleet.ClientConfig{
+			Aggregator: *aggregator,
+			Collector:  *collectorID,
+			Engine:     eng,
+			Interval:   *syncInterval,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sync.Start()
+	}
+
 	handler := realtime.NewEngineHandler(eng)
 	if *pprofOn {
 		// The profiling surface is opt-in: it exposes stacks, heap
@@ -166,10 +186,36 @@ func main() {
 	if *ckptDir != "" {
 		log.Printf("checkpoints: %s every %v (keep %d)", *ckptDir, *ckptInterval, *ckptKeep)
 	}
+	if sync != nil {
+		log.Printf("fleet sync: pushing to %s as %q every %v", *aggregator, *collectorID, *syncInterval)
+	}
 
 	srv := &http.Server{Addr: *listen, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+
+	// stopAll is the ordered teardown: flush the last state to the
+	// aggregator while the engine is still live, stop the sync loop,
+	// then drain the engine — forcibly past -drain-timeout, trading
+	// queued events (counted as dropped) for a bounded shutdown while
+	// still writing every device's final checkpoint.
+	stopAll := func() {
+		if sync != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), fleet.DefaultSyncTimeout)
+			if _, err := sync.SyncNow(ctx); err != nil {
+				log.Printf("charactld: final fleet sync: %v", err)
+			}
+			cancel()
+			sync.Close()
+		}
+		if *drainTimeout > 0 {
+			if forced := eng.StopTimeout(*drainTimeout); forced {
+				log.Printf("charactld: drain deadline %v exceeded: queued events discarded, final checkpoints written", *drainTimeout)
+			}
+			return
+		}
+		eng.Stop()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -185,16 +231,26 @@ func main() {
 			log.Printf("charactld: http shutdown: %v", err)
 		}
 		cancel()
-		eng.Stop()
+		stopAll()
 		log.Printf("charactld: drained and stopped")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			// The listener died on its own (port conflict, fd pressure);
 			// still drain the engine so the final checkpoint is written.
-			eng.Stop()
+			stopAll()
 			log.Fatal(err)
 		}
 	}
+}
+
+// defaultCollectorID names this collector in the fleet: the hostname,
+// which is what an operator grepping the aggregator's /v1/collectors
+// output will recognize.
+func defaultCollectorID() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "charactld"
 }
 
 func loadWorkload(name string, n int, seed int64) (*blktrace.Trace, error) {

@@ -316,9 +316,31 @@ func (s *Store) Latest(device string) (g Generation, ok bool) {
 // generations that were skipped on the way to a successful restore are
 // left in place (they age out through retention).
 func (s *Store) Restore(device string) (*core.Analyzer, Generation, error) {
+	var a *core.Analyzer
+	g, err := s.RestoreWith(device, func(r io.Reader) error {
+		loaded, err := core.LoadAnalyzer(r)
+		if err != nil {
+			return err
+		}
+		a = loaded
+		return nil
+	})
+	if err != nil {
+		return nil, Generation{}, err
+	}
+	return a, g, nil
+}
+
+// RestoreWith is Restore for arbitrary payloads: it walks generations
+// newest-first and hands each to load until one parses, so callers that
+// checkpoint something other than an Analyzer (the fleet aggregator's
+// mirror state, say) get the same torn-file tolerance. load must return
+// an error on any payload it cannot fully decode; a load that succeeds
+// ends the walk and its generation is returned.
+func (s *Store) RestoreWith(device string, load func(r io.Reader) error) (Generation, error) {
 	gens, err := s.generations(device)
 	if err != nil {
-		return nil, Generation{}, fmt.Errorf("checkpoint: scan generations: %w", err)
+		return Generation{}, fmt.Errorf("checkpoint: scan generations: %w", err)
 	}
 	dir := filepath.Join(s.dir, deviceDir(device))
 	for _, g := range gens {
@@ -326,14 +348,14 @@ func (s *Store) Restore(device string) (*core.Analyzer, Generation, error) {
 		if err != nil {
 			continue
 		}
-		a, err := core.LoadAnalyzer(f)
+		err = load(f)
 		f.Close()
 		if err != nil {
 			// Truncated or corrupt generation: fall back to the next
 			// older one.
 			continue
 		}
-		return a, g, nil
+		return g, nil
 	}
-	return nil, Generation{}, fmt.Errorf("%w (device %q, %d generation(s) scanned)", ErrNoCheckpoint, device, len(gens))
+	return Generation{}, fmt.Errorf("%w (device %q, %d generation(s) scanned)", ErrNoCheckpoint, device, len(gens))
 }

@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"bytes"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -309,3 +310,50 @@ func TestRestoreSkipsGarbageGeneration(t *testing.T) {
 		t.Error("fallback restored wrong state")
 	}
 }
+
+// TestRestoreWithArbitraryPayload: RestoreWith gives non-Analyzer
+// payloads the same newest-first, skip-corrupt walk that Restore has.
+func TestRestoreWithArbitraryPayload(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, Config{Dir: dir})
+	payload := []byte("fleet-state-v1")
+	if _, err := s.Save("agg", writerToFunc(func(w io.Writer) (int64, error) {
+		n, err := w.Write(payload)
+		return int64(n), err
+	})); err != nil {
+		t.Fatal(err)
+	}
+	// A newer, torn generation must be skipped by the load callback.
+	bad := filepath.Join(dir, "agg", genName(9))
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	gen, err := s.RestoreWith("agg", func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(b, payload) {
+			return errors.New("not my payload")
+		}
+		got = b
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RestoreWith: %v", err)
+	}
+	if gen.Seq != 1 {
+		t.Errorf("restored gen %d, want fallback to 1", gen.Seq)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("restored %q, want %q", got, payload)
+	}
+	if _, err := s.RestoreWith("absent", func(io.Reader) error { return nil }); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("absent device: got %v, want ErrNoCheckpoint", err)
+	}
+}
+
+type writerToFunc func(w io.Writer) (int64, error)
+
+func (f writerToFunc) WriteTo(w io.Writer) (int64, error) { return f(w) }

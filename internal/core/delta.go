@@ -1,0 +1,494 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"daccor/internal/blktrace"
+)
+
+// Delta snapshots are the fleet sync unit: a collector that already
+// shipped a full export to its aggregator only needs to ship the
+// entries that changed since — upserts carrying absolute new counters,
+// plus the keys that fell out of the synopsis. Applying a delta to the
+// exact base it was diffed against reproduces the new export
+// bit-for-bit, which is what lets an aggregator mirror a collector
+// without ever replaying its event stream.
+//
+// The wire encoding reuses the checkpoint record layouts
+// (itemRecord/pairRecord from persist.go) framed with explicit counts:
+//
+//	delta:   u32 upsertItems | u32 upsertPairs | u32 delItems | u32 delPairs
+//	         | item records | pair records | item keys | pair keys
+//	records: snapshot body = u32 items | u32 pairs | item records | pair records
+//
+// Like LoadAnalyzer, the decoders treat input as untrusted: counts are
+// bounded before they size anything, allocations grow with the bytes
+// actually read (a hostile count cannot force a huge up-front make),
+// and duplicate or non-canonical keys are rejected.
+
+// Delta decode errors. ErrDeltaConflict additionally serves Apply: it
+// marks a delta that does not fit the base it is being applied to —
+// the divergence signal that triggers anti-entropy full sync.
+var (
+	ErrBadDelta      = errors.New("core: invalid snapshot delta")
+	ErrDeltaConflict = errors.New("core: delta does not apply to this base snapshot")
+)
+
+// SnapshotDelta is the difference between two exports of one synopsis:
+// upserts carry the absolute new state of added or changed entries,
+// deletes name the keys present in the base but gone from the target.
+type SnapshotDelta struct {
+	UpsertItems []ItemCount
+	UpsertPairs []PairCount
+	DeleteItems []blktrace.Extent
+	DeletePairs []blktrace.Pair
+}
+
+// Empty reports whether the delta changes nothing.
+func (d SnapshotDelta) Empty() bool {
+	return len(d.UpsertItems) == 0 && len(d.UpsertPairs) == 0 &&
+		len(d.DeleteItems) == 0 && len(d.DeletePairs) == 0
+}
+
+// Len is the total record count across all four sections.
+func (d SnapshotDelta) Len() int {
+	return len(d.UpsertItems) + len(d.UpsertPairs) + len(d.DeleteItems) + len(d.DeletePairs)
+}
+
+// DiffSnapshots computes the delta that transforms old into new:
+// Apply(DiffSnapshots(old, new), old) == new for any two sorted
+// exports. Both inputs are sorted snapshots, so the output is
+// deterministic: upserts in new's order, deletes in old's order.
+func DiffSnapshots(old, new Snapshot) SnapshotDelta {
+	var d SnapshotDelta
+	oldPairs := make(map[blktrace.Pair]PairCount, len(old.Pairs))
+	for _, pc := range old.Pairs {
+		oldPairs[pc.Pair] = pc
+	}
+	oldItems := make(map[blktrace.Extent]ItemCount, len(old.Items))
+	for _, ic := range old.Items {
+		oldItems[ic.Extent] = ic
+	}
+	newPairs := make(map[blktrace.Pair]struct{}, len(new.Pairs))
+	for _, pc := range new.Pairs {
+		newPairs[pc.Pair] = struct{}{}
+		if prev, ok := oldPairs[pc.Pair]; !ok || prev != pc {
+			d.UpsertPairs = append(d.UpsertPairs, pc)
+		}
+	}
+	newItems := make(map[blktrace.Extent]struct{}, len(new.Items))
+	for _, ic := range new.Items {
+		newItems[ic.Extent] = struct{}{}
+		if prev, ok := oldItems[ic.Extent]; !ok || prev != ic {
+			d.UpsertItems = append(d.UpsertItems, ic)
+		}
+	}
+	for _, pc := range old.Pairs {
+		if _, ok := newPairs[pc.Pair]; !ok {
+			d.DeletePairs = append(d.DeletePairs, pc.Pair)
+		}
+	}
+	for _, ic := range old.Items {
+		if _, ok := newItems[ic.Extent]; !ok {
+			d.DeleteItems = append(d.DeleteItems, ic.Extent)
+		}
+	}
+	return d
+}
+
+// Apply transforms a base snapshot by the delta, returning the sorted
+// result. A delete of a key the base does not hold returns
+// ErrDeltaConflict: the delta was diffed against a different base, and
+// the caller must fall back to a full sync rather than build a silently
+// diverged mirror. The base is not modified.
+func (d SnapshotDelta) Apply(base Snapshot) (Snapshot, error) {
+	pairAt := make(map[blktrace.Pair]int, len(base.Pairs)+len(d.UpsertPairs))
+	itemAt := make(map[blktrace.Extent]int, len(base.Items)+len(d.UpsertItems))
+	out := Snapshot{
+		Pairs: make([]PairCount, len(base.Pairs), len(base.Pairs)+len(d.UpsertPairs)),
+		Items: make([]ItemCount, len(base.Items), len(base.Items)+len(d.UpsertItems)),
+	}
+	copy(out.Pairs, base.Pairs)
+	copy(out.Items, base.Items)
+	for i, pc := range out.Pairs {
+		pairAt[pc.Pair] = i
+	}
+	for i, ic := range out.Items {
+		itemAt[ic.Extent] = i
+	}
+	for _, p := range d.DeletePairs {
+		i, ok := pairAt[p]
+		if !ok {
+			return Snapshot{}, fmt.Errorf("%w: delete of absent pair %v", ErrDeltaConflict, p)
+		}
+		delete(pairAt, p)
+		last := len(out.Pairs) - 1
+		if i != last {
+			out.Pairs[i] = out.Pairs[last]
+			pairAt[out.Pairs[i].Pair] = i
+		}
+		out.Pairs = out.Pairs[:last]
+	}
+	for _, e := range d.DeleteItems {
+		i, ok := itemAt[e]
+		if !ok {
+			return Snapshot{}, fmt.Errorf("%w: delete of absent item %v", ErrDeltaConflict, e)
+		}
+		delete(itemAt, e)
+		last := len(out.Items) - 1
+		if i != last {
+			out.Items[i] = out.Items[last]
+			itemAt[out.Items[i].Extent] = i
+		}
+		out.Items = out.Items[:last]
+	}
+	for _, pc := range d.UpsertPairs {
+		if i, ok := pairAt[pc.Pair]; ok {
+			out.Pairs[i] = pc
+			continue
+		}
+		pairAt[pc.Pair] = len(out.Pairs)
+		out.Pairs = append(out.Pairs, pc)
+	}
+	for _, ic := range d.UpsertItems {
+		if i, ok := itemAt[ic.Extent]; ok {
+			out.Items[i] = ic
+			continue
+		}
+		itemAt[ic.Extent] = len(out.Items)
+		out.Items = append(out.Items, ic)
+	}
+	// Empty sections are nil in every other Snapshot producer; match
+	// that so DeepEqual-based convergence checks compare content only.
+	if len(out.Pairs) == 0 {
+		out.Pairs = nil
+	}
+	if len(out.Items) == 0 {
+		out.Items = nil
+	}
+	out.sort()
+	return out, nil
+}
+
+// maxDeltaRecords bounds any single record-count field in the delta and
+// snapshot-body encodings — the same 2·MaxSnapshotCapacity ceiling
+// LoadAnalyzer enforces per table (capacity C is per tier).
+const maxDeltaRecords = 2 * MaxSnapshotCapacity
+
+// recordPrealloc caps the up-front slice capacity the decoders reserve
+// from an untrusted count; beyond it slices grow with the bytes
+// actually read, so a hostile header cannot force a large allocation
+// from a tiny input.
+const recordPrealloc = 1 << 12
+
+func preallocCap(n uint32) int {
+	if n > recordPrealloc {
+		return recordPrealloc
+	}
+	return int(n)
+}
+
+// EncodeSnapshotRecords writes a snapshot body — item and pair counts
+// followed by the checkpoint record layouts — without the analyzer
+// header, for embedding in fleet sync frames. The snapshot should be a
+// full export (support 0) so the receiving side can extract rules.
+func EncodeSnapshotRecords(w io.Writer, s Snapshot) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(s.Items)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(s.Pairs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n += 8
+	var rec [pairRecordSize]byte
+	for _, ic := range s.Items {
+		rec[0] = uint8(ic.Tier)
+		binary.LittleEndian.PutUint32(rec[1:], ic.Count)
+		binary.LittleEndian.PutUint64(rec[5:], ic.Extent.Block)
+		binary.LittleEndian.PutUint32(rec[13:], ic.Extent.Len)
+		if _, err := bw.Write(rec[:itemRecordSize]); err != nil {
+			return n, err
+		}
+		n += itemRecordSize
+	}
+	for _, pc := range s.Pairs {
+		rec[0] = uint8(pc.Tier)
+		binary.LittleEndian.PutUint32(rec[1:], pc.Count)
+		binary.LittleEndian.PutUint64(rec[5:], pc.Pair.A.Block)
+		binary.LittleEndian.PutUint64(rec[13:], pc.Pair.B.Block)
+		binary.LittleEndian.PutUint32(rec[21:], pc.Pair.A.Len)
+		binary.LittleEndian.PutUint32(rec[25:], pc.Pair.B.Len)
+		if _, err := bw.Write(rec[:pairRecordSize]); err != nil {
+			return n, err
+		}
+		n += pairRecordSize
+	}
+	return n, bw.Flush()
+}
+
+// DecodeSnapshotRecords reads a snapshot body written by
+// EncodeSnapshotRecords, validating every record (bounded counts,
+// nonzero extents, canonical pairs, valid tiers, positive counters, no
+// duplicate keys) before it lands in the result.
+func DecodeSnapshotRecords(r io.Reader) (Snapshot, error) {
+	br := asByteReader(r)
+	nItems, nPairs, err := readCountPair(br, "snapshot body")
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	seenItems := make(map[blktrace.Extent]struct{}, preallocCap(nItems))
+	s.Items = make([]ItemCount, 0, preallocCap(nItems))
+	for i := uint32(0); i < nItems; i++ {
+		ic, err := readItemRecord(br)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if _, dup := seenItems[ic.Extent]; dup {
+			return Snapshot{}, fmt.Errorf("%w: duplicate item %v", ErrBadSnapshotRecord, ic.Extent)
+		}
+		seenItems[ic.Extent] = struct{}{}
+		s.Items = append(s.Items, ic)
+	}
+	seenPairs := make(map[blktrace.Pair]struct{}, preallocCap(nPairs))
+	s.Pairs = make([]PairCount, 0, preallocCap(nPairs))
+	for i := uint32(0); i < nPairs; i++ {
+		pc, err := readPairRecord(br)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if _, dup := seenPairs[pc.Pair]; dup {
+			return Snapshot{}, fmt.Errorf("%w: duplicate pair %v", ErrBadSnapshotRecord, pc.Pair)
+		}
+		seenPairs[pc.Pair] = struct{}{}
+		s.Pairs = append(s.Pairs, pc)
+	}
+	// Normalize empty sections to nil (see Apply): a decoded snapshot
+	// must DeepEqual the export it was encoded from.
+	if len(s.Items) == 0 {
+		s.Items = nil
+	}
+	if len(s.Pairs) == 0 {
+		s.Pairs = nil
+	}
+	return s, nil
+}
+
+// EncodeDelta writes the delta wire format: the four section counts,
+// then upsert records (checkpoint layouts) and delete keys.
+func EncodeDelta(w io.Writer, d SnapshotDelta) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(d.UpsertItems)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(d.UpsertPairs)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(d.DeleteItems)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(d.DeletePairs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return n, err
+	}
+	n += 16
+	var rec [pairRecordSize]byte
+	for _, ic := range d.UpsertItems {
+		rec[0] = uint8(ic.Tier)
+		binary.LittleEndian.PutUint32(rec[1:], ic.Count)
+		binary.LittleEndian.PutUint64(rec[5:], ic.Extent.Block)
+		binary.LittleEndian.PutUint32(rec[13:], ic.Extent.Len)
+		if _, err := bw.Write(rec[:itemRecordSize]); err != nil {
+			return n, err
+		}
+		n += itemRecordSize
+	}
+	for _, pc := range d.UpsertPairs {
+		rec[0] = uint8(pc.Tier)
+		binary.LittleEndian.PutUint32(rec[1:], pc.Count)
+		binary.LittleEndian.PutUint64(rec[5:], pc.Pair.A.Block)
+		binary.LittleEndian.PutUint64(rec[13:], pc.Pair.B.Block)
+		binary.LittleEndian.PutUint32(rec[21:], pc.Pair.A.Len)
+		binary.LittleEndian.PutUint32(rec[25:], pc.Pair.B.Len)
+		if _, err := bw.Write(rec[:pairRecordSize]); err != nil {
+			return n, err
+		}
+		n += pairRecordSize
+	}
+	for _, e := range d.DeleteItems {
+		binary.LittleEndian.PutUint64(rec[0:], e.Block)
+		binary.LittleEndian.PutUint32(rec[8:], e.Len)
+		if _, err := bw.Write(rec[:12]); err != nil {
+			return n, err
+		}
+		n += 12
+	}
+	for _, p := range d.DeletePairs {
+		binary.LittleEndian.PutUint64(rec[0:], p.A.Block)
+		binary.LittleEndian.PutUint64(rec[8:], p.B.Block)
+		binary.LittleEndian.PutUint32(rec[16:], p.A.Len)
+		binary.LittleEndian.PutUint32(rec[20:], p.B.Len)
+		if _, err := bw.Write(rec[:24]); err != nil {
+			return n, err
+		}
+		n += 24
+	}
+	return n, bw.Flush()
+}
+
+// DecodeDelta reads a delta written by EncodeDelta under the same
+// validation discipline as DecodeSnapshotRecords; additionally a key
+// may appear at most once across its upsert and delete sections (a key
+// both upserted and deleted is a contradiction, not a delta).
+func DecodeDelta(r io.Reader) (SnapshotDelta, error) {
+	br := asByteReader(r)
+	upItems, upPairs, err := readCountPair(br, "delta upserts")
+	if err != nil {
+		return SnapshotDelta{}, err
+	}
+	delItems, delPairs, err := readCountPair(br, "delta deletes")
+	if err != nil {
+		return SnapshotDelta{}, err
+	}
+	var d SnapshotDelta
+	items := make(map[blktrace.Extent]struct{}, preallocCap(upItems+delItems))
+	pairs := make(map[blktrace.Pair]struct{}, preallocCap(upPairs+delPairs))
+	d.UpsertItems = make([]ItemCount, 0, preallocCap(upItems))
+	for i := uint32(0); i < upItems; i++ {
+		ic, err := readItemRecord(br)
+		if err != nil {
+			return SnapshotDelta{}, err
+		}
+		if _, dup := items[ic.Extent]; dup {
+			return SnapshotDelta{}, fmt.Errorf("%w: duplicate item %v", ErrBadDelta, ic.Extent)
+		}
+		items[ic.Extent] = struct{}{}
+		d.UpsertItems = append(d.UpsertItems, ic)
+	}
+	d.UpsertPairs = make([]PairCount, 0, preallocCap(upPairs))
+	for i := uint32(0); i < upPairs; i++ {
+		pc, err := readPairRecord(br)
+		if err != nil {
+			return SnapshotDelta{}, err
+		}
+		if _, dup := pairs[pc.Pair]; dup {
+			return SnapshotDelta{}, fmt.Errorf("%w: duplicate pair %v", ErrBadDelta, pc.Pair)
+		}
+		pairs[pc.Pair] = struct{}{}
+		d.UpsertPairs = append(d.UpsertPairs, pc)
+	}
+	d.DeleteItems = make([]blktrace.Extent, 0, preallocCap(delItems))
+	for i := uint32(0); i < delItems; i++ {
+		var buf [12]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return SnapshotDelta{}, fmt.Errorf("%w: truncated item delete: %v", ErrBadDelta, err)
+		}
+		e := blktrace.Extent{Block: binary.LittleEndian.Uint64(buf[0:]), Len: binary.LittleEndian.Uint32(buf[8:])}
+		if e.Len == 0 {
+			return SnapshotDelta{}, fmt.Errorf("%w: zero-length item delete", ErrBadDelta)
+		}
+		if _, dup := items[e]; dup {
+			return SnapshotDelta{}, fmt.Errorf("%w: item %v both upserted and deleted", ErrBadDelta, e)
+		}
+		items[e] = struct{}{}
+		d.DeleteItems = append(d.DeleteItems, e)
+	}
+	d.DeletePairs = make([]blktrace.Pair, 0, preallocCap(delPairs))
+	for i := uint32(0); i < delPairs; i++ {
+		var buf [24]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return SnapshotDelta{}, fmt.Errorf("%w: truncated pair delete: %v", ErrBadDelta, err)
+		}
+		p := blktrace.Pair{
+			A: blktrace.Extent{Block: binary.LittleEndian.Uint64(buf[0:]), Len: binary.LittleEndian.Uint32(buf[16:])},
+			B: blktrace.Extent{Block: binary.LittleEndian.Uint64(buf[8:]), Len: binary.LittleEndian.Uint32(buf[20:])},
+		}
+		if p.A.Len == 0 || p.B.Len == 0 {
+			return SnapshotDelta{}, fmt.Errorf("%w: zero-length extent in pair delete", ErrBadDelta)
+		}
+		if p.B.Less(p.A) {
+			return SnapshotDelta{}, fmt.Errorf("%w: pair delete %v not canonical", ErrBadDelta, p)
+		}
+		if _, dup := pairs[p]; dup {
+			return SnapshotDelta{}, fmt.Errorf("%w: pair %v both upserted and deleted", ErrBadDelta, p)
+		}
+		pairs[p] = struct{}{}
+		d.DeletePairs = append(d.DeletePairs, p)
+	}
+	return d, nil
+}
+
+// asByteReader wraps r for buffered record reads without double
+// buffering an existing bufio.Reader.
+func asByteReader(r io.Reader) *bufio.Reader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return br
+	}
+	return bufio.NewReader(r)
+}
+
+// readCountPair reads two u32 counts and bounds both.
+func readCountPair(br *bufio.Reader, what string) (uint32, uint32, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: truncated %s counts: %v", ErrBadDelta, what, err)
+	}
+	a := binary.LittleEndian.Uint32(buf[0:])
+	b := binary.LittleEndian.Uint32(buf[4:])
+	if a > maxDeltaRecords || b > maxDeltaRecords {
+		return 0, 0, fmt.Errorf("%w: %s counts %d/%d exceed %d", ErrBadDelta, what, a, b, maxDeltaRecords)
+	}
+	return a, b, nil
+}
+
+func readItemRecord(br *bufio.Reader) (ItemCount, error) {
+	var buf [itemRecordSize]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return ItemCount{}, fmt.Errorf("%w: truncated item record: %v", ErrBadSnapshotRecord, err)
+	}
+	ic := ItemCount{
+		Tier:   Tier(buf[0]),
+		Count:  binary.LittleEndian.Uint32(buf[1:]),
+		Extent: blktrace.Extent{Block: binary.LittleEndian.Uint64(buf[5:]), Len: binary.LittleEndian.Uint32(buf[13:])},
+	}
+	if ic.Tier != Tier1 && ic.Tier != Tier2 {
+		return ItemCount{}, fmt.Errorf("%w: item %v has invalid tier %d", ErrBadSnapshotRecord, ic.Extent, ic.Tier)
+	}
+	if ic.Count == 0 {
+		return ItemCount{}, fmt.Errorf("%w: item %v has zero count", ErrBadSnapshotRecord, ic.Extent)
+	}
+	if ic.Extent.Len == 0 {
+		return ItemCount{}, fmt.Errorf("%w: item record has zero length", ErrBadSnapshotRecord)
+	}
+	return ic, nil
+}
+
+func readPairRecord(br *bufio.Reader) (PairCount, error) {
+	var buf [pairRecordSize]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return PairCount{}, fmt.Errorf("%w: truncated pair record: %v", ErrBadSnapshotRecord, err)
+	}
+	pc := PairCount{
+		Tier:  Tier(buf[0]),
+		Count: binary.LittleEndian.Uint32(buf[1:]),
+		Pair: blktrace.Pair{
+			A: blktrace.Extent{Block: binary.LittleEndian.Uint64(buf[5:]), Len: binary.LittleEndian.Uint32(buf[21:])},
+			B: blktrace.Extent{Block: binary.LittleEndian.Uint64(buf[13:]), Len: binary.LittleEndian.Uint32(buf[25:])},
+		},
+	}
+	if pc.Tier != Tier1 && pc.Tier != Tier2 {
+		return PairCount{}, fmt.Errorf("%w: pair %v has invalid tier %d", ErrBadSnapshotRecord, pc.Pair, pc.Tier)
+	}
+	if pc.Count == 0 {
+		return PairCount{}, fmt.Errorf("%w: pair %v has zero count", ErrBadSnapshotRecord, pc.Pair)
+	}
+	if pc.Pair.A.Len == 0 || pc.Pair.B.Len == 0 {
+		return PairCount{}, fmt.Errorf("%w: pair record has zero-length extent", ErrBadSnapshotRecord)
+	}
+	if pc.Pair.B.Less(pc.Pair.A) {
+		return PairCount{}, fmt.Errorf("%w: pair %v not canonical", ErrBadSnapshotRecord, pc.Pair)
+	}
+	return pc, nil
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+// randomSnapshot builds a sorted snapshot over a small key universe so
+// successive snapshots overlap (the interesting diff case).
+func randomSnapshot(rng *rand.Rand, nItems, nPairs int) Snapshot {
+	var s Snapshot
+	items := make(map[blktrace.Extent]struct{})
+	for len(s.Items) < nItems {
+		e := blktrace.Extent{Block: uint64(rng.Intn(64) * 8), Len: uint32(1 + rng.Intn(4))}
+		if _, ok := items[e]; ok {
+			continue
+		}
+		items[e] = struct{}{}
+		tier := Tier1
+		if rng.Intn(2) == 0 {
+			tier = Tier2
+		}
+		s.Items = append(s.Items, ItemCount{Extent: e, Count: uint32(1 + rng.Intn(100)), Tier: tier})
+	}
+	pairs := make(map[blktrace.Pair]struct{})
+	for len(s.Pairs) < nPairs {
+		a := blktrace.Extent{Block: uint64(rng.Intn(64) * 8), Len: uint32(1 + rng.Intn(4))}
+		b := blktrace.Extent{Block: uint64(rng.Intn(64) * 8), Len: uint32(1 + rng.Intn(4))}
+		if a == b {
+			continue
+		}
+		p := blktrace.MakePair(a, b)
+		if _, ok := pairs[p]; ok {
+			continue
+		}
+		pairs[p] = struct{}{}
+		tier := Tier1
+		if rng.Intn(2) == 0 {
+			tier = Tier2
+		}
+		s.Pairs = append(s.Pairs, PairCount{Pair: p, Count: uint32(1 + rng.Intn(100)), Tier: tier})
+	}
+	s.sort()
+	return s
+}
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		old := randomSnapshot(rng, rng.Intn(30), rng.Intn(30))
+		new := randomSnapshot(rng, rng.Intn(30), rng.Intn(30))
+		d := DiffSnapshots(old, new)
+		got, err := d.Apply(old)
+		if err != nil {
+			t.Fatalf("iter %d: Apply: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, new) {
+			t.Fatalf("iter %d: Apply(Diff(old,new), old) != new\ngot  %+v\nwant %+v", i, got, new)
+		}
+	}
+}
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randomSnapshot(rng, 20, 20)
+	d := DiffSnapshots(s, s)
+	if !d.Empty() {
+		t.Fatalf("diff of identical snapshots not empty: %+v", d)
+	}
+}
+
+func TestApplyConflict(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := randomSnapshot(rng, 10, 10)
+	d := SnapshotDelta{DeletePairs: []blktrace.Pair{blktrace.MakePair(
+		blktrace.Extent{Block: 1 << 40, Len: 1}, blktrace.Extent{Block: 1<<40 + 8, Len: 1})}}
+	if _, err := d.Apply(base); !errors.Is(err, ErrDeltaConflict) {
+		t.Fatalf("delete of absent key: got %v, want ErrDeltaConflict", err)
+	}
+	d = SnapshotDelta{DeleteItems: []blktrace.Extent{{Block: 1 << 40, Len: 1}}}
+	if _, err := d.Apply(base); !errors.Is(err, ErrDeltaConflict) {
+		t.Fatalf("delete of absent item: got %v, want ErrDeltaConflict", err)
+	}
+}
+
+func TestDeltaWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 25; i++ {
+		old := randomSnapshot(rng, rng.Intn(20), rng.Intn(20))
+		new := randomSnapshot(rng, rng.Intn(20), rng.Intn(20))
+		d := DiffSnapshots(old, new)
+		var buf bytes.Buffer
+		n, err := EncodeDelta(&buf, d)
+		if err != nil {
+			t.Fatalf("EncodeDelta: %v", err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("EncodeDelta returned %d, wrote %d", n, buf.Len())
+		}
+		got, err := DecodeDelta(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("DecodeDelta: %v", err)
+		}
+		// Decoded empty sections are non-nil empty slices; normalize for
+		// the comparison.
+		if !equalDelta(got, d) {
+			t.Fatalf("delta roundtrip mismatch\ngot  %+v\nwant %+v", got, d)
+		}
+	}
+}
+
+func equalDelta(a, b SnapshotDelta) bool {
+	if len(a.UpsertItems) != len(b.UpsertItems) || len(a.UpsertPairs) != len(b.UpsertPairs) ||
+		len(a.DeleteItems) != len(b.DeleteItems) || len(a.DeletePairs) != len(b.DeletePairs) {
+		return false
+	}
+	for i := range a.UpsertItems {
+		if a.UpsertItems[i] != b.UpsertItems[i] {
+			return false
+		}
+	}
+	for i := range a.UpsertPairs {
+		if a.UpsertPairs[i] != b.UpsertPairs[i] {
+			return false
+		}
+	}
+	for i := range a.DeleteItems {
+		if a.DeleteItems[i] != b.DeleteItems[i] {
+			return false
+		}
+	}
+	for i := range a.DeletePairs {
+		if a.DeletePairs[i] != b.DeletePairs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSnapshotRecordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := randomSnapshot(rng, 25, 25)
+	var buf bytes.Buffer
+	if _, err := EncodeSnapshotRecords(&buf, s); err != nil {
+		t.Fatalf("EncodeSnapshotRecords: %v", err)
+	}
+	got, err := DecodeSnapshotRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeSnapshotRecords: %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("snapshot records roundtrip mismatch\ngot  %+v\nwant %+v", got, s)
+	}
+}
+
+func TestDecodeDeltaRejectsCorruption(t *testing.T) {
+	e1 := blktrace.Extent{Block: 8, Len: 1}
+	e2 := blktrace.Extent{Block: 16, Len: 1}
+	d := SnapshotDelta{
+		UpsertItems: []ItemCount{{Extent: e1, Count: 3, Tier: Tier1}},
+		UpsertPairs: []PairCount{{Pair: blktrace.MakePair(e1, e2), Count: 2, Tier: Tier2}},
+		DeleteItems: []blktrace.Extent{e2},
+	}
+	var buf bytes.Buffer
+	if _, err := EncodeDelta(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Truncation at every prefix must error, never panic.
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := DecodeDelta(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+
+	// Duplicate records: upsert the same item twice.
+	dup := SnapshotDelta{UpsertItems: []ItemCount{
+		{Extent: e1, Count: 3, Tier: Tier1},
+		{Extent: e1, Count: 4, Tier: Tier1},
+	}}
+	buf.Reset()
+	if _, err := EncodeDelta(&buf, dup); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDelta(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("duplicate upsert: got %v, want ErrBadDelta", err)
+	}
+
+	// A key both upserted and deleted is contradictory.
+	contra := SnapshotDelta{
+		UpsertItems: []ItemCount{{Extent: e1, Count: 3, Tier: Tier1}},
+		DeleteItems: []blktrace.Extent{e1},
+	}
+	buf.Reset()
+	if _, err := EncodeDelta(&buf, contra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDelta(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("upsert+delete of same key: got %v, want ErrBadDelta", err)
+	}
+
+	// Hostile counts must not drive a huge allocation: a header claiming
+	// maxDeltaRecords entries with no payload errors on the first read.
+	hostile := make([]byte, 16)
+	for i := 0; i < 16; i += 4 {
+		hostile[i] = 0xFF
+		hostile[i+1] = 0xFF
+		hostile[i+2] = 0xFF
+	}
+	if _, err := DecodeDelta(bytes.NewReader(hostile)); err == nil {
+		t.Fatal("hostile counts decoded successfully")
+	}
+}

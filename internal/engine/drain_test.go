@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/checkpoint"
+)
+
+// TestStopTimeoutForcesDrain covers the forced path of the -drain-timeout
+// shutdown: a worker slowed to ~5ms/event faces a backlog worth seconds
+// of drain, StopTimeout(100ms) must return far sooner, report that it
+// forced, account the abandoned events as dropped — and still write the
+// final checkpoint, because an operator who bounded the drain did not
+// agree to lose the counts already analyzed.
+func TestStopTimeoutForcesDrain(t *testing.T) {
+	store, err := checkpoint.Open(checkpoint.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := func(device string, ev blktrace.Event) { time.Sleep(5 * time.Millisecond) }
+	e := mustEngine(t,
+		WithDevices("dev0"),
+		WithQueueSize(4096),
+		WithCheckpoints(store, time.Hour),
+		WithProcessHook(slow),
+	)
+	// ~4s of work at 5ms/event — far beyond the 100ms budget.
+	feedN(t, e, "dev0", 800, 0)
+
+	start := time.Now()
+	forced := e.StopTimeout(100 * time.Millisecond)
+	elapsed := time.Since(start)
+
+	if !forced {
+		t.Fatal("StopTimeout returned forced=false with a multi-second backlog")
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("forced stop took %v; the deadline did not bound the drain", elapsed)
+	}
+	if dropped := metricValue(t, e, MetricDropped, "dev0"); dropped == 0 {
+		t.Fatal("forced stop discarded the backlog but dropped counter is 0")
+	}
+	if _, ok := store.Latest("dev0"); !ok {
+		t.Fatal("no final checkpoint after forced stop")
+	}
+}
+
+// TestStopTimeoutDrainsWithinDeadline covers the happy path: a small
+// backlog drains well inside the deadline, nothing is dropped, and the
+// final checkpoint is written as on a plain Stop.
+func TestStopTimeoutDrainsWithinDeadline(t *testing.T) {
+	store, err := checkpoint.Open(checkpoint.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t,
+		WithDevices("dev0"),
+		WithQueueSize(4096),
+		WithCheckpoints(store, time.Hour),
+	)
+	feedN(t, e, "dev0", 200, 0)
+
+	if forced := e.StopTimeout(10 * time.Second); forced {
+		t.Fatal("StopTimeout forced a discard on a trivially drainable backlog")
+	}
+	if dropped := metricValue(t, e, MetricDropped, "dev0"); dropped != 0 {
+		t.Fatalf("clean drain dropped %v events", dropped)
+	}
+	if _, ok := store.Latest("dev0"); !ok {
+		t.Fatal("no final checkpoint after clean stop")
+	}
+}

@@ -536,6 +536,29 @@ func (e *Engine) Epoch(id string) (uint64, error) {
 	return s.epoch.Load(), nil
 }
 
+// SnapshotSince is the delta-capture primitive for fleet sync: it
+// returns the named device's full export (support 0) together with the
+// epoch observed before the capture, skipping the capture entirely
+// when the epoch still equals since. The epoch is read first, so the
+// returned snapshot may already be newer than the labelled epoch —
+// sync clients diff by content, and an under-claimed epoch only means
+// one extra (empty) delta next round, never a missed change.
+func (e *Engine) SnapshotSince(id string, since uint64) (snap core.Snapshot, epoch uint64, changed bool, err error) {
+	s, err := e.shard(id)
+	if err != nil {
+		return core.Snapshot{}, 0, false, err
+	}
+	epoch = s.epoch.Load()
+	if epoch == since {
+		return core.Snapshot{}, epoch, false, nil
+	}
+	snap, err = s.snapshot(0)
+	if err != nil {
+		return core.Snapshot{}, epoch, false, err
+	}
+	return snap, epoch, true, nil
+}
+
 // MergedEpoch returns the sum of every device's epoch and the device
 // count. Epochs are monotone, so an unchanged (sum, devices) pair
 // means no device's synopsis changed — the fleet-level analogue of
@@ -791,7 +814,22 @@ func (e *Engine) Dropped(id string) (uint64, error) {
 // queued events are drained into the pipelines, open transactions are
 // flushed, and the workers exit. Stop is idempotent, safe to call
 // concurrently, and returns once every worker has exited.
-func (e *Engine) Stop() {
+func (e *Engine) Stop() { e.stopWithin(0) }
+
+// StopTimeout is Stop with a drain deadline: devices get up to d to
+// drain their queued events normally; past the deadline the remaining
+// queued (and reorder-buffered) events are discarded — counted in the
+// per-device drop metric — instead of analyzed. Everything after the
+// drain still happens in full: open transactions are flushed and each
+// device writes its final checkpoint, so a bounded shutdown loses only
+// unprocessed backlog, never the synopsis. Returns true when the
+// deadline forced at least one device to discard. d <= 0 means no
+// deadline (identical to Stop).
+func (e *Engine) StopTimeout(d time.Duration) (forced bool) {
+	return e.stopWithin(d)
+}
+
+func (e *Engine) stopWithin(d time.Duration) (forced bool) {
 	e.mu.Lock()
 	e.stopped = true
 	shards := make([]*shard, len(e.order))
@@ -802,12 +840,34 @@ func (e *Engine) Stop() {
 	for _, s := range shards {
 		s.requestStop()
 	}
-	for _, s := range shards {
-		<-s.done
+	if d > 0 {
+		all := make(chan struct{})
+		go func() {
+			for _, s := range shards {
+				<-s.done
+			}
+			close(all)
+		}()
+		t := time.NewTimer(d)
+		select {
+		case <-all:
+			t.Stop()
+		case <-t.C:
+			forced = true
+			for _, s := range shards {
+				s.forceDiscard()
+			}
+			<-all
+		}
+	} else {
+		for _, s := range shards {
+			<-s.done
+		}
 	}
 	// Every shard has flushed and ended its own waiters; end the
 	// fleet-level ones too so merged watchers see a terminal event.
 	e.fleet.wake(ErrStopped)
+	return forced
 }
 
 // Device is a registered device's ingest handle: hot loops resolve it

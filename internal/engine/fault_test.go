@@ -386,12 +386,12 @@ func TestSupervisorConfigValidateAndBackoff(t *testing.T) {
 		t.Errorf("withDefaults = %+v", c)
 	}
 	for attempt := 1; attempt <= 20; attempt++ {
-		d := c.backoffDelay(attempt)
+		d := c.BackoffDelay(attempt)
 		if d < 0 || d > c.BackoffCap+c.BackoffCap/2 {
-			t.Errorf("backoffDelay(%d) = %v, outside [0, 1.5*cap]", attempt, d)
+			t.Errorf("BackoffDelay(%d) = %v, outside [0, 1.5*cap]", attempt, d)
 		}
 	}
-	if got := c.backoffDelay(1); got > DefaultBackoffBase+DefaultBackoffBase/2 {
+	if got := c.BackoffDelay(1); got > DefaultBackoffBase+DefaultBackoffBase/2 {
 		t.Errorf("first backoff %v exceeds 1.5*base", got)
 	}
 }

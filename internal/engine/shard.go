@@ -238,6 +238,10 @@ type shard struct {
 
 	stopping atomic.Bool
 	failed   atomic.Bool
+	// discard, set past a StopTimeout deadline, makes the stopping
+	// drain count remaining queued events as dropped instead of
+	// analyzing them; the flush and final checkpoint still run.
+	discard atomic.Bool
 
 	// st is owned by the router goroutine; the supervisor swaps it only
 	// between runs (same goroutine ordering as the old pipe field).
@@ -392,6 +396,10 @@ func (s *shard) routerLoop(st *deviceState, run *partRun) {
 		drained := 0
 		for s.ring.pop(&ev, &ts) {
 			drained++
+			if stopping && s.discard.Load() {
+				s.metrics.dropped.Inc()
+				continue
+			}
 			st.rb.push(ev, ts, emit)
 		}
 		if drained > 0 && s.policy == Block {
@@ -621,12 +629,23 @@ func (s *shard) finishStop(st *deviceState, run *partRun, emit func(blktrace.Eve
 	var ts int64
 	for !s.ring.empty() {
 		if s.ring.pop(&ev, &ts) {
+			if s.discard.Load() {
+				s.metrics.dropped.Inc()
+				continue
+			}
 			st.rb.push(ev, ts, emit)
 		} else {
 			runtime.Gosched() // a producer claimed the slot; it will publish
 		}
 	}
-	st.rb.flush(emit)
+	if s.discard.Load() {
+		// Past the drain deadline: events still held in the reorder
+		// buffer are dropped (counted) rather than analyzed, so a slow
+		// analysis path cannot extend the shutdown unboundedly.
+		st.rb.flush(func(blktrace.Event, int64) { s.metrics.dropped.Inc() })
+	} else {
+		st.rb.flush(emit)
+	}
 	s.mirrorReorder(st)
 	if st.parts == 1 {
 		st.pipe.Flush()
@@ -1028,4 +1047,12 @@ func (s *shard) requestStop() {
 		s.wake.wake()
 		s.notFull.open()
 	}
+}
+
+// forceDiscard flips the stopping drain into discard mode (see
+// Engine.StopTimeout). Only meaningful after requestStop.
+func (s *shard) forceDiscard() {
+	s.discard.Store(true)
+	s.wake.wake()
+	s.notFull.open()
 }

@@ -109,11 +109,13 @@ func (c SupervisorConfig) withDefaults() SupervisorConfig {
 	return c
 }
 
-// backoffDelay is the sleep before restart attempt n (1-based):
+// BackoffDelay is the sleep before restart attempt n (1-based):
 // exponential growth from BackoffBase, capped at BackoffCap, with
 // ±50% jitter so a fleet of devices felled by one bad input does not
-// restart in lockstep.
-func (c SupervisorConfig) backoffDelay(attempt int) time.Duration {
+// restart in lockstep. Exported because it is the one retry discipline
+// of the system: the fleet sync client reuses it for network retries,
+// for the same thundering-herd reason.
+func (c SupervisorConfig) BackoffDelay(attempt int) time.Duration {
 	d := c.BackoffBase
 	for i := 1; i < attempt && d < c.BackoffCap; i++ {
 		d *= 2
@@ -207,7 +209,7 @@ func (s *shard) supervise() {
 				return
 			}
 			select {
-			case <-time.After(s.super.backoffDelay(attempt)):
+			case <-time.After(s.super.BackoffDelay(attempt)):
 			case <-s.stopCh:
 				// Stop is in progress: skip the remaining backoff so
 				// shutdown is prompt; the rebuilt worker still drains

@@ -1,0 +1,492 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"daccor/internal/checkpoint"
+	"daccor/internal/core"
+	"daccor/internal/engine"
+	"daccor/internal/monitor"
+)
+
+// The fleet fault-injection suite. Faults live at the transport (a
+// RoundTripper that drops, duplicates, or fails requests), the clock
+// (partitions age leases via fakeClock), and the process boundary
+// (collectors and aggregators restarted from persisted state). The
+// invariant under every fault: after the fault clears and one clean
+// round completes, the aggregator's merged mirror is DeepEqual to the
+// single-process merge of the surviving collectors, and reads answered
+// 200 throughout.
+
+// flakyTransport wraps a base RoundTripper with deterministic fault
+// injection. Request bodies are buffered so a duplicated request can
+// be replayed byte-identically.
+type flakyTransport struct {
+	base http.RoundTripper
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	dropEvery int // fail request n, n*2, ... with a transport error
+	duplicate bool
+	partition bool
+	drops     int
+	dups      int
+	calls     int
+}
+
+var errInjectedDrop = errors.New("fault: injected network drop")
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	clone := func() *http.Request {
+		r2 := req.Clone(req.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		return r2
+	}
+	f.mu.Lock()
+	f.calls++
+	drop := f.partition || (f.dropEvery > 0 && f.calls%f.dropEvery == 0)
+	dup := f.duplicate && !drop
+	if drop {
+		f.drops++
+	}
+	if dup {
+		f.dups++
+	}
+	f.mu.Unlock()
+	if drop {
+		return nil, errInjectedDrop
+	}
+	if dup {
+		// First delivery: response discarded (as if lost); the caller
+		// sees only the second — the aggregator sees the frame twice.
+		if resp, err := f.base.RoundTrip(clone()); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	return f.base.RoundTrip(clone())
+}
+
+func (f *flakyTransport) setPartition(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partition = on
+}
+
+// flakyClient builds a sync client whose transport is the flaky one.
+func flakyClient(t *testing.T, tf *testFleet, id string, e *engine.Engine, ft *flakyTransport) *SyncClient {
+	t.Helper()
+	if ft.base == nil {
+		ft.base = http.DefaultTransport
+	}
+	c, err := NewSyncClient(ClientConfig{
+		Aggregator:  tf.srv.URL,
+		Collector:   id,
+		Engine:      e,
+		MaxAttempts: 5,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+		HTTPClient:  &http.Client{Transport: ft},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFaultDroppedSyncs: every third request dies on the wire; the
+// client's bounded retry with backoff absorbs the drops and the
+// mirrors converge exactly.
+func TestFaultDroppedSyncs(t *testing.T) {
+	e := newTestEngine(t, "vol0", "vol1")
+	defer e.Stop()
+	tf := newTestFleet(t, Config{}, e)
+	ft := &flakyTransport{rng: rand.New(rand.NewSource(1)), dropEvery: 3}
+	c := flakyClient(t, tf, "c0", e, ft)
+
+	for i := 0; i < 8; i++ {
+		feedKeys(t, e, "vol0", 60, 1, 8)
+		feedKeys(t, e, "vol1", 60, 2, 8)
+		if _, err := c.SyncNow(context.Background()); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if ft.drops == 0 {
+		t.Fatal("fault injector never fired")
+	}
+	requireConverged(t, tf.agg, e)
+}
+
+// TestFaultDuplicatedSyncs: every frame is delivered twice (the first
+// response lost). The aggregator's seq gating must collapse the
+// duplicate into a retransmit ack, never a double count.
+func TestFaultDuplicatedSyncs(t *testing.T) {
+	e := newTestEngine(t, "vol0")
+	defer e.Stop()
+	tf := newTestFleet(t, Config{}, e)
+	ft := &flakyTransport{rng: rand.New(rand.NewSource(2)), duplicate: true}
+	c := flakyClient(t, tf, "c0", e, ft)
+
+	for i := 0; i < 6; i++ {
+		feedKeys(t, e, "vol0", 80, 1, 8)
+		if _, err := c.SyncNow(context.Background()); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if ft.dups == 0 {
+		t.Fatal("fault injector never fired")
+	}
+	// Double counting would inflate merged counts; exact DeepEqual
+	// convergence rules it out.
+	requireConverged(t, tf.agg, e)
+}
+
+// TestFaultReorderedStaleFrame: a frame from an earlier round is
+// re-delivered after later rounds applied (an extreme reordering). The
+// seq gate must ignore its payload entirely.
+func TestFaultReorderedStaleFrame(t *testing.T) {
+	e := newTestEngine(t, "vol0")
+	defer e.Stop()
+	tf := newTestFleet(t, Config{}, e)
+
+	// capture transport: records every request body sent.
+	var mu sync.Mutex
+	var frames [][]byte
+	ft := &flakyTransport{base: roundTripFunc(func(req *http.Request) (*http.Response, error) {
+		body, _ := io.ReadAll(req.Body)
+		req.Body.Close()
+		mu.Lock()
+		frames = append(frames, body)
+		mu.Unlock()
+		r2 := req.Clone(req.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+		return http.DefaultTransport.RoundTrip(r2)
+	})}
+	c := flakyClient(t, tf, "c0", e, ft)
+
+	feedKeys(t, e, "vol0", 500, 1, 64)
+	if _, err := c.SyncNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		feedKeys(t, e, "vol0", 50, 1, 4)
+		if _, err := c.SyncNow(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tf.agg.MergedSnapshot(0)
+
+	// Replay the first (full) and second (delta) frames out of order.
+	mu.Lock()
+	stale := [][]byte{frames[0], frames[1]}
+	mu.Unlock()
+	for i, b := range stale {
+		resp, err := http.Post(tf.srv.URL+"/v1/sync", "application/octet-stream", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("stale frame %d answered %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if !snapshotsEqual(tf.agg.MergedSnapshot(0), before) {
+		t.Fatal("stale frame replay mutated the mirrors")
+	}
+	requireConverged(t, tf.agg, e)
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+func snapshotsEqual(a, b core.Snapshot) bool {
+	if len(a.Pairs) != len(b.Pairs) || len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Pairs {
+		if a.Pairs[i] != b.Pairs[i] {
+			return false
+		}
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFaultPartitionThenHeal: a full partition outlasts the lease
+// (degraded) and FailAfter (failed, out of the merge); the whole time
+// reads answer 200. When the partition heals, one round of syncs
+// re-converges without a full resync — the mirrors never diverged,
+// they only aged.
+func TestFaultPartitionThenHeal(t *testing.T) {
+	e0 := newTestEngine(t, "vol0")
+	e1 := newTestEngine(t, "vol1")
+	defer e0.Stop()
+	defer e1.Stop()
+	tf := newTestFleet(t, Config{Lease: 10 * time.Second, FailAfter: 60 * time.Second}, e0)
+	ft := &flakyTransport{rng: rand.New(rand.NewSource(3))}
+	c0 := flakyClient(t, tf, "c0", e0, ft)
+	c1 := flakyClient(t, tf, "c1", e1, &flakyTransport{rng: rand.New(rand.NewSource(4))})
+
+	feedKeys(t, e0, "vol0", 800, 1, 64)
+	feedKeys(t, e1, "vol1", 800, 2, 64)
+	for _, c := range []*SyncClient{c0, c1} {
+		if _, err := c.SyncNow(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireConverged(t, tf.agg, e0, e1)
+
+	// Partition c0. Its rounds fail; c1 keeps syncing.
+	ft.setPartition(true)
+	if _, err := c0.SyncNow(context.Background()); err == nil {
+		t.Fatal("partitioned sync succeeded")
+	}
+	tf.clk.Advance(15 * time.Second)
+	if _, err := c1.SyncNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := tf.agg.Status()
+	if st.Status != "degraded" {
+		t.Fatalf("fleet status %q during partition, want degraded", st.Status)
+	}
+	// The degraded mirror still serves: merged view includes c0's data.
+	if !snapshotsEqual(tf.agg.MergedSnapshot(0), fleetMerge(t, e0, e1)) {
+		t.Fatal("degraded collector's mirror dropped out of the merge early")
+	}
+
+	// Past FailAfter: c0 is failed and excluded — merged equals the
+	// single-process merge of the *surviving* collector only.
+	tf.clk.Advance(60 * time.Second)
+	if _, err := c1.SyncNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := tf.agg.Status().Status; got != "degraded" {
+		t.Fatalf("fleet status %q with one failed collector, want degraded", got)
+	}
+	requireConverged(t, tf.agg, e1)
+
+	// Heal. The client's shadow still matches the aggregator's mirror
+	// (neither moved during the partition), so recovery is pure delta —
+	// no anti-entropy full resync needed.
+	ft.setPartition(false)
+	feedKeys(t, e0, "vol0", 50, 1, 4)
+	rep, err := c0.SyncNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fulls != 0 || rep.FullRequired != 0 {
+		t.Fatalf("healed sync forced a full resync: %+v", rep)
+	}
+	requireConverged(t, tf.agg, e0, e1)
+}
+
+// TestFaultCollectorRestart: a collector dies mid-stream and restarts
+// from its checkpoint directory with a fresh client (no shadow state).
+// The new client full-syncs — even though the restored engine's epochs
+// restarted — and the fleet re-converges on the collector's restored
+// state.
+func TestFaultCollectorRestart(t *testing.T) {
+	dir := t.TempDir()
+	newCollector := func() *engine.Engine {
+		store, err := checkpoint.Open(checkpoint.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.New(
+			engine.WithMonitor(monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)}),
+			engine.WithAnalyzer(core.Config{ItemCapacity: 4096, PairCapacity: 4096}),
+			engine.WithDevices("vol0"),
+			engine.WithCheckpoints(store, time.Hour),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	e := newCollector()
+	tf := newTestFleet(t, Config{}, e)
+	c := tf.clients[0]
+	feedKeys(t, e, "vol0", 900, 1, 64)
+	if _, err := c.SyncNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	requireConverged(t, tf.agg, e)
+
+	// Crash: stop writes the final checkpoint; the client dies with the
+	// process.
+	e.Stop()
+
+	// Restart: new engine restores the checkpoint; a brand-new client
+	// (same collector identity, empty shadow) takes over.
+	e2 := newCollector()
+	defer e2.Stop()
+	c2, err := NewSyncClient(ClientConfig{
+		Aggregator:  tf.srv.URL,
+		Collector:   "c0",
+		Engine:      e2,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedKeys(t, e2, "vol0", 100, 1, 4)
+	rep, err := c2.SyncNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fulls == 0 {
+		t.Fatalf("restarted client must full-sync, got %+v", rep)
+	}
+	requireConverged(t, tf.agg, e2)
+}
+
+// TestFaultAggregatorRestartCold: the aggregator restarts with no
+// persisted state. The collector's next delta names a base the new
+// aggregator does not hold; anti-entropy demands a full, the round
+// after that ships it, and the fleet re-converges.
+func TestFaultAggregatorRestartCold(t *testing.T) {
+	e := newTestEngine(t, "vol0")
+	defer e.Stop()
+
+	// swapper serves whichever aggregator is current.
+	var mu sync.Mutex
+	agg := NewAggregator(Config{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		h := NewHandler(agg)
+		mu.Unlock()
+		h.ServeHTTP(w, r)
+	})
+	srv := newLocalServer(t, handler)
+	c, err := NewSyncClient(ClientConfig{
+		Aggregator:  srv,
+		Collector:   "c0",
+		Engine:      e,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feedKeys(t, e, "vol0", 700, 1, 64)
+	if _, err := c.SyncNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregator crashes and restarts empty.
+	mu.Lock()
+	agg = NewAggregator(Config{})
+	fresh := agg
+	mu.Unlock()
+
+	// Next delta round: rejected with full_required (mirror unknown).
+	feedKeys(t, e, "vol0", 60, 1, 4)
+	rep, err := c.SyncNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FullRequired == 0 {
+		t.Fatalf("cold aggregator must reject the delta: %+v", rep)
+	}
+	// Anti-entropy repair: the round after ships the full snapshot.
+	rep, err = c.SyncNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fulls == 0 {
+		t.Fatalf("repair round must ship a full snapshot: %+v", rep)
+	}
+	requireConverged(t, fresh, e)
+}
+
+// TestFaultAggregatorRestartWarm: the aggregator restarts from
+// persisted state (WriteTo → LoadState). Epochs and seqs survive, so
+// the collector keeps delta-syncing — no anti-entropy round, no full
+// resync.
+func TestFaultAggregatorRestartWarm(t *testing.T) {
+	e := newTestEngine(t, "vol0")
+	defer e.Stop()
+
+	var mu sync.Mutex
+	agg := NewAggregator(Config{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		h := NewHandler(agg)
+		mu.Unlock()
+		h.ServeHTTP(w, r)
+	})
+	srv := newLocalServer(t, handler)
+	c, err := NewSyncClient(ClientConfig{
+		Aggregator:  srv,
+		Collector:   "c0",
+		Engine:      e,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feedKeys(t, e, "vol0", 700, 1, 64)
+	if _, err := c.SyncNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Persist, "crash", restore into a fresh aggregator.
+	var state bytes.Buffer
+	mu.Lock()
+	if _, err := agg.WriteTo(&state); err != nil {
+		mu.Unlock()
+		t.Fatal(err)
+	}
+	restored := NewAggregator(Config{})
+	if err := restored.LoadState(bytes.NewReader(state.Bytes())); err != nil {
+		mu.Unlock()
+		t.Fatal(err)
+	}
+	agg = restored
+	mu.Unlock()
+
+	feedKeys(t, e, "vol0", 60, 1, 4)
+	rep, err := c.SyncNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fulls != 0 || rep.FullRequired != 0 {
+		t.Fatalf("warm restart must keep delta sync working: %+v", rep)
+	}
+	if rep.Deltas == 0 {
+		t.Fatalf("expected a delta section: %+v", rep)
+	}
+	requireConverged(t, restored, e)
+}

@@ -1,0 +1,457 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+)
+
+func sampleSnapshot() core.Snapshot {
+	a := blktrace.Extent{Block: 8, Len: 1}
+	b := blktrace.Extent{Block: 16, Len: 2}
+	c := blktrace.Extent{Block: 32, Len: 1}
+	return core.Snapshot{
+		Pairs: []core.PairCount{
+			{Pair: blktrace.MakePair(a, b), Count: 9, Tier: core.Tier2},
+			{Pair: blktrace.MakePair(b, c), Count: 3, Tier: core.Tier1},
+		},
+		Items: []core.ItemCount{
+			{Extent: a, Count: 12, Tier: core.Tier2},
+			{Extent: b, Count: 10, Tier: core.Tier2},
+			{Extent: c, Count: 3, Tier: core.Tier1},
+		},
+	}
+}
+
+func TestFrameWireRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	next := sampleSnapshot()
+	next.Items[0].Count = 20
+	f := Frame{
+		Collector: "host-a",
+		Seq:       42,
+		Sections: []Section{
+			{Device: "vol0", Kind: SectionFull, Epoch: 7, Snap: snap},
+			{Device: "vol1", Kind: SectionDelta, BaseEpoch: 7, Epoch: 9, Delta: core.DiffSnapshots(snap, next)},
+			{Device: "vol2", Kind: SectionRemove},
+		},
+	}
+	var buf bytes.Buffer
+	if err := EncodeFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Collector != f.Collector || got.Seq != f.Seq || len(got.Sections) != len(f.Sections) {
+		t.Fatalf("frame header mismatch: %+v", got)
+	}
+	for i, s := range got.Sections {
+		w := f.Sections[i]
+		if s.Device != w.Device || s.Kind != w.Kind || s.BaseEpoch != w.BaseEpoch || s.Epoch != w.Epoch {
+			t.Fatalf("section %d header mismatch: got %+v want %+v", i, s, w)
+		}
+	}
+	if !reflect.DeepEqual(got.Sections[0].Snap, snap) {
+		t.Fatal("full section snapshot mismatch")
+	}
+	// The delta must patch the same base to the same result.
+	want, err := f.Sections[1].Delta.Apply(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := got.Sections[1].Delta.Apply(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, want) {
+		t.Fatal("delta section does not apply identically after roundtrip")
+	}
+}
+
+func TestDecodeFrameRejects(t *testing.T) {
+	snap := sampleSnapshot()
+	valid := func(f Frame) []byte {
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := valid(Frame{Collector: "c", Seq: 1, Sections: []Section{
+		{Device: "vol0", Kind: SectionFull, Epoch: 3, Snap: snap},
+	}})
+
+	// Truncation at every prefix errors, never panics.
+	for cut := 0; cut < len(base); cut++ {
+		if _, err := DecodeFrame(bytes.NewReader(base[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// Trailing bytes are a framing bug, not padding.
+	if _, err := DecodeFrame(bytes.NewReader(append(append([]byte{}, base...), 0))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte: got %v, want ErrBadFrame", err)
+	}
+	// Wrong magic.
+	bad := append([]byte{}, base...)
+	bad[0] = 'X'
+	if _, err := DecodeFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: got %v, want ErrBadFrame", err)
+	}
+	// Duplicate device sections.
+	dup := valid(Frame{Collector: "c", Seq: 1, Sections: []Section{
+		{Device: "vol0", Kind: SectionFull, Epoch: 3, Snap: snap},
+		{Device: "vol0", Kind: SectionRemove},
+	}})
+	if _, err := DecodeFrame(bytes.NewReader(dup)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("duplicate device: got %v, want ErrBadFrame", err)
+	}
+	// Epoch regression inside a delta section must error: collector
+	// epochs are monotone, so Epoch <= BaseEpoch is corruption.
+	reg := valid(Frame{Collector: "c", Seq: 1, Sections: []Section{
+		{Device: "vol0", Kind: SectionDelta, BaseEpoch: 9, Epoch: 9,
+			Delta: core.DiffSnapshots(core.Snapshot{}, snap)},
+	}})
+	if _, err := DecodeFrame(bytes.NewReader(reg)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("epoch regression: got %v, want ErrBadFrame", err)
+	}
+}
+
+// TestSyncDeltaFlow is the tentpole's happy path: first rounds ship
+// full snapshots, steady-state rounds ship deltas, the aggregator's
+// merged mirror stays DeepEqual to the single-process merge, and the
+// byte counters prove deltas are materially cheaper than fulls on an
+// incremental workload.
+func TestSyncDeltaFlow(t *testing.T) {
+	e0 := newTestEngine(t, "vol0", "vol1")
+	e1 := newTestEngine(t, "vol2")
+	defer e0.Stop()
+	defer e1.Stop()
+	tf := newTestFleet(t, Config{}, e0, e1)
+
+	// A substantial initial corpus over a wide key universe, then the
+	// first sync: all fulls.
+	feedKeys(t, e0, "vol0", 4000, 1, 512)
+	feedKeys(t, e0, "vol1", 4000, 2, 512)
+	feedKeys(t, e1, "vol2", 4000, 3, 512)
+	reps := tf.syncAll(t)
+	if reps[0].Fulls != 2 || reps[1].Fulls != 1 {
+		t.Fatalf("first rounds not full syncs: %+v", reps)
+	}
+	requireConverged(t, tf.agg, e0, e1)
+
+	// Incremental rounds: small feeds over a few hot keys, delta syncs
+	// only.
+	deltaRounds := 0
+	for i := 0; i < 5; i++ {
+		feedKeys(t, e0, "vol0", 40, 1, 4)
+		feedKeys(t, e1, "vol2", 40, 3, 4)
+		reps = tf.syncAll(t)
+		for _, r := range reps {
+			if r.Fulls > 0 {
+				t.Fatalf("incremental round %d shipped a full snapshot: %+v", i, r)
+			}
+			deltaRounds += r.Deltas
+		}
+	}
+	if deltaRounds == 0 {
+		t.Fatal("no delta sections shipped on incremental rounds")
+	}
+	requireConverged(t, tf.agg, e0, e1)
+
+	// Byte accounting: deltas must be materially cheaper per round.
+	for i, c := range tf.clients {
+		st := c.Stats()
+		if st.FullBytes == 0 || st.DeltaBytes == 0 {
+			t.Fatalf("client %d: byte counters not populated: %+v", i, st)
+		}
+		// 5 (client 0) or fewer delta-bearing rounds together must cost
+		// less than the one full round: per-round deltas are far
+		// smaller than the snapshot they patch.
+		if st.DeltaBytes >= st.FullBytes {
+			t.Fatalf("client %d: delta rounds (%d B total) not cheaper than full rounds (%d B)",
+				i, st.DeltaBytes, st.FullBytes)
+		}
+	}
+
+	// An idle round is a heartbeat: no sections, still acked.
+	rep, err := tf.clients[0].SyncNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sections != 0 {
+		t.Fatalf("idle round shipped %d sections", rep.Sections)
+	}
+}
+
+// TestStalenessServing: a partitioned collector degrades, then fails;
+// reads keep answering 200 with the staleness block telling the truth
+// the whole way down.
+func TestStalenessServing(t *testing.T) {
+	e := newTestEngine(t, "vol0")
+	defer e.Stop()
+	tf := newTestFleet(t, Config{Lease: 10 * time.Second, FailAfter: 60 * time.Second}, e)
+
+	feed(t, e, "vol0", 500, 1)
+	tf.syncAll(t)
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(tf.srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env struct {
+			Data map[string]any `json:"data"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, env.Data
+	}
+	fleetStatus := func(data map[string]any) string {
+		fl, _ := data["fleet"].(map[string]any)
+		s, _ := fl["status"].(string)
+		return s
+	}
+
+	code, data := get("/v1/snapshot?support=1")
+	if code != 200 || fleetStatus(data) != "ok" {
+		t.Fatalf("fresh read: code %d, status %q", code, fleetStatus(data))
+	}
+	if n, _ := data["totalPairs"].(float64); n == 0 {
+		t.Fatal("fresh read served no pairs")
+	}
+
+	// Partition: the collector goes silent past its lease.
+	tf.clk.Advance(15 * time.Second)
+	code, data = get("/v1/snapshot?support=1")
+	if code != 200 {
+		t.Fatalf("degraded read answered %d, want 200", code)
+	}
+	if fleetStatus(data) != "degraded" {
+		t.Fatalf("degraded read status %q", fleetStatus(data))
+	}
+	if n, _ := data["totalPairs"].(float64); n == 0 {
+		t.Fatal("degraded read must keep serving the stale mirror")
+	}
+	fl := data["fleet"].(map[string]any)
+	if age, _ := fl["maxSyncAgeSeconds"].(float64); age < 14 {
+		t.Fatalf("staleness not reported: maxSyncAgeSeconds = %v", age)
+	}
+
+	// Prolonged silence: failed, excluded from the merge, still 200.
+	tf.clk.Advance(60 * time.Second)
+	code, data = get("/v1/snapshot?support=1")
+	if code != 200 {
+		t.Fatalf("failed read answered %d, want 200", code)
+	}
+	if fleetStatus(data) != "failed" {
+		t.Fatalf("failed read status %q", fleetStatus(data))
+	}
+	if n, _ := data["totalPairs"].(float64); n != 0 {
+		t.Fatal("failed collector's mirror must drop out of the merge")
+	}
+
+	// The collector comes back: one sync restores everything.
+	tf.syncAll(t)
+	code, data = get("/v1/snapshot?support=1")
+	if code != 200 || fleetStatus(data) != "ok" {
+		t.Fatalf("healed read: code %d, status %q", code, fleetStatus(data))
+	}
+	requireConverged(t, tf.agg, e)
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	e := newTestEngine(t, "vol0", "vol1")
+	defer e.Stop()
+	tf := newTestFleet(t, Config{}, e)
+	feed(t, e, "vol0", 1000, 1)
+	feed(t, e, "vol1", 800, 2)
+	tf.syncAll(t)
+
+	var buf bytes.Buffer
+	if _, err := tf.agg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := newAggregatorAt(Config{}, tf.clk)
+	if err := restored.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.MergedSnapshot(0), tf.agg.MergedSnapshot(0)) {
+		t.Fatal("restored aggregator serves a different merge")
+	}
+	cs, want := restored.Collectors(), tf.agg.Collectors()
+	if !reflect.DeepEqual(cs[0].ID, want[0].ID) || cs[0].Devices != want[0].Devices {
+		t.Fatalf("restored collector status mismatch: %+v vs %+v", cs, want)
+	}
+
+	// Torn payloads must error without replacing the mirrors.
+	state := buf.Bytes()
+	for _, cut := range []int{0, 1, 4, 6, 10, len(state) / 2, len(state) - 1} {
+		fresh := NewAggregator(Config{})
+		if err := fresh.LoadState(bytes.NewReader(state[:cut])); !errors.Is(err, ErrBadState) {
+			t.Fatalf("truncation at %d: got %v, want ErrBadState", cut, err)
+		}
+		if len(fresh.Devices()) != 0 {
+			t.Fatalf("truncation at %d left partial mirrors behind", cut)
+		}
+	}
+}
+
+// TestWatchStream: the fleet watch delivers the current state, pushes
+// on version advance, and terminates with an end event on Close.
+func TestWatchStream(t *testing.T) {
+	e := newTestEngine(t, "vol0")
+	defer e.Stop()
+	tf := newTestFleet(t, Config{}, e)
+	feed(t, e, "vol0", 500, 1)
+	tf.syncAll(t)
+
+	req, err := http.NewRequest(http.MethodGet, tf.srv.URL+"/v1/watch?support=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	events := make(chan string, 16)
+	go func() {
+		defer close(events)
+		buf := make([]byte, 4096)
+		var acc strings.Builder
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				acc.Write(buf[:n])
+				for {
+					s := acc.String()
+					i := strings.Index(s, "\n\n")
+					if i < 0 {
+						break
+					}
+					events <- s[:i]
+					acc.Reset()
+					acc.WriteString(s[i+2:])
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	waitEvent := func(kind string) string {
+		t.Helper()
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case ev, ok := <-events:
+				if !ok {
+					t.Fatalf("stream closed waiting for %q", kind)
+				}
+				if strings.Contains(ev, "event: "+kind) {
+					return ev
+				}
+			case <-deadline:
+				t.Fatalf("no %q event before deadline", kind)
+			}
+		}
+	}
+
+	first := waitEvent("state")
+	if !strings.Contains(first, "totalPairs") {
+		t.Fatalf("state event missing body: %q", first)
+	}
+	// A new sync bumps the version and pushes a fresh state.
+	feed(t, e, "vol0", 100, 1)
+	tf.syncAll(t)
+	waitEvent("state")
+
+	tf.agg.Close()
+	end := waitEvent("end")
+	if !strings.Contains(end, ErrCodeClosed) {
+		t.Fatalf("end event missing reason: %q", end)
+	}
+}
+
+// TestSyncAfterAggregatorClose: a closed aggregator answers 503 and
+// the client reports the failure without wedging.
+func TestSyncAfterAggregatorClose(t *testing.T) {
+	e := newTestEngine(t, "vol0")
+	defer e.Stop()
+	tf := newTestFleet(t, Config{}, e)
+	feed(t, e, "vol0", 100, 1)
+	tf.syncAll(t)
+	tf.agg.Close()
+	if _, err := tf.clients[0].SyncNow(context.Background()); err == nil {
+		t.Fatal("sync against closed aggregator succeeded")
+	}
+}
+
+// TestFilterSupport pins the suffix-cut filter against the obvious
+// map-based implementation.
+func TestFilterSupport(t *testing.T) {
+	s := sampleSnapshot()
+	got := filterSupport(s, 4)
+	if len(got.Pairs) != 1 || got.Pairs[0].Count != 9 {
+		t.Fatalf("pairs: %+v", got.Pairs)
+	}
+	if len(got.Items) != 2 {
+		t.Fatalf("items: %+v", got.Items)
+	}
+	all := filterSupport(s, 1)
+	if !reflect.DeepEqual(all, s) {
+		t.Fatal("support 1 must keep everything")
+	}
+	none := filterSupport(s, 1000)
+	if none.Pairs != nil || none.Items != nil {
+		t.Fatalf("support 1000 must empty (nil) the snapshot: %+v", none)
+	}
+}
+
+// TestRetransmitAck: re-delivering an applied frame must not mutate
+// mirrors and must reproduce the lost acks.
+func TestRetransmitAck(t *testing.T) {
+	a := NewAggregator(Config{})
+	snap := sampleSnapshot()
+	f := Frame{Collector: "c0", Seq: 1, Sections: []Section{
+		{Device: "vol0", Kind: SectionFull, Epoch: 5, Snap: snap},
+	}}
+	res1, err := a.Apply(f, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := a.Version()
+	res2, err := a.Apply(f, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Version() != v {
+		t.Fatal("retransmit mutated the mirrors")
+	}
+	if !reflect.DeepEqual(res1.Acks, res2.Acks) {
+		t.Fatalf("retransmit acks differ: %+v vs %+v", res1.Acks, res2.Acks)
+	}
+	if fmt.Sprint(res2.Acks[0].Action) != AckApplied {
+		t.Fatalf("retransmit ack action %q", res2.Acks[0].Action)
+	}
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"daccor/internal/blktrace"
+	"daccor/internal/core"
+)
+
+// FuzzDeltaDecode hammers DecodeFrame with hostile bytes. The decoder
+// guards the aggregator's only write path, so the contract is strict:
+// any input either decodes to a frame that re-encodes to the same
+// bytes, or errors — it never panics and never allocates
+// proportionally to a length field it has not validated.
+func FuzzDeltaDecode(f *testing.F) {
+	// Seed with valid frames of every section kind so mutation explores
+	// the deep decode paths, not just the magic check.
+	seedFrames := []Frame{
+		{Collector: "c0", Instance: 7, Seq: 1},
+		{Collector: "c0", Instance: 7, Seq: 2, Sections: []Section{
+			{Device: "sda", Kind: SectionFull, Epoch: 3, Snap: core.Snapshot{
+				Items: []core.ItemCount{{Extent: blktrace.Extent{Block: 8, Len: 1}, Count: 9, Tier: 2}},
+				Pairs: []core.PairCount{{
+					Pair:  blktrace.MakePair(blktrace.Extent{Block: 8, Len: 1}, blktrace.Extent{Block: 16, Len: 1}),
+					Count: 4,
+				}},
+			}},
+		}},
+		{Collector: "c1", Instance: 1, Seq: 9, Sections: []Section{
+			{Device: "sdb", Kind: SectionDelta, BaseEpoch: 2, Epoch: 5, Delta: core.SnapshotDelta{
+				UpsertItems: []core.ItemCount{{Extent: blktrace.Extent{Block: 24, Len: 1}, Count: 2, Tier: 1}},
+				DeleteItems: []blktrace.Extent{{Block: 8, Len: 1}},
+			}},
+			{Device: "sdc", Kind: SectionRemove},
+		}},
+	}
+	for _, fr := range seedFrames {
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Seed known-bad shapes so the corpus starts on the rejection
+	// paths: truncation, a duplicate device, an epoch regression.
+	// EncodeFrame frames sections as given without cross-validating
+	// them, so it can produce these on purpose.
+	bad := []Frame{
+		{Collector: "c0", Instance: 1, Seq: 3, Sections: []Section{
+			{Device: "sdc", Kind: SectionRemove}, {Device: "sdc", Kind: SectionRemove},
+		}},
+		{Collector: "c0", Instance: 1, Seq: 4, Sections: []Section{
+			{Device: "sdb", Kind: SectionDelta, BaseEpoch: 5, Epoch: 5},
+		}},
+	}
+	for _, fr := range bad {
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	var trunc bytes.Buffer
+	if err := EncodeFrame(&trunc, seedFrames[1]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(trunc.Bytes()[:trunc.Len()-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip bit-exactly: decode is the
+		// inverse of encode on everything it admits.
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, fr); err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("round-trip mismatch:\nin  %x\nout %x", data, buf.Bytes())
+		}
+		// Every invariant DecodeFrame promises must hold on its output.
+		seen := make(map[string]bool, len(fr.Sections))
+		for _, s := range fr.Sections {
+			if s.Device == "" || seen[s.Device] {
+				t.Fatalf("accepted frame with empty or duplicate device %q", s.Device)
+			}
+			seen[s.Device] = true
+			if s.Kind == SectionDelta && s.Epoch <= s.BaseEpoch {
+				t.Fatalf("accepted delta with epoch regression: base %d epoch %d", s.BaseEpoch, s.Epoch)
+			}
+		}
+	})
+}

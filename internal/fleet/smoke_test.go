@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"daccor/internal/checkpoint"
+	"daccor/internal/core"
+	"daccor/internal/engine"
+	"daccor/internal/monitor"
+)
+
+// TestFleetSmoke is the end-to-end drill behind `make fleet-smoke`:
+// one aggregator and two collectors on real clocks, real HTTP, and
+// real periodic sync loops. One collector is killed mid-stream with
+// unsynced events in its engine; the fleet keeps serving 200s and
+// reports itself degraded; the collector restarts from its checkpoint
+// and the fleet re-converges on the merged state of both engines.
+func TestFleetSmoke(t *testing.T) {
+	// Short lease so the killed collector visibly degrades within the
+	// test's patience; FailAfter is kept huge so its stale mirror keeps
+	// serving instead of dropping out.
+	agg := NewAggregator(Config{Lease: 300 * time.Millisecond, FailAfter: time.Hour})
+	srv := httptest.NewServer(NewHandler(agg))
+	defer srv.Close()
+
+	ckptDir := t.TempDir()
+	newCollector := func(dev string) *engine.Engine {
+		store, err := checkpoint.Open(checkpoint.Config{Dir: ckptDir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.New(
+			engine.WithMonitor(monitor.Config{Window: monitor.StaticWindow(10 * time.Millisecond)}),
+			engine.WithAnalyzer(core.Config{ItemCapacity: 4096, PairCapacity: 4096}),
+			engine.WithDevices(dev),
+			engine.WithCheckpoints(store, time.Hour),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	newClient := func(id string, e *engine.Engine) *SyncClient {
+		c, err := NewSyncClient(ClientConfig{
+			Aggregator:  srv.URL,
+			Collector:   id,
+			Engine:      e,
+			Interval:    20 * time.Millisecond,
+			MaxAttempts: 3,
+			BackoffBase: time.Millisecond,
+			BackoffCap:  5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		return c
+	}
+
+	waitConverged := func(engines ...*engine.Engine) {
+		t.Helper()
+		want := fleetMerge(t, engines...)
+		deadline := time.Now().Add(10 * time.Second)
+		for !reflect.DeepEqual(agg.MergedSnapshot(0), want) {
+			if time.Now().After(deadline) {
+				requireConverged(t, agg, engines...) // fails with the diff
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env struct {
+			Data map[string]any `json:"data"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, env.Data
+	}
+	fleetStatus := func(data map[string]any) string {
+		fl, _ := data["fleet"].(map[string]any)
+		s, _ := fl["status"].(string)
+		return s
+	}
+
+	// Two collectors stream live I/O and sync on their own loops.
+	e0 := newCollector("volA")
+	defer e0.Stop()
+	c0 := newClient("c0", e0)
+	defer c0.Close()
+	e1 := newCollector("volB")
+	c1 := newClient("c1", e1)
+
+	feedKeys(t, e0, "volA", 900, 1, 64)
+	feedKeys(t, e1, "volB", 900, 2, 64)
+	waitConverged(e0, e1)
+	if code, data := get("/v1/snapshot?support=1"); code != 200 || fleetStatus(data) != "ok" {
+		t.Fatalf("healthy fleet read: code %d, status %q", code, fleetStatus(data))
+	}
+
+	// Kill collector 1 mid-stream: fresh events land in its engine,
+	// then the client dies before shipping them and the engine stops,
+	// writing its final checkpoint.
+	feedKeys(t, e1, "volB", 200, 2, 4)
+	c1.Close()
+	e1.Stop()
+
+	// Past the lease the fleet is degraded — and still answering 200s
+	// with collector 0's fresh data merged against the stale mirror.
+	time.Sleep(400 * time.Millisecond)
+	code, data := get("/v1/snapshot?support=1")
+	if code != 200 {
+		t.Fatalf("degraded fleet must keep serving, got %d", code)
+	}
+	if s := fleetStatus(data); s != "degraded" {
+		t.Fatalf("fleet status = %q, want degraded", s)
+	}
+	if code, _ := get("/v1/healthz"); code != 200 {
+		t.Fatalf("healthz during partition = %d, want 200", code)
+	}
+
+	// Restart collector 1 from its checkpoint with a fresh client. The
+	// restored engine holds the events the dead client never shipped;
+	// the fleet must converge on them and report healthy again.
+	e1b := newCollector("volB")
+	defer e1b.Stop()
+	c1b := newClient("c1", e1b)
+	defer c1b.Close()
+
+	waitConverged(e0, e1b)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, data := get("/v1/snapshot?support=1"); fleetStatus(data) == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fleet did not return to ok after collector restart")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

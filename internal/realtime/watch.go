@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -45,6 +46,15 @@ const (
 	MaxWatchInterval = 10 * time.Second
 )
 
+// watchWriteTimeout bounds every SSE write. A consumer that stops
+// reading fills its TCP window and would otherwise park the handler
+// goroutine in Write forever — holding the watcher slot, its buffers,
+// and a connection nobody is draining. Past the deadline the stream is
+// dropped: a reader that slow has effectively disconnected, and SSE
+// reconnection (Last-Event-ID) makes the drop cheap to recover from.
+// A variable so the slow-consumer test does not take ten seconds.
+var watchWriteTimeout = 10 * time.Second
+
 // Watch metric families recorded in the engine's registry.
 const (
 	MetricWatchWatchers  = "daccor_watch_watchers"
@@ -52,6 +62,7 @@ const (
 	MetricWatchFanout    = "daccor_watch_fanout_seconds"
 	MetricWatchCoalesced = "daccor_watch_coalesced_epochs_total"
 	MetricWatchTimeouts  = "daccor_watch_longpoll_timeouts_total"
+	MetricWatchSlowDrops = "daccor_watch_slow_drops_total"
 )
 
 // watchMetrics holds the watch instruments, resolved once per handler
@@ -63,6 +74,7 @@ type watchMetrics struct {
 	fanout     *obs.Histogram
 	coalesced  *obs.Counter
 	timeouts   *obs.Counter
+	slowDrops  *obs.Counter
 }
 
 func newWatchMetrics(reg *obs.Registry) *watchMetrics {
@@ -79,6 +91,8 @@ func newWatchMetrics(reg *obs.Registry) *watchMetrics {
 			"Epoch advances skipped because a watcher coalesced them into one delivery."),
 		timeouts: reg.Counter(MetricWatchTimeouts,
 			"Long-poll watch requests that timed out with 304 (no advance)."),
+		slowDrops: reg.Counter(MetricWatchSlowDrops,
+			"SSE watch streams dropped because the client stopped reading."),
 	}
 }
 
@@ -342,6 +356,21 @@ func (t watchTarget) stream(wm *watchMetrics, w http.ResponseWriter, r *http.Req
 		return engineError(err)
 	}
 	rc := http.NewResponseController(w)
+	// push writes one SSE chunk under the slow-consumer deadline: each
+	// write gets a fresh watchWriteTimeout, and a write (or flush) that
+	// cannot complete within it ends the stream instead of parking this
+	// goroutine on a full TCP window.
+	push := func(write func() error) error {
+		_ = rc.SetWriteDeadline(time.Now().Add(watchWriteTimeout))
+		err := write()
+		if err == nil {
+			err = rc.Flush()
+		}
+		if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+			wm.slowDrops.Inc()
+		}
+		return err
+	}
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-store")
@@ -350,7 +379,9 @@ func (t watchTarget) stream(wm *watchMetrics, w http.ResponseWriter, r *http.Req
 	// Flush the headers now: when a resuming client's first delivery is
 	// suppressed, nothing else would push them out until the first
 	// keepalive, leaving the client blocked on connection setup.
-	_ = rc.Flush()
+	if push(func() error { return nil }) != nil {
+		return nil
+	}
 	wm.watchers.Add(1)
 	defer wm.watchers.Add(-1)
 
@@ -364,10 +395,9 @@ func (t watchTarget) stream(wm *watchMetrics, w http.ResponseWriter, r *http.Req
 	}
 	for {
 		if deliver {
-			if writeSSEEvent(w, t.format(cur), "rules", body) != nil {
-				return nil // client went away
+			if push(func() error { return writeSSEEvent(w, t.format(cur), "rules", body) }) != nil {
+				return nil // client went away or stopped reading
 			}
-			_ = rc.Flush()
 			wm.sseEvents.Inc()
 			wm.coalesced.Add(skipped(prev, cur))
 			prev = cur
@@ -396,10 +426,12 @@ func (t watchTarget) stream(wm *watchMetrics, w http.ResponseWriter, r *http.Req
 			}
 			deliver = cur != prev
 		case errors.Is(werr, context.DeadlineExceeded):
-			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+			if push(func() error {
+				_, err := io.WriteString(w, ": keepalive\n\n")
+				return err
+			}) != nil {
 				return nil
 			}
-			_ = rc.Flush()
 			deliver = false
 		case r.Context().Err() != nil:
 			return nil // client disconnected
@@ -421,6 +453,7 @@ func (t watchTarget) endStream(w http.ResponseWriter, rc *http.ResponseControlle
 	if errors.Is(err, engine.ErrDeviceUnavailable) {
 		reason = ErrCodeDeviceUnavailable
 	}
+	_ = rc.SetWriteDeadline(time.Now().Add(watchWriteTimeout))
 	_ = writeSSEEvent(w, "", "end", map[string]any{"reason": reason})
 	_ = rc.Flush()
 }

@@ -51,6 +51,10 @@ type SLO struct {
 	// partition workers interleave; a high rate means the reordering
 	// window is mis-sized or the ingest path scrambles order.
 	MaxReorderLatePct float64
+	// MaxSyncAge bounds the aggregator-observed age of the collector's
+	// last successful sync at any sample point — the fleet view's
+	// staleness SLO. Only asserted with Config.FleetSync.
+	MaxSyncAge time.Duration
 }
 
 // Config describes one soak run.
@@ -86,6 +90,12 @@ type Config struct {
 	Window time.Duration
 	// CheckpointEvery is the periodic checkpoint interval.
 	CheckpointEvery time.Duration
+	// FleetSync enables the fleet topology: the engine doubles as a
+	// collector pushing delta syncs at this interval to an in-process
+	// aggregator, whose merged read surface and staleness are sampled
+	// throughout the run and whose mirror must converge on the
+	// engine's merged snapshot at the end. 0 disables.
+	FleetSync time.Duration
 	// Seed derives every tenant's workload stream; a run is
 	// reproducible per (Config, Seed).
 	Seed int64
@@ -121,7 +131,10 @@ func Quick() Config {
 		// 256 files — so the interval stays coarse enough that
 		// checkpointing is a periodic event, not a standing load.
 		CheckpointEvery: 5 * time.Second,
-		Seed:            1,
+		// One sync round per second keeps the aggregator at most a
+		// round behind the fleet while churn and crashes are flowing.
+		FleetSync: time.Second,
+		Seed:      1,
 		// 1.2M events over >= 2 minutes is ~10k events/s — inside what
 		// a single-core CI runner sustains under -race, so the SLOs
 		// measure the service, not the host's saturation point.
@@ -139,6 +152,10 @@ func Quick() Config {
 			MaxGoroutineGrowth: 8,
 			MaxWatchGap:        30 * time.Second,
 			MaxReorderLatePct:  1,
+			// The staleness bound is a multiple of the sync interval:
+			// under -race on one core a round can stretch, but an age
+			// in the tens of seconds means the sync path is wedged.
+			MaxSyncAge: 30 * time.Second,
 		},
 	}
 }
@@ -158,6 +175,7 @@ func Tiny() Config {
 		Watchers:        2,
 		Window:          5 * time.Millisecond,
 		CheckpointEvery: 50 * time.Millisecond,
+		FleetSync:       100 * time.Millisecond,
 		Seed:            1,
 		MinDuration:     2 * time.Second,
 		MaxDuration:     2 * time.Minute,
@@ -169,6 +187,7 @@ func Tiny() Config {
 			MaxGoroutineGrowth: 8,
 			MaxWatchGap:        10 * time.Second,
 			MaxReorderLatePct:  5,
+			MaxSyncAge:         10 * time.Second,
 		},
 	}
 }
@@ -219,6 +238,9 @@ func (c Config) validate() error {
 	}
 	if c.CheckpointEvery <= 0 {
 		return fmt.Errorf("soak: CheckpointEvery must be > 0 (got %v)", c.CheckpointEvery)
+	}
+	if c.FleetSync < 0 {
+		return fmt.Errorf("soak: FleetSync must be >= 0 (got %v)", c.FleetSync)
 	}
 	if c.MinDuration < 0 {
 		return fmt.Errorf("soak: MinDuration must be >= 0 (got %v)", c.MinDuration)

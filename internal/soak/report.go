@@ -54,6 +54,12 @@ func WriteBenchJSON(w io.Writer, r *Result) error {
 			entry("SoakChurnCycles", uint64(r.ChurnCycles), float64(r.ChurnCycles)),
 			entry("SoakPanicsInjected", uint64(r.PanicsInjected), float64(r.PanicsInjected)),
 			entry("SoakWatchDeliveries", r.WatchDeliveries, float64(r.WatchDeliveries)),
+			entry("SoakFleetSyncRounds", r.FleetSyncRounds, float64(r.FleetSyncRounds)),
+			entry("SoakFleetSyncFailures", r.FleetSyncFailures, float64(r.FleetSyncFailures)),
+			entry("SoakFleetDeltaBytes", r.FleetSyncRounds, float64(r.FleetDeltaBytes)),
+			entry("SoakFleetFullBytes", r.FleetSyncRounds, float64(r.FleetFullBytes)),
+			entry("SoakFleetMaxSyncAgeNs", r.FleetReads, float64(r.FleetMaxSyncAge.Nanoseconds())),
+			entry("SoakFleetReadErrors", r.FleetReads, float64(r.FleetReadErrors)),
 			entry("SoakSLOViolations", 1, float64(len(r.Violations))),
 		},
 	}

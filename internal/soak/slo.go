@@ -79,4 +79,24 @@ func (r *Result) evaluate(cfg Config) {
 	if r.Queries == 0 {
 		add("query traffic never succeeded")
 	}
+	if cfg.FleetSync > 0 {
+		if r.FleetSyncRounds == 0 {
+			add("fleet sync never completed a round")
+		}
+		if !r.FleetConverged {
+			add("aggregator mirror never converged on the engine's merged snapshot")
+		}
+		if r.FleetReads == 0 {
+			add("fleet read traffic never succeeded")
+		}
+		// The aggregator's contract is that degradation shows up as
+		// staleness in a 200, never as an error — so any failed read
+		// against a live aggregator is a violation, not a threshold.
+		if r.FleetReadErrors > 0 {
+			add("%d fleet reads failed against a live aggregator", r.FleetReadErrors)
+		}
+		if slo.MaxSyncAge > 0 && r.FleetMaxSyncAge > slo.MaxSyncAge {
+			add("fleet sync age peaked at %v, SLO %v", r.FleetMaxSyncAge, slo.MaxSyncAge)
+		}
+	}
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
@@ -18,6 +20,7 @@ import (
 	"daccor/internal/checkpoint"
 	"daccor/internal/core"
 	"daccor/internal/engine"
+	"daccor/internal/fleet"
 	"daccor/internal/monitor"
 	"daccor/internal/obs"
 	"daccor/internal/realtime"
@@ -55,6 +58,22 @@ type Result struct {
 	GoroutineFinal    int
 	SeriesBaseline    int
 	SeriesFinal       int
+
+	// Fleet topology accounting (Config.FleetSync > 0): sync rounds
+	// completed and abandoned, bytes shipped by frame kind (the
+	// delta/full split showing incremental sync earning its keep), the
+	// worst aggregator-observed sync age at any sample point, the
+	// aggregator read-path sample counts (reads must stay 200 no
+	// matter what the run injects), and whether the mirror converged
+	// on the engine's merged snapshot once the load stopped.
+	FleetSyncRounds   uint64
+	FleetSyncFailures uint64
+	FleetDeltaBytes   uint64
+	FleetFullBytes    uint64
+	FleetMaxSyncAge   time.Duration
+	FleetReads        uint64
+	FleetReadErrors   uint64
+	FleetConverged    bool
 
 	ChurnCycles     int
 	ChurnErrors     int
@@ -197,6 +216,44 @@ func Run(cfg Config, logf func(format string, args ...any)) (*Result, error) {
 	transport := &http.Transport{MaxIdleConnsPerHost: cfg.Watchers + 4}
 	cl := client.New("http://"+ln.Addr().String(), client.WithHTTPClient(&http.Client{Transport: transport}))
 
+	// Fleet topology: the engine doubles as a collector pushing delta
+	// syncs to an in-process aggregator over real HTTP; a sampler
+	// keeps reading the aggregator's merged surface and recording the
+	// staleness it reports.
+	var (
+		agg     *fleet.Aggregator
+		syncCl  *fleet.SyncClient
+		aggSrv  *http.Server
+		aggURL  string
+		fReads  atomic.Uint64
+		fErrs   atomic.Uint64
+		fMaxAge atomic.Int64
+	)
+	if cfg.FleetSync > 0 {
+		lease := 5 * cfg.FleetSync
+		if lease < 2*time.Second {
+			lease = 2 * time.Second
+		}
+		agg = fleet.NewAggregator(fleet.Config{Lease: lease, FailAfter: cfg.MaxDuration})
+		aln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		aggSrv = &http.Server{Handler: fleet.NewHandler(agg)}
+		go aggSrv.Serve(aln)
+		defer aggSrv.Close()
+		aggURL = "http://" + aln.Addr().String()
+		if syncCl, err = fleet.NewSyncClient(fleet.ClientConfig{
+			Aggregator: aggURL,
+			Collector:  "soak-collector",
+			Engine:     eng,
+			Interval:   cfg.FleetSync,
+		}); err != nil {
+			return nil, err
+		}
+		syncCl.Start()
+	}
+
 	// runCtx governs producers and doubles as the wedge watchdog;
 	// auxCtx governs the observers (watchers, queries, churner), which
 	// are shut down after the producers finish.
@@ -261,6 +318,14 @@ func Run(cfg Config, logf func(format string, args ...any)) (*Result, error) {
 		queryLoop(auxCtx, cl, deviceID(cfg.Devices-cfg.Watchers), &queries, &queryErrs)
 	}()
 
+	if agg != nil {
+		auxWg.Add(1)
+		go func() {
+			defer auxWg.Done()
+			fleetSampleLoop(auxCtx, agg, aggURL, &fReads, &fErrs, &fMaxAge)
+		}()
+	}
+
 	// Post-warmup baselines: heap after 10% of the load (every arena,
 	// queue, and watcher is live by then) and metric-series
 	// cardinality once the HTTP routes have materialized their series.
@@ -286,6 +351,25 @@ func Run(cfg Config, logf func(format string, args ...any)) (*Result, error) {
 	cancelAux()
 	auxWg.Wait()
 	<-churnDone
+
+	// Fleet teardown: stop the periodic loop, then drive final rounds
+	// until the aggregator's merged mirror is exactly the engine's
+	// merged snapshot — the convergence obligation of the whole sync
+	// protocol, asserted while the engine is still live.
+	if syncCl != nil {
+		syncCl.Close()
+		res.FleetConverged = settleFleet(eng, agg, syncCl)
+		st := syncCl.Stats()
+		res.FleetSyncRounds = st.Rounds
+		res.FleetSyncFailures = st.Failures
+		res.FleetDeltaBytes = st.DeltaBytes
+		res.FleetFullBytes = st.FullBytes
+		res.FleetMaxSyncAge = time.Duration(fMaxAge.Load())
+		res.FleetReads = fReads.Load()
+		res.FleetReadErrors = fErrs.Load()
+		agg.Close()
+		aggSrv.Close()
+	}
 
 	// Account drops before Stop: registered shards via Stats, churned
 	// shards via the counters the churner saved before each
@@ -590,6 +674,61 @@ func queryLoop(ctx context.Context, cl *client.Client, dev string, ok, errs *ato
 		case <-time.After(2 * time.Second):
 		}
 	}
+}
+
+// fleetSampleLoop keeps the aggregator's read surface hot and records
+// the staleness it serves: it reads the merged snapshot over HTTP
+// (counting anything but a 200 as an error — degraded must never mean
+// 5xx) and samples the aggregator's reported max sync age.
+func fleetSampleLoop(ctx context.Context, agg *fleet.Aggregator, base string, ok, errs *atomic.Uint64, maxAge *atomic.Int64) {
+	hc := &http.Client{Timeout: 15 * time.Second}
+	for ctx.Err() == nil {
+		if age := int64(agg.MaxSyncAge()); age > maxAge.Load() {
+			maxAge.Store(age)
+		}
+		resp, err := hc.Get(base + "/v1/snapshot?support=2&top=8")
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			errs.Add(1)
+		case resp.StatusCode == http.StatusOK:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ok.Add(1)
+		default:
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			errs.Add(1)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// settleFleet drives final sync rounds until the aggregator's merged
+// mirror is DeepEqual to the engine's merged snapshot — the exact
+// single-process answer — bounded so a wedged sync path surfaces as a
+// convergence violation instead of hanging the run.
+func settleFleet(eng *engine.Engine, agg *fleet.Aggregator, sc *fleet.SyncClient) bool {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_, err := sc.SyncNow(ctx)
+		cancel()
+		if err == nil {
+			want, werr := eng.MergedSnapshot(0)
+			if werr == nil && reflect.DeepEqual(agg.MergedSnapshot(0), want) {
+				return true
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return false
 }
 
 // sumCounter sums one metric's value across every label combination in

@@ -91,6 +91,9 @@ func TestEvaluateFlagsViolations(t *testing.T) {
 			WatchDeliveries: 10,
 			FleetDeliveries: 2,
 			Queries:         10,
+			FleetSyncRounds: 20,
+			FleetConverged:  true,
+			FleetReads:      5,
 		}
 	}
 	r := clean()
@@ -121,6 +124,11 @@ func TestEvaluateFlagsViolations(t *testing.T) {
 		{"gap", func(r *Result) { r.MaxWatchGap = cfg.SLO.MaxWatchGap + 1 }, "gap"},
 		{"fleet silent", func(r *Result) { r.FleetDeliveries = 0 }, "fleet watcher"},
 		{"queries", func(r *Result) { r.Queries = 0 }, "query"},
+		{"sync silent", func(r *Result) { r.FleetSyncRounds = 0 }, "sync never"},
+		{"diverged", func(r *Result) { r.FleetConverged = false }, "converge"},
+		{"fleet reads", func(r *Result) { r.FleetReads = 0 }, "fleet read traffic"},
+		{"fleet read errors", func(r *Result) { r.FleetReadErrors = 3 }, "fleet reads failed"},
+		{"sync age", func(r *Result) { r.FleetMaxSyncAge = cfg.SLO.MaxSyncAge + 1 }, "sync age"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -166,6 +174,7 @@ func TestRunMicro(t *testing.T) {
 				Watchers:        2,
 				Window:          5 * time.Millisecond,
 				CheckpointEvery: 25 * time.Millisecond,
+				FleetSync:       50 * time.Millisecond,
 				Seed:            7,
 				MinDuration:     1500 * time.Millisecond,
 				MaxDuration:     90 * time.Second,
@@ -177,6 +186,7 @@ func TestRunMicro(t *testing.T) {
 					MaxGoroutineGrowth: 16,
 					MaxWatchGap:        time.Minute,
 					MaxReorderLatePct:  5,
+					MaxSyncAge:         time.Minute,
 				},
 			}
 			res, err := Run(cfg, t.Logf)
@@ -214,7 +224,13 @@ func TestRunMicro(t *testing.T) {
 			if err := WriteBenchJSON(&sb, res); err != nil {
 				t.Fatal(err)
 			}
-			for _, name := range []string{"SoakEventsSubmitted", "SoakSLOViolations", "SoakSubmitP99Ns/engine", "SoakReorderLate", "SoakPartitions"} {
+			if !res.FleetConverged {
+				t.Error("fleet mirror did not converge")
+			}
+			if res.FleetSyncRounds == 0 || res.FleetReads == 0 {
+				t.Errorf("fleet traffic idle: %d rounds, %d reads", res.FleetSyncRounds, res.FleetReads)
+			}
+			for _, name := range []string{"SoakEventsSubmitted", "SoakSLOViolations", "SoakSubmitP99Ns/engine", "SoakReorderLate", "SoakPartitions", "SoakFleetSyncRounds", "SoakFleetMaxSyncAgeNs"} {
 				if !strings.Contains(sb.String(), name) {
 					t.Errorf("benchjson output missing %s:\n%s", name, sb.String())
 				}
