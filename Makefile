@@ -69,23 +69,28 @@ bench:
 
 # Record the current change's full benchmark run alongside the
 # committed baseline (BENCH_baseline.json stays untouched — it is the
-# comparison anchor). Commit the refreshed BENCH_pr8.json with a
+# comparison anchor). Commit the refreshed BENCH_pr10.json with a
 # change that intentionally moves the numbers.
 bench-pr:
 	@$(GO) test -bench . -benchmem -run '^$$' . ./internal/core ./internal/engine | tee bench.out
-	@$(GO) run ./cmd/benchjson -o BENCH_pr8.json < bench.out
+	@$(GO) run ./cmd/benchjson -o BENCH_pr10.json < bench.out
 	@rm -f bench.out
-	@echo "wrote BENCH_pr8.json"
+	@echo "wrote BENCH_pr10.json"
 
 # Human-readable delta table between the two committed runs.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json BENCH_pr10.json
 
 # Allocation gate: ns/op is machine- and load-sensitive, but allocs/op
 # is deterministic, so CI can hold the committed run to "no benchmark
-# allocates more than the baseline" without flaking.
+# allocates more than the baseline" without flaking. The merged fan-in
+# read additionally gates on -fail-on-alloc-increase: its allocs/op
+# must stay flat (and present) at every fleet size — that flatness is
+# the incremental-merge contract, not an incidental number.
 alloc-check:
-	$(GO) run ./cmd/benchjson -diff -fail-on-alloc-regress BENCH_baseline.json BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -diff -fail-on-alloc-regress \
+		-fail-on-alloc-increase 'MergedReadUnderIngest.*incremental' \
+		BENCH_baseline.json BENCH_pr10.json
 
 # Hot-path benchmarks only: the numbers the zero-allocation work
 # tracks (guarded separately by the AllocsPerRun tests).

@@ -46,8 +46,13 @@ func index(doc *Doc) map[benchKey]Result {
 // must not report a larger value than the baseline, and must not
 // disappear — it names deliberately gated counters (SLO violations,
 // error totals) whose value lives in ns_per_op, where silently losing
-// the metric would silently lose the gate.
-func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool, failIncrease *regexp.Regexp) int {
+// the metric would silently lose the gate. failAllocIncrease (nil =
+// off) is the same shape for allocs/op: a matching benchmark must not
+// allocate more per op than the baseline and must not disappear. It
+// gates benchmarks whose allocation count is the contract (the merged
+// fan-in read stays O(1) allocs regardless of fleet size); ns/op on
+// those is a timing and is deliberately not judged.
+func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool, failIncrease, failAllocIncrease *regexp.Regexp) int {
 	oldDoc, err := loadDoc(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -86,10 +91,11 @@ func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool, failIncrease 
 			name = k.Pkg + " " + k.Name
 		}
 		gated := failIncrease != nil && failIncrease.MatchString(k.Name)
+		gatedAlloc := failAllocIncrease != nil && failAllocIncrease.MatchString(k.Name)
 		switch {
 		case !inNew:
 			mark := ""
-			if gated {
+			if gated || gatedAlloc {
 				increased++
 				mark = "  GATED METRIC MISSING"
 			}
@@ -111,6 +117,10 @@ func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool, failIncrease 
 				increased++
 				mark += "  INCREASE"
 			}
+			if gatedAlloc && n.AllocsPerOp > o.AllocsPerOp {
+				increased++
+				mark += "  ALLOC INCREASE (GATED)"
+			}
 			fmt.Fprintf(w, "%-58s %12.1f %12.1f %8s %14s%s\n", name, o.NsPerOp, n.NsPerOp, delta, allocs, mark)
 		}
 	}
@@ -122,7 +132,17 @@ func runDiff(w io.Writer, oldPath, newPath string, failAlloc bool, failIncrease 
 		}
 	}
 	if increased > 0 {
-		fmt.Fprintf(w, "\n%d gated metric(s) increased or went missing (-fail-on-increase %q)\n", increased, failIncrease)
+		gates := ""
+		if failIncrease != nil {
+			gates = fmt.Sprintf("-fail-on-increase %q", failIncrease)
+		}
+		if failAllocIncrease != nil {
+			if gates != "" {
+				gates += ", "
+			}
+			gates += fmt.Sprintf("-fail-on-alloc-increase %q", failAllocIncrease)
+		}
+		fmt.Fprintf(w, "\n%d gated metric(s) increased or went missing (%s)\n", increased, gates)
 		code = 1
 	}
 	return code

@@ -40,7 +40,7 @@ func TestDiff(t *testing.T) {
 	// One alloc regression (B: 0 → 1): reported, exit 0 without the
 	// gate flag, exit 1 with it. Added and removed benchmarks never
 	// trip the gate.
-	if code := runDiff(&out, oldPath, newPath, false, nil); code != 0 {
+	if code := runDiff(&out, oldPath, newPath, false, nil, nil); code != 0 {
 		t.Fatalf("ungated diff exit %d, want 0\n%s", code, out.String())
 	}
 	text := out.String()
@@ -55,11 +55,11 @@ func TestDiff(t *testing.T) {
 			t.Errorf("diff output missing %q:\n%s", want, text)
 		}
 	}
-	if code := runDiff(&out, oldPath, newPath, true, nil); code != 1 {
+	if code := runDiff(&out, oldPath, newPath, true, nil, nil); code != 1 {
 		t.Fatalf("gated diff exit %d, want 1", code)
 	}
 	// Identical documents: clean diff, gate passes.
-	if code := runDiff(&out, oldPath, oldPath, true, nil); code != 0 {
+	if code := runDiff(&out, oldPath, oldPath, true, nil, nil); code != 0 {
 		t.Fatalf("self-diff exit %d, want 0", code)
 	}
 }
@@ -79,7 +79,7 @@ func TestDiffFailOnIncrease(t *testing.T) {
 		t.Helper()
 		newPath := writeDoc(t, dir, "new.json", newDoc)
 		var out bytes.Buffer
-		code := runDiff(&out, oldPath, newPath, false, regexp.MustCompile(pattern))
+		code := runDiff(&out, oldPath, newPath, false, regexp.MustCompile(pattern), nil)
 		return code, out.String()
 	}
 
@@ -116,6 +116,52 @@ func TestDiffFailOnIncrease(t *testing.T) {
 	}
 }
 
+// TestDiffFailOnAllocIncrease covers the allocs/op gate: a matching
+// benchmark may not allocate more per op than the baseline and may not
+// disappear, while its ns/op is free to move either way.
+func TestDiffFailOnAllocIncrease(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeDoc(t, dir, "old.json", Doc{Benchmarks: []Result{
+		{Name: "BenchmarkMergedReadUnderIngest/devices-256/incremental", Pkg: "p", NsPerOp: 1600, AllocsPerOp: 2},
+		{Name: "BenchmarkOther", Pkg: "p", NsPerOp: 100, AllocsPerOp: 5},
+	}})
+
+	run := func(newDoc Doc) (int, string) {
+		t.Helper()
+		newPath := writeDoc(t, dir, "new.json", newDoc)
+		var out bytes.Buffer
+		code := runDiff(&out, oldPath, newPath, false, nil, regexp.MustCompile("MergedReadUnderIngest"))
+		return code, out.String()
+	}
+
+	// Gated benchmark allocates more: fail, even though ns/op improved.
+	code, text := run(Doc{Benchmarks: []Result{
+		{Name: "BenchmarkMergedReadUnderIngest/devices-256/incremental", Pkg: "p", NsPerOp: 900, AllocsPerOp: 3},
+		{Name: "BenchmarkOther", Pkg: "p", NsPerOp: 100, AllocsPerOp: 5},
+	}})
+	if code != 1 || !strings.Contains(text, "ALLOC INCREASE (GATED)") {
+		t.Errorf("alloc increase: exit %d\n%s", code, text)
+	}
+
+	// Gated benchmark missing: fail.
+	code, text = run(Doc{Benchmarks: []Result{
+		{Name: "BenchmarkOther", Pkg: "p", NsPerOp: 100, AllocsPerOp: 5},
+	}})
+	if code != 1 || !strings.Contains(text, "GATED METRIC MISSING") {
+		t.Errorf("missing gated benchmark: exit %d\n%s", code, text)
+	}
+
+	// Slower but alloc-stable passes; ungated alloc regressions are
+	// reported without tripping this gate.
+	code, text = run(Doc{Benchmarks: []Result{
+		{Name: "BenchmarkMergedReadUnderIngest/devices-256/incremental", Pkg: "p", NsPerOp: 2400, AllocsPerOp: 2},
+		{Name: "BenchmarkOther", Pkg: "p", NsPerOp: 100, AllocsPerOp: 9},
+	}})
+	if code != 0 {
+		t.Errorf("alloc-stable gated diff exit %d, want 0\n%s", code, text)
+	}
+}
+
 func TestDiffBadInput(t *testing.T) {
 	dir := t.TempDir()
 	good := writeDoc(t, dir, "good.json", Doc{Benchmarks: []Result{{Name: "BenchmarkA"}}})
@@ -124,10 +170,10 @@ func TestDiffBadInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if code := runDiff(&out, good, bad, false, nil); code != 2 {
+	if code := runDiff(&out, good, bad, false, nil, nil); code != 2 {
 		t.Errorf("corrupt new doc: exit %d, want 2", code)
 	}
-	if code := runDiff(&out, filepath.Join(dir, "missing.json"), good, false, nil); code != 2 {
+	if code := runDiff(&out, filepath.Join(dir, "missing.json"), good, false, nil, nil); code != 2 {
 		t.Errorf("missing old doc: exit %d, want 2", code)
 	}
 }

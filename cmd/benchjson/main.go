@@ -28,6 +28,14 @@
 // field carries a counter rather than a timing (the soak harness emits
 // its SLO-violation count this way), where any increase is a
 // regression by definition.
+// With -fail-on-alloc-increase REGEXP the exit status is 1 if any
+// benchmark whose name matches reports more allocs/op than the
+// baseline, or is missing from the new document. Unlike the blanket
+// -fail-on-alloc-regress it also refuses to let the gated benchmark
+// disappear — it names benchmarks whose allocation count IS the
+// contract (the merged fan-in read must stay O(1) allocations per
+// read regardless of fleet size), where silently losing the metric
+// would silently lose the gate. ns/op is never judged for these.
 package main
 
 import (
@@ -78,6 +86,7 @@ func main() {
 	diff := flag.Bool("diff", false, "compare two benchjson documents: benchjson -diff old.json new.json")
 	failAlloc := flag.Bool("fail-on-alloc-regress", false, "with -diff, exit 1 if any benchmark's allocs/op regressed")
 	failIncrease := flag.String("fail-on-increase", "", "with -diff, exit 1 if a benchmark matching this regexp reports a larger ns/op value (or is missing)")
+	failAllocIncrease := flag.String("fail-on-alloc-increase", "", "with -diff, exit 1 if a benchmark matching this regexp reports more allocs/op (or is missing)")
 	flag.Parse()
 
 	if *diff {
@@ -85,15 +94,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		var gate *regexp.Regexp
-		if *failIncrease != "" {
-			var err error
-			if gate, err = regexp.Compile(*failIncrease); err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson: -fail-on-increase:", err)
+		compile := func(name, expr string) *regexp.Regexp {
+			if expr == "" {
+				return nil
+			}
+			re, err := regexp.Compile(expr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", name, err)
 				os.Exit(2)
 			}
+			return re
 		}
-		os.Exit(runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *failAlloc, gate))
+		gate := compile("-fail-on-increase", *failIncrease)
+		allocGate := compile("-fail-on-alloc-increase", *failAllocIncrease)
+		os.Exit(runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *failAlloc, gate, allocGate))
 	}
 
 	doc, err := parse(os.Stdin)

@@ -90,35 +90,24 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 // have been exported with a support low enough to retain the antecedent
 // items (use 0 for exact agreement with the live tables).
 func (s Snapshot) Rules(minSupport uint32, minConfidence float64) []Rule {
+	return s.TopRules(minSupport, minConfidence, 0)
+}
+
+// TopRules is Rules bounded to the limit highest-ranked rules (all of
+// them when limit <= 0); the result is exactly Rules(...)[:limit].
+func (s Snapshot) TopRules(minSupport uint32, minConfidence float64, limit int) []Rule {
 	items := make(map[blktrace.Extent]uint32, len(s.Items))
 	for _, ic := range s.Items {
 		items[ic.Extent] = ic.Count
 	}
-	var out []Rule
+	sink := newRuleSink(limit)
 	for _, pc := range s.Pairs {
 		if pc.Count < minSupport {
 			continue
 		}
-		p := pc.Pair
-		for _, dir := range [2][2]blktrace.Extent{{p.A, p.B}, {p.B, p.A}} {
-			from, to := dir[0], dir[1]
-			if from == to {
-				continue
-			}
-			fromCount := items[from]
-			if fromCount == 0 {
-				continue
-			}
-			conf := float64(pc.Count) / float64(fromCount)
-			if conf > 1 {
-				conf = 1
-			}
-			if conf < minConfidence {
-				continue
-			}
-			out = append(out, Rule{From: from, To: to, Support: pc.Count, Confidence: conf})
-		}
+		sink.addPair(pc.Pair, pc.Count, minConfidence, func(ext blktrace.Extent) uint32 {
+			return items[ext]
+		})
 	}
-	sortRules(out)
-	return out
+	return sink.finish()
 }

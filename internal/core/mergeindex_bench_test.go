@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"daccor/internal/blktrace"
+)
+
+// Fan-in read-path benchmarks: the numbers behind the incremental
+// merged-view work. The scenario is the steady state every fleet
+// deployment converges to — N mirrored devices, one of which changed
+// since the last read — measured both ways: reconcile-one-source
+// through the MergeIndex versus re-merging every mirror from scratch
+// (core.MergeSnapshots). The incremental side's allocs/op must not
+// scale with the fleet's entry count (the alloc-regress gate pins it).
+
+// benchSourceSnapshot builds a deterministic per-device export over a
+// keyspace shared across devices (so the union overlaps, the
+// expensive case for the from-scratch merge).
+func benchSourceSnapshot(rng *rand.Rand, entries int) Snapshot {
+	items := make(map[blktrace.Extent]ItemCount, entries)
+	pairs := make(map[blktrace.Pair]PairCount, entries)
+	for len(items) < entries {
+		e := blktrace.Extent{Block: uint64(rng.Intn(4*entries)) * 8, Len: 8}
+		items[e] = ItemCount{Extent: e, Count: 1 + uint32(rng.Intn(10_000)), Tier: Tier1}
+	}
+	for len(pairs) < entries {
+		a := blktrace.Extent{Block: uint64(rng.Intn(4*entries)) * 8, Len: 8}
+		b := blktrace.Extent{Block: uint64(rng.Intn(4*entries)) * 8, Len: 8}
+		if a == b {
+			continue
+		}
+		p := blktrace.MakePair(a, b)
+		pairs[p] = PairCount{Pair: p, Count: 1 + uint32(rng.Intn(10_000)), Tier: Tier1}
+	}
+	var s Snapshot
+	for _, ic := range items {
+		s.Items = append(s.Items, ic)
+	}
+	for _, pc := range pairs {
+		s.Pairs = append(s.Pairs, pc)
+	}
+	s.sort()
+	return s
+}
+
+func BenchmarkMergedReadUnderIngest(b *testing.B) {
+	const entriesPerDevice = 128
+	for _, devices := range []int{8, 64, 256} {
+		rng := rand.New(rand.NewSource(42))
+		snaps := make([]Snapshot, devices)
+		names := make([]string, devices)
+		for i := range snaps {
+			snaps[i] = benchSourceSnapshot(rng, entriesPerDevice)
+			names[i] = fmt.Sprintf("dev%03d", i)
+		}
+		// The dirty device alternates between two states, so every
+		// iteration really changes entries and no side caches the
+		// answer away.
+		dirtyA, dirtyB := snaps[0], benchSourceSnapshot(rng, entriesPerDevice)
+
+		b.Run(fmt.Sprintf("devices-%d/incremental", devices), func(b *testing.B) {
+			idx := NewMergeIndex()
+			for i, s := range snaps {
+				idx.Update(names[i], s)
+			}
+			idx.Snapshot()
+			for i := 0; i < 4; i++ { // warm both alternating states
+				idx.Update(names[0], dirtyB)
+				idx.Snapshot()
+				idx.Update(names[0], dirtyA)
+				idx.Snapshot()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					idx.Update(names[0], dirtyB)
+				} else {
+					idx.Update(names[0], dirtyA)
+				}
+				idx.Snapshot()
+			}
+		})
+
+		b.Run(fmt.Sprintf("devices-%d/fromscratch", devices), func(b *testing.B) {
+			cur := make([]Snapshot, devices)
+			copy(cur, snaps)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					cur[0] = dirtyB
+				} else {
+					cur[0] = dirtyA
+				}
+				MergeSnapshots(cur...)
+			}
+		})
+	}
+}
+
+func BenchmarkRulesTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	idx := NewMergeIndex()
+	for i := 0; i < 32; i++ {
+		idx.Update(fmt.Sprintf("dev%02d", i), benchSourceSnapshot(rng, 256))
+	}
+	merged := idx.Snapshot()
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			merged.Rules(2, 0.01)
+		}
+	})
+	b.Run("top-10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			merged.TopRules(2, 0.01, 10)
+		}
+	})
+	b.Run("index-top-10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			idx.TopRules(2, 0.01, 10)
+		}
+	})
+}

@@ -136,10 +136,16 @@ func (g RawGroup) Snapshot(minSupport uint32) Snapshot {
 // support, so the group is first merged at support 0 — on a single
 // capture this reproduces RawSnapshot.Rules exactly.
 func (g RawGroup) Rules(minSupport uint32, minConfidence float64) []Rule {
+	return g.TopRules(minSupport, minConfidence, 0)
+}
+
+// TopRules is Rules bounded to the limit highest-ranked rules (all of
+// them when limit <= 0); the result is exactly Rules(...)[:limit].
+func (g RawGroup) TopRules(minSupport uint32, minConfidence float64, limit int) []Rule {
 	if len(g) == 1 {
-		return g[0].Rules(minSupport, minConfidence)
+		return g[0].TopRules(minSupport, minConfidence, limit)
 	}
-	return g.Snapshot(0).Rules(minSupport, minConfidence)
+	return g.Snapshot(0).TopRules(minSupport, minConfidence, limit)
 }
 
 // Stats sums the captured per-partition processing counters. The

@@ -93,37 +93,26 @@ func (r *RawSnapshot) Snapshot(minSupport uint32) Snapshot {
 // table), and sortRules is a total order, so the output is
 // reproducible entry for entry.
 func (r *RawSnapshot) Rules(minSupport uint32, minConfidence float64) []Rule {
+	return r.TopRules(minSupport, minConfidence, 0)
+}
+
+// TopRules is Rules bounded to the limit highest-ranked rules (all of
+// them when limit <= 0); the result is exactly Rules(...)[:limit].
+func (r *RawSnapshot) TopRules(minSupport uint32, minConfidence float64, limit int) []Rule {
 	items := make(map[blktrace.Extent]uint32, len(r.items))
 	for _, e := range r.items {
 		items[e.Key] = e.Count
 	}
-	var out []Rule
+	sink := newRuleSink(limit)
 	for _, e := range r.pairs {
 		if e.Count < minSupport {
 			continue
 		}
-		p := e.Key
-		for _, dir := range [2][2]blktrace.Extent{{p.A, p.B}, {p.B, p.A}} {
-			from, to := dir[0], dir[1]
-			if from == to {
-				continue
-			}
-			fromCount := items[from]
-			if fromCount == 0 {
-				continue
-			}
-			conf := float64(e.Count) / float64(fromCount)
-			if conf > 1 {
-				conf = 1
-			}
-			if conf < minConfidence {
-				continue
-			}
-			out = append(out, Rule{From: from, To: to, Support: e.Count, Confidence: conf})
-		}
+		sink.addPair(e.Key, e.Count, minConfidence, func(ext blktrace.Extent) uint32 {
+			return items[ext]
+		})
 	}
-	sortRules(out)
-	return out
+	return sink.finish()
 }
 
 // WriteTo serialises the capture in the synopsis snapshot format,

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"container/heap"
+	"slices"
 
 	"daccor/internal/blktrace"
 )
@@ -28,46 +29,143 @@ type Rule struct {
 // eviction, so an extent readmitted after eviction restarts its tally.
 // Values are clamped to 1.
 func (a *Analyzer) Rules(minSupport uint32, minConfidence float64) []Rule {
-	var out []Rule
+	return a.TopRules(minSupport, minConfidence, 0)
+}
+
+// TopRules is Rules bounded to the limit highest-ranked rules (all of
+// them when limit <= 0). The bound is applied during extraction via a
+// size-limit min-heap, so asking for the top 100 of a synopsis that
+// would yield 50k rules never builds or sorts the 50k: partial
+// selection costs O(n log limit) instead of the full sortRules
+// O(n log n). The result is exactly Rules(...)[:limit] — the rule
+// order is total, so the truncation is deterministic.
+func (a *Analyzer) TopRules(minSupport uint32, minConfidence float64, limit int) []Rule {
+	sink := newRuleSink(limit)
 	for _, e := range a.pairs.Entries(minSupport) {
-		p := e.Key
-		for _, dir := range [2][2]blktrace.Extent{{p.A, p.B}, {p.B, p.A}} {
-			from, to := dir[0], dir[1]
-			if from == to {
-				continue
+		sink.addPair(e.Key, e.Count, minConfidence, func(ext blktrace.Extent) uint32 {
+			c, ok := a.items.Count(ext)
+			if !ok {
+				return 0
 			}
-			fromCount, ok := a.items.Count(from)
-			if !ok || fromCount == 0 {
-				continue
-			}
-			conf := float64(e.Count) / float64(fromCount)
-			if conf > 1 {
-				conf = 1
-			}
-			if conf < minConfidence {
-				continue
-			}
-			out = append(out, Rule{From: from, To: to, Support: e.Count, Confidence: conf})
-		}
+			return c
+		})
 	}
-	sortRules(out)
-	return out
+	return sink.finish()
+}
+
+// compareRules is the rule presentation order shared by every
+// extraction path: descending confidence, then descending support,
+// then key order. It is total (no two distinct rules compare equal),
+// which is what makes top-K selection identical to
+// full-sort-then-truncate.
+func compareRules(a, b Rule) int {
+	if a.Confidence != b.Confidence {
+		if a.Confidence > b.Confidence {
+			return -1
+		}
+		return 1
+	}
+	if a.Support != b.Support {
+		if a.Support > b.Support {
+			return -1
+		}
+		return 1
+	}
+	if a.From != b.From {
+		if a.From.Less(b.From) {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.To.Less(b.To):
+		return -1
+	case b.To.Less(a.To):
+		return 1
+	}
+	return 0
 }
 
 // sortRules orders rules by descending confidence, then support, then
-// key order — the presentation order shared by Analyzer.Rules and
-// Snapshot.Rules.
+// key order — the presentation order shared by every Rules variant.
 func sortRules(out []Rule) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Confidence != out[j].Confidence {
-			return out[i].Confidence > out[j].Confidence
+	slices.SortFunc(out, compareRules)
+}
+
+// ruleHeap is a min-heap under compareRules' ranking: the root is the
+// worst rule currently kept, so a bounded top-K selection evicts it
+// when a better candidate arrives.
+type ruleHeap []Rule
+
+func (h ruleHeap) Len() int           { return len(h) }
+func (h ruleHeap) Less(i, j int) bool { return compareRules(h[i], h[j]) > 0 }
+func (h ruleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ruleHeap) Push(x any)        { *h = append(*h, x.(Rule)) }
+func (h *ruleHeap) Pop() any          { old := *h; n := len(old); r := old[n-1]; *h = old[:n-1]; return r }
+
+// ruleSink accumulates candidate rules. With limit <= 0 it keeps
+// everything and finish() full-sorts; with a positive limit it keeps
+// only the limit best via the min-heap, so extraction never
+// materializes more than limit rules.
+type ruleSink struct {
+	limit int
+	rules ruleHeap
+}
+
+func newRuleSink(limit int) *ruleSink {
+	s := &ruleSink{limit: limit}
+	if limit > 0 {
+		s.rules = make(ruleHeap, 0, limit)
+	}
+	return s
+}
+
+func (s *ruleSink) add(r Rule) {
+	if s.limit <= 0 {
+		s.rules = append(s.rules, r)
+		return
+	}
+	if len(s.rules) < s.limit {
+		heap.Push(&s.rules, r)
+		return
+	}
+	if compareRules(r, s.rules[0]) < 0 { // beats the worst kept rule
+		s.rules[0] = r
+		heap.Fix(&s.rules, 0)
+	}
+}
+
+// addPair emits the up-to-two directional rules of one pair entry into
+// the sink: the shared candidate-generation step of Analyzer.Rules,
+// Snapshot.Rules, RawSnapshot.Rules, and MergeIndex.TopRules. The
+// caller has already applied minSupport to count; itemCount resolves
+// an antecedent to its item counter (0 = absent).
+func (s *ruleSink) addPair(p blktrace.Pair, count uint32, minConfidence float64, itemCount func(blktrace.Extent) uint32) {
+	for _, dir := range [2][2]blktrace.Extent{{p.A, p.B}, {p.B, p.A}} {
+		from, to := dir[0], dir[1]
+		if from == to {
+			continue
 		}
-		if out[i].Support != out[j].Support {
-			return out[i].Support > out[j].Support
+		fromCount := itemCount(from)
+		if fromCount == 0 {
+			continue
 		}
-		if out[i].From != out[j].From {
-			return out[i].From.Less(out[j].From)
+		conf := float64(count) / float64(fromCount)
+		if conf > 1 {
+			conf = 1
 		}
-		return out[i].To.Less(out[j].To)
-	})
+		if conf < minConfidence {
+			continue
+		}
+		s.add(Rule{From: from, To: to, Support: count, Confidence: conf})
+	}
+}
+
+// finish sorts and returns the kept rules.
+func (s *ruleSink) finish() []Rule {
+	sortRules(s.rules)
+	if len(s.rules) == 0 {
+		return nil
+	}
+	return s.rules
 }

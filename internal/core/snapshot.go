@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"daccor/internal/blktrace"
@@ -46,22 +47,72 @@ func (a *Analyzer) Snapshot(minSupport uint32) Snapshot {
 // sort orders the snapshot by descending counter, ties broken by key
 // order, so every export (and every merge of exports) is deterministic.
 func (s *Snapshot) sort() {
-	sort.Slice(s.Pairs, func(i, j int) bool {
-		if s.Pairs[i].Count != s.Pairs[j].Count {
-			return s.Pairs[i].Count > s.Pairs[j].Count
+	slices.SortFunc(s.Pairs, comparePairCounts)
+	slices.SortFunc(s.Items, compareItemCounts)
+}
+
+// comparePairCounts is the snapshot pair order: descending counter,
+// ties broken by key. Shared by Snapshot.sort and the MergeIndex
+// materializer so both produce identical orderings.
+func comparePairCounts(a, b PairCount) int {
+	if a.Count != b.Count {
+		if a.Count > b.Count {
+			return -1
 		}
-		pi, pj := s.Pairs[i].Pair, s.Pairs[j].Pair
-		if pi.A != pj.A {
-			return pi.A.Less(pj.A)
+		return 1
+	}
+	if a.Pair.A != b.Pair.A {
+		if a.Pair.A.Less(b.Pair.A) {
+			return -1
 		}
-		return pi.B.Less(pj.B)
-	})
-	sort.Slice(s.Items, func(i, j int) bool {
-		if s.Items[i].Count != s.Items[j].Count {
-			return s.Items[i].Count > s.Items[j].Count
+		return 1
+	}
+	switch {
+	case a.Pair.B.Less(b.Pair.B):
+		return -1
+	case b.Pair.B.Less(a.Pair.B):
+		return 1
+	}
+	return 0
+}
+
+// compareItemCounts is the snapshot item order: descending counter,
+// ties broken by key.
+func compareItemCounts(a, b ItemCount) int {
+	if a.Count != b.Count {
+		if a.Count > b.Count {
+			return -1
 		}
-		return s.Items[i].Extent.Less(s.Items[j].Extent)
-	})
+		return 1
+	}
+	switch {
+	case a.Extent.Less(b.Extent):
+		return -1
+	case b.Extent.Less(a.Extent):
+		return 1
+	}
+	return 0
+}
+
+// FilterSupport cuts a sorted-descending snapshot at minSupport.
+// Exports and merges are ordered by descending count, so the entries
+// below the threshold are exactly a suffix — the cut is two binary
+// searches and reslices, no copying. minSupport <= 1 returns the input
+// unchanged (every live entry has count >= 1).
+func (s Snapshot) FilterSupport(minSupport uint32) Snapshot {
+	if minSupport <= 1 {
+		return s
+	}
+	np := sort.Search(len(s.Pairs), func(i int) bool { return s.Pairs[i].Count < minSupport })
+	ni := sort.Search(len(s.Items), func(i int) bool { return s.Items[i].Count < minSupport })
+	s.Pairs, s.Items = s.Pairs[:np], s.Items[:ni]
+	if len(s.Pairs) == 0 {
+		s.Pairs = nil
+	}
+	if len(s.Items) == 0 {
+		s.Items = nil
+	}
+	return s
 }
 
 // PairSet returns the snapshot's pairs as a set for similarity metrics.

@@ -211,16 +211,22 @@ type Engine struct {
 	// register/unregister, which change the device count); see watch.go.
 	fleet *epochNotifier
 
-	// Epoch-gated merged-snapshot cache. The key is the sum of all
-	// device epochs plus the device count (epochs only advance, so an
-	// unchanged sum at an unchanged count means no device changed). As
+	// Epoch-gated merged-snapshot cache over an incrementally
+	// maintained merge index. The key is the sum of all device epochs
+	// plus the device count (epochs only advance, so an unchanged sum
+	// at an unchanged count means no device changed). On a miss, only
+	// devices whose own epoch moved since their last contribution are
+	// re-exported and reconciled into mergeIdx — the steady-state cost
+	// of a fleet read is O(changed entries), not O(fleet entries). As
 	// with the per-shard cache the key is read before the exports, so
-	// the cache can only under-claim freshness.
+	// the cache can only under-claim freshness. mergeCached holds the
+	// full support-0 merged export; requested supports are suffix cuts.
 	mergeMu      sync.Mutex
+	mergeIdx     *core.MergeIndex
+	mergeSrc     map[string]uint64 // device -> epoch last fed into mergeIdx
 	mergeCached  core.Snapshot
 	mergeEpoch   uint64
 	mergeDevices int
-	mergeSupport uint32
 	mergeValid   bool
 }
 
@@ -289,6 +295,8 @@ func New(opts ...Option) (*Engine, error) {
 		procHook:     s.procHook,
 		shards:       make(map[string]*shard),
 		fleet:        newEpochNotifier(),
+		mergeIdx:     core.NewMergeIndex(),
+		mergeSrc:     make(map[string]uint64),
 	}
 	// Monitor and analyzer counters are worker-owned; mirror them into
 	// the registry only when something actually scrapes.
@@ -575,13 +583,19 @@ func (e *Engine) MergedEpoch() (sum uint64, devices int) {
 // its live tables. The rule extraction runs on the calling goroutine
 // against a capture; the worker only pays for the copy.
 func (e *Engine) Rules(id string, minSupport uint32, minConfidence float64) ([]core.Rule, error) {
+	return e.TopRules(id, minSupport, minConfidence, 0)
+}
+
+// TopRules is Rules bounded to the limit highest-ranked rules (all of
+// them when limit <= 0); the result is exactly Rules(...)[:limit].
+func (e *Engine) TopRules(id string, minSupport uint32, minConfidence float64, limit int) ([]core.Rule, error) {
 	s, err := e.shard(id)
 	if err != nil {
 		return nil, err
 	}
 	var rules []core.Rule
 	err = s.capture(func(g core.RawGroup) error {
-		rules = g.Rules(minSupport, minConfidence)
+		rules = g.TopRules(minSupport, minConfidence, limit)
 		return nil
 	})
 	return rules, err
@@ -610,30 +624,68 @@ func (e *Engine) WriteSnapshot(id string, w io.Writer) error {
 // devices' correlations are still worth serving (the omission is
 // visible on /v1/healthz and in Stats).
 // Repeated fleet queries while no device changed are served from an
-// epoch-sum-gated cache; as with Snapshot, callers must treat the
-// result as read-only.
+// epoch-sum-gated cache; on a miss, only the devices whose epochs
+// moved are re-exported and reconciled into the engine's merge index,
+// so a fleet read after one device changed costs O(that device's
+// changed entries), not O(fleet entries). minSupport is applied to the
+// merged view (a suffix cut of the count-sorted export) rather than to
+// each device before merging: a fleet-wide counter that crosses the
+// threshold is reported even when no single device's counter does. As
+// with Snapshot, callers must treat the result as read-only.
 func (e *Engine) MergedSnapshot(minSupport uint32) (core.Snapshot, error) {
 	e.mergeMu.Lock()
 	defer e.mergeMu.Unlock()
+	full, err := e.refreshMergedLocked()
+	if err != nil {
+		return core.Snapshot{}, err
+	}
+	return full.FilterSupport(minSupport), nil
+}
+
+// refreshMergedLocked brings mergeIdx and mergeCached up to date with
+// the fleet, re-exporting only the devices whose epoch advanced since
+// their last contribution. Caller holds mergeMu.
+func (e *Engine) refreshMergedLocked() (core.Snapshot, error) {
 	sum, n := e.MergedEpoch() // before the exports: under-claims, never over-claims
-	if e.mergeValid && e.mergeSupport == minSupport && e.mergeEpoch == sum && e.mergeDevices == n {
+	if e.mergeValid && e.mergeEpoch == sum && e.mergeDevices == n {
 		return e.mergeCached, nil
 	}
 	shards := e.orderedShards()
-	snaps := make([]core.Snapshot, 0, len(shards))
+	live := make(map[string]bool, len(shards))
 	for _, s := range shards {
-		snap, err := s.snapshot(minSupport)
+		live[s.id] = true
+		epoch := s.epoch.Load()
+		if rec, ok := e.mergeSrc[s.id]; ok && rec == epoch {
+			continue
+		}
+		snap, err := s.snapshot(0)
 		if err != nil {
 			if errors.Is(err, ErrDeviceUnavailable) {
+				// Failed devices are dropped from the fleet view rather
+				// than poisoning it: their workers are gone, but the
+				// healthy devices' correlations are still worth serving
+				// (the omission is visible on /v1/healthz and in Stats).
+				e.mergeIdx.Remove(s.id)
+				delete(e.mergeSrc, s.id)
 				continue
 			}
 			return core.Snapshot{}, err
 		}
-		snaps = append(snaps, snap)
+		e.mergeIdx.Update(s.id, snap)
+		e.mergeSrc[s.id] = epoch
 	}
-	merged := core.MergeSnapshots(snaps...)
-	e.mergeCached, e.mergeEpoch, e.mergeDevices = merged, sum, n
-	e.mergeSupport, e.mergeValid = minSupport, true
+	// Unregistered devices: replay their last contribution out of the
+	// union. The live-set sweep catches same-count churn (one device
+	// removed, another added between reads), which the (sum, n) key
+	// alone would mask only until the next epoch advance.
+	for id := range e.mergeSrc {
+		if !live[id] {
+			e.mergeIdx.Remove(id)
+			delete(e.mergeSrc, id)
+		}
+	}
+	merged := e.mergeIdx.Snapshot()
+	e.mergeCached, e.mergeEpoch, e.mergeDevices, e.mergeValid = merged, sum, n, true
 	return merged, nil
 }
 
@@ -643,13 +695,22 @@ func (e *Engine) MergedSnapshot(minSupport uint32) (core.Snapshot, error) {
 // are estimates over the summed counters. With one device this equals
 // that device's Rules.
 func (e *Engine) MergedRules(minSupport uint32, minConfidence float64) ([]core.Rule, error) {
-	// Export at support 0: rule antecedents need item counts that may
-	// sit below minSupport.
-	snap, err := e.MergedSnapshot(0)
-	if err != nil {
+	return e.MergedTopRules(minSupport, minConfidence, 0)
+}
+
+// MergedTopRules is MergedRules bounded to the limit highest-ranked
+// rules (all of them when limit <= 0); the result is exactly
+// MergedRules(...)[:limit]. The extraction runs straight off the merge
+// index (antecedent lookups hit its item hash, selection is a bounded
+// heap), so a fleet-wide top-K read allocates O(K), independent of how
+// many rules the fleet could emit.
+func (e *Engine) MergedTopRules(minSupport uint32, minConfidence float64, limit int) ([]core.Rule, error) {
+	e.mergeMu.Lock()
+	defer e.mergeMu.Unlock()
+	if _, err := e.refreshMergedLocked(); err != nil {
 		return nil, err
 	}
-	return snap.Rules(minSupport, minConfidence), nil
+	return e.mergeIdx.TopRules(minSupport, minConfidence, limit), nil
 }
 
 // DeviceStats is one device's health and processing counters.

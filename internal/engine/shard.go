@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -294,13 +295,18 @@ type shard struct {
 
 	groupPool sync.Pool
 
-	// Epoch-gated snapshot cache; see snapshot.
-	snapMu      sync.Mutex
-	snapGroup   core.RawGroup
-	snapCached  core.Snapshot
-	snapEpoch   uint64
-	snapSupport uint32
-	snapValid   bool
+	// Epoch-gated snapshot cache; see snapshot. The cache holds the
+	// full (support-0) export — any requested support is a suffix cut
+	// of it (Snapshot.FilterSupport), so reads at different supports
+	// never thrash the cache. At P>1 snapIdx incrementally maintains
+	// the union of the partition captures across misses.
+	snapMu     sync.Mutex
+	snapGroup  core.RawGroup
+	snapIdx    *core.MergeIndex
+	snapCached core.Snapshot
+	snapEpoch  uint64
+	snapValid  bool
+	partNames  []string
 }
 
 func newShard(id string, queueSize, parts int, policy Backpressure) *shard {
@@ -315,6 +321,12 @@ func newShard(id string, queueSize, parts int, policy Backpressure) *shard {
 	}
 	s.wake.init()
 	s.notFull.init()
+	if parts > 1 {
+		s.partNames = make([]string, parts)
+		for i := range s.partNames {
+			s.partNames[i] = strconv.Itoa(i)
+		}
+	}
 	return s
 }
 
@@ -964,19 +976,26 @@ func (s *shard) ask(q query) (queryReply, error) {
 }
 
 // snapshot serves the device's sorted export, recomputing only when
-// the synopsis changed since the cached copy was derived (same epoch +
-// same support ⇒ identical result, so the cache is exact, not
-// approximate). At P>1 the capture is a RawGroup — one disjoint
-// capture per partition — merged on this goroutine via
-// core.MergeSnapshots; the epoch gate is the device epoch, which sums
-// sub-shard advances.
+// the synopsis changed since the cached copy was derived. The cache
+// holds the full support-0 export; the requested support is applied as
+// a suffix cut (FilterSupport) on the way out, so the same epoch
+// serves every support without recomputation — exact, because the
+// export is sorted by count and a support filter of a merged view
+// equals the merge of support-filtered disjoint views.
+//
+// At P>1 the capture is a RawGroup — one disjoint capture per
+// partition — combined on this goroutine through a persistent
+// core.MergeIndex: each miss reconciles the partition captures into
+// the index (O(changed entries) per partition) instead of re-merging
+// every entry from scratch. The epoch gate is the device epoch, which
+// sums sub-shard advances.
 func (s *shard) snapshot(minSupport uint32) (core.Snapshot, error) {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	epoch := s.epoch.Load() // before the ask: may under-claim, never over-claims
-	if s.snapValid && s.snapSupport == minSupport && s.snapEpoch == epoch {
+	if s.snapValid && s.snapEpoch == epoch {
 		s.metrics.snapHits.Inc()
-		return s.snapCached, nil
+		return s.snapCached.FilterSupport(minSupport), nil
 	}
 	s.metrics.snapMisses.Inc()
 	if s.snapGroup == nil {
@@ -985,9 +1004,20 @@ func (s *shard) snapshot(minSupport uint32) (core.Snapshot, error) {
 	if _, err := s.ask(query{kind: queryCapture, raws: s.snapGroup}); err != nil {
 		return core.Snapshot{}, err
 	}
-	snap := s.snapGroup.Snapshot(minSupport)
-	s.snapCached, s.snapEpoch, s.snapSupport, s.snapValid = snap, epoch, minSupport, true
-	return snap, nil
+	var snap core.Snapshot
+	if s.parts == 1 {
+		snap = s.snapGroup.Snapshot(0)
+	} else {
+		if s.snapIdx == nil {
+			s.snapIdx = core.NewMergeIndex()
+		}
+		for i, r := range s.snapGroup {
+			s.snapIdx.UpdateRaw(s.partNames[i], r)
+		}
+		snap = s.snapIdx.Snapshot()
+	}
+	s.snapCached, s.snapEpoch, s.snapValid = snap, epoch, true
+	return snap.FilterSupport(minSupport), nil
 }
 
 // capture runs fn against a fresh pooled capture group of the device's

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -167,15 +168,29 @@ type Aggregator struct {
 	// Close, waking WaitVersion blockers.
 	notify chan struct{}
 
+	// idx incrementally maintains the union of every live mirror, one
+	// source per (collector, device). Apply feeds it O(delta) work as
+	// sections land; merged reads materialize it without re-merging
+	// unchanged mirrors and without holding mu — ingest and fan-in
+	// reads only contend for the brief index mutation, never for a
+	// full merge. idxExcluded marks collectors whose sources were
+	// replayed out of the union because they crossed FailAfter; their
+	// next accepted frame folds them back in. idxMu nests inside mu
+	// (mu → idxMu) and is never held across a blocking call.
+	idxMu       sync.Mutex
+	idx         *core.MergeIndex
+	idxExcluded map[string]bool
+
 	// Version-gated merge cache, same discipline as the engine's: the
-	// key is read under mu before the merge, so it can only
+	// key is read under mu before the materialize, so it can only
 	// under-claim freshness. The failed-set is part of the key because
 	// a collector crossing FailAfter changes the merge without a
-	// version bump.
+	// version bump. The cache holds the full support-0 merged export;
+	// requested supports are suffix cuts of it, so one entry serves
+	// every support.
 	mergeMu      sync.Mutex
 	mergeCached  core.Snapshot
 	mergeVersion uint64
-	mergeSupport uint32
 	mergeFailed  string
 	mergeValid   bool
 
@@ -203,12 +218,14 @@ func NewAggregator(cfg Config) *Aggregator {
 		reg = obs.NewRegistry()
 	}
 	a := &Aggregator{
-		lease:      cfg.Lease,
-		failAfter:  cfg.FailAfter,
-		metrics:    reg,
-		now:        time.Now,
-		collectors: make(map[string]*collectorMirror),
-		notify:     make(chan struct{}),
+		lease:       cfg.Lease,
+		failAfter:   cfg.FailAfter,
+		metrics:     reg,
+		now:         time.Now,
+		collectors:  make(map[string]*collectorMirror),
+		notify:      make(chan struct{}),
+		idx:         core.NewMergeIndex(),
+		idxExcluded: make(map[string]bool),
 
 		syncsTotal:    reg.Counter(MetricFleetSyncs, "Sync frames accepted, including heartbeats and retransmits."),
 		bytesTotal:    reg.Counter(MetricFleetSyncBytes, "Sync frame payload bytes accepted."),
@@ -267,6 +284,18 @@ func (a *Aggregator) Apply(f Frame, bytes int) (SyncResult, error) {
 		m.instance = f.Instance
 		m.lastSeq = 0
 	}
+	// This frame makes the collector live again (lastSync advances
+	// below); if its sources were replayed out of the union when it
+	// crossed FailAfter, fold the current mirrors back in before the
+	// sections patch on top.
+	if a.idxExcluded[f.Collector] {
+		delete(a.idxExcluded, f.Collector)
+		a.idxMu.Lock()
+		for dev, dm := range m.devices {
+			a.idx.Update(mirrorKey(f.Collector, dev), dm.snap)
+		}
+		a.idxMu.Unlock()
+	}
 	retransmit := m.lastSeq != 0 && f.Seq <= m.lastSeq
 	for _, s := range f.Sections {
 		dev := m.devices[s.Device]
@@ -282,6 +311,9 @@ func (a *Aggregator) Apply(f Frame, bytes int) (SyncResult, error) {
 			}
 			if dev != nil {
 				delete(m.devices, s.Device)
+				a.idxMu.Lock()
+				a.idx.Remove(mirrorKey(f.Collector, s.Device))
+				a.idxMu.Unlock()
 				mutated = true
 			}
 			a.sectionsRm.Inc()
@@ -292,6 +324,12 @@ func (a *Aggregator) Apply(f Frame, bytes int) (SyncResult, error) {
 				continue
 			}
 			m.devices[s.Device] = &deviceMirror{snap: s.Snap, epoch: s.Epoch}
+			// Anti-entropy repair (and first contact): the union cannot
+			// trust its previous image of this source, so the full
+			// snapshot reconciles against it entry by entry.
+			a.idxMu.Lock()
+			a.idx.Update(mirrorKey(f.Collector, s.Device), s.Snap)
+			a.idxMu.Unlock()
 			mutated = true
 			a.sectionsFull.Inc()
 			res.Acks = append(res.Acks, Ack{Device: s.Device, Action: AckApplied, Epoch: s.Epoch})
@@ -322,6 +360,16 @@ func (a *Aggregator) Apply(f Frame, bytes int) (SyncResult, error) {
 				continue
 			}
 			dev.snap, dev.epoch = next, s.Epoch
+			// The decoded delta drives the union directly — O(changed
+			// entries), no re-merge of the mirror. A conflict here means
+			// the union drifted from the mirror (it should be
+			// impossible); reconciling the freshly patched snapshot
+			// self-heals rather than serving a corrupt merge.
+			a.idxMu.Lock()
+			if ierr := a.idx.ApplyDelta(mirrorKey(f.Collector, s.Device), s.Delta); ierr != nil {
+				a.idx.Update(mirrorKey(f.Collector, s.Device), next)
+			}
+			a.idxMu.Unlock()
 			mutated = true
 			a.sectionsDelta.Inc()
 			res.Acks = append(res.Acks, Ack{Device: s.Device, Action: AckApplied, Epoch: s.Epoch})
@@ -494,18 +542,71 @@ func (a *Aggregator) liveSnapshots(device string) (snaps []core.Snapshot, versio
 // MergedSnapshot merges every live mirror into the fleet-wide synopsis
 // at minSupport. The result is exactly core.MergeSnapshots over the
 // collectors' exports: an aggregator that has converged answers
-// byte-for-byte what a single process holding all devices would.
+// byte-for-byte what a single process holding all devices would. The
+// merge is incrementally maintained — Apply feeds each section's
+// changes into the union as it lands, so a read after one device's
+// delta re-sorts only that device's changed entries and never holds
+// the ingest mutex across a merge.
 func (a *Aggregator) MergedSnapshot(minSupport uint32) core.Snapshot {
 	a.mergeMu.Lock()
 	defer a.mergeMu.Unlock()
-	snaps, version, failedKey := a.liveSnapshots("")
-	if a.mergeValid && a.mergeVersion == version && a.mergeSupport == minSupport && a.mergeFailed == failedKey {
+	return filterSupport(a.refreshMergedLocked(), minSupport)
+}
+
+// refreshMergedLocked returns the up-to-date full (support-0) merged
+// export, re-materializing from the index only when the version or the
+// failed-set moved. Caller holds mergeMu.
+func (a *Aggregator) refreshMergedLocked() core.Snapshot {
+	version, failedKey := a.reconcileIndex()
+	if a.mergeValid && a.mergeVersion == version && a.mergeFailed == failedKey {
 		return a.mergeCached
 	}
-	merged := filterSupport(core.MergeSnapshots(snaps...), minSupport)
-	a.mergeCached, a.mergeVersion = merged, version
-	a.mergeSupport, a.mergeFailed, a.mergeValid = minSupport, failedKey, true
+	a.idxMu.Lock()
+	merged := a.idx.Snapshot()
+	a.idxMu.Unlock()
+	a.mergeCached, a.mergeVersion, a.mergeFailed, a.mergeValid = merged, version, failedKey, true
 	return merged
+}
+
+// reconcileIndex replays the sources of collectors that crossed
+// FailAfter out of the union (their re-inclusion happens in Apply, the
+// only way a collector's sync age can shrink) and returns the merge
+// cache key: the mirror version and the failed-set.
+func (a *Aggregator) reconcileIndex() (version uint64, failedKey string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	ids := make([]string, 0, len(a.collectors))
+	for id := range a.collectors {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var failed []byte
+	for _, id := range ids {
+		m := a.collectors[id]
+		if m.state(now, a.lease, a.failAfter) != Failed {
+			continue
+		}
+		failed = append(failed, id...)
+		failed = append(failed, 0)
+		if !a.idxExcluded[id] {
+			a.idxExcluded[id] = true
+			a.idxMu.Lock()
+			for dev := range m.devices {
+				a.idx.Remove(mirrorKey(id, dev))
+			}
+			a.idxMu.Unlock()
+		}
+	}
+	return a.version, string(failed)
+}
+
+// mirrorKey names one (collector, device) source in the merge index.
+// IDs are only length-bounded by the wire format (any byte may appear,
+// including the separator), so the collector's length is prefixed to
+// make the split point — and therefore the key — unambiguous.
+func mirrorKey(collector, device string) string {
+	return strconv.Itoa(len(collector)) + "\x00" + collector + device
 }
 
 // DeviceSnapshot merges one device's mirrors (normally a single
@@ -522,35 +623,43 @@ func (a *Aggregator) DeviceSnapshot(device string, minSupport uint32) (core.Snap
 // Rules derives fleet-wide directional rules from the merged mirror,
 // as engine.MergedRules does from live tables.
 func (a *Aggregator) Rules(minSupport uint32, minConfidence float64) []core.Rule {
-	return a.MergedSnapshot(0).Rules(minSupport, minConfidence)
+	return a.TopRules(minSupport, minConfidence, 0)
+}
+
+// TopRules is Rules bounded to the limit highest-ranked rules (all of
+// them when limit <= 0); the result is exactly Rules(...)[:limit].
+// Extraction runs straight off the merge index — antecedent lookups
+// hit its item hash and selection is a bounded heap, so a top-K read
+// allocates O(K) regardless of fleet size.
+func (a *Aggregator) TopRules(minSupport uint32, minConfidence float64, limit int) []core.Rule {
+	a.mergeMu.Lock()
+	defer a.mergeMu.Unlock()
+	a.refreshMergedLocked() // replay failed collectors out of the index first
+	a.idxMu.Lock()
+	defer a.idxMu.Unlock()
+	return a.idx.TopRules(minSupport, minConfidence, limit)
 }
 
 // DeviceRules derives one device's rules from its mirror.
 func (a *Aggregator) DeviceRules(device string, minSupport uint32, minConfidence float64) ([]core.Rule, bool) {
+	return a.DeviceTopRules(device, minSupport, minConfidence, 0)
+}
+
+// DeviceTopRules is DeviceRules bounded to the limit highest-ranked
+// rules (all of them when limit <= 0).
+func (a *Aggregator) DeviceTopRules(device string, minSupport uint32, minConfidence float64, limit int) ([]core.Rule, bool) {
 	snap, ok := a.DeviceSnapshot(device, 0)
 	if !ok {
 		return nil, false
 	}
-	return snap.Rules(minSupport, minConfidence), true
+	return snap.TopRules(minSupport, minConfidence, limit), true
 }
 
 // filterSupport cuts a sorted-descending snapshot at minSupport.
 // Exports and merges are sorted by descending count, so the entries
-// below the threshold are exactly a suffix.
+// below the threshold are exactly a suffix (core.Snapshot.FilterSupport).
 func filterSupport(s core.Snapshot, minSupport uint32) core.Snapshot {
-	if minSupport <= 1 {
-		return s
-	}
-	np := sort.Search(len(s.Pairs), func(i int) bool { return s.Pairs[i].Count < minSupport })
-	ni := sort.Search(len(s.Items), func(i int) bool { return s.Items[i].Count < minSupport })
-	s.Pairs, s.Items = s.Pairs[:np], s.Items[:ni]
-	if len(s.Pairs) == 0 {
-		s.Pairs = nil
-	}
-	if len(s.Items) == 0 {
-		s.Items = nil
-	}
-	return s
+	return s.FilterSupport(minSupport)
 }
 
 // FleetStatus is the staleness block stamped into every read response:

@@ -140,10 +140,9 @@ func NewHandler(a *Aggregator) http.Handler {
 		if revalidated(w, r, fmt.Sprintf("fleet-%d-s%d-t%d-c%g", a.Version(), support, top, conf)) {
 			return nil
 		}
-		rules := a.Rules(support, conf)
 		writeData(w, map[string]any{
 			"devices": a.Devices(),
-			"rules":   topRules(rules, top),
+			"rules":   fleetTopRules(a, support, conf, top),
 			"fleet":   a.Status(),
 		})
 		return nil
@@ -174,11 +173,14 @@ func NewHandler(a *Aggregator) http.Handler {
 			return apiErrorf(http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		}
 		id := r.PathValue("id")
-		rules, ok := a.DeviceRules(id, support, conf)
+		rules, ok := a.DeviceTopRules(id, support, conf, ruleLimit(top))
 		if !ok {
 			return apiErrorf(http.StatusNotFound, ErrCodeUnknownDevice, "no live mirror for device %q", id)
 		}
-		writeData(w, map[string]any{"device": id, "rules": topRules(rules, top), "fleet": a.Status()})
+		if top <= 0 {
+			rules = []core.Rule{}
+		}
+		writeData(w, map[string]any{"device": id, "rules": rules, "fleet": a.Status()})
 		return nil
 	}))
 
@@ -265,7 +267,7 @@ func serveWatch(a *Aggregator, watchers *obs.Gauge, slowDrops *obs.Counter, w ht
 			snap := a.MergedSnapshot(support)
 			body["totalPairs"] = len(snap.Pairs)
 			body["pairs"] = snap.TopPairs(top)
-			body["rules"] = topRules(a.Rules(support, conf), top)
+			body["rules"] = fleetTopRules(a, support, conf, top)
 			if err := write(strconv.FormatUint(cur, 10), "state", body); err != nil {
 				slowDrops.Inc()
 				return nil
@@ -332,11 +334,25 @@ func snapshotBody(a *Aggregator, snap core.Snapshot, top int, extra map[string]a
 	return body
 }
 
-func topRules(rules []core.Rule, top int) []core.Rule {
-	if top < len(rules) {
-		rules = rules[:top]
+// fleetTopRules serves the merged rules bounded to top, pushed into
+// extraction (bounded-heap selection over the merge index) so no more
+// rules are materialized than served. top=0 short-circuits to none —
+// the aggregator API reserves limit<=0 for "all".
+func fleetTopRules(a *Aggregator, support uint32, conf float64, top int) []core.Rule {
+	if top <= 0 {
+		return []core.Rule{}
 	}
-	return rules
+	return a.TopRules(support, conf, top)
+}
+
+// ruleLimit maps the HTTP ?top= parameter onto an extraction limit:
+// top=0 must extract nothing, but limit<=0 means "all", so callers
+// pass 1 and discard (the lookup still reports device existence).
+func ruleLimit(top int) int {
+	if top <= 0 {
+		return 1
+	}
+	return top
 }
 
 func revalidated(w http.ResponseWriter, r *http.Request, tag string) bool {

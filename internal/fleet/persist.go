@@ -166,6 +166,19 @@ func (a *Aggregator) LoadState(r io.Reader) error {
 		return ErrClosed
 	}
 	a.collectors = loaded
+	// The merge index describes the replaced mirrors; rebuild it from
+	// the loaded ones. Failed-collector exclusions are recomputed on
+	// the next merged read from the restored lastSync stamps.
+	idx := core.NewMergeIndex()
+	for id, m := range loaded {
+		for dev, dm := range m.devices {
+			idx.Update(mirrorKey(id, dev), dm.snap)
+		}
+	}
+	a.idxMu.Lock()
+	a.idx = idx
+	a.idxExcluded = make(map[string]bool)
+	a.idxMu.Unlock()
 	a.bumpLocked()
 	return nil
 }

@@ -264,11 +264,11 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 		if revalidated(w, r, fmt.Sprintf("%s-%d-s%d-t%d-c%g", id, epoch, support, top, conf)) {
 			return nil
 		}
-		rules, err := e.Rules(id, support, conf)
+		rules, err := deviceTopRules(e, id, support, conf, top)
 		if err != nil {
 			return engineError(err)
 		}
-		writeData(w, map[string]any{"device": id, "rules": topRules(rules, top)})
+		writeData(w, map[string]any{"device": id, "rules": rules})
 		return nil
 	}))
 
@@ -302,11 +302,11 @@ func NewEngineHandler(e *engine.Engine) http.Handler {
 		if revalidated(w, r, fmt.Sprintf("fleet-%d-%d-s%d-t%d-c%g", sum, n, support, top, conf)) {
 			return nil
 		}
-		rules, err := mergedOrSingleRules(e, support, conf)
+		rules, err := mergedOrSingleRules(e, support, conf, top)
 		if err != nil {
 			return engineError(err)
 		}
-		writeData(w, map[string]any{"devices": e.Devices(), "rules": topRules(rules, top)})
+		writeData(w, map[string]any{"devices": e.Devices(), "rules": rules})
 		return nil
 	}))
 
@@ -482,11 +482,26 @@ func revalidated(w http.ResponseWriter, r *http.Request, tag string) bool {
 
 // mergedOrSingleRules serves fleet-wide rules: the exact live-table
 // rules when one device is registered, the merged estimate otherwise.
-func mergedOrSingleRules(e *engine.Engine, support uint32, conf float64) ([]core.Rule, error) {
-	if devices := e.Devices(); len(devices) == 1 {
-		return e.Rules(devices[0], support, conf)
+// The top bound is pushed into extraction (bounded-heap selection), so
+// the handler never materializes more rules than it will serve. top=0
+// short-circuits to none — the core API reserves limit<=0 for "all".
+func mergedOrSingleRules(e *engine.Engine, support uint32, conf float64, top int) ([]core.Rule, error) {
+	if top <= 0 {
+		return []core.Rule{}, nil
 	}
-	return e.MergedRules(support, conf)
+	if devices := e.Devices(); len(devices) == 1 {
+		return e.TopRules(devices[0], support, conf, top)
+	}
+	return e.MergedTopRules(support, conf, top)
+}
+
+// deviceTopRules serves one device's rules bounded to top, with the
+// same top=0 short-circuit as mergedOrSingleRules.
+func deviceTopRules(e *engine.Engine, id string, support uint32, conf float64, top int) ([]core.Rule, error) {
+	if top <= 0 {
+		return []core.Rule{}, nil
+	}
+	return e.TopRules(id, support, conf, top)
 }
 
 // healthBody builds the shared healthz/readyz payload from the
@@ -563,13 +578,6 @@ func snapshotBody(snap core.Snapshot, top int, extra map[string]any) map[string]
 		body[k] = v
 	}
 	return body
-}
-
-func topRules(rules []core.Rule, top int) []core.Rule {
-	if top < len(rules) {
-		rules = rules[:top]
-	}
-	return rules
 }
 
 func snapshotParams(r *http.Request) (support uint32, top int, err error) {

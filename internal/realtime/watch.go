@@ -166,7 +166,7 @@ func (t watchTarget) state(support uint32, top int, conf float64) (watchCursor, 
 		if err != nil {
 			return watchCursor{}, nil, err
 		}
-		rules, err := t.e.Rules(t.device, support, conf)
+		rules, err := deviceTopRules(t.e, t.device, support, conf, top)
 		if err != nil {
 			return watchCursor{}, nil, err
 		}
@@ -176,7 +176,7 @@ func (t watchTarget) state(support uint32, top int, conf float64) (watchCursor, 
 			"device":     t.device,
 			"totalPairs": len(snap.Pairs),
 			"pairs":      snap.TopPairs(top),
-			"rules":      topRules(rules, top),
+			"rules":      rules,
 		}, nil
 	}
 	sum, n := t.e.MergedEpoch()
@@ -184,7 +184,7 @@ func (t watchTarget) state(support uint32, top int, conf float64) (watchCursor, 
 	if err != nil {
 		return watchCursor{}, nil, err
 	}
-	rules, err := mergedOrSingleRules(t.e, support, conf)
+	rules, err := mergedOrSingleRules(t.e, support, conf, top)
 	if err != nil {
 		return watchCursor{}, nil, err
 	}
@@ -194,7 +194,7 @@ func (t watchTarget) state(support uint32, top int, conf float64) (watchCursor, 
 		"devices":    t.e.Devices(),
 		"totalPairs": len(snap.Pairs),
 		"pairs":      snap.TopPairs(top),
-		"rules":      topRules(rules, top),
+		"rules":      rules,
 	}, nil
 }
 
